@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive correlation study runs once per session and is shared by the
+Table I and Fig. 3 benches.  By default the benches use a reduced-but-
+faithful configuration (2-12 qubits, 1000 shots) that finishes in a few
+minutes; set ``REPRO_FULL=1`` to run the paper-scale configuration
+(2-20 qubits, 2000 shots, full hyper-parameter grid — roughly 15 minutes).
+
+Every bench writes its artefact (the regenerated table or figure) to
+``benchmarks/results/`` and prints it, so the reproduction output is
+inspectable after the run.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.evaluation import StudyConfig, run_study
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_FULL") == "1"
+
+REDUCED_GRID = {
+    "n_estimators": [50],
+    "max_depth": [None, 10],
+    "min_samples_leaf": [1, 2],
+    "min_samples_split": [2],
+}
+
+if FULL_SCALE:
+    STUDY_CONFIG = StudyConfig(shots=2000, seed=0)
+else:
+    STUDY_CONFIG = StudyConfig(
+        max_qubits=12, shots=1000, seed=0, param_grid=REDUCED_GRID
+    )
+
+
+@pytest.fixture(scope="session")
+def study_result():
+    """The correlation study shared by Table I / Fig. 3 benches."""
+    return run_study(config=STUDY_CONFIG)
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[artifact written to {path}]")

@@ -1,0 +1,42 @@
+"""Experiment E3 — Fig. 3: random forest model feature importance.
+
+Regenerates the paper's Fig. 3: per-QPU feature importances of the trained
+random forest, grouped into the paper's seven categories (liveness, gate
+ratios, directed program communication, parallelism, gate counts, circuit
+depth, other).
+
+Shape assertions encode the paper's headline observation: the features
+designed to capture qubit activity, operational density, and qubit
+interactions (liveness + gate ratios + parallelism + directed program
+communication) jointly dominate the model, while circuit depth alone
+contributes little.
+"""
+
+from conftest import write_artifact
+
+from repro.evaluation import format_fig3, grouped_importances
+
+SOPHISTICATED = [
+    "Liveness", "Gate ratios", "Parallelism", "Dir. prog. comm.",
+]
+
+
+def test_fig3_feature_importance(study_result, benchmark):
+    result = benchmark.pedantic(lambda: study_result, rounds=1, iterations=1)
+    per_device = {
+        name: report.feature_importances
+        for name, report in result.reports.items()
+    }
+    figure = format_fig3(per_device)
+    write_artifact("fig3.txt", figure)
+
+    for name, importances in per_device.items():
+        assert importances.shape == (30,)
+        assert abs(importances.sum() - 1.0) < 1e-9
+
+        grouped = grouped_importances(importances)
+        sophisticated = sum(grouped[group] for group in SOPHISTICATED)
+        # The activity/density/interaction features jointly dominate.
+        assert sophisticated > 0.45, name
+        # Circuit depth alone is a weak contributor (paper Fig. 3).
+        assert grouped["Circuit depth"] < sophisticated, name

@@ -1,0 +1,73 @@
+"""Experiment E8 — model-choice ablation: why a random forest?
+
+The paper uses a random forest regressor.  This bench compares it against
+a single decision tree, linear/ridge regression, and k-nearest-neighbours
+on the same features/labels and split, justifying the model choice the
+paper made (and matching its observation that interpretability plus
+accuracy is what the forest buys).
+"""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    KNeighborsRegressor,
+    LinearRegression,
+    RandomForestRegressor,
+    RidgeRegression,
+    pearson_r,
+)
+
+MODELS = {
+    "random_forest": lambda: RandomForestRegressor(
+        n_estimators=100, random_state=0, max_features="sqrt"
+    ),
+    "decision_tree": lambda: DecisionTreeRegressor(random_state=0),
+    "linear": LinearRegression,
+    "ridge": lambda: RidgeRegression(alpha=1.0),
+    "knn5": lambda: KNeighborsRegressor(n_neighbors=5, weights="distance"),
+}
+
+
+def test_model_comparison(study_result, benchmark):
+    def run():
+        scores = {}
+        for device_name, data in study_result.datasets.items():
+            X, y = data.X, data.y
+            rng = np.random.default_rng(0)
+            order = rng.permutation(len(X))
+            n_test = max(1, int(round(len(X) * 0.2)))
+            test_idx, train_idx = order[:n_test], order[n_test:]
+            per_model = {}
+            for name, factory in MODELS.items():
+                model = factory()
+                model.fit(X[train_idx], y[train_idx])
+                predictions = model.predict(X[test_idx])
+                per_model[name] = abs(pearson_r(y[test_idx], predictions))
+            scores[device_name] = per_model
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["E8: test-set |Pearson r| per model"]
+    header = f"{'model':<16}" + "".join(f"{name:>10}" for name in scores)
+    lines += ["-" * len(header), header, "-" * len(header)]
+    for model_name in MODELS:
+        row = f"{model_name:<16}" + "".join(
+            f"{scores[d][model_name]:>10.3f}" for d in scores
+        )
+        lines.append(row)
+    write_artifact("model_comparison.txt", "\n".join(lines))
+
+    for device_name, per_model in scores.items():
+        forest = per_model["random_forest"]
+        # The forest is the best (or within noise of the best) model.
+        best = max(per_model.values())
+        assert forest >= best - 0.03, device_name
+        # And it at least matches the plain linear baseline.  (At paper
+        # scale the label surface is smooth enough that linear/ridge come
+        # close on the cleaner device; the forest keeps a clear edge on the
+        # noisier one and additionally provides the feature importances the
+        # paper's Fig. 3 interprets.)
+        assert forest > per_model["linear"] - 0.02, device_name

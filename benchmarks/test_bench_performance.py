@@ -1,0 +1,75 @@
+"""Throughput microbenchmarks of the substrates.
+
+Not a paper artefact — these keep the reproduction's moving parts honest:
+statevector simulation, compilation, noisy execution, feature extraction,
+and forest training all have to be fast enough to sustain the paper-scale
+study (650+ compile/execute/label passes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.algorithms import qft
+from repro.circuits.random import random_circuit
+from repro.compiler import compile_circuit
+from repro.fom import feature_vector
+from repro.hardware import make_q20a
+from repro.ml import RandomForestRegressor
+from repro.simulation import QPUExecutor, ideal_distribution
+from repro.simulation.statevector import simulate_statevector
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_q20a()
+
+
+def test_perf_statevector_12q(benchmark):
+    circuit = random_circuit(12, 30, seed=0)
+    benchmark(lambda: simulate_statevector(circuit))
+
+
+def test_perf_statevector_qft16(benchmark):
+    circuit = qft(16)
+    benchmark.pedantic(
+        lambda: ideal_distribution(circuit, dtype=np.complex64),
+        rounds=2, iterations=1,
+    )
+
+
+def test_perf_compile_level3(benchmark, device):
+    circuit = random_circuit(12, 20, seed=1, measure=True)
+    benchmark.pedantic(
+        lambda: compile_circuit(circuit, device, optimization_level=3, seed=0),
+        rounds=3, iterations=1,
+    )
+
+
+def test_perf_noisy_execution(benchmark, device):
+    circuit = random_circuit(10, 15, seed=2, measure=True)
+    compiled = compile_circuit(circuit, device, optimization_level=2, seed=0)
+    ideal = ideal_distribution(compiled.circuit)
+    executor = QPUExecutor(device)
+    benchmark(
+        lambda: executor.execute(
+            compiled.circuit, shots=2000, seed=3, ideal=ideal
+        )
+    )
+
+
+def test_perf_feature_extraction(benchmark, device):
+    circuit = random_circuit(15, 40, seed=4, measure=True)
+    compiled = compile_circuit(circuit, device, optimization_level=2, seed=0)
+    benchmark(lambda: feature_vector(compiled.circuit))
+
+
+def test_perf_forest_training(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(250, 30))
+    y = rng.uniform(size=250)
+    benchmark.pedantic(
+        lambda: RandomForestRegressor(
+            n_estimators=50, random_state=0, max_features="sqrt"
+        ).fit(X, y),
+        rounds=2, iterations=1,
+    )

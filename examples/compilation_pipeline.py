@@ -1,0 +1,112 @@
+"""The compilation pipeline of the paper's Fig. 1, step by step.
+
+Reproduces the running example of Section II: a 4-qubit circuit is mapped
+onto a square-layout QPU that misses one link (between Q1 and Q3), its gates
+are synthesized into the native PRX/CZ set, and the optimization passes
+shrink the result.  The example also shows the effect the paper motivates:
+crosstalk makes the nominally "better" (smaller) circuit perform *worse*,
+which is exactly what the established figures of merit cannot see.
+
+Run:  python examples/compilation_pipeline.py
+"""
+
+from repro.circuits import QuantumCircuit
+from repro.compiler import (
+    Decompose,
+    NativeSynthesis,
+    OptimizationLoop,
+    PassManager,
+    PropertySet,
+    SabreRouting,
+    TrivialLayout,
+    VirtualRZ,
+    compile_circuit,
+)
+from repro.fom import expected_fidelity
+from repro.hardware import CouplingMap, NoiseProfile, make_device
+from repro.simulation import execute_and_label, ideal_distribution
+
+
+def make_square_device():
+    """Fig. 1's QPU: 4 qubits on a square, missing the Q1-Q3 link."""
+    coupling = CouplingMap(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+    return make_device(
+        "square4",
+        coupling,
+        seed=11,
+        noise=NoiseProfile(crosstalk_two_two=0.02, crosstalk_two_one=0.005),
+    )
+
+
+def fig1_circuit() -> QuantumCircuit:
+    """The example circuit of Fig. 1 (H + CX structure)."""
+    circuit = QuantumCircuit(4, name="fig1")
+    circuit.h(0)
+    circuit.h(2)
+    circuit.h(3)
+    circuit.cx(0, 2)
+    circuit.cx(2, 3)
+    circuit.h(2)
+    circuit.h(3)
+    circuit.cx(0, 1)
+    circuit.measure_all()
+    return circuit
+
+
+def main() -> None:
+    device = make_square_device()
+    circuit = fig1_circuit()
+    print("Original circuit:")
+    print(circuit.draw())
+    print()
+
+    # Walk the pipeline pass by pass (Fig. 1a-1d).
+    body = circuit.without_directives()
+    properties = PropertySet()
+    manager = PassManager([
+        Decompose(),                       # gate synthesis prep
+        TrivialLayout(device.coupling),    # (a) qubit mapping
+        SabreRouting(device.coupling, seed=0),  # (a) SWAP insertion
+        Decompose(),
+        OptimizationLoop(),                # (c) circuit optimization
+        NativeSynthesis(),                 # (b) gate synthesis to PRX/CZ
+        VirtualRZ(),                       # QPU-specific: virtual RZ
+    ])
+    staged = manager.run(body, properties)
+    print("Pass-by-pass progress (size / depth):")
+    for record in manager.history:
+        print(
+            f"  {record['pass']:<22} "
+            f"{record['size_before']:>3} -> {record['size_after']:<3}  "
+            f"depth {record['depth_before']:>3} -> {record['depth_after']}"
+        )
+    print()
+    print("Native circuit:")
+    print(staged.draw())
+    print()
+
+    # Full compile at each optimization level.
+    print("Optimization level sweep:")
+    print(f"{'level':<7}{'gates':>7}{'CZ':>5}{'depth':>7}{'F_exp':>8}{'Hellinger':>11}")
+    ideal = ideal_distribution(circuit)
+    for level in range(4):
+        result = compile_circuit(circuit, device, optimization_level=level, seed=3)
+        fidelity = expected_fidelity(result.circuit, device)
+        distance, _ = execute_and_label(
+            result.circuit, device, shots=4000, seed=level, ideal=ideal
+        )
+        print(
+            f"{level:<7}{result.circuit.size():>7}"
+            f"{result.circuit.num_nonlocal_gates():>5}"
+            f"{result.circuit.depth():>7}{fidelity:>8.4f}{distance:>11.3f}"
+        )
+    print()
+    print(
+        "Note how expected fidelity ranks the candidates, yet the measured\n"
+        "Hellinger distance also reflects crosstalk and decoherence that the\n"
+        "established figures of merit do not capture (Section III)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Compare circuit execution quality across the two case-study QPUs.
+
+Runs a family of GHZ and QFT circuits of growing width on both emulated
+IQM devices (Q20-A and Q20-B) and prints the measured Hellinger distance,
+the established hardware-aware figures of merit, and the PST (mirror
+circuit) metric from the paper's future-work section.
+
+Run:  python examples/device_comparison.py
+"""
+
+from repro.bench.algorithms import ghz, qft
+from repro.compiler import compile_circuit
+from repro.fom import esp, expected_fidelity
+from repro.hardware import make_q20_pair
+from repro.predictor import pst
+from repro.simulation import execute_and_label, ideal_distribution
+
+
+def main() -> None:
+    devices = make_q20_pair()
+    widths = [3, 6, 9, 12, 15]
+
+    for family_name, family in (("ghz", ghz), ("qft", qft)):
+        print(f"=== {family_name} family ===")
+        header = (
+            f"{'n':>3} {'device':<7} {'CZ':>4} {'depth':>6} "
+            f"{'F_exp':>7} {'ESP':>7} {'Hellinger':>10} {'PST':>6}"
+        )
+        print(header)
+        print("-" * len(header))
+        for width in widths:
+            circuit = family(width)
+            ideal = ideal_distribution(circuit)
+            for device in devices:
+                result = compile_circuit(
+                    circuit, device, optimization_level=3, seed=1
+                )
+                compiled = result.circuit
+                distance, _ = execute_and_label(
+                    compiled, device, shots=2000, seed=5, ideal=ideal
+                )
+                pst_value, _ = pst(circuit, device, shots=2000, seed=5)
+                print(
+                    f"{width:>3} {device.name:<7} "
+                    f"{compiled.num_nonlocal_gates():>4} "
+                    f"{compiled.depth():>6} "
+                    f"{expected_fidelity(compiled, device):>7.3f} "
+                    f"{esp(compiled, device):>7.3f} "
+                    f"{distance:>10.3f} {pst_value:>6.3f}"
+                )
+        print()
+    print(
+        "Q20-B (cleaner calibration, less crosstalk) consistently beats\n"
+        "Q20-A; the Hellinger distance and PST degrade together as circuits\n"
+        "grow — the raw material behind the paper's correlation study."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Train the paper's proposed figure of merit and use it in compilation.
+
+Reproduces the workflow of Fig. 2 on a reduced benchmark suite (2-10
+qubits so the example finishes in about a minute):
+
+1. compile + execute the suite on the emulated Q20-A QPU,
+2. label every circuit with its Hellinger distance,
+3. train the random-forest estimator (80/20 split, 3-fold CV, grid search),
+4. report the Table-I-style correlations and the Fig.-3 feature importances,
+5. use the trained estimator as a figure of merit to choose between two
+   compilations of an unseen circuit.
+
+Run:  python examples/train_fom_estimator.py
+"""
+
+import numpy as np
+
+from repro.bench import build_suite
+from repro.compiler import compile_circuit
+from repro.evaluation import grouped_importances, sorted_groups
+from repro.fom import expected_fidelity, feature_vector
+from repro.hardware import make_q20a
+from repro.ml import pearson_r, train_test_split
+from repro.predictor import HellingerEstimator, build_dataset
+from repro.simulation import execute_and_label
+
+
+def main() -> None:
+    device = make_q20a()
+    suite = build_suite(max_qubits=10)
+    print(f"Benchmark suite: {len(suite)} circuits (2-10 qubits)")
+
+    # 1-2. Features + Hellinger labels (the expensive part: compilation,
+    # statevector simulation, and noisy execution per circuit).
+    dataset = build_dataset(suite, device, shots=2000, seed=0)
+    print(f"Labelled dataset on {device.name}: {len(dataset)} circuits "
+          f"(compiled depth < 1000)")
+    print(f"label range: [{dataset.y.min():.3f}, {dataset.y.max():.3f}]")
+    print()
+
+    # 3. Train with the paper's protocol.
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.2, seed=0
+    )
+    estimator = HellingerEstimator(
+        param_grid={
+            "n_estimators": [50, 100],
+            "max_depth": [None, 10],
+            "min_samples_leaf": [1, 2],
+            "min_samples_split": [2],
+        },
+        seed=0,
+    ).fit(X_train, y_train)
+    print(f"grid search best params: {estimator.best_params_}")
+    print(f"cross-validation Pearson: {estimator.cv_score_:.3f}")
+    print(f"held-out test Pearson:    {estimator.score(X_test, y_test):.3f}")
+
+    # Compare with the established figures of merit on the same labels.
+    for fom in ("Number of gates", "Circuit depth", "Expected fidelity", "ESP"):
+        r = abs(pearson_r(dataset.fom_column(fom), dataset.y))
+        print(f"  {fom:<20} |r| = {r:.3f}")
+    print()
+
+    # 4. Feature importances, grouped like Fig. 3.
+    print("Feature importance by category (Fig. 3 grouping):")
+    grouped = grouped_importances(estimator.feature_importances_)
+    for group, value in sorted_groups(grouped):
+        bar = "#" * int(round(40 * value / max(grouped.values())))
+        print(f"  {group:<18} {value:.3f} {bar}")
+    print()
+
+    # 5. Use the estimator as a figure of merit: pick the compilation seed
+    # with the smallest *predicted* Hellinger distance.
+    from repro.bench.algorithms import qftentangled
+
+    candidate = qftentangled(7)
+    print("Choosing between 5 compilations of qftentangled_7:")
+    best = None
+    for seed in range(5):
+        result = compile_circuit(candidate, device, optimization_level=2,
+                                 seed=seed)
+        predicted = float(
+            estimator.predict(feature_vector(result.circuit)[None, :])[0]
+        )
+        measured, _ = execute_and_label(
+            result.circuit, device, shots=2000, seed=99
+        )
+        fid = expected_fidelity(result.circuit, device)
+        marker = ""
+        if best is None or predicted < best[0]:
+            best = (predicted, seed)
+            marker = "  <- predicted best so far"
+        print(
+            f"  seed {seed}: predicted d = {predicted:.3f}, "
+            f"measured d = {measured:.3f}, F_exp = {fid:.3f}{marker}"
+        )
+    print(f"\nSelected compilation seed {best[1]} "
+          f"(predicted Hellinger {best[0]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

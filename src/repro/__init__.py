@@ -1,0 +1,47 @@
+"""repro: reproduction of "Improving Figures of Merit for Quantum Circuit
+Compilation" (Hopf, Quetschlich, Schulz, Wille — DATE 2025).
+
+Public API highlights:
+
+* :mod:`repro.circuits` — circuit IR, gates, DAG, QASM, drawing.
+* :mod:`repro.hardware` — coupling maps, calibration, the Q20-A/Q20-B devices.
+* :mod:`repro.compiler` — qubit mapping, routing, native synthesis, opt 0-3.
+* :mod:`repro.simulation` — statevector simulation and the noisy executor.
+* :mod:`repro.fom` — established figures of merit and the 30-dim features.
+* :mod:`repro.ml` — decision trees, random forests, model selection.
+* :mod:`repro.predictor` — the trained Hellinger-distance figure of merit.
+* :mod:`repro.bench` — the benchmark circuit collection.
+* :mod:`repro.evaluation` — the correlation study (Table I, Fig. 3).
+"""
+
+from .circuits import QuantumCircuit
+from .compiler import compile_circuit
+from .evaluation import StudyConfig, run_study
+from .fom import esp, expected_fidelity, feature_vector
+from .hardware import Device, make_q20a, make_q20b
+from .ml import RandomForestRegressor, pearson_r
+from .predictor import HellingerEstimator, build_dataset
+from .simulation import QPUExecutor, hellinger_distance, ideal_distribution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device",
+    "HellingerEstimator",
+    "QPUExecutor",
+    "QuantumCircuit",
+    "RandomForestRegressor",
+    "StudyConfig",
+    "__version__",
+    "build_dataset",
+    "compile_circuit",
+    "esp",
+    "expected_fidelity",
+    "feature_vector",
+    "hellinger_distance",
+    "ideal_distribution",
+    "make_q20a",
+    "make_q20b",
+    "pearson_r",
+    "run_study",
+]

@@ -1,0 +1,19 @@
+"""Benchmark workloads: algorithm families and suite construction."""
+
+from .algorithms import ALGORITHMS
+from .suite import (
+    DEPTH_LIMIT,
+    BenchmarkCircuit,
+    build_suite,
+    filter_by_depth,
+    suite_summary,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BenchmarkCircuit",
+    "DEPTH_LIMIT",
+    "build_suite",
+    "filter_by_depth",
+    "suite_summary",
+]

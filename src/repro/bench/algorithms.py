@@ -1,0 +1,494 @@
+"""Benchmark circuit generators (MQT Bench substitute, Section V-A1).
+
+Eighteen parameterized algorithm families covering the variety the paper's
+benchmark collection offers (VQE, QAOA, QFT, GHZ, W-state, Grover, etc.),
+each scalable over a qubit range.  All generators are deterministic: any
+randomness (graph structure, ansatz parameters, oracle secrets) derives from
+a seed computed from the family name and qubit count, so the whole suite is
+reproducible bit-for-bit.
+
+Every generated circuit ends in a full measurement (``measure_all``), the
+form in which the paper's benchmarks are executed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.random import random_circuit
+
+
+def _family_rng(family: str, num_qubits: int) -> np.random.Generator:
+    digest = hashlib.sha256(f"{family}:{num_qubits}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+# ---------------------------------------------------------------------------
+# Entanglement structure benchmarks
+# ---------------------------------------------------------------------------
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation: H plus a CX chain."""
+    _require(num_qubits, 2)
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit.measure_all()
+
+
+def wstate(num_qubits: int) -> QuantumCircuit:
+    """W state preparation via the cascade of F gates."""
+    _require(num_qubits, 2)
+    circuit = QuantumCircuit(num_qubits, name=f"wstate_{num_qubits}")
+    circuit.x(num_qubits - 1)
+    for step in range(num_qubits - 1):
+        control = num_qubits - 1 - step
+        target = num_qubits - 2 - step
+        theta = math.acos(math.sqrt(1.0 / (num_qubits - step)))
+        circuit.ry(-theta, target)
+        circuit.cz(control, target)
+        circuit.ry(theta, target)
+    for step in range(num_qubits - 1):
+        circuit.cx(num_qubits - 2 - step, num_qubits - 1 - step)
+    return circuit.measure_all()
+
+
+def graphstate(num_qubits: int) -> QuantumCircuit:
+    """Graph state on a random degree-3 graph: H everywhere + CZ per edge."""
+    _require(num_qubits, 3)
+    rng = _family_rng("graphstate", num_qubits)
+    circuit = QuantumCircuit(num_qubits, name=f"graphstate_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    edges = set()
+    # Ring backbone guarantees connectivity, then random chords.
+    for i in range(num_qubits):
+        edges.add(tuple(sorted((i, (i + 1) % num_qubits))))
+    extra = num_qubits // 2
+    attempts = 0
+    while extra > 0 and attempts < 20 * num_qubits:
+        attempts += 1
+        a, b = int(rng.integers(num_qubits)), int(rng.integers(num_qubits))
+        if a != b and tuple(sorted((a, b))) not in edges:
+            edges.add(tuple(sorted((a, b))))
+            extra -= 1
+    for a, b in sorted(edges):
+        circuit.cz(a, b)
+    return circuit.measure_all()
+
+
+# ---------------------------------------------------------------------------
+# Fourier-based benchmarks
+# ---------------------------------------------------------------------------
+
+def _append_qft(circuit: QuantumCircuit, qubits: List[int],
+                with_swaps: bool = True) -> None:
+    n = len(qubits)
+    for i in reversed(range(n)):
+        circuit.h(qubits[i])
+        for j in reversed(range(i)):
+            circuit.cp(math.pi / (1 << (i - j)), qubits[j], qubits[i])
+    if with_swaps:
+        for i in range(n // 2):
+            circuit.swap(qubits[i], qubits[n - 1 - i])
+
+
+def _append_iqft(circuit: QuantumCircuit, qubits: List[int]) -> None:
+    """Exact inverse of :func:`_append_qft` (swaps first, then phases)."""
+    n = len(qubits)
+    for i in range(n // 2):
+        circuit.swap(qubits[i], qubits[n - 1 - i])
+    for i in range(n):
+        for j in range(i):
+            circuit.cp(-math.pi / (1 << (i - j)), qubits[j], qubits[i])
+        circuit.h(qubits[i])
+
+
+def qft(num_qubits: int) -> QuantumCircuit:
+    """Quantum Fourier transform applied to ``|0...0>``."""
+    _require(num_qubits, 2)
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    _append_qft(circuit, list(range(num_qubits)))
+    return circuit.measure_all()
+
+
+def qftentangled(num_qubits: int) -> QuantumCircuit:
+    """QFT applied to a GHZ state (MQT Bench's 'qftentangled')."""
+    _require(num_qubits, 2)
+    circuit = QuantumCircuit(num_qubits, name=f"qftentangled_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    _append_qft(circuit, list(range(num_qubits)))
+    return circuit.measure_all()
+
+
+def _qpe(num_qubits: int, exact: bool) -> QuantumCircuit:
+    """Quantum phase estimation of a single-qubit phase gate.
+
+    ``num_qubits - 1`` evaluation qubits estimate the phase of ``p(2*pi*f)``
+    applied to the eigenstate ``|1>``.  With ``exact`` the fraction ``f`` is
+    representable in the available bits (sharp single peak), otherwise it
+    falls between grid points (spread distribution).
+    """
+    _require(num_qubits, 2)
+    eval_qubits = list(range(num_qubits - 1))
+    target = num_qubits - 1
+    bits = len(eval_qubits)
+    rng = _family_rng("qpeexact" if exact else "qpeinexact", num_qubits)
+    if exact:
+        numerator = int(rng.integers(1, 1 << bits))
+        fraction = numerator / (1 << bits)
+    else:
+        numerator = int(rng.integers(1, (1 << bits))) + 0.5
+        fraction = numerator / (1 << bits)
+    name = f"qpeexact_{num_qubits}" if exact else f"qpeinexact_{num_qubits}"
+    circuit = QuantumCircuit(num_qubits, name=name)
+    circuit.x(target)
+    for qubit in eval_qubits:
+        circuit.h(qubit)
+    for k, qubit in enumerate(eval_qubits):
+        angle = 2.0 * math.pi * fraction * (1 << k)
+        circuit.cp(angle, qubit, target)
+    _append_iqft(circuit, eval_qubits)
+    if circuit.num_clbits < num_qubits:
+        circuit.num_clbits = num_qubits
+    for qubit in eval_qubits:
+        circuit.measure(qubit, qubit)
+    circuit.measure(target, target)
+    return circuit
+
+
+def qpeexact(num_qubits: int) -> QuantumCircuit:
+    """QPE with an exactly representable phase."""
+    return _qpe(num_qubits, exact=True)
+
+
+def qpeinexact(num_qubits: int) -> QuantumCircuit:
+    """QPE with a phase between grid points."""
+    return _qpe(num_qubits, exact=False)
+
+
+# ---------------------------------------------------------------------------
+# Oracle benchmarks
+# ---------------------------------------------------------------------------
+
+def dj(num_qubits: int) -> QuantumCircuit:
+    """Deutsch-Jozsa with a random balanced (parity) oracle."""
+    _require(num_qubits, 2)
+    inputs = list(range(num_qubits - 1))
+    ancilla = num_qubits - 1
+    rng = _family_rng("dj", num_qubits)
+    mask = [bool(rng.integers(2)) for _ in inputs]
+    if not any(mask):
+        mask[0] = True
+    circuit = QuantumCircuit(num_qubits, name=f"dj_{num_qubits}")
+    circuit.x(ancilla)
+    for qubit in inputs:
+        circuit.h(qubit)
+    circuit.h(ancilla)
+    for qubit, active in zip(inputs, mask):
+        if active:
+            circuit.cx(qubit, ancilla)
+    for qubit in inputs:
+        circuit.h(qubit)
+    if circuit.num_clbits < len(inputs):
+        circuit.num_clbits = len(inputs)
+    for index, qubit in enumerate(inputs):
+        circuit.measure(qubit, index)
+    return circuit
+
+
+def bv(num_qubits: int) -> QuantumCircuit:
+    """Bernstein-Vazirani with a random secret string."""
+    _require(num_qubits, 2)
+    inputs = list(range(num_qubits - 1))
+    ancilla = num_qubits - 1
+    rng = _family_rng("bv", num_qubits)
+    secret = [bool(rng.integers(2)) for _ in inputs]
+    if not any(secret):
+        secret[-1] = True
+    circuit = QuantumCircuit(num_qubits, name=f"bv_{num_qubits}")
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in inputs:
+        circuit.h(qubit)
+    for qubit, active in zip(inputs, secret):
+        if active:
+            circuit.cx(qubit, ancilla)
+    for qubit in inputs:
+        circuit.h(qubit)
+    if circuit.num_clbits < len(inputs):
+        circuit.num_clbits = len(inputs)
+    for index, qubit in enumerate(inputs):
+        circuit.measure(qubit, index)
+    return circuit
+
+
+def grover(num_qubits: int) -> QuantumCircuit:
+    """Grover search marking a random target state.
+
+    ``num_qubits - 1`` search qubits plus one phase ancilla.  The iteration
+    count follows ``round(pi/4 * sqrt(N))`` but is capped so that circuit
+    construction stays tractable for wide registers; deep instances are
+    filtered by the depth rule in the study, just as in the paper.
+    """
+    _require(num_qubits, 3)
+    search = list(range(num_qubits - 1))
+    flag = num_qubits - 1
+    rng = _family_rng("grover", num_qubits)
+    target = int(rng.integers(0, 1 << len(search)))
+    optimal = max(1, round(math.pi / 4.0 * math.sqrt(2 ** len(search))))
+    iterations = min(optimal, 4)
+    circuit = QuantumCircuit(num_qubits, name=f"grover_{num_qubits}")
+    circuit.x(flag)
+    circuit.h(flag)
+    for qubit in search:
+        circuit.h(qubit)
+    for _ in range(iterations):
+        # Oracle: flip the flag when the register equals `target`.
+        for bit, qubit in enumerate(search):
+            if not (target >> bit) & 1:
+                circuit.x(qubit)
+        circuit.mcx(search, flag)
+        for bit, qubit in enumerate(search):
+            if not (target >> bit) & 1:
+                circuit.x(qubit)
+        # Diffusion operator.
+        for qubit in search:
+            circuit.h(qubit)
+            circuit.x(qubit)
+        circuit.h(search[-1])
+        circuit.mcx(search[:-1], search[-1])
+        circuit.h(search[-1])
+        for qubit in search:
+            circuit.x(qubit)
+            circuit.h(qubit)
+    if circuit.num_clbits < len(search):
+        circuit.num_clbits = len(search)
+    for index, qubit in enumerate(search):
+        circuit.measure(qubit, index)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Variational benchmarks
+# ---------------------------------------------------------------------------
+
+def qaoa(num_qubits: int) -> QuantumCircuit:
+    """Two-layer MaxCut QAOA on a random 3-regular-ish graph."""
+    _require(num_qubits, 3)
+    rng = _family_rng("qaoa", num_qubits)
+    edges = set()
+    for i in range(num_qubits):
+        edges.add(tuple(sorted((i, (i + 1) % num_qubits))))
+    extra = num_qubits // 2
+    attempts = 0
+    while extra > 0 and attempts < 10 * num_qubits:
+        attempts += 1
+        a, b = int(rng.integers(num_qubits)), int(rng.integers(num_qubits))
+        if a != b and tuple(sorted((a, b))) not in edges:
+            edges.add(tuple(sorted((a, b))))
+            extra -= 1
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(2):
+        gamma = float(rng.uniform(0, math.pi))
+        beta = float(rng.uniform(0, math.pi))
+        for a, b in sorted(edges):
+            circuit.rzz(gamma, a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(2 * beta, qubit)
+    return circuit.measure_all()
+
+
+def vqe(num_qubits: int) -> QuantumCircuit:
+    """TwoLocal VQE ansatz: RY layers with linear CX entanglement, 2 reps."""
+    _require(num_qubits, 2)
+    rng = _family_rng("vqe", num_qubits)
+    circuit = QuantumCircuit(num_qubits, name=f"vqe_{num_qubits}")
+    for _ in range(2):
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(-math.pi, math.pi)), qubit)
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.ry(float(rng.uniform(-math.pi, math.pi)), qubit)
+    return circuit.measure_all()
+
+
+def realamprandom(num_qubits: int) -> QuantumCircuit:
+    """RealAmplitudes ansatz with full entanglement and random parameters."""
+    _require(num_qubits, 2)
+    rng = _family_rng("realamprandom", num_qubits)
+    circuit = QuantumCircuit(num_qubits, name=f"realamprandom_{num_qubits}")
+    for _ in range(2):
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(-math.pi, math.pi)), qubit)
+        for a in range(num_qubits - 1):
+            for b in range(a + 1, num_qubits):
+                circuit.cx(a, b)
+    for qubit in range(num_qubits):
+        circuit.ry(float(rng.uniform(-math.pi, math.pi)), qubit)
+    return circuit.measure_all()
+
+
+def su2random(num_qubits: int) -> QuantumCircuit:
+    """EfficientSU2 ansatz (RY+RZ, circular CX entanglement), random params."""
+    _require(num_qubits, 2)
+    rng = _family_rng("su2random", num_qubits)
+    circuit = QuantumCircuit(num_qubits, name=f"su2random_{num_qubits}")
+    for _ in range(2):
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(-math.pi, math.pi)), qubit)
+            circuit.rz(float(rng.uniform(-math.pi, math.pi)), qubit)
+        circuit.cx(num_qubits - 1, 0)
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.ry(float(rng.uniform(-math.pi, math.pi)), qubit)
+        circuit.rz(float(rng.uniform(-math.pi, math.pi)), qubit)
+    return circuit.measure_all()
+
+
+def qnn(num_qubits: int) -> QuantumCircuit:
+    """Quantum-neural-network style circuit: ZZ feature map + variational layer."""
+    _require(num_qubits, 2)
+    rng = _family_rng("qnn", num_qubits)
+    data = rng.uniform(0, 2 * math.pi, size=num_qubits)
+    circuit = QuantumCircuit(num_qubits, name=f"qnn_{num_qubits}")
+    for repetition in range(2):
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+            circuit.p(float(data[qubit]), qubit)
+        for qubit in range(num_qubits - 1):
+            angle = float(
+                (math.pi - data[qubit]) * (math.pi - data[qubit + 1]) / math.pi
+            )
+            circuit.cx(qubit, qubit + 1)
+            circuit.p(angle, qubit + 1)
+            circuit.cx(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.ry(float(rng.uniform(-math.pi, math.pi)), qubit)
+    return circuit.measure_all()
+
+
+# ---------------------------------------------------------------------------
+# Dynamics / estimation benchmarks
+# ---------------------------------------------------------------------------
+
+def hamsim(num_qubits: int) -> QuantumCircuit:
+    """Two Trotter steps of a 1-D Heisenberg chain."""
+    _require(num_qubits, 2)
+    j_coupling = 0.35
+    field = 0.2
+    circuit = QuantumCircuit(num_qubits, name=f"hamsim_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(2):
+        for qubit in range(num_qubits):
+            circuit.rz(2 * field, qubit)
+        for parity in (0, 1):
+            for a in range(parity, num_qubits - 1, 2):
+                circuit.rxx(2 * j_coupling, a, a + 1)
+                circuit.ryy(2 * j_coupling, a, a + 1)
+                circuit.rzz(2 * j_coupling, a, a + 1)
+    return circuit.measure_all()
+
+
+def ae(num_qubits: int) -> QuantumCircuit:
+    """Canonical amplitude estimation of a known amplitude.
+
+    One state qubit carries ``sin^2(theta)``; ``num_qubits - 1`` evaluation
+    qubits run phase estimation over powers of the Grover operator, which
+    for this single-qubit ``A`` is a plain Y rotation.
+    """
+    _require(num_qubits, 2)
+    eval_qubits = list(range(num_qubits - 1))
+    state = num_qubits - 1
+    probability = 0.2
+    theta = 2.0 * math.asin(math.sqrt(probability))
+    circuit = QuantumCircuit(num_qubits, name=f"ae_{num_qubits}")
+    circuit.ry(theta, state)
+    for qubit in eval_qubits:
+        circuit.h(qubit)
+    for k, qubit in enumerate(eval_qubits):
+        circuit.cry(theta * (2 ** (k + 1)), qubit, state)
+    _append_iqft(circuit, eval_qubits)
+    return circuit.measure_all()
+
+
+def qwalk(num_qubits: int) -> QuantumCircuit:
+    """Discrete-time quantum walk on a cycle (coin + position register)."""
+    _require(num_qubits, 3)
+    coin = 0
+    position = list(range(1, num_qubits))
+    steps = 3
+    circuit = QuantumCircuit(num_qubits, name=f"qwalk_{num_qubits}")
+    for _ in range(steps):
+        circuit.h(coin)
+        # Increment position when coin = 1 (ripple-carry of MCX gates).
+        for j in reversed(range(len(position))):
+            controls = [coin] + position[:j]
+            circuit.mcx(controls, position[j])
+        # Decrement position when coin = 0.
+        circuit.x(coin)
+        for j in range(len(position)):
+            controls = [coin] + position[:j]
+            circuit.mcx(controls, position[j])
+        circuit.x(coin)
+    return circuit.measure_all()
+
+
+def randomcircuit(num_qubits: int) -> QuantumCircuit:
+    """Layered random circuit (depth = qubit count)."""
+    _require(num_qubits, 2)
+    rng = _family_rng("randomcircuit", num_qubits)
+    circuit = random_circuit(
+        num_qubits,
+        depth=max(4, num_qubits),
+        seed=rng,
+        two_qubit_prob=0.4,
+    )
+    circuit.name = f"randomcircuit_{num_qubits}"
+    return circuit.measure_all()
+
+
+def _require(num_qubits: int, minimum: int) -> None:
+    if num_qubits < minimum:
+        raise ValueError(f"this benchmark needs at least {minimum} qubits")
+
+
+#: All benchmark families: name -> (generator, min qubits, max qubits).
+#: Grover and the quantum walk are capped: their ancilla-free
+#: multi-controlled gates grow exponentially, so wider instances are not
+#: constructible in reasonable time — and would be removed by the paper's
+#: compiled-depth < 1000 filter anyway.
+ALGORITHMS: Dict[str, tuple[Callable[[int], QuantumCircuit], int, int]] = {
+    "ghz": (ghz, 2, 20),
+    "wstate": (wstate, 2, 20),
+    "graphstate": (graphstate, 3, 20),
+    "qft": (qft, 2, 20),
+    "qftentangled": (qftentangled, 2, 20),
+    "qpeexact": (qpeexact, 2, 20),
+    "qpeinexact": (qpeinexact, 2, 20),
+    "dj": (dj, 2, 20),
+    "bv": (bv, 2, 20),
+    "grover": (grover, 3, 8),
+    "qaoa": (qaoa, 3, 20),
+    "vqe": (vqe, 2, 20),
+    "realamprandom": (realamprandom, 2, 20),
+    "su2random": (su2random, 2, 20),
+    "qnn": (qnn, 2, 20),
+    "hamsim": (hamsim, 2, 20),
+    "ae": (ae, 2, 20),
+    "qwalk": (qwalk, 3, 10),
+    "randomcircuit": (randomcircuit, 2, 20),
+}

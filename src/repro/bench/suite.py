@@ -1,0 +1,105 @@
+"""Benchmark suite construction (Section V-A1).
+
+The paper evaluates "all circuits provided by the MQT Bench collection ...
+for any number between 2 and 20 qubits ... only considering circuits with a
+compiled depth smaller than 1000 — leaving a total of 222 circuits".  The
+suite builder sweeps every algorithm family over the qubit range; the
+compiled-depth filter is applied by the evaluation study after compilation
+(it depends on the target device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..circuits.circuit import QuantumCircuit
+from .algorithms import ALGORITHMS
+
+#: The paper's depth cut-off for executable circuits.
+DEPTH_LIMIT = 1000
+
+
+@dataclass
+class BenchmarkCircuit:
+    """One suite entry: an algorithm instance at a specific width."""
+
+    algorithm: str
+    num_qubits: int
+    circuit: QuantumCircuit
+
+    @property
+    def name(self) -> str:
+        return f"{self.algorithm}_{self.num_qubits}"
+
+
+def build_suite(
+    algorithms: Optional[Sequence[str]] = None,
+    min_qubits: int = 2,
+    max_qubits: int = 20,
+    step: int = 1,
+) -> List[BenchmarkCircuit]:
+    """Generate the benchmark suite.
+
+    Args:
+        algorithms: family names (default: all of :data:`ALGORITHMS`).
+        min_qubits / max_qubits: inclusive qubit range (paper: 2-20).
+        step: qubit-count stride (1 reproduces the paper; larger values give
+            cheap subsets for tests).
+
+    Returns:
+        One :class:`BenchmarkCircuit` per (family, width) combination whose
+        family supports that width.
+    """
+    if algorithms is None:
+        names = sorted(ALGORITHMS)
+    else:
+        unknown = sorted(set(algorithms) - set(ALGORITHMS))
+        if unknown:
+            raise ValueError(f"unknown benchmark families: {unknown}")
+        names = list(algorithms)
+    if min_qubits < 2:
+        raise ValueError("min_qubits must be >= 2")
+    if max_qubits < min_qubits:
+        raise ValueError("max_qubits must be >= min_qubits")
+
+    suite: List[BenchmarkCircuit] = []
+    for name in names:
+        generator, minimum, maximum = ALGORITHMS[name]
+        for width in range(
+            max(min_qubits, minimum), min(max_qubits, maximum) + 1, step
+        ):
+            circuit = generator(width)
+            suite.append(
+                BenchmarkCircuit(
+                    algorithm=name, num_qubits=width, circuit=circuit
+                )
+            )
+    return suite
+
+
+def filter_by_depth(
+    entries: Iterable, depths: Dict[str, int], limit: int = DEPTH_LIMIT
+) -> List:
+    """Keep entries whose recorded compiled depth is below ``limit``."""
+    kept = []
+    for entry in entries:
+        depth = depths.get(entry.name)
+        if depth is not None and depth < limit:
+            kept.append(entry)
+    return kept
+
+
+def suite_summary(suite: Sequence[BenchmarkCircuit]) -> str:
+    """Human-readable table of the suite composition."""
+    lines = [f"{'benchmark':<16} {'widths':<12} {'count':>5}"]
+    by_family: Dict[str, List[int]] = {}
+    for entry in suite:
+        by_family.setdefault(entry.algorithm, []).append(entry.num_qubits)
+    for family in sorted(by_family):
+        widths = by_family[family]
+        lines.append(
+            f"{family:<16} {min(widths)}-{max(widths):<10} {len(widths):>5}"
+        )
+    lines.append(f"{'total':<16} {'':<12} {len(suite):>5}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Circuit intermediate representation: gates, circuits, DAGs, QASM, drawing."""
+
+from .circuit import Instruction, QuantumCircuit, circuit_from_instructions
+from .dag import CircuitDag, circuit_layers, interaction_pairs, parallel_groups
+from .gates import (
+    GATES,
+    GateSpec,
+    NON_UNITARY,
+    gate_matrix,
+    get_spec,
+    is_unitary_gate,
+)
+from .qasm import from_qasm, to_qasm
+from .random import random_circuit, random_clifford_circuit
+from .text_drawer import draw_circuit
+
+__all__ = [
+    "CircuitDag",
+    "GATES",
+    "GateSpec",
+    "Instruction",
+    "NON_UNITARY",
+    "QuantumCircuit",
+    "circuit_from_instructions",
+    "circuit_layers",
+    "draw_circuit",
+    "from_qasm",
+    "gate_matrix",
+    "get_spec",
+    "interaction_pairs",
+    "is_unitary_gate",
+    "parallel_groups",
+    "random_circuit",
+    "random_clifford_circuit",
+    "to_qasm",
+]

@@ -1,0 +1,375 @@
+"""Gate definitions and the global gate registry.
+
+Every gate used anywhere in the library is described by a :class:`GateSpec`
+registered in :data:`GATES`.  A spec knows how many qubits and parameters the
+gate takes, how to build its unitary matrix, and how to invert it.  The
+matrix convention follows Qiskit: for a gate applied to qubits
+``(q0, q1, ...)``, bit ``k`` of the matrix index corresponds to ``qk`` and
+``q0`` is the least-significant bit.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+Params = Tuple[float, ...]
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+def _mat(rows) -> np.ndarray:
+    return np.array(rows, dtype=complex)
+
+
+# ---------------------------------------------------------------------------
+# Fixed single-qubit matrices
+# ---------------------------------------------------------------------------
+
+ID_MATRIX = _mat([[1, 0], [0, 1]])
+X_MATRIX = _mat([[0, 1], [1, 0]])
+Y_MATRIX = _mat([[0, -1j], [1j, 0]])
+Z_MATRIX = _mat([[1, 0], [0, -1]])
+H_MATRIX = _mat([[_SQRT2_INV, _SQRT2_INV], [_SQRT2_INV, -_SQRT2_INV]])
+S_MATRIX = _mat([[1, 0], [0, 1j]])
+SDG_MATRIX = _mat([[1, 0], [0, -1j]])
+T_MATRIX = _mat([[1, 0], [0, cmath.exp(1j * math.pi / 4)]])
+TDG_MATRIX = _mat([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]])
+SX_MATRIX = 0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]])
+SXDG_MATRIX = 0.5 * _mat([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]])
+
+
+# ---------------------------------------------------------------------------
+# Parameterized single-qubit matrices
+# ---------------------------------------------------------------------------
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -1j * s], [-1j * s, c]])
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -s], [s, c]])
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta`` (traceless convention)."""
+    e = cmath.exp(-1j * theta / 2)
+    return _mat([[e, 0], [0, e.conjugate()]])
+
+
+def p_matrix(lam: float) -> np.ndarray:
+    """Phase gate: ``diag(1, exp(i*lam))``."""
+    return _mat([[1, 0], [0, cmath.exp(1j * lam)]])
+
+
+def u_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary ``U(theta, phi, lam)`` (Qiskit's ``u``)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+def prx_matrix(theta: float, phi: float) -> np.ndarray:
+    """IQM's phased-RX gate: a rotation by ``theta`` about ``cos(phi) X + sin(phi) Y``.
+
+    ``PRX(theta, phi) = RZ(phi) . RX(theta) . RZ(-phi)``.
+    """
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat(
+        [
+            [c, -1j * s * cmath.exp(-1j * phi)],
+            [-1j * s * cmath.exp(1j * phi), c],
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit matrices.  Bit 0 of the index is the *first* qubit argument.
+# ---------------------------------------------------------------------------
+
+def _controlled(u: np.ndarray) -> np.ndarray:
+    """Controlled-U with control = first qubit argument (bit 0), target = second."""
+    out = np.eye(4, dtype=complex)
+    # Control is bit 0 -> rows/cols where bit0 == 1 are indices 1 and 3.
+    # Target is bit 1, so the embedded U acts on the subspace {1, 3}.
+    out[1, 1], out[1, 3] = u[0, 0], u[0, 1]
+    out[3, 1], out[3, 3] = u[1, 0], u[1, 1]
+    return out
+
+
+CX_MATRIX = _controlled(X_MATRIX)
+CY_MATRIX = _controlled(Y_MATRIX)
+CZ_MATRIX = _controlled(Z_MATRIX)
+CH_MATRIX = _controlled(H_MATRIX)
+SWAP_MATRIX = _mat(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]
+)
+ISWAP_MATRIX = _mat(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]
+)
+
+
+def cp_matrix(lam: float) -> np.ndarray:
+    """Controlled-phase gate."""
+    return _controlled(p_matrix(lam))
+
+
+def crx_matrix(theta: float) -> np.ndarray:
+    """Controlled-RX gate."""
+    return _controlled(rx_matrix(theta))
+
+
+def cry_matrix(theta: float) -> np.ndarray:
+    """Controlled-RY gate."""
+    return _controlled(ry_matrix(theta))
+
+
+def crz_matrix(theta: float) -> np.ndarray:
+    """Controlled-RZ gate."""
+    return _controlled(rz_matrix(theta))
+
+
+def _two_qubit_rotation(pauli_a: np.ndarray, pauli_b: np.ndarray, theta: float) -> np.ndarray:
+    """``exp(-i theta/2 * (A tensor B))`` where A acts on bit1, B on bit0."""
+    kron = np.kron(pauli_a, pauli_b)  # np.kron: first factor = most-significant bit
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.eye(4, dtype=complex) * c - 1j * s * kron
+
+
+def rxx_matrix(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation."""
+    return _two_qubit_rotation(X_MATRIX, X_MATRIX, theta)
+
+
+def ryy_matrix(theta: float) -> np.ndarray:
+    """Two-qubit YY rotation."""
+    return _two_qubit_rotation(Y_MATRIX, Y_MATRIX, theta)
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation."""
+    return _two_qubit_rotation(Z_MATRIX, Z_MATRIX, theta)
+
+
+def rzx_matrix(theta: float) -> np.ndarray:
+    """Two-qubit ZX rotation (Z on the first argument qubit, X on the second)."""
+    # First argument qubit is bit 0 -> second kron factor.
+    return _two_qubit_rotation(X_MATRIX, Z_MATRIX, theta)
+
+
+# ---------------------------------------------------------------------------
+# Three-qubit matrices
+# ---------------------------------------------------------------------------
+
+def _ccx_matrix() -> np.ndarray:
+    out = np.eye(8, dtype=complex)
+    # controls = bits 0 and 1, target = bit 2: swap |011> (3) and |111> (7)
+    out[3, 3] = out[7, 7] = 0
+    out[3, 7] = out[7, 3] = 1
+    return out
+
+
+def _ccz_matrix() -> np.ndarray:
+    out = np.eye(8, dtype=complex)
+    out[7, 7] = -1
+    return out
+
+
+def _cswap_matrix() -> np.ndarray:
+    out = np.eye(8, dtype=complex)
+    # control = bit 0; swap targets bits 1, 2: exchange |011> (3) and |101> (5)
+    out[3, 3] = out[5, 5] = 0
+    out[3, 5] = out[5, 3] = 1
+    return out
+
+
+CCX_MATRIX = _ccx_matrix()
+CCZ_MATRIX = _ccz_matrix()
+CSWAP_MATRIX = _cswap_matrix()
+
+
+# ---------------------------------------------------------------------------
+# Gate registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes:
+        name: canonical lowercase gate name.
+        num_qubits: number of qubits the gate acts on.
+        num_params: number of float parameters.
+        matrix_fn: callable building the unitary from the parameters, or
+            ``None`` for non-unitary directives (measure / barrier).
+        inverse_name: name of the inverse gate type.
+        inverse_params_fn: maps parameters to the inverse gate's parameters.
+        self_inverse: convenience flag for parameter-free involutions.
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[..., np.ndarray] | None
+    inverse_name: str
+    inverse_params_fn: Callable[[Params], Params]
+    self_inverse: bool = False
+
+    def matrix(self, params: Sequence[float] = ()) -> np.ndarray:
+        """Return the unitary matrix of this gate for the given parameters."""
+        if self.matrix_fn is None:
+            raise ValueError(f"gate '{self.name}' has no matrix")
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate '{self.name}' expects {self.num_params} parameters, "
+                f"got {len(params)}"
+            )
+        return self.matrix_fn(*params)
+
+    def inverse(self, params: Params) -> Tuple[str, Params]:
+        """Return ``(name, params)`` of the inverse gate."""
+        return self.inverse_name, self.inverse_params_fn(params)
+
+
+GATES: Dict[str, GateSpec] = {}
+
+
+def _register(
+    name: str,
+    num_qubits: int,
+    num_params: int,
+    matrix_fn,
+    inverse_name: str | None = None,
+    inverse_params_fn=None,
+    self_inverse: bool = False,
+) -> None:
+    if inverse_name is None:
+        inverse_name = name
+    if inverse_params_fn is None:
+        inverse_params_fn = lambda params: tuple(-p for p in params)  # noqa: E731
+    GATES[name] = GateSpec(
+        name=name,
+        num_qubits=num_qubits,
+        num_params=num_params,
+        matrix_fn=matrix_fn,
+        inverse_name=inverse_name,
+        inverse_params_fn=inverse_params_fn,
+        self_inverse=self_inverse,
+    )
+
+
+_IDENTITY_PARAMS = lambda params: params  # noqa: E731
+
+# Fixed single-qubit gates.
+_register("id", 1, 0, lambda: ID_MATRIX, self_inverse=True)
+_register("x", 1, 0, lambda: X_MATRIX, self_inverse=True)
+_register("y", 1, 0, lambda: Y_MATRIX, self_inverse=True)
+_register("z", 1, 0, lambda: Z_MATRIX, self_inverse=True)
+_register("h", 1, 0, lambda: H_MATRIX, self_inverse=True)
+_register("s", 1, 0, lambda: S_MATRIX, "sdg", _IDENTITY_PARAMS)
+_register("sdg", 1, 0, lambda: SDG_MATRIX, "s", _IDENTITY_PARAMS)
+_register("t", 1, 0, lambda: T_MATRIX, "tdg", _IDENTITY_PARAMS)
+_register("tdg", 1, 0, lambda: TDG_MATRIX, "t", _IDENTITY_PARAMS)
+_register("sx", 1, 0, lambda: SX_MATRIX, "sxdg", _IDENTITY_PARAMS)
+_register("sxdg", 1, 0, lambda: SXDG_MATRIX, "sx", _IDENTITY_PARAMS)
+
+# Parameterized single-qubit gates.
+_register("rx", 1, 1, rx_matrix)
+_register("ry", 1, 1, ry_matrix)
+_register("rz", 1, 1, rz_matrix)
+_register("p", 1, 1, p_matrix)
+_register(
+    "u", 1, 3, u_matrix,
+    inverse_params_fn=lambda params: (-params[0], -params[2], -params[1]),
+)
+_register(
+    "prx", 1, 2, prx_matrix,
+    inverse_params_fn=lambda params: (-params[0], params[1]),
+)
+
+# Two-qubit gates.
+_register("cx", 2, 0, lambda: CX_MATRIX, self_inverse=True)
+_register("cy", 2, 0, lambda: CY_MATRIX, self_inverse=True)
+_register("cz", 2, 0, lambda: CZ_MATRIX, self_inverse=True)
+_register("ch", 2, 0, lambda: CH_MATRIX, self_inverse=True)
+_register("swap", 2, 0, lambda: SWAP_MATRIX, self_inverse=True)
+_register(
+    "iswap", 2, 0, lambda: ISWAP_MATRIX,
+    inverse_name="iswap_dg",
+)
+_register(
+    "iswap_dg", 2, 0, lambda: ISWAP_MATRIX.conj().T,
+    inverse_name="iswap",
+)
+_register("cp", 2, 1, cp_matrix)
+_register("crx", 2, 1, crx_matrix)
+_register("cry", 2, 1, cry_matrix)
+_register("crz", 2, 1, crz_matrix)
+_register("rxx", 2, 1, rxx_matrix)
+_register("ryy", 2, 1, ryy_matrix)
+_register("rzz", 2, 1, rzz_matrix)
+_register("rzx", 2, 1, rzx_matrix)
+
+# Three-qubit gates.
+_register("ccx", 3, 0, lambda: CCX_MATRIX, self_inverse=True)
+_register("ccz", 3, 0, lambda: CCZ_MATRIX, self_inverse=True)
+_register("cswap", 3, 0, lambda: CSWAP_MATRIX, self_inverse=True)
+
+# Non-unitary directives.
+_register("measure", 1, 0, None)
+_register("barrier", 0, 0, None)  # variadic: may span any number of qubits
+
+#: Gate names that describe directives rather than unitaries.
+NON_UNITARY = frozenset({"measure", "barrier"})
+
+#: Single-qubit unitary gate names.
+ONE_QUBIT_GATES = frozenset(
+    name for name, spec in GATES.items()
+    if spec.num_qubits == 1 and name not in NON_UNITARY
+)
+
+#: Two-qubit unitary gate names.
+TWO_QUBIT_GATES = frozenset(
+    name for name, spec in GATES.items() if spec.num_qubits == 2
+)
+
+#: Three-qubit unitary gate names.
+THREE_QUBIT_GATES = frozenset(
+    name for name, spec in GATES.items() if spec.num_qubits == 3
+)
+
+#: Gates diagonal in the computational basis (commute with each other and CZ).
+DIAGONAL_GATES = frozenset({"id", "z", "s", "sdg", "t", "tdg", "rz", "p",
+                            "cz", "cp", "crz", "rzz", "ccz"})
+
+
+def get_spec(name: str) -> GateSpec:
+    """Look up a gate spec by name, raising ``KeyError`` with context."""
+    try:
+        return GATES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown gate '{name}'; known gates: {sorted(GATES)}"
+        ) from None
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Convenience wrapper: matrix of gate ``name`` with ``params``."""
+    return get_spec(name).matrix(params)
+
+
+def is_unitary_gate(name: str) -> bool:
+    """Whether ``name`` denotes a unitary gate (not measure/barrier)."""
+    return name in GATES and name not in NON_UNITARY

@@ -1,0 +1,168 @@
+"""Minimal OpenQASM 2.0 export/import.
+
+Supports the gate vocabulary of :mod:`repro.circuits.gates` with a single
+quantum register ``q`` and classical register ``c``.  This is enough to
+round-trip every circuit the library produces and to interoperate with
+external tools on simple circuits.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List
+
+from .circuit import QuantumCircuit
+from .gates import GATES
+
+# QASM spellings differing from our registry names.
+_TO_QASM = {"p": "u1", "iswap_dg": "iswap_dg"}
+_FROM_QASM = {
+    "u1": ("p", 1),
+    "u2": ("u2", 2),
+    "u3": ("u", 3),
+    "cnot": ("cx", 0),
+    "toffoli": ("ccx", 0),
+    "phase": ("p", 1),
+}
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for instruction in circuit.instructions:
+        if instruction.name == "barrier":
+            args = ",".join(f"q[{q}]" for q in instruction.qubits)
+            lines.append(f"barrier {args};")
+            continue
+        if instruction.name == "measure":
+            lines.append(
+                f"measure q[{instruction.qubits[0]}] -> c[{instruction.clbits[0]}];"
+            )
+            continue
+        name = _TO_QASM.get(instruction.name, instruction.name)
+        if instruction.params:
+            params = ",".join(_format_angle(p) for p in instruction.params)
+            head = f"{name}({params})"
+        else:
+            head = name
+        args = ",".join(f"q[{q}]" for q in instruction.qubits)
+        lines.append(f"{head} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, preferring exact pi fractions for readability."""
+    for denom in (1, 2, 3, 4, 6, 8, 16):
+        for num in range(-16 * denom, 16 * denom + 1):
+            if num == 0:
+                continue
+            if math.isclose(value, num * math.pi / denom, rel_tol=0, abs_tol=1e-12):
+                frac = f"pi*{num}/{denom}" if denom != 1 else f"pi*{num}"
+                return frac.replace("pi*1/", "pi/").replace("pi*1", "pi")
+    if math.isclose(value, 0.0, abs_tol=1e-15):
+        return "0"
+    return repr(value)
+
+
+_STATEMENT_RE = re.compile(
+    r"^\s*(?P<name>[a-zA-Z_][\w]*)\s*"
+    r"(\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]*);\s*$"
+)
+_QREG_RE = re.compile(r"^\s*qreg\s+(\w+)\[(\d+)\]\s*;\s*$")
+_CREG_RE = re.compile(r"^\s*creg\s+(\w+)\[(\d+)\]\s*;\s*$")
+_MEASURE_RE = re.compile(
+    r"^\s*measure\s+(\w+)\[(\d+)\]\s*->\s*(\w+)\[(\d+)\]\s*;\s*$"
+)
+_INDEX_RE = re.compile(r"(\w+)\[(\d+)\]")
+
+
+def _eval_angle(expr: str) -> float:
+    """Evaluate a restricted arithmetic expression with ``pi``."""
+    expr = expr.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[\d\.\+\-\*/\(\)eE\s]+", expr):
+        raise ValueError(f"unsupported angle expression: {expr!r}")
+    return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307 - sanitized
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text into a :class:`QuantumCircuit`."""
+    num_qubits = 0
+    num_clbits = 0
+    body: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include")):
+            continue
+        qreg = _QREG_RE.match(line)
+        if qreg:
+            num_qubits = int(qreg.group(2))
+            continue
+        creg = _CREG_RE.match(line)
+        if creg:
+            num_clbits = int(creg.group(2))
+            continue
+        body.append(line)
+
+    circuit = QuantumCircuit(num_qubits, num_clbits, name="from_qasm")
+    for line in body:
+        measure = _MEASURE_RE.match(line)
+        if measure:
+            circuit.measure(int(measure.group(2)), int(measure.group(4)))
+            continue
+        match = _STATEMENT_RE.match(line)
+        if not match:
+            raise ValueError(f"cannot parse QASM statement: {line!r}")
+        name = match.group("name").lower()
+        params_text = match.group("params")
+        args_text = match.group("args")
+        qubits = [int(m.group(2)) for m in _INDEX_RE.finditer(args_text)]
+        params = (
+            [_eval_angle(p) for p in params_text.split(",")] if params_text else []
+        )
+        if name == "barrier":
+            circuit.barrier(*qubits)
+            continue
+        name, params = _translate_gate(name, params)
+        circuit.append(name, qubits, params)
+    return circuit
+
+
+def _translate_gate(name: str, params: List[float]):
+    """Map a QASM gate spelling to the registry vocabulary."""
+    if name in _FROM_QASM:
+        target, arity = _FROM_QASM[name]
+        if target == "u2":  # u2(phi, lam) = u(pi/2, phi, lam)
+            return "u", [math.pi / 2, params[0], params[1]]
+        if len(params) != arity:
+            raise ValueError(f"gate {name} expects {arity} params")
+        return target, params
+    if name not in GATES:
+        raise ValueError(f"unsupported QASM gate: {name}")
+    return name, params
+
+
+def qasm_roundtrip_equal(circuit: QuantumCircuit) -> bool:
+    """Whether export->import preserves the instruction list exactly."""
+    parsed = from_qasm(to_qasm(circuit))
+    if parsed.num_qubits != circuit.num_qubits:
+        return False
+    if len(parsed.instructions) != len(circuit.instructions):
+        return False
+    for a, b in zip(parsed.instructions, circuit.instructions):
+        if a.name != b.name or a.qubits != b.qubits or a.clbits != b.clbits:
+            return False
+        if len(a.params) != len(b.params):
+            return False
+        if any(abs(x - y) > 1e-9 for x, y in zip(a.params, b.params)):
+            return False
+    return True

@@ -1,0 +1,92 @@
+"""Random circuit generation for tests, benchmarks, and workloads."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+
+_DEFAULT_ONE_QUBIT = ("h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx")
+_DEFAULT_ONE_QUBIT_PARAM = ("rx", "ry", "rz", "p")
+_DEFAULT_TWO_QUBIT = ("cx", "cz", "swap")
+_DEFAULT_TWO_QUBIT_PARAM = ("cp", "crx", "rzz", "rxx")
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: int | np.random.Generator = 0,
+    two_qubit_prob: float = 0.5,
+    parametric_prob: float = 0.5,
+    one_qubit_gates: Sequence[str] = _DEFAULT_ONE_QUBIT,
+    one_qubit_param_gates: Sequence[str] = _DEFAULT_ONE_QUBIT_PARAM,
+    two_qubit_gates: Sequence[str] = _DEFAULT_TWO_QUBIT,
+    two_qubit_param_gates: Sequence[str] = _DEFAULT_TWO_QUBIT_PARAM,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """Generate a layered random circuit.
+
+    Each of the ``depth`` layers packs random gates onto disjoint qubits:
+    with probability ``two_qubit_prob`` a random two-qubit gate is placed on
+    a random free pair, otherwise a single-qubit gate on a random free qubit.
+    Parametric gates draw angles uniformly from ``[0, 2*pi)``.
+
+    Args:
+        num_qubits: circuit width (must be >= 1).
+        depth: number of gate layers.
+        seed: integer seed or an existing generator.
+        two_qubit_prob: probability of placing a two-qubit gate per slot.
+        parametric_prob: probability of choosing a parameterized gate.
+        one_qubit_gates / one_qubit_param_gates: candidate pools.
+        two_qubit_gates / two_qubit_param_gates: candidate pools.
+        measure: append a full measurement layer at the end.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    for _ in range(depth):
+        free = list(range(num_qubits))
+        rng.shuffle(free)
+        while free:
+            place_two = (
+                len(free) >= 2 and rng.random() < two_qubit_prob
+            )
+            parametric = rng.random() < parametric_prob
+            if place_two:
+                a, b = free.pop(), free.pop()
+                if parametric and two_qubit_param_gates:
+                    name = str(rng.choice(two_qubit_param_gates))
+                    circuit.append(name, (a, b), (float(rng.uniform(0, 2 * np.pi)),))
+                else:
+                    name = str(rng.choice(two_qubit_gates))
+                    circuit.append(name, (a, b))
+            else:
+                q = free.pop()
+                if parametric and one_qubit_param_gates:
+                    name = str(rng.choice(one_qubit_param_gates))
+                    circuit.append(name, (q,), (float(rng.uniform(0, 2 * np.pi)),))
+                else:
+                    name = str(rng.choice(one_qubit_gates))
+                    circuit.append(name, (q,))
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def random_clifford_circuit(
+    num_qubits: int, depth: int, seed: int | np.random.Generator = 0,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """Random circuit restricted to Clifford gates (useful for mirror tests)."""
+    return random_circuit(
+        num_qubits,
+        depth,
+        seed=seed,
+        parametric_prob=0.0,
+        one_qubit_gates=("h", "s", "sdg", "x", "y", "z", "sx"),
+        two_qubit_gates=("cx", "cz", "swap"),
+        measure=measure,
+    )

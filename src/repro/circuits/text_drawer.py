@@ -1,0 +1,95 @@
+"""ASCII circuit rendering.
+
+A compact column-per-layer drawer used in examples, debugging, and the
+README.  Each ASAP layer becomes one column; multi-qubit gates draw vertical
+connectors between their qubits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import Instruction, QuantumCircuit
+from .dag import CircuitDag
+
+_MAX_DRAW_COLUMNS = 120
+
+
+def _gate_label(instruction: Instruction) -> str:
+    if instruction.params:
+        args = ",".join(f"{p:.2f}".rstrip("0").rstrip(".") for p in instruction.params)
+        return f"{instruction.name}({args})"
+    return instruction.name
+
+
+def draw_circuit(circuit: QuantumCircuit) -> str:
+    """Render ``circuit`` as an ASCII diagram, one row per qubit."""
+    dag = CircuitDag(circuit)
+    layers = _timed_layers(dag)
+    if len(layers) > _MAX_DRAW_COLUMNS:
+        layers = layers[:_MAX_DRAW_COLUMNS]
+        truncated = True
+    else:
+        truncated = False
+
+    n = circuit.num_qubits
+    rows: List[List[str]] = [[f"q{q}: "] for q in range(n)]
+    label_width = max(len(r[0]) for r in rows) if rows else 0
+    for row in rows:
+        row[0] = row[0].ljust(label_width)
+
+    for layer in layers:
+        cells = ["-"] * n
+        marks = [" "] * n  # connector markers between rows (drawn inline)
+        for instruction in layer:
+            label = _gate_label(instruction)
+            if instruction.name == "barrier":
+                for q in instruction.qubits:
+                    cells[q] = "|barrier|" if len(instruction.qubits) == n else "|"
+                continue
+            if instruction.name == "measure":
+                cells[instruction.qubits[0]] = f"M->c{instruction.clbits[0]}"
+                continue
+            if instruction.num_qubits == 1:
+                cells[instruction.qubits[0]] = label
+            else:
+                lo, hi = min(instruction.qubits), max(instruction.qubits)
+                for q in instruction.qubits:
+                    role = instruction.qubits.index(q)
+                    cells[q] = f"{label}[{role}]"
+                for q in range(lo + 1, hi):
+                    if q not in instruction.qubits:
+                        marks[q] = "|"
+        width = max(len(c) for c in cells) if cells else 1
+        for q in range(n):
+            cell = cells[q]
+            if cell == "-":
+                body = "-" * (width + 2)
+            elif marks[q] == "|" and cell == "-":
+                body = ("|".center(width + 2, "-"))
+            else:
+                body = f"-{cell.center(width)}-"
+            if marks[q] == "|" and cells[q] == "-":
+                body = "|".center(width + 2, "-")
+            rows[q].append(body)
+
+    lines = ["".join(row) for row in rows]
+    if truncated:
+        lines.append(f"... (truncated at {_MAX_DRAW_COLUMNS} layers)")
+    return "\n".join(lines)
+
+
+def _timed_layers(dag: CircuitDag) -> List[List[Instruction]]:
+    """ASAP layers including measures and barriers (barriers own a column)."""
+    level = {}
+    layers: List[List[Instruction]] = []
+    for node in dag.nodes:
+        pred_level = -1
+        for p in node.predecessors:
+            pred_level = max(pred_level, level[p])
+        my_level = pred_level + 1
+        level[node.index] = my_level
+        while len(layers) <= my_level:
+            layers.append([])
+        layers[my_level].append(node.instruction)
+    return layers

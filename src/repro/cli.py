@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``compile``  — compile a QASM file for a device, print stats + QASM.
+* ``execute``  — compile + run on the noisy emulator, print counts.
+* ``features`` — print the 30-dim feature vector of a compiled circuit.
+* ``study``    — run the correlation study and print Table I / Fig. 3.
+* ``devices``  — list the built-in devices and their calibration summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .circuits.qasm import from_qasm, to_qasm
+from .compiler import compile_circuit
+from .evaluation import StudyConfig, format_fig3, format_table_i, run_study
+from .fom import FEATURE_NAMES, esp, expected_fidelity, feature_dict
+from .hardware import Device, make_q20a, make_q20b
+from .simulation import execute_and_label
+
+_DEVICES = {"q20a": make_q20a, "q20b": make_q20b}
+
+
+def _load_device(name: str) -> Device:
+    try:
+        return _DEVICES[name.lower()]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown device '{name}'; available: {sorted(_DEVICES)}"
+        )
+
+
+def _load_circuit(path: str):
+    with open(path) as handle:
+        return from_qasm(handle.read())
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    device = _load_device(args.device)
+    circuit = _load_circuit(args.qasm)
+    result = compile_circuit(
+        circuit, device, optimization_level=args.level, seed=args.seed
+    )
+    compiled = result.circuit
+    print(f"# device: {device.name}  level: {args.level}", file=sys.stderr)
+    print(
+        f"# gates: {compiled.size()}  cz: {compiled.num_nonlocal_gates()}  "
+        f"depth: {compiled.depth()}  "
+        f"swaps: {result.properties.get('routing_swaps', 0)}",
+        file=sys.stderr,
+    )
+    print(
+        f"# expected fidelity: {expected_fidelity(compiled, device):.4f}  "
+        f"ESP: {esp(compiled, device):.4f}",
+        file=sys.stderr,
+    )
+    print(to_qasm(compiled), end="")
+    return 0
+
+
+def _cmd_execute(args: argparse.Namespace) -> int:
+    device = _load_device(args.device)
+    circuit = _load_circuit(args.qasm)
+    result = compile_circuit(
+        circuit, device, optimization_level=args.level, seed=args.seed
+    )
+    distance, execution = execute_and_label(
+        result.circuit, device, shots=args.shots, seed=args.seed
+    )
+    print(f"device: {device.name}  shots: {args.shots}")
+    print(f"success probability: {execution.success_probability:.4f}")
+    print(f"hellinger distance:  {distance:.4f}")
+    print("counts:")
+    for key, count in sorted(
+        execution.counts.items(), key=lambda kv: -kv[1]
+    )[: args.top]:
+        print(f"  {key}  {count}")
+    return 0
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    device = _load_device(args.device)
+    circuit = _load_circuit(args.qasm)
+    result = compile_circuit(
+        circuit, device, optimization_level=args.level, seed=args.seed
+    )
+    values = feature_dict(result.circuit)
+    for name in FEATURE_NAMES:
+        print(f"{name:<32} {values[name]:.6f}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    if args.full:
+        config = StudyConfig(shots=2000, seed=args.seed)
+    else:
+        config = StudyConfig(
+            max_qubits=args.max_qubits,
+            shots=args.shots,
+            seed=args.seed,
+            param_grid={
+                "n_estimators": [50],
+                "max_depth": [None, 10],
+                "min_samples_leaf": [1, 2],
+                "min_samples_split": [2],
+            },
+        )
+    result = run_study(config=config)
+    print(format_table_i(result))
+    print()
+    print(
+        format_fig3(
+            {
+                name: report.feature_importances
+                for name, report in result.reports.items()
+            }
+        )
+    )
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    for name, factory in sorted(_DEVICES.items()):
+        device = factory()
+        cal = device.reported_calibration
+        print(
+            f"{name}: {device.name}, {device.num_qubits} qubits, "
+            f"{len(device.coupling.edges)} couplers, "
+            f"mean CZ fidelity {cal.mean_two_qubit_fidelity():.4f}, "
+            f"mean readout {cal.mean_readout_fidelity():.4f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--device", default="q20a", help="q20a or q20b")
+        p.add_argument("--level", type=int, default=3, choices=range(4))
+        p.add_argument("--seed", type=int, default=0)
+
+    p_compile = sub.add_parser("compile", help="compile a QASM file")
+    p_compile.add_argument("qasm")
+    common(p_compile)
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_exec = sub.add_parser("execute", help="compile + noisy execution")
+    p_exec.add_argument("qasm")
+    common(p_exec)
+    p_exec.add_argument("--shots", type=int, default=2000)
+    p_exec.add_argument("--top", type=int, default=10,
+                        help="show this many outcomes")
+    p_exec.set_defaults(func=_cmd_execute)
+
+    p_feat = sub.add_parser("features", help="30-dim feature vector")
+    p_feat.add_argument("qasm")
+    common(p_feat)
+    p_feat.set_defaults(func=_cmd_features)
+
+    p_study = sub.add_parser("study", help="run the correlation study")
+    p_study.add_argument("--full", action="store_true")
+    p_study.add_argument("--max-qubits", type=int, default=10)
+    p_study.add_argument("--shots", type=int, default=1000)
+    p_study.add_argument("--seed", type=int, default=0)
+    p_study.set_defaults(func=_cmd_study)
+
+    p_dev = sub.add_parser("devices", help="list built-in devices")
+    p_dev.set_defaults(func=_cmd_devices)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

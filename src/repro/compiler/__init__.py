@@ -1,0 +1,62 @@
+"""Quantum circuit compiler: passes, pipelines, optimization levels 0-3."""
+
+from .compile import CompilationResult, compile_circuit
+from .passes.base import Pass, PassManager, PropertySet
+from .passes.decompose import Decompose, decompose_circuit
+from .passes.layout import GreedySubgraphLayout, LineLayout, TrivialLayout, apply_layout
+from .passes.optimization import (
+    CancelInversePairs,
+    Merge1QRuns,
+    OptimizationLoop,
+    RemoveIdentities,
+)
+from .passes.noise_aware import (
+    NoiseAwareLayout,
+    NoiseAwareRouting,
+    compile_noise_aware,
+    effective_distance_matrix,
+)
+from .passes.routing import PathRouting, SabreRouting, route_circuit
+from .passes.scheduling import ASAPSchedule, Schedule, TimedInstruction, schedule_asap
+from .passes.synthesis import NativeSynthesis, VirtualRZ
+from .unitary_math import (
+    matrices_equal_up_to_phase,
+    normalize_angle,
+    u_params,
+    zyz_decompose,
+)
+
+__all__ = [
+    "ASAPSchedule",
+    "CancelInversePairs",
+    "CompilationResult",
+    "Decompose",
+    "GreedySubgraphLayout",
+    "LineLayout",
+    "Merge1QRuns",
+    "NativeSynthesis",
+    "NoiseAwareLayout",
+    "NoiseAwareRouting",
+    "OptimizationLoop",
+    "Pass",
+    "PassManager",
+    "PathRouting",
+    "PropertySet",
+    "RemoveIdentities",
+    "SabreRouting",
+    "Schedule",
+    "TimedInstruction",
+    "TrivialLayout",
+    "VirtualRZ",
+    "apply_layout",
+    "compile_circuit",
+    "compile_noise_aware",
+    "effective_distance_matrix",
+    "decompose_circuit",
+    "matrices_equal_up_to_phase",
+    "normalize_angle",
+    "route_circuit",
+    "schedule_asap",
+    "u_params",
+    "zyz_decompose",
+]

@@ -1,0 +1,243 @@
+"""Top-level compilation entry point with optimization levels 0-3.
+
+Mirrors the Qiskit transpiler semantics the paper relies on ("optimization
+level three"):
+
+* **0** — decompose, trivial layout, naive shortest-path routing, native
+  synthesis.  No optimization.
+* **1** — light optimization (identity removal, 1q-run merging), SABRE
+  routing without lookahead.
+* **2** — full optimization loop, interaction-aware greedy layout, SABRE
+  routing with lookahead, post-routing re-optimization.
+* **3** — level 2 plus multiple layout/routing trials; the candidate with
+  the best *expected fidelity* on the device's reported calibration wins
+  (compilation steered by a figure of merit, exactly the workflow whose
+  quality the paper investigates).
+
+Measurements must be terminal.  They are stripped before the pipeline and
+re-appended on the physical qubit that holds each measured program qubit
+after routing, so the output counts keep their program-level meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.device import Device
+from .passes.base import Pass, PassManager, PropertySet
+from .passes.decompose import Decompose
+from .passes.layout import GreedySubgraphLayout, LineLayout, TrivialLayout
+from .passes.optimization import Merge1QRuns, OptimizationLoop, RemoveIdentities
+from .passes.routing import PathRouting, SabreRouting
+from .passes.scheduling import Schedule, schedule_asap
+from .passes.synthesis import NativeSynthesis, VirtualRZ
+
+
+@dataclass
+class CompilationResult:
+    """Everything produced by one compilation run."""
+
+    circuit: QuantumCircuit
+    initial_layout: Dict[int, int]
+    final_layout: Dict[int, int]
+    device: Device
+    optimization_level: int
+    properties: PropertySet = field(default_factory=PropertySet)
+
+    @property
+    def schedule(self) -> Schedule:
+        """ASAP schedule of the compiled circuit (computed lazily)."""
+        if "schedule" not in self.properties:
+            self.properties["schedule"] = schedule_asap(
+                self.circuit, self.device.true_calibration.durations
+            )
+        return self.properties["schedule"]
+
+
+def _split_measurements(
+    circuit: QuantumCircuit,
+) -> Tuple[QuantumCircuit, List[Tuple[int, int]]]:
+    """Strip terminal measurements; raise if any measurement is not terminal."""
+    measured: Dict[int, int] = {}
+    body = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits,
+        name=circuit.name, global_phase=circuit.global_phase,
+        metadata=dict(circuit.metadata),
+    )
+    for instruction in circuit.instructions:
+        if instruction.name == "measure":
+            qubit = instruction.qubits[0]
+            if qubit in measured:
+                raise ValueError(f"qubit {qubit} measured twice")
+            measured[qubit] = instruction.clbits[0]
+            continue
+        if any(q in measured for q in instruction.qubits):
+            raise ValueError(
+                "mid-circuit measurement is not supported by the compiler"
+            )
+        body.instructions.append(instruction)
+    return body, sorted(measured.items())
+
+
+def _build_pipeline(
+    device: Device, optimization_level: int, seed: int,
+    keep_final_rz: bool, layout: str | None = None, routing_seed: int | None = None,
+) -> List[Pass]:
+    coupling = device.coupling
+    routing_seed = seed if routing_seed is None else routing_seed
+    layout_pass: Pass
+    if layout == "line":
+        layout_pass = LineLayout(coupling)
+    elif layout == "trivial" or (layout is None and optimization_level <= 1):
+        layout_pass = TrivialLayout(coupling)
+    else:
+        layout_pass = GreedySubgraphLayout(coupling, seed=seed)
+
+    if optimization_level == 0:
+        return [
+            Decompose(),
+            layout_pass,
+            PathRouting(coupling),
+            Decompose(),
+            NativeSynthesis(),
+            VirtualRZ(keep_final_rz=keep_final_rz),
+        ]
+    if optimization_level == 1:
+        return [
+            Decompose(),
+            RemoveIdentities(),
+            Merge1QRuns(),
+            layout_pass,
+            SabreRouting(coupling, seed=routing_seed, lookahead=False),
+            Decompose(),
+            Merge1QRuns(),
+            NativeSynthesis(),
+            VirtualRZ(keep_final_rz=keep_final_rz),
+        ]
+    # Levels 2 and 3 share the heavy pipeline.
+    return [
+        Decompose(),
+        OptimizationLoop(),
+        layout_pass,
+        SabreRouting(coupling, seed=routing_seed, lookahead=True),
+        Decompose(),
+        OptimizationLoop(),
+        NativeSynthesis(),
+        VirtualRZ(keep_final_rz=keep_final_rz),
+    ]
+
+
+def compile_circuit(
+    circuit: QuantumCircuit,
+    device: Device,
+    optimization_level: int = 3,
+    seed: int = 0,
+    keep_final_rz: bool = False,
+    num_trials: int = 4,
+) -> CompilationResult:
+    """Compile ``circuit`` for ``device``.
+
+    Args:
+        circuit: program circuit (measurements must be terminal).
+        device: compilation and execution target.
+        optimization_level: 0-3, see module docstring.
+        seed: seed for all stochastic pass decisions.
+        keep_final_rz: keep trailing virtual-RZ gates so the compiled body is
+            exactly unitarily equivalent (useful for verification; hardware
+            execution does not need them).
+        num_trials: number of layout/routing trials at level 3.
+
+    Returns:
+        A :class:`CompilationResult` whose circuit uses only the device's
+        native gates on coupled qubit pairs.
+    """
+    if not 0 <= optimization_level <= 3:
+        raise ValueError("optimization_level must be in 0..3")
+    if circuit.num_qubits > device.num_qubits:
+        raise ValueError(
+            f"circuit needs {circuit.num_qubits} qubits, device "
+            f"{device.name} has {device.num_qubits}"
+        )
+    body, measurements = _split_measurements(circuit)
+
+    if optimization_level < 3:
+        result = _run_single(
+            body, device, optimization_level, seed, keep_final_rz, None, None
+        )
+    else:
+        result = _run_trials(
+            body, device, seed, keep_final_rz, num_trials
+        )
+
+    compiled, properties = result
+    initial_layout = properties.get(
+        "initial_layout", {q: q for q in range(body.num_qubits)}
+    )
+    final_layout = properties.get("final_layout", dict(initial_layout))
+
+    # Re-append measurements on the post-routing physical qubits.
+    if measurements:
+        if compiled.num_clbits < circuit.num_clbits:
+            compiled.num_clbits = circuit.num_clbits
+        for program_qubit, clbit in measurements:
+            compiled.measure(final_layout[program_qubit], clbit)
+
+    compiled.name = circuit.name
+    compiled.metadata.update(circuit.metadata)
+    compiled.metadata["optimization_level"] = optimization_level
+    device.validate_circuit(compiled)
+    return CompilationResult(
+        circuit=compiled,
+        initial_layout={q: initial_layout[q] for q in range(circuit.num_qubits)},
+        final_layout={q: final_layout[q] for q in range(circuit.num_qubits)},
+        device=device,
+        optimization_level=optimization_level,
+        properties=properties,
+    )
+
+
+def _run_single(
+    body: QuantumCircuit,
+    device: Device,
+    optimization_level: int,
+    seed: int,
+    keep_final_rz: bool,
+    layout: str | None,
+    routing_seed: int | None,
+) -> Tuple[QuantumCircuit, PropertySet]:
+    pipeline = _build_pipeline(
+        device, optimization_level, seed, keep_final_rz, layout, routing_seed
+    )
+    properties = PropertySet()
+    compiled = PassManager(pipeline).run(body, properties)
+    return compiled, properties
+
+
+def _run_trials(
+    body: QuantumCircuit,
+    device: Device,
+    seed: int,
+    keep_final_rz: bool,
+    num_trials: int,
+) -> Tuple[QuantumCircuit, PropertySet]:
+    """Level 3: several layout/routing trials, best expected fidelity wins."""
+    from ..fom.metrics import expected_fidelity
+
+    layouts = ["greedy", "trivial", "line"] + ["greedy"] * max(0, num_trials - 3)
+    best: Optional[Tuple[float, QuantumCircuit, PropertySet]] = None
+    for trial in range(num_trials):
+        layout = layouts[trial % len(layouts)]
+        compiled, properties = _run_single(
+            body, device, 2, seed + trial, keep_final_rz,
+            layout if layout != "greedy" else None,
+            routing_seed=seed * 1000 + trial,
+        )
+        score = expected_fidelity(
+            compiled, device, calibration=device.reported_calibration
+        )
+        if best is None or score > best[0]:
+            best = (score, compiled, properties)
+    assert best is not None
+    return best[1], best[2]

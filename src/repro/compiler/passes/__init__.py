@@ -1,0 +1,1 @@
+"""Compiler passes: layout, routing, synthesis, optimization, scheduling."""

@@ -1,0 +1,82 @@
+"""Compiler pass infrastructure.
+
+A :class:`Pass` transforms a circuit and may record results (layouts,
+schedules, statistics) into a shared :class:`PropertySet`.  A
+:class:`PassManager` runs a sequence of passes, mirroring the architecture
+of production transpilers so that pass orderings can be studied (the paper's
+Section II-A: "passes can be performed in any order and might be repeated").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List
+
+from ...circuits.circuit import QuantumCircuit
+
+
+class PropertySet(dict):
+    """Shared key-value store passed along the pipeline.
+
+    Well-known keys:
+        ``initial_layout``: dict program qubit -> physical qubit.
+        ``final_layout``: dict program qubit -> physical qubit after routing.
+        ``schedule``: :class:`repro.compiler.passes.scheduling.Schedule`.
+    """
+
+    def require(self, key: str) -> Any:
+        if key not in self:
+            raise KeyError(f"property '{key}' has not been produced by any pass")
+        return self[key]
+
+
+class Pass(ABC):
+    """Base class for all compiler passes."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abstractmethod
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        """Transform ``circuit``; may read/write ``properties``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.name
+
+
+class PassManager:
+    """Runs passes in order, collecting per-pass statistics."""
+
+    def __init__(self, passes: List[Pass] | None = None):
+        self.passes: List[Pass] = list(passes or [])
+        self.history: List[Dict[str, Any]] = []
+
+    def append(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        properties: PropertySet | None = None,
+    ) -> QuantumCircuit:
+        """Run every pass in order and return the final circuit."""
+        properties = properties if properties is not None else PropertySet()
+        self.properties = properties
+        self.history = []
+        current = circuit
+        for pass_ in self.passes:
+            before_size = current.size()
+            before_depth = current.depth()
+            current = pass_.run(current, properties)
+            self.history.append(
+                {
+                    "pass": pass_.name,
+                    "size_before": before_size,
+                    "size_after": current.size(),
+                    "depth_before": before_depth,
+                    "depth_after": current.depth(),
+                }
+            )
+        return current

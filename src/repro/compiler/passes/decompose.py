@@ -1,0 +1,170 @@
+"""Gate decomposition: lower every registry gate to ``{1q, cx, cz}``.
+
+This implements the "gate synthesis" task of Section II-A at the
+basis-lowering stage: exotic and multi-qubit gates are rewritten into
+single-qubit gates plus CX/CZ.  Translation into the device's literal
+native set (PRX + CZ for IQM) happens later in
+:mod:`repro.compiler.passes.synthesis`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ...circuits.circuit import Instruction, QuantumCircuit
+from ...circuits.gates import gate_matrix
+from ..unitary_math import zyz_decompose
+from .base import Pass, PropertySet
+
+#: Gates the decomposer leaves untouched.
+_BASIS = frozenset({
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+    "rx", "ry", "rz", "p", "u", "prx", "cx", "cz", "measure", "barrier",
+})
+
+
+class Decompose(Pass):
+    """Rewrite all non-basis gates into ``{1q, cx, cz}`` equivalents."""
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = QuantumCircuit(
+            circuit.num_qubits, circuit.num_clbits,
+            name=circuit.name, global_phase=circuit.global_phase,
+            metadata=dict(circuit.metadata),
+        )
+        for instruction in circuit.instructions:
+            if instruction.name == "barrier":
+                out.instructions.append(instruction)
+            elif instruction.name in _BASIS:
+                out.append_instruction(instruction)
+            else:
+                _decompose_into(out, instruction)
+        return out
+
+
+def decompose_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Functional wrapper around the :class:`Decompose` pass."""
+    return Decompose().run(circuit, PropertySet())
+
+
+def _decompose_into(out: QuantumCircuit, instruction: Instruction) -> None:
+    """Append the decomposition of one non-basis instruction to ``out``."""
+    name = instruction.name
+    qubits = instruction.qubits
+    params = instruction.params
+
+    if name == "swap":
+        a, b = qubits
+        out.cx(a, b).cx(b, a).cx(a, b)
+    elif name == "cy":
+        c, t = qubits
+        out.sdg(t).cx(c, t).s(t)
+    elif name == "ch":
+        c, t = qubits
+        _controlled_u(out, gate_matrix("h"), c, t)
+    elif name == "cp":
+        (lam,) = params
+        c, t = qubits
+        out.p(lam / 2, c).cx(c, t).p(-lam / 2, t).cx(c, t).p(lam / 2, t)
+    elif name == "crz":
+        (theta,) = params
+        c, t = qubits
+        out.rz(theta / 2, t).cx(c, t).rz(-theta / 2, t).cx(c, t)
+    elif name == "crx":
+        (theta,) = params
+        c, t = qubits
+        out.h(t)
+        out.rz(theta / 2, t).cx(c, t).rz(-theta / 2, t).cx(c, t)
+        out.h(t)
+    elif name == "cry":
+        (theta,) = params
+        c, t = qubits
+        out.ry(theta / 2, t).cx(c, t).ry(-theta / 2, t).cx(c, t)
+    elif name == "rzz":
+        (theta,) = params
+        a, b = qubits
+        out.cx(a, b).rz(theta, b).cx(a, b)
+    elif name == "rxx":
+        (theta,) = params
+        a, b = qubits
+        out.h(a).h(b).cx(a, b).rz(theta, b).cx(a, b).h(a).h(b)
+    elif name == "ryy":
+        (theta,) = params
+        a, b = qubits
+        out.rx(math.pi / 2, a).rx(math.pi / 2, b)
+        out.cx(a, b).rz(theta, b).cx(a, b)
+        out.rx(-math.pi / 2, a).rx(-math.pi / 2, b)
+    elif name == "rzx":
+        (theta,) = params
+        a, b = qubits
+        out.h(b).cx(a, b).rz(theta, b).cx(a, b).h(b)
+    elif name == "iswap":
+        a, b = qubits
+        out.s(a).s(b).h(a).cx(a, b).cx(b, a).h(b)
+    elif name == "iswap_dg":
+        a, b = qubits
+        out.h(b).cx(b, a).cx(a, b).h(a).sdg(b).sdg(a)
+    elif name == "ccx":
+        _ccx(out, *qubits)
+    elif name == "ccz":
+        a, b, t = qubits
+        out.h(t)
+        _ccx(out, a, b, t)
+        out.h(t)
+    elif name == "cswap":
+        c, a, b = qubits
+        out.cx(b, a)
+        _ccx(out, c, a, b)
+        out.cx(b, a)
+    else:
+        raise ValueError(f"no decomposition rule for gate '{name}'")
+
+
+def _ccx(out: QuantumCircuit, a: int, b: int, t: int) -> None:
+    """Standard 6-CX Toffoli decomposition."""
+    out.h(t)
+    out.cx(b, t).tdg(t)
+    out.cx(a, t).t(t)
+    out.cx(b, t).tdg(t)
+    out.cx(a, t)
+    out.t(b).t(t)
+    out.h(t)
+    out.cx(a, b)
+    out.t(a).tdg(b)
+    out.cx(a, b)
+
+
+def _controlled_u(out: QuantumCircuit, matrix, control: int, target: int) -> None:
+    """Generic controlled-U via the ZYZ / ABC construction (N&C 4.2).
+
+    ``U = e^{i*alpha} A X B X C`` with ``A B C = I``; the controlled version
+    is ``C(t), CX, B(t), CX, A(t)`` plus a phase ``p(alpha)`` on the control.
+    """
+    alpha, phi, theta, lam = zyz_decompose(matrix)
+    # C = RZ((lam - phi)/2)
+    _append_rz(out, (lam - phi) / 2, target)
+    out.cx(control, target)
+    # B = RY(-theta/2) RZ(-(phi+lam)/2): circuit order rz then ry.
+    _append_rz(out, -(phi + lam) / 2, target)
+    out.ry(-theta / 2, target)
+    out.cx(control, target)
+    # A = RZ(phi) RY(theta/2): circuit order ry then rz.
+    out.ry(theta / 2, target)
+    _append_rz(out, phi, target)
+    if abs(alpha) > 1e-12:
+        out.p(alpha, control)
+
+
+def _append_rz(out: QuantumCircuit, angle: float, qubit: int) -> None:
+    if abs(angle) > 1e-12:
+        out.rz(angle, qubit)
+
+
+#: Decomposition rules are exercised by tests comparing unitaries; the list
+#: of decomposable gates is exported for those tests.
+DECOMPOSABLE_GATES = (
+    "swap", "cy", "ch", "cp", "crz", "crx", "cry",
+    "rzz", "rxx", "ryy", "rzx", "iswap", "iswap_dg",
+    "ccx", "ccz", "cswap",
+)

@@ -1,0 +1,343 @@
+"""SWAP routing: make every two-qubit gate act on coupled qubits.
+
+Implements a SABRE-style heuristic router [Li, Ding, Xie, ASPLOS'19] (the
+paper's reference [9]): process the dependency DAG's front layer, emit
+executable gates, and when stuck insert the SWAP that minimizes a
+distance-based cost with a lookahead term and a decay factor that
+discourages ping-ponging the same qubits.
+
+The router operates on circuits already expressed over physical qubit
+indices (after a layout pass).  It maintains ``tau``: the mapping from
+*virtual* wires (the qubit labels in the incoming circuit) to *physical*
+qubits, initialized to identity.  The final mapping is stored as
+``final_layout`` so later stages (and result interpretation) can undo the
+permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ...circuits.circuit import Instruction, QuantumCircuit
+from ...circuits.dag import CircuitDag
+from ...hardware.coupling import CouplingMap
+from .base import Pass, PropertySet
+
+_DECAY_RESET_INTERVAL = 5
+_DECAY_STEP = 0.001
+_LOOKAHEAD_WEIGHT = 0.5
+_LOOKAHEAD_SIZE = 20
+
+
+class SabreRouting(Pass):
+    """Heuristic SWAP insertion with lookahead (SABRE-style)."""
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        seed: int = 0,
+        lookahead: bool = True,
+        swap_gate: str = "swap",
+    ):
+        self.coupling = coupling
+        self.seed = seed
+        self.lookahead = lookahead
+        if swap_gate not in ("swap", "cx"):
+            raise ValueError("swap_gate must be 'swap' or 'cx'")
+        self.swap_gate = swap_gate
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        routed, final_virtual_to_phys = route_circuit(
+            circuit,
+            self.coupling,
+            seed=self.seed,
+            lookahead=self.lookahead,
+            swap_gate=self.swap_gate,
+        )
+        initial = properties.get("initial_layout")
+        if initial is not None:
+            # Compose: program qubit -> initial physical (= virtual wire)
+            # -> final physical.
+            properties["final_layout"] = {
+                prog: final_virtual_to_phys[phys] for prog, phys in initial.items()
+            }
+        else:
+            properties["final_layout"] = dict(final_virtual_to_phys)
+        properties["routing_swaps"] = routed.metadata.get("routing_swaps", 0)
+        return routed
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    seed: int = 0,
+    lookahead: bool = True,
+    swap_gate: str = "swap",
+) -> Tuple[QuantumCircuit, Dict[int, int]]:
+    """Route ``circuit`` onto ``coupling``.
+
+    Returns ``(routed_circuit, final_mapping)`` where ``final_mapping`` sends
+    each virtual wire of the input circuit to the physical qubit holding it
+    after all inserted SWAPs.  Measurements are emitted on the physical qubit
+    currently holding the measured virtual wire, so counts keep their
+    program-level meaning.
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise ValueError("circuit wider than coupling map")
+    rng = np.random.default_rng(seed)
+    dag = CircuitDag(circuit)
+    distance = coupling.distance_matrix()
+
+    # tau: virtual wire -> physical qubit; phys_to_virt inverse.
+    tau: Dict[int, int] = {q: q for q in range(coupling.num_qubits)}
+    out = QuantumCircuit(
+        coupling.num_qubits, circuit.num_clbits,
+        name=circuit.name, global_phase=circuit.global_phase,
+        metadata=dict(circuit.metadata),
+    )
+
+    done: Set[int] = set()
+    remaining_successors = {node.index: set(node.predecessors) for node in dag.nodes}
+    swaps_inserted = 0
+    decay = np.ones(coupling.num_qubits)
+    steps_since_reset = 0
+
+    def executable(instruction: Instruction) -> bool:
+        if instruction.num_qubits < 2 or not instruction.is_unitary:
+            return True
+        a, b = tau[instruction.qubits[0]], tau[instruction.qubits[1]]
+        return coupling.has_edge(a, b)
+
+    # Measurements are deferred and emitted on the *final* mapping: a swap
+    # inserted after an inline measure would otherwise re-use the measured
+    # physical qubit and corrupt the counts' meaning.
+    deferred_measures: List[Instruction] = []
+
+    def emit(instruction: Instruction) -> None:
+        if instruction.name == "measure":
+            deferred_measures.append(instruction)
+            return
+        mapped = Instruction(
+            instruction.name,
+            tuple(tau[q] for q in instruction.qubits),
+            instruction.params,
+            instruction.clbits,
+        )
+        out.instructions.append(mapped)
+
+    front = [n.index for n in dag.nodes if not n.predecessors]
+
+    while front:
+        progressed = True
+        while progressed:
+            progressed = False
+            next_front: List[int] = []
+            for index in front:
+                node = dag.nodes[index]
+                if executable(node.instruction):
+                    emit(node.instruction)
+                    done.add(index)
+                    progressed = True
+                    for succ in node.successors:
+                        remaining_successors[succ].discard(index)
+                        if not remaining_successors[succ]:
+                            next_front.append(succ)
+                else:
+                    next_front.append(index)
+            front = next_front
+        if not front:
+            break
+
+        # Stuck: every front gate is a non-adjacent 2q gate. Pick a SWAP.
+        front_gates = [
+            dag.nodes[i].instruction for i in front
+            if dag.nodes[i].instruction.num_qubits == 2
+        ]
+        lookahead_gates = _collect_lookahead(dag, front, done) if lookahead else []
+
+        candidates = _candidate_swaps(front_gates, tau, coupling)
+        if not candidates:
+            raise RuntimeError("router stuck with no candidate swaps")
+        best_swap, best_score = None, float("inf")
+        order = sorted(candidates)
+        rng.shuffle(order)
+        for swap in order:
+            score = _swap_score(
+                swap, front_gates, lookahead_gates, tau, distance, decay
+            )
+            if score < best_score:
+                best_score, best_swap = score, swap
+        a, b = best_swap
+        _apply_swap(tau, a, b)
+        if swap_gate == "swap":
+            out.append("swap", (a, b))
+        else:
+            out.cx(a, b).cx(b, a).cx(a, b)
+        swaps_inserted += 1
+        decay[a] += _DECAY_STEP
+        decay[b] += _DECAY_STEP
+        steps_since_reset += 1
+        if steps_since_reset >= _DECAY_RESET_INTERVAL:
+            decay[:] = 1.0
+            steps_since_reset = 0
+
+    for instruction in deferred_measures:
+        out.instructions.append(
+            Instruction(
+                "measure",
+                (tau[instruction.qubits[0]],),
+                (),
+                instruction.clbits,
+            )
+        )
+    out.metadata["routing_swaps"] = swaps_inserted
+    final_mapping = {virt: tau[virt] for virt in range(coupling.num_qubits)}
+    return out, final_mapping
+
+
+def _apply_swap(tau: Dict[int, int], phys_a: int, phys_b: int) -> None:
+    """Swap the virtual wires sitting on physical qubits ``a`` and ``b``."""
+    inv = {p: v for v, p in tau.items()}
+    va, vb = inv[phys_a], inv[phys_b]
+    tau[va], tau[vb] = phys_b, phys_a
+
+
+def _candidate_swaps(
+    front_gates: Sequence[Instruction],
+    tau: Dict[int, int],
+    coupling: CouplingMap,
+) -> Set[Tuple[int, int]]:
+    """Hardware edges touching any qubit involved in a blocked front gate."""
+    physical_qubits: Set[int] = set()
+    for gate in front_gates:
+        physical_qubits.update(tau[q] for q in gate.qubits)
+    swaps: Set[Tuple[int, int]] = set()
+    for phys in physical_qubits:
+        for nbr in coupling.neighbors(phys):
+            swaps.add(tuple(sorted((phys, nbr))))
+    return swaps
+
+
+def _collect_lookahead(
+    dag: CircuitDag, front: Sequence[int], done: Set[int]
+) -> List[Instruction]:
+    """The next ``_LOOKAHEAD_SIZE`` two-qubit gates beyond the front layer."""
+    seen: Set[int] = set(front)
+    queue = list(front)
+    collected: List[Instruction] = []
+    while queue and len(collected) < _LOOKAHEAD_SIZE:
+        index = queue.pop(0)
+        for succ in sorted(dag.nodes[index].successors):
+            if succ in seen or succ in done:
+                continue
+            seen.add(succ)
+            queue.append(succ)
+            instruction = dag.nodes[succ].instruction
+            if instruction.is_unitary and instruction.num_qubits == 2:
+                collected.append(instruction)
+    return collected
+
+
+def _swap_score(
+    swap: Tuple[int, int],
+    front_gates: Sequence[Instruction],
+    lookahead_gates: Sequence[Instruction],
+    tau: Dict[int, int],
+    distance: np.ndarray,
+    decay: np.ndarray,
+) -> float:
+    """SABRE cost of applying ``swap``: front distance + weighted lookahead."""
+    a, b = swap
+    # Build the trial mapping lazily: only qubits a/b change.
+    inv = {p: v for v, p in tau.items()}
+    va, vb = inv[a], inv[b]
+
+    def phys(virtual: int) -> int:
+        if virtual == va:
+            return b
+        if virtual == vb:
+            return a
+        return tau[virtual]
+
+    front_cost = 0.0
+    for gate in front_gates:
+        qa, qb = gate.qubits
+        front_cost += distance[phys(qa), phys(qb)]
+    front_cost /= max(len(front_gates), 1)
+
+    look_cost = 0.0
+    if lookahead_gates:
+        for gate in lookahead_gates:
+            qa, qb = gate.qubits
+            look_cost += distance[phys(qa), phys(qb)]
+        look_cost *= _LOOKAHEAD_WEIGHT / len(lookahead_gates)
+
+    return max(decay[a], decay[b]) * (front_cost + look_cost)
+
+
+class PathRouting(Pass):
+    """Naive router: swap along the shortest path for each blocked gate.
+
+    Serves as the low-optimization-level baseline (and as a comparison point
+    in the compiler benchmarks).
+    """
+
+    def __init__(self, coupling: CouplingMap):
+        self.coupling = coupling
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        routed, final_mapping = self.route(circuit)
+        initial = properties.get("initial_layout")
+        if initial is not None:
+            properties["final_layout"] = {
+                prog: final_mapping[phys] for prog, phys in initial.items()
+            }
+        else:
+            properties["final_layout"] = dict(final_mapping)
+        properties["routing_swaps"] = routed.metadata.get("routing_swaps", 0)
+        return routed
+
+    def route(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, Dict[int, int]]:
+        coupling = self.coupling
+        tau = {q: q for q in range(coupling.num_qubits)}
+        out = QuantumCircuit(
+            coupling.num_qubits, circuit.num_clbits,
+            name=circuit.name, global_phase=circuit.global_phase,
+            metadata=dict(circuit.metadata),
+        )
+        swaps = 0
+        deferred_measures = []
+        for instruction in circuit.instructions:
+            if instruction.name == "measure":
+                deferred_measures.append(instruction)
+                continue
+            if instruction.is_unitary and instruction.num_qubits == 2:
+                a, b = tau[instruction.qubits[0]], tau[instruction.qubits[1]]
+                if not coupling.has_edge(a, b):
+                    path = coupling.shortest_path(a, b)
+                    for step in range(len(path) - 2):
+                        x, y = path[step], path[step + 1]
+                        out.append("swap", (x, y))
+                        _apply_swap(tau, x, y)
+                        swaps += 1
+            out.instructions.append(
+                Instruction(
+                    instruction.name,
+                    tuple(tau[q] for q in instruction.qubits),
+                    instruction.params,
+                    instruction.clbits,
+                )
+            )
+        for instruction in deferred_measures:
+            out.instructions.append(
+                Instruction(
+                    "measure",
+                    (tau[instruction.qubits[0]],),
+                    (),
+                    instruction.clbits,
+                )
+            )
+        out.metadata["routing_swaps"] = swaps
+        return out, dict(tau)

@@ -1,0 +1,129 @@
+"""ASAP scheduling and per-qubit idle-time accounting.
+
+The schedule assigns each operation a start/end time using the device's
+calibrated durations.  Idle times feed two consumers: the ESP figure of
+merit (Section II-B) and the noisy executor's decoherence model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ...circuits.circuit import Instruction, QuantumCircuit
+from ...hardware.calibration import GateDurations
+from .base import Pass, PropertySet
+
+
+@dataclass
+class TimedInstruction:
+    """An instruction with its scheduled time window (nanoseconds)."""
+
+    instruction: Instruction
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Schedule:
+    """ASAP schedule of a circuit."""
+
+    timed: List[TimedInstruction]
+    total_duration: float
+    qubit_busy: Dict[int, float]
+    qubit_window_end: Dict[int, float]
+
+    def idle_time(self, qubit: int) -> float:
+        """Idle time of ``qubit`` from circuit start until its last operation.
+
+        Qubits with no operations report zero idle time (they carry no
+        program information, so their decoherence is irrelevant).
+        """
+        window = self.qubit_window_end.get(qubit, 0.0)
+        busy = self.qubit_busy.get(qubit, 0.0)
+        return max(0.0, window - busy)
+
+    def idle_times(self) -> Dict[int, float]:
+        return {q: self.idle_time(q) for q in self.qubit_window_end}
+
+    def parallel_groups(self) -> List[List[TimedInstruction]]:
+        """Operations grouped by overlapping execution windows.
+
+        Two operations are grouped if their time intervals intersect; groups
+        are built greedily by start time, which matches how crosstalk windows
+        behave on fixed-frequency hardware.
+        """
+        ordered = sorted(self.timed, key=lambda t: (t.start, t.end))
+        groups: List[List[TimedInstruction]] = []
+        current: List[TimedInstruction] = []
+        current_end = -1.0
+        for timed in ordered:
+            if timed.instruction.name == "barrier":
+                continue
+            if current and timed.start < current_end:
+                current.append(timed)
+                current_end = max(current_end, timed.end)
+            else:
+                if current:
+                    groups.append(current)
+                current = [timed]
+                current_end = timed.end
+        if current:
+            groups.append(current)
+        return groups
+
+
+def schedule_asap(
+    circuit: QuantumCircuit, durations: GateDurations
+) -> Schedule:
+    """Compute an as-soon-as-possible schedule for ``circuit``."""
+    qubit_free = [0.0] * max(circuit.num_qubits, 1)
+    clbit_free = [0.0] * max(circuit.num_clbits, 1)
+    timed: List[TimedInstruction] = []
+    busy: Dict[int, float] = {}
+    window_end: Dict[int, float] = {}
+    total = 0.0
+    for instruction in circuit.instructions:
+        if instruction.name == "barrier":
+            qubits = instruction.qubits or tuple(range(circuit.num_qubits))
+            barrier_time = max(qubit_free[q] for q in qubits) if qubits else 0.0
+            for q in qubits:
+                qubit_free[q] = barrier_time
+            timed.append(TimedInstruction(instruction, barrier_time, barrier_time))
+            continue
+        duration = durations.of(
+            instruction.num_qubits, instruction.name == "measure"
+        )
+        start = max(qubit_free[q] for q in instruction.qubits)
+        for c in instruction.clbits:
+            start = max(start, clbit_free[c])
+        end = start + duration
+        for q in instruction.qubits:
+            qubit_free[q] = end
+            busy[q] = busy.get(q, 0.0) + duration
+            window_end[q] = end
+        for c in instruction.clbits:
+            clbit_free[c] = end
+        timed.append(TimedInstruction(instruction, start, end))
+        total = max(total, end)
+    return Schedule(
+        timed=timed,
+        total_duration=total,
+        qubit_busy=busy,
+        qubit_window_end=window_end,
+    )
+
+
+class ASAPSchedule(Pass):
+    """Pass wrapper storing the schedule in the property set."""
+
+    def __init__(self, durations: GateDurations):
+        self.durations = durations
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        properties["schedule"] = schedule_asap(circuit, self.durations)
+        return circuit

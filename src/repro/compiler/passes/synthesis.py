@@ -1,0 +1,139 @@
+"""Translation to the device's native gate set (Section II-A "gate synthesis").
+
+For IQM-style targets the native set is ``{prx, rz, cz}`` where RZ is
+*virtual*: the hardware implements Z rotations by adjusting the phase of
+subsequent PRX pulses.  The :class:`VirtualRZ` pass performs exactly that
+folding, so the emitted circuit consists of PRX and CZ pulses only (plus an
+optional trailing RZ layer when exact unitary equivalence is required).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from ...circuits.circuit import QuantumCircuit
+from ...circuits.gates import H_MATRIX, gate_matrix
+from ..unitary_math import is_identity_angle, normalize_angle, u_params
+from .base import Pass, PropertySet
+
+
+class NativeSynthesis(Pass):
+    """Rewrite a ``{1q, cx, cz, swap}`` circuit into ``{prx, rz, cz}``.
+
+    Every single-qubit unitary ``U`` is expressed through its ZYZ form as
+    ``rz(lam) . prx(theta, pi/2) . rz(phi)`` (circuit order), with the global
+    phase tracked on the circuit so the translation is *exactly* unitary-
+    preserving.  ``cx(c, t)`` becomes ``h(t) cz(c, t) h(t)`` with the
+    Hadamards synthesized natively.
+    """
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = QuantumCircuit(
+            circuit.num_qubits, circuit.num_clbits,
+            name=circuit.name, global_phase=circuit.global_phase,
+            metadata=dict(circuit.metadata),
+        )
+        for instruction in circuit.instructions:
+            name = instruction.name
+            if name in ("barrier", "measure", "cz", "prx", "rz"):
+                out.instructions.append(instruction)
+            elif name == "cx":
+                control, target = instruction.qubits
+                _append_native_1q(out, H_MATRIX, target)
+                out.cz(control, target)
+                _append_native_1q(out, H_MATRIX, target)
+            elif name == "swap":
+                a, b = instruction.qubits
+                for control, target in ((a, b), (b, a), (a, b)):
+                    _append_native_1q(out, H_MATRIX, target)
+                    out.cz(control, target)
+                    _append_native_1q(out, H_MATRIX, target)
+            elif instruction.is_unitary and instruction.num_qubits == 1:
+                matrix = gate_matrix(name, instruction.params)
+                _append_native_1q(out, matrix, instruction.qubits[0])
+            else:
+                raise ValueError(
+                    f"NativeSynthesis cannot translate '{name}' "
+                    "(run Decompose first)"
+                )
+        return out
+
+
+def _emit_rz(out: QuantumCircuit, angle: float, qubit: int) -> None:
+    """Emit ``rz`` with a normalized angle, preserving the global phase.
+
+    ``rz(a + 2*pi) = -rz(a)``, so normalizing the angle may flip the sign of
+    the unitary; the flip is compensated on ``out.global_phase``.
+    """
+    norm = normalize_angle(angle)
+    half_turns = round((angle - norm) / (2.0 * math.pi))
+    if half_turns % 2:
+        out.global_phase += math.pi
+    if not is_identity_angle(norm):
+        out.rz(norm, qubit)
+
+
+def _append_native_1q(out: QuantumCircuit, matrix: np.ndarray, qubit: int) -> None:
+    """Append the native realization of a 2x2 unitary on ``qubit``.
+
+    Uses ``matrix = e^{i(phase + (phi+lam)/2)} RZ(phi) RY(theta) RZ(lam)``
+    with ``RY(theta) = PRX(theta, pi/2)``.
+    """
+    theta, phi, lam, phase = u_params(matrix)
+    out.global_phase += phase + (phi + lam) / 2.0
+    if is_identity_angle(theta):
+        # Purely diagonal (theta = 0 mod 2pi; u_params yields theta in [0, pi]).
+        _emit_rz(out, phi + lam, qubit)
+        return
+    _emit_rz(out, lam, qubit)
+    out.prx(normalize_angle(theta), math.pi / 2, qubit)
+    if round((theta - normalize_angle(theta)) / (2.0 * math.pi)) % 2:
+        out.global_phase += math.pi
+    _emit_rz(out, phi, qubit)
+
+
+class VirtualRZ(Pass):
+    """Fold RZ gates into the phases of subsequent PRX pulses.
+
+    Sweeps left to right accumulating a per-qubit phase ``z[q]``; using
+    ``PRX(theta, phi) . RZ(a) = RZ(a) . PRX(theta, phi - a)`` (matrix order),
+    each ``prx(theta, phi)`` preceded by accumulated phase ``z[q]`` becomes
+    ``prx(theta, phi - z[q])``.  RZ commutes with CZ and does not affect
+    Z-basis measurement, so accumulated phases can be dropped at the end of
+    the circuit (``keep_final_rz=False``, the hardware behaviour) or emitted
+    as trailing RZ gates when exact unitary equivalence is needed
+    (``keep_final_rz=True``).
+    """
+
+    def __init__(self, keep_final_rz: bool = False):
+        self.keep_final_rz = keep_final_rz
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = QuantumCircuit(
+            circuit.num_qubits, circuit.num_clbits,
+            name=circuit.name, global_phase=circuit.global_phase,
+            metadata=dict(circuit.metadata),
+        )
+        z: Dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
+        for instruction in circuit.instructions:
+            name = instruction.name
+            if name == "rz":
+                z[instruction.qubits[0]] += instruction.params[0]
+            elif name == "prx":
+                q = instruction.qubits[0]
+                theta, phi = instruction.params
+                # prx is exactly 2*pi-periodic in phi, so normalization is free.
+                out.prx(theta, normalize_angle(phi - z[q]), q)
+            elif name in ("cz", "barrier", "measure"):
+                out.instructions.append(instruction)
+            else:
+                raise ValueError(
+                    f"VirtualRZ expects a native circuit, found '{name}'"
+                )
+        if self.keep_final_rz:
+            for q in range(circuit.num_qubits):
+                _emit_rz(out, z[q], q)
+        return out

@@ -1,0 +1,90 @@
+"""Single-qubit unitary decomposition math shared by compiler passes."""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Tuple
+
+import numpy as np
+
+_ATOL = 1e-10
+
+
+def zyz_decompose(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``exp(i*alpha) RZ(phi) RY(theta) RZ(lam)``.
+
+    Returns ``(alpha, phi, theta, lam)`` using the traceless RZ/RY
+    conventions of :mod:`repro.circuits.gates`.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError("expected a 2x2 matrix")
+    det = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+    if abs(abs(det) - 1.0) > 1e-8:
+        raise ValueError("matrix is not unitary (|det| != 1)")
+    alpha = 0.5 * cmath.phase(det)
+    v = matrix * cmath.exp(-1j * alpha)  # now in SU(2)
+
+    # v = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #      [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    cos_half = abs(v[0, 0])
+    sin_half = abs(v[1, 0])
+    theta = 2.0 * math.atan2(sin_half, cos_half)
+
+    if sin_half < _ATOL:
+        # Diagonal-ish: only phi + lam is defined.
+        plus = 2.0 * cmath.phase(v[1, 1]) if abs(v[1, 1]) > _ATOL else 0.0
+        phi, lam = plus, 0.0
+    elif cos_half < _ATOL:
+        # Anti-diagonal: only phi - lam is defined.
+        minus = 2.0 * cmath.phase(v[1, 0])
+        phi, lam = minus, 0.0
+    else:
+        plus = 2.0 * cmath.phase(v[1, 1])
+        minus = 2.0 * cmath.phase(v[1, 0])
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    return alpha, phi, theta, lam
+
+
+def u_params(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Parameters ``(theta, phi, lam, phase)`` with ``matrix = e^{i*phase} u(theta, phi, lam)``.
+
+    ``u`` is Qiskit's generic single-qubit gate, which satisfies
+    ``u(theta, phi, lam) = e^{i(phi+lam)/2} RZ(phi) RY(theta) RZ(lam)``.
+    """
+    alpha, phi, theta, lam = zyz_decompose(matrix)
+    phase = alpha - (phi + lam) / 2.0
+    return theta, phi, lam, phase
+
+
+def normalize_angle(angle: float) -> float:
+    """Wrap an angle into ``(-pi, pi]``."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+def is_identity_angle(angle: float, atol: float = 1e-9) -> bool:
+    """Whether a rotation by ``angle`` is the identity (mod 2*pi)."""
+    return abs(normalize_angle(angle)) < atol
+
+
+def matrices_equal_up_to_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """Whether two unitaries are equal up to a global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    # Find the largest-magnitude entry of b to fix the phase.
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[index]) < atol:
+        return np.allclose(a, b, atol=atol)
+    phase = a[index] / b[index]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return np.allclose(a, phase * b, atol=atol)

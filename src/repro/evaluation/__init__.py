@@ -1,0 +1,37 @@
+"""Paper experiments: correlation study, feature importance, reporting."""
+
+from .importance import (
+    grouped_importances,
+    importance_table,
+    sorted_groups,
+    top_features,
+)
+from .persistence import load_datasets, load_study_data, save_study
+from .reporting import format_fig3, format_series, format_table_i
+from .study import (
+    FOM_ORDER,
+    PROPOSED_LABEL,
+    StudyConfig,
+    StudyResult,
+    compute_improvements,
+    run_study,
+)
+
+__all__ = [
+    "FOM_ORDER",
+    "PROPOSED_LABEL",
+    "StudyConfig",
+    "StudyResult",
+    "compute_improvements",
+    "format_fig3",
+    "format_series",
+    "format_table_i",
+    "grouped_importances",
+    "load_datasets",
+    "load_study_data",
+    "importance_table",
+    "run_study",
+    "save_study",
+    "sorted_groups",
+    "top_features",
+]

@@ -1,0 +1,58 @@
+"""Feature-importance aggregation for the paper's Fig. 3.
+
+The paper groups the random-forest importances into seven categories
+(liveness, gate ratios, directed program communication, parallelism, gate
+counts, circuit depth, other features) and plots them per QPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..fom.features import FEATURE_GROUPS, FEATURE_NAMES, GROUP_ORDER
+
+
+def grouped_importances(importances: np.ndarray) -> Dict[str, float]:
+    """Sum per-feature importances into the Fig. 3 categories."""
+    importances = np.asarray(importances, dtype=float)
+    if len(importances) != len(FEATURE_NAMES):
+        raise ValueError(
+            f"expected {len(FEATURE_NAMES)} importances, got {len(importances)}"
+        )
+    grouped = {group: 0.0 for group in GROUP_ORDER}
+    for name, value in zip(FEATURE_NAMES, importances):
+        grouped[FEATURE_GROUPS[name]] += float(value)
+    return grouped
+
+
+def importance_table(
+    per_device: Dict[str, np.ndarray],
+) -> List[Dict[str, object]]:
+    """Rows of Fig. 3: one dict per category with per-device importances."""
+    grouped = {
+        device: grouped_importances(importances)
+        for device, importances in per_device.items()
+    }
+    rows: List[Dict[str, object]] = []
+    for group in GROUP_ORDER:
+        row: Dict[str, object] = {"feature": group}
+        for device in per_device:
+            row[device] = grouped[device][group]
+        rows.append(row)
+    return rows
+
+
+def top_features(
+    importances: np.ndarray, k: int = 10
+) -> List[tuple[str, float]]:
+    """The ``k`` individually most important features."""
+    importances = np.asarray(importances, dtype=float)
+    order = np.argsort(importances)[::-1][:k]
+    return [(FEATURE_NAMES[i], float(importances[i])) for i in order]
+
+
+def sorted_groups(grouped: Dict[str, float]) -> List[tuple[str, float]]:
+    """Categories sorted by descending importance."""
+    return sorted(grouped.items(), key=lambda item: -item[1])

@@ -1,0 +1,102 @@
+"""Save/load study results as JSON.
+
+A full-scale study costs ~15 minutes; archiving its numbers lets ablation
+notebooks, plots, and regression checks reuse the run.  Only plain data is
+persisted (correlations, improvements, importances, per-circuit records) —
+models are cheap to retrain from the persisted features and labels.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from ..predictor.dataset import CircuitDataset, DatasetEntry
+from .study import StudyResult
+
+
+def study_to_dict(result: StudyResult) -> Dict:
+    """Serialize a study result into plain JSON-compatible data."""
+    return {
+        "device_names": list(result.device_names),
+        "correlations": {
+            fom: dict(columns) for fom, columns in result.correlations.items()
+        },
+        "improvements": dict(result.improvements),
+        "reports": {
+            name: {
+                "test_pearson": report.test_pearson,
+                "train_pearson": report.train_pearson,
+                "cv_score": report.cv_score,
+                "best_params": {
+                    k: v for k, v in report.best_params.items()
+                },
+                "feature_importances": report.feature_importances.tolist(),
+            }
+            for name, report in result.reports.items()
+        },
+        "datasets": {
+            name: [
+                {
+                    "name": entry.name,
+                    "algorithm": entry.algorithm,
+                    "num_qubits": entry.num_qubits,
+                    "features": entry.features.tolist(),
+                    "label": entry.label,
+                    "fom_values": dict(entry.fom_values),
+                    "compiled_depth": entry.compiled_depth,
+                    "compiled_two_qubit_gates": entry.compiled_two_qubit_gates,
+                    "success_probability": entry.success_probability,
+                }
+                for entry in dataset.entries
+            ]
+            for name, dataset in result.datasets.items()
+        },
+    }
+
+
+def save_study(result: StudyResult, path: str | Path) -> Path:
+    """Write a study result to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(study_to_dict(result), indent=1))
+    return path
+
+
+def load_study_data(path: str | Path) -> Dict:
+    """Load the raw dict written by :func:`save_study`."""
+    return json.loads(Path(path).read_text())
+
+
+def load_datasets(path: str | Path) -> Dict[str, CircuitDataset]:
+    """Rebuild :class:`CircuitDataset` objects from a saved study.
+
+    Compiled circuits are not persisted; entries carry ``compiled=None``.
+    Everything needed to retrain/score models (features, labels, FoM
+    columns) is restored.
+    """
+    data = load_study_data(path)
+    datasets: Dict[str, CircuitDataset] = {}
+    for name, entries in data["datasets"].items():
+        dataset = CircuitDataset(device_name=name)
+        for record in entries:
+            dataset.entries.append(
+                DatasetEntry(
+                    name=record["name"],
+                    algorithm=record["algorithm"],
+                    num_qubits=record["num_qubits"],
+                    features=np.array(record["features"], dtype=float),
+                    label=float(record["label"]),
+                    fom_values=dict(record["fom_values"]),
+                    compiled_depth=int(record["compiled_depth"]),
+                    compiled_two_qubit_gates=int(
+                        record["compiled_two_qubit_gates"]
+                    ),
+                    success_probability=float(record["success_probability"]),
+                )
+            )
+        datasets[name] = dataset
+    return datasets

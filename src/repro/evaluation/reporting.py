@@ -1,0 +1,84 @@
+"""ASCII rendering of the paper's Table I and Fig. 3."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..fom.features import GROUP_ORDER
+from .importance import grouped_importances
+from .study import FOM_ORDER, PROPOSED_LABEL, StudyResult
+
+
+def format_table_i(result: StudyResult) -> str:
+    """Render Table I: Pearson correlation with Hellinger distance."""
+    columns = result.device_names + ["Combined"]
+    header = f"{'Figure of merit / QPU':<24}" + "".join(
+        f"{col:>10}" for col in columns
+    )
+    rule = "-" * len(header)
+    lines = [
+        "TABLE I: Pearson correlation with Hellinger distance",
+        rule,
+        header,
+        rule,
+    ]
+    for fom, values in result.table_rows():
+        row = f"{fom:<24}" + "".join(f"{value:>10.2f}" for value in values)
+        if fom == PROPOSED_LABEL:
+            lines.append(rule)
+        lines.append(row)
+    lines.append(rule)
+    improvement = ", ".join(
+        f"{col}: +{result.improvements[col]:.0f}%"
+        for col in columns
+    )
+    lines.append(f"Improvement over mean of established FoMs -> {improvement}")
+    lines.append(
+        f"Circuits per device -> "
+        + ", ".join(
+            f"{name}: {len(result.datasets[name])}"
+            for name in result.device_names
+        )
+    )
+    return "\n".join(lines)
+
+
+def format_fig3(per_device: Dict[str, np.ndarray], width: int = 40) -> str:
+    """Render Fig. 3 as horizontal ASCII bars (one block per category)."""
+    grouped = {
+        device: grouped_importances(importances)
+        for device, importances in per_device.items()
+    }
+    max_value = max(
+        value for groups in grouped.values() for value in groups.values()
+    )
+    max_value = max(max_value, 1e-9)
+    lines = ["Fig. 3: Random forest model feature importance", ""]
+    for group in GROUP_ORDER:
+        lines.append(group)
+        for device in grouped:
+            value = grouped[device][group]
+            bar = "#" * max(1, int(round(width * value / max_value))) if value > 0 else ""
+            lines.append(f"  {device:<8} |{bar:<{width}}| {value:.3f}")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    precision: int = 3,
+) -> str:
+    """Render a generic figure as a column-aligned data table."""
+    names = sorted(series)
+    header = f"{x_label:<16}" + "".join(f"{name:>18}" for name in names)
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for index, x in enumerate(x_values):
+        row = f"{str(x):<16}"
+        for name in names:
+            row += f"{series[name][index]:>18.{precision}f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""The correlation study (Section V): Table I and the improvement numbers.
+
+Pipeline per device:
+
+1. build the benchmark suite (2-20 qubits, all families),
+2. compile every circuit at optimization level 3,
+3. drop circuits with compiled depth >= 1000,
+4. execute on the device emulator, label with the Hellinger distance,
+5. correlate each established figure of merit with the labels (Table I
+   rows 1-4),
+6. train the proposed estimator (80/20 split, 3-fold CV, grid search) and
+   score it on the held-out test set (Table I row 5),
+7. aggregate "Combined" columns over both devices and the paper's
+   improvement percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bench.suite import DEPTH_LIMIT, build_suite
+from ..fom.metrics import ESTABLISHED_FOMS
+from ..hardware.device import Device
+from ..hardware.iqm import make_q20_pair
+from ..ml.metrics import pearson_r
+from ..predictor.dataset import CircuitDataset, build_dataset
+from ..predictor.estimator import EstimatorReport, train_and_evaluate
+
+#: Table I row labels, in paper order.
+FOM_ORDER = ["Number of gates", "Circuit depth", "Expected fidelity", "ESP"]
+PROPOSED_LABEL = "Proposed approach"
+
+
+@dataclass
+class StudyConfig:
+    """Knobs of the correlation study (defaults reproduce the paper setup)."""
+
+    algorithms: Optional[Sequence[str]] = None
+    min_qubits: int = 2
+    max_qubits: int = 20
+    qubit_step: int = 1
+    optimization_level: int = 3
+    shots: int = 2000
+    seed: int = 0
+    depth_limit: int = DEPTH_LIMIT
+    test_size: float = 0.2
+    n_splits: int = 3
+    param_grid: Optional[Dict[str, Sequence]] = None
+    progress: bool = False
+
+
+@dataclass
+class StudyResult:
+    """All numbers behind Table I and Fig. 3."""
+
+    device_names: List[str]
+    correlations: Dict[str, Dict[str, float]]
+    reports: Dict[str, EstimatorReport]
+    datasets: Dict[str, CircuitDataset]
+    improvements: Dict[str, float] = field(default_factory=dict)
+
+    def table_rows(self) -> List[Tuple[str, List[float]]]:
+        """Rows of Table I: (figure of merit, [Q20-A, Q20-B, Combined])."""
+        columns = self.device_names + ["Combined"]
+        rows = []
+        for fom in FOM_ORDER + [PROPOSED_LABEL]:
+            rows.append(
+                (fom, [self.correlations[fom][col] for col in columns])
+            )
+        return rows
+
+
+def run_study(
+    devices: Optional[Sequence[Device]] = None,
+    config: Optional[StudyConfig] = None,
+) -> StudyResult:
+    """Run the full correlation study on the given devices.
+
+    Defaults to the paper's two QPUs (Q20-A, Q20-B) and the paper's
+    configuration; a reduced :class:`StudyConfig` gives quick smoke runs.
+    """
+    config = config or StudyConfig()
+    if devices is None:
+        devices = list(make_q20_pair())
+    suite = build_suite(
+        algorithms=config.algorithms,
+        min_qubits=config.min_qubits,
+        max_qubits=config.max_qubits,
+        step=config.qubit_step,
+    )
+
+    ideal_cache: Dict[str, Dict[str, float]] = {}
+    datasets: Dict[str, CircuitDataset] = {}
+    for device in devices:
+        datasets[device.name] = build_dataset(
+            suite, device,
+            optimization_level=config.optimization_level,
+            shots=config.shots,
+            seed=config.seed,
+            depth_limit=config.depth_limit,
+            ideal_cache=ideal_cache,
+            progress=config.progress,
+        )
+
+    correlations: Dict[str, Dict[str, float]] = {
+        fom: {} for fom in FOM_ORDER + [PROPOSED_LABEL]
+    }
+
+    # Established figures of merit: per device and combined (all executions).
+    for fom in FOM_ORDER:
+        combined_vals: List[np.ndarray] = []
+        combined_labels: List[np.ndarray] = []
+        for device in devices:
+            data = datasets[device.name]
+            values = data.fom_column(fom)
+            labels = data.y
+            correlations[fom][device.name] = abs(pearson_r(values, labels))
+            combined_vals.append(values)
+            combined_labels.append(labels)
+        correlations[fom]["Combined"] = abs(
+            pearson_r(
+                np.concatenate(combined_vals), np.concatenate(combined_labels)
+            )
+        )
+
+    # Proposed approach: one model per device, scored on unseen test sets.
+    reports: Dict[str, EstimatorReport] = {}
+    all_test_y: List[np.ndarray] = []
+    all_test_pred: List[np.ndarray] = []
+    for device in devices:
+        data = datasets[device.name]
+        report = train_and_evaluate(
+            data.X, data.y,
+            device_name=device.name,
+            test_size=config.test_size,
+            n_splits=config.n_splits,
+            seed=config.seed,
+            param_grid=config.param_grid,
+        )
+        reports[device.name] = report
+        correlations[PROPOSED_LABEL][device.name] = abs(report.test_pearson)
+        all_test_y.append(report.y_test)
+        all_test_pred.append(report.y_test_pred)
+    correlations[PROPOSED_LABEL]["Combined"] = abs(
+        pearson_r(np.concatenate(all_test_y), np.concatenate(all_test_pred))
+    )
+
+    result = StudyResult(
+        device_names=[device.name for device in devices],
+        correlations=correlations,
+        reports=reports,
+        datasets=datasets,
+    )
+    result.improvements = compute_improvements(result)
+    return result
+
+
+def compute_improvements(result: StudyResult) -> Dict[str, float]:
+    """The paper's improvement percentages.
+
+    For each column, the proposed correlation relative to the *average* of
+    the four established figures of merit: the paper reports +62% (Q20-A),
+    +38% (Q20-B), and +49% (Combined, the headline number).
+    """
+    improvements: Dict[str, float] = {}
+    for column in result.device_names + ["Combined"]:
+        established = np.mean(
+            [result.correlations[fom][column] for fom in FOM_ORDER]
+        )
+        proposed = result.correlations[PROPOSED_LABEL][column]
+        improvements[column] = (
+            (proposed / established - 1.0) * 100.0 if established > 0 else 0.0
+        )
+    return improvements

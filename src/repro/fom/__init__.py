@@ -1,0 +1,37 @@
+"""Figures of merit: established metrics and the 30-dim feature vector."""
+
+from .features import (
+    FEATURE_GROUPS,
+    FEATURE_NAMES,
+    GROUP_ORDER,
+    NUM_FEATURES,
+    feature_dict,
+    feature_matrix,
+    feature_vector,
+)
+from .metrics import (
+    ESTABLISHED_FOMS,
+    circuit_depth,
+    esp,
+    esp_decay_factor,
+    expected_fidelity,
+    gate_count,
+    two_qubit_gate_count,
+)
+
+__all__ = [
+    "ESTABLISHED_FOMS",
+    "FEATURE_GROUPS",
+    "FEATURE_NAMES",
+    "GROUP_ORDER",
+    "NUM_FEATURES",
+    "circuit_depth",
+    "esp",
+    "esp_decay_factor",
+    "expected_fidelity",
+    "feature_dict",
+    "feature_matrix",
+    "feature_vector",
+    "gate_count",
+    "two_qubit_gate_count",
+]

@@ -1,0 +1,115 @@
+"""Established figures of merit (Section II-B).
+
+Four metrics, in the paper's order:
+
+* number of gates (optionally only two-qubit gates),
+* circuit depth,
+* expected fidelity — the product of all gate and measurement fidelities,
+* Estimated Success Probability (ESP) — expected fidelity times the
+  idle-time decay factor ``exp(-t_idle / min(T1, T2))`` per qubit.
+
+The hardware-aware metrics read a :class:`~repro.hardware.calibration.Calibration`.
+By default they use the device's *reported* snapshot — exactly what a
+compiler would see in practice, and the source of the staleness effects the
+paper discusses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuits.circuit import QuantumCircuit
+from ..compiler.passes.scheduling import schedule_asap
+from ..hardware.calibration import Calibration
+from ..hardware.device import Device
+
+
+def gate_count(circuit: QuantumCircuit, two_qubit_only: bool = False) -> int:
+    """Number of gates; with ``two_qubit_only`` count only multi-qubit gates."""
+    if two_qubit_only:
+        return circuit.num_nonlocal_gates()
+    return circuit.size()
+
+
+def two_qubit_gate_count(circuit: QuantumCircuit) -> int:
+    """Number of gates acting on two or more qubits."""
+    return circuit.num_nonlocal_gates()
+
+
+def circuit_depth(circuit: QuantumCircuit) -> int:
+    """Longest path length through the circuit graph."""
+    return circuit.depth()
+
+
+def expected_fidelity(
+    circuit: QuantumCircuit,
+    device: Device,
+    calibration: Optional[Calibration] = None,
+) -> float:
+    """Product of all gate and measurement fidelities in ``[0, 1]``.
+
+    Single-qubit gates use the per-qubit fidelity, two-qubit gates the
+    per-edge fidelity, and measurements the per-qubit readout fidelity.
+    """
+    cal = calibration if calibration is not None else device.reported_calibration
+    fidelity = 1.0
+    for instruction in circuit.instructions:
+        if instruction.name == "barrier":
+            continue
+        if instruction.name == "measure":
+            fidelity *= cal.readout_fidelity[instruction.qubits[0]]
+        elif instruction.num_qubits == 1:
+            fidelity *= cal.one_qubit_fidelity[instruction.qubits[0]]
+        elif instruction.num_qubits == 2:
+            fidelity *= cal.edge_fidelity(*instruction.qubits)
+        else:
+            raise ValueError(
+                f"expected a compiled circuit; found {instruction.num_qubits}-qubit "
+                f"gate '{instruction.name}'"
+            )
+    return fidelity
+
+
+def esp(
+    circuit: QuantumCircuit,
+    device: Device,
+    calibration: Optional[Calibration] = None,
+) -> float:
+    """Estimated Success Probability [Murali et al. 2020].
+
+    ``ESP = expected_fidelity * prod_q exp(-t_idle(q) / min(T1(q), T2(q)))``
+    where ``t_idle(q)`` is qubit ``q``'s idle time under an ASAP schedule
+    with the calibration's durations.
+    """
+    cal = calibration if calibration is not None else device.reported_calibration
+    fidelity = expected_fidelity(circuit, device, calibration=cal)
+    schedule = schedule_asap(circuit, cal.durations)
+    decay = 1.0
+    for qubit, idle in schedule.idle_times().items():
+        decay *= math.exp(-idle / cal.min_relaxation(qubit))
+    return fidelity * decay
+
+
+def esp_decay_factor(
+    circuit: QuantumCircuit,
+    device: Device,
+    calibration: Optional[Calibration] = None,
+) -> float:
+    """Only the relaxation term of ESP (for the staleness ablation)."""
+    cal = calibration if calibration is not None else device.reported_calibration
+    schedule = schedule_asap(circuit, cal.durations)
+    decay = 1.0
+    for qubit, idle in schedule.idle_times().items():
+        decay *= math.exp(-idle / cal.min_relaxation(qubit))
+    return decay
+
+
+#: The established figures of merit evaluated in Table I, in paper order.
+#: Each entry maps a display name to ``(function, higher_is_better)``.
+ESTABLISHED_FOMS = {
+    "Number of gates": (lambda circuit, device: float(gate_count(circuit)), False),
+    "Circuit depth": (lambda circuit, device: float(circuit_depth(circuit)), False),
+    "Expected fidelity": (expected_fidelity, True),
+    "ESP": (esp, True),
+}

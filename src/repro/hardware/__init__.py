@@ -1,0 +1,43 @@
+"""Hardware models: coupling maps, calibration data, devices."""
+
+from .calibration import (
+    Calibration,
+    GateDurations,
+    drift_calibration,
+    random_calibration,
+)
+from .coupling import (
+    CouplingMap,
+    full_map,
+    grid_map,
+    grid_positions,
+    heavy_hex_map,
+    line_map,
+    ring_map,
+    star_map,
+)
+from .device import Device, IQM_NATIVE_GATES, NoiseProfile, make_device
+from .iqm import make_q20a, make_q20b, make_q20_pair, q20_coupling
+
+__all__ = [
+    "Calibration",
+    "CouplingMap",
+    "Device",
+    "GateDurations",
+    "IQM_NATIVE_GATES",
+    "NoiseProfile",
+    "drift_calibration",
+    "full_map",
+    "grid_map",
+    "grid_positions",
+    "heavy_hex_map",
+    "line_map",
+    "make_device",
+    "make_q20a",
+    "make_q20b",
+    "make_q20_pair",
+    "q20_coupling",
+    "random_calibration",
+    "ring_map",
+    "star_map",
+]

@@ -1,0 +1,145 @@
+"""Qubit connectivity graphs (coupling maps) and distance queries."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+class CouplingMap:
+    """Undirected connectivity graph between physical qubits.
+
+    Two-qubit gates may only be applied along edges.  Provides the
+    all-pairs shortest-path distance matrix used by layout and routing.
+    """
+
+    def __init__(self, num_qubits: int, edges: Iterable[Edge]):
+        self.num_qubits = num_qubits
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_qubits))
+        for a, b in edges:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range")
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            self.graph.add_edge(int(a), int(b))
+        self._distance: np.ndarray | None = None
+
+    @property
+    def edges(self) -> List[Edge]:
+        """Sorted list of (low, high) edges."""
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    @property
+    def edge_set(self) -> FrozenSet[Edge]:
+        return frozenset(tuple(sorted(e)) for e in self.graph.edges)
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def degree(self, qubit: int) -> int:
+        return self.graph.degree(qubit)
+
+    def is_connected(self) -> bool:
+        return self.num_qubits == 0 or nx.is_connected(self.graph)
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distances (``inf`` if disconnected)."""
+        if self._distance is None:
+            dist = np.full((self.num_qubits, self.num_qubits), np.inf)
+            for source, lengths in nx.all_pairs_shortest_path_length(self.graph):
+                for target, length in lengths.items():
+                    dist[source, target] = length
+            self._distance = dist
+        return self._distance
+
+    def distance(self, a: int, b: int) -> int:
+        value = self.distance_matrix()[a, b]
+        if np.isinf(value):
+            raise ValueError(f"qubits {a} and {b} are disconnected")
+        return int(value)
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def adjacent_edges(self, edge: Edge) -> List[Edge]:
+        """Edges sharing at least one endpoint with ``edge`` (crosstalk pairs)."""
+        a, b = edge
+        out = set()
+        for q in (a, b):
+            for nbr in self.graph.neighbors(q):
+                candidate = tuple(sorted((q, nbr)))
+                if candidate != tuple(sorted(edge)):
+                    out.add(candidate)
+        return sorted(out)
+
+    def subgraph_is_connected(self, qubits: Sequence[int]) -> bool:
+        sub = self.graph.subgraph(qubits)
+        return len(qubits) == 0 or nx.is_connected(sub)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CouplingMap(qubits={self.num_qubits}, edges={len(self.edges)})"
+
+
+# ---------------------------------------------------------------------------
+# Standard topologies
+# ---------------------------------------------------------------------------
+
+def line_map(num_qubits: int) -> CouplingMap:
+    """A 1-D chain."""
+    return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def ring_map(num_qubits: int) -> CouplingMap:
+    """A cycle."""
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingMap(num_qubits, edges)
+
+
+def grid_map(rows: int, cols: int) -> CouplingMap:
+    """A ``rows x cols`` square lattice (IQM 'crystal' style).
+
+    Qubit ``r * cols + c`` sits at row ``r``, column ``c``.
+    """
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(rows * cols, edges)
+
+
+def star_map(num_qubits: int) -> CouplingMap:
+    """Qubit 0 connected to all others."""
+    return CouplingMap(num_qubits, [(0, i) for i in range(1, num_qubits)])
+
+
+def full_map(num_qubits: int) -> CouplingMap:
+    """All-to-all connectivity."""
+    edges = [
+        (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+    ]
+    return CouplingMap(num_qubits, edges)
+
+
+def heavy_hex_map(distance: int = 3) -> CouplingMap:
+    """A small heavy-hex lattice (IBM style), for topology comparisons."""
+    graph = nx.hexagonal_lattice_graph(distance, distance)
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes))}
+    edges = [(mapping[a], mapping[b]) for a, b in graph.edges]
+    return CouplingMap(len(mapping), edges)
+
+
+def grid_positions(rows: int, cols: int) -> Dict[int, Tuple[int, int]]:
+    """(row, col) positions of grid qubits, for drawing and crosstalk geometry."""
+    return {r * cols + c: (r, c) for r in range(rows) for c in range(cols)}

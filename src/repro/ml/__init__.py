@@ -1,0 +1,38 @@
+"""Machine learning from scratch: trees, forests, baselines, model selection."""
+
+from .forest import RandomForestRegressor
+from .linear import LinearRegression, RidgeRegression
+from .metrics import (
+    mean_absolute_error,
+    pearson_r,
+    r2_score,
+    root_mean_squared_error,
+    spearman_r,
+)
+from .model_selection import (
+    GridSearchResult,
+    KFold,
+    cross_val_score,
+    grid_search,
+    train_test_split,
+)
+from .neighbors import KNeighborsRegressor
+from .tree import DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "GridSearchResult",
+    "KFold",
+    "KNeighborsRegressor",
+    "LinearRegression",
+    "RandomForestRegressor",
+    "RidgeRegression",
+    "cross_val_score",
+    "grid_search",
+    "mean_absolute_error",
+    "pearson_r",
+    "r2_score",
+    "root_mean_squared_error",
+    "spearman_r",
+    "train_test_split",
+]

@@ -1,0 +1,117 @@
+"""Random forest regressor (bagged CART trees) with feature importances.
+
+Matches the semantics of scikit-learn's ``RandomForestRegressor`` that the
+paper uses: bootstrap sampling per tree, random feature subsets per split,
+mean aggregation, and mean-impurity-decrease feature importances (the
+quantity plotted in the paper's Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Ensemble of variance-reduction CART trees.
+
+    Args:
+        n_estimators: number of trees.
+        max_depth / min_samples_split / min_samples_leaf / max_features:
+            per-tree hyper-parameters (see :class:`DecisionTreeRegressor`).
+            ``max_features`` defaults to ``1.0`` (all features), matching
+            scikit-learn's regressor default.
+        bootstrap: sample training rows with replacement per tree.
+        random_state: master seed; per-tree seeds derive from it.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        random_state: Optional[int] = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: List[DecisionTreeRegressor] = []
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def get_params(self) -> dict:
+        return {
+            "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "bootstrap": self.bootstrap,
+            "random_state": self.random_state,
+        }
+
+    def set_params(self, **params) -> "RandomForestRegressor":
+        for key, value in params.items():
+            if not hasattr(self, key):
+                raise ValueError(f"unknown parameter '{key}'")
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "RandomForestRegressor":
+        return RandomForestRegressor(**self.get_params())
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        rng = np.random.default_rng(self.random_state)
+        n = len(X)
+        self.estimators_ = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2 ** 31)),
+            )
+            if self.bootstrap:
+                rows = rng.integers(0, n, size=n)
+            else:
+                rows = np.arange(n)
+            tree.fit(X[rows], y[rows])
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=float)
+        predictions = np.stack([tree.predict(X) for tree in self.estimators_])
+        return predictions.mean(axis=0)
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Ensemble standard deviation (a crude predictive uncertainty)."""
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=float)
+        predictions = np.stack([tree.predict(X) for tree in self.estimators_])
+        return predictions.std(axis=0)

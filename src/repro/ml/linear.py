@@ -1,0 +1,92 @@
+"""Linear baselines: ordinary least squares and ridge regression.
+
+Used by the model-choice ablation (why a random forest?) and as cheap
+comparators in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearRegression:
+    """Ordinary least squares with an intercept (closed form via lstsq)."""
+
+    def __init__(self):
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def get_params(self) -> dict:
+        return {}
+
+    def set_params(self, **params) -> "LinearRegression":
+        if params:
+            raise ValueError(f"unknown parameters {sorted(params)}")
+        return self
+
+    def clone(self) -> "LinearRegression":
+        return LinearRegression()
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        design = np.hstack([X, np.ones((len(X), 1))])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression:
+    """L2-regularized least squares (features standardized internally)."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def get_params(self) -> dict:
+        return {"alpha": self.alpha}
+
+    def set_params(self, **params) -> "RidgeRegression":
+        for key, value in params.items():
+            if key != "alpha":
+                raise ValueError(f"unknown parameter '{key}'")
+            self.alpha = value
+        return self
+
+    def clone(self) -> "RidgeRegression":
+        return RidgeRegression(alpha=self.alpha)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        Xs = (X - self._mean) / self._scale
+        y_mean = y.mean()
+        gram = Xs.T @ Xs + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, Xs.T @ (y - y_mean))
+        self.intercept_ = float(y_mean)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        Xs = (X - self._mean) / self._scale
+        return Xs @ self.coef_ + self.intercept_

@@ -1,0 +1,71 @@
+"""Regression and correlation metrics.
+
+The Pearson correlation coefficient (Eq. 2 of the paper) is both the study's
+headline quantity and the model-selection score during cross-validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pearson_r(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient (Eq. 2), in ``[-1, 1]``.
+
+    Returns 0.0 when either input is constant (no linear relationship can
+    be measured).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("shape mismatch")
+    if len(x) < 2:
+        raise ValueError("need at least two samples")
+    dx = x - x.mean()
+    dy = y - y.mean()
+    denom = np.sqrt((dx ** 2).sum() * (dy ** 2).sum())
+    if denom == 0:
+        return 0.0
+    return float((dx * dy).sum() / denom)
+
+
+def spearman_r(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson on ranks, average-tie ranking)."""
+    return pearson_r(_rankdata(x), _rankdata(y))
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    ranks[order] = np.arange(1, len(values) + 1)
+    # Average ranks over ties.
+    unique, inverse, counts = np.unique(
+        values, return_inverse=True, return_counts=True
+    )
+    sums = np.zeros(len(unique))
+    np.add.at(sums, inverse, ranks)
+    return sums[inverse] / counts[inverse]
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    ss_res = ((y_true - y_pred) ** 2).sum()
+    ss_tot = ((y_true - y_true.mean()) ** 2).sum()
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.sqrt(((y_true - y_pred) ** 2).mean()))

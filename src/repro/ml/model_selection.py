@@ -1,0 +1,135 @@
+"""Model selection: splits, k-fold cross-validation, and grid search.
+
+Reimplements the scikit-learn workflow the paper describes: an 80/20
+train/test split, 3-fold cross-validation scored by the Pearson correlation
+coefficient, and a hyper-parameter grid search over tree count, depth, and
+leaf/split minima.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import pearson_r
+
+Scorer = Callable[[np.ndarray, np.ndarray], float]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.2,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test (``test_size`` fraction held out)."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    n = len(X)
+    if n != len(y):
+        raise ValueError("X and y length mismatch")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_size)))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """Deterministic shuffled k-fold splitter."""
+
+    def __init__(self, n_splits: int = 3, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError("more folds than samples")
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate(
+                [folds[j] for j in range(self.n_splits) if j != i]
+            )
+            yield train_idx, test_idx
+
+
+def cross_val_score(
+    model,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 3,
+    seed: int = 0,
+    scorer: Scorer = pearson_r,
+) -> np.ndarray:
+    """Per-fold validation scores of a cloneable model."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    scores = []
+    for train_idx, test_idx in KFold(n_splits, seed).split(len(X)):
+        fold_model = model.clone()
+        fold_model.fit(X[train_idx], y[train_idx])
+        predictions = fold_model.predict(X[test_idx])
+        scores.append(scorer(y[test_idx], predictions))
+    return np.array(scores)
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search."""
+
+    best_params: Dict[str, object]
+    best_score: float
+    results: List[Tuple[Dict[str, object], float]] = field(default_factory=list)
+
+
+def grid_search(
+    model,
+    param_grid: Dict[str, Sequence],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 3,
+    seed: int = 0,
+    scorer: Scorer = pearson_r,
+) -> GridSearchResult:
+    """Exhaustive grid search scored by mean cross-validation score.
+
+    Args:
+        model: a cloneable estimator with ``set_params``.
+        param_grid: mapping parameter name -> candidate values.
+        X, y: training data.
+        n_splits: cross-validation folds (the paper uses three).
+        seed: split seed.
+        scorer: score function, larger is better (default: Pearson r).
+    """
+    names = sorted(param_grid)
+    combos = list(itertools.product(*(param_grid[name] for name in names)))
+    if not combos:
+        raise ValueError("empty parameter grid")
+    results: List[Tuple[Dict[str, object], float]] = []
+    best_params: Dict[str, object] = {}
+    best_score = -np.inf
+    for combo in combos:
+        params = dict(zip(names, combo))
+        candidate = model.clone().set_params(**params)
+        scores = cross_val_score(
+            candidate, X, y, n_splits=n_splits, seed=seed, scorer=scorer
+        )
+        mean_score = float(scores.mean())
+        results.append((params, mean_score))
+        if mean_score > best_score:
+            best_score = mean_score
+            best_params = params
+    return GridSearchResult(
+        best_params=best_params, best_score=best_score, results=results
+    )

@@ -1,0 +1,72 @@
+"""k-nearest-neighbour regression baseline (standardized Euclidean metric)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KNeighborsRegressor:
+    """Mean of the ``k`` nearest training targets.
+
+    Features are standardized with training statistics so that large-scale
+    features (raw gate counts) do not drown out ratio features.
+
+    Args:
+        n_neighbors: neighbourhood size.
+        weights: ``"uniform"`` or ``"distance"`` (inverse-distance weighting).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def get_params(self) -> dict:
+        return {"n_neighbors": self.n_neighbors, "weights": self.weights}
+
+    def set_params(self, **params) -> "KNeighborsRegressor":
+        for key, value in params.items():
+            if not hasattr(self, key):
+                raise ValueError(f"unknown parameter '{key}'")
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "KNeighborsRegressor":
+        return KNeighborsRegressor(**self.get_params())
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) < self.n_neighbors:
+            raise ValueError("fewer training samples than n_neighbors")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / self._scale
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("model is not fitted")
+        X = (np.asarray(X, dtype=float) - self._mean) / self._scale
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            dist = np.sqrt(((self._X - row) ** 2).sum(axis=1))
+            idx = np.argpartition(dist, self.n_neighbors - 1)[: self.n_neighbors]
+            if self.weights == "uniform":
+                out[i] = self._y[idx].mean()
+            else:
+                w = 1.0 / np.maximum(dist[idx], 1e-12)
+                out[i] = float((w * self._y[idx]).sum() / w.sum())
+        return out

@@ -1,0 +1,228 @@
+"""CART regression tree, implemented from scratch on numpy.
+
+Splits minimize weighted child variance (equivalently maximize impurity
+decrease).  Supports the hyper-parameters the paper's grid search tunes:
+``max_depth``, ``min_samples_split``, ``min_samples_leaf``, and
+``max_features`` (random feature subsampling, the ingredient that makes
+random forests de-correlated).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry ``value``, internal nodes a split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """Regression tree with variance-reduction splits.
+
+    Args:
+        max_depth: maximum tree depth (``None`` = unbounded).
+        min_samples_split: minimum samples required to attempt a split.
+        min_samples_leaf: minimum samples in each child.
+        max_features: number of features examined per split: ``None`` (all),
+            an int, a float fraction, or ``"sqrt"``/``"log2"``.
+        random_state: seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        random_state: Optional[int] = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_Node] = None
+        self._num_features = 0
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def get_params(self) -> dict:
+        """Hyper-parameters as a dict (grid-search support)."""
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "random_state": self.random_state,
+        }
+
+    def set_params(self, **params) -> "DecisionTreeRegressor":
+        for key, value in params.items():
+            if not hasattr(self, key):
+                raise ValueError(f"unknown parameter '{key}'")
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "DecisionTreeRegressor":
+        return DecisionTreeRegressor(**self.get_params())
+
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._num_features = X.shape[1]
+        self._importance = np.zeros(self._num_features)
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._build(X, y, depth=0, rng=rng)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance.copy()
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=float)
+        return np.array([self._predict_one(row) for row in X])
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def num_leaves(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)
+
+    # ------------------------------------------------------------------
+
+    def _n_split_features(self) -> int:
+        m = self._num_features
+        mf = self.max_features
+        if mf is None:
+            return m
+        if mf == "sqrt":
+            return max(1, int(math.sqrt(m)))
+        if mf == "log2":
+            return max(1, int(math.log2(m)))
+        if isinstance(mf, float):
+            return max(1, int(mf * m))
+        return max(1, min(int(mf), m))
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        node_value = float(y.mean())
+        if (
+            len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.all(y == y[0])
+        ):
+            return _Node(value=node_value)
+
+        feature, threshold, gain = self._best_split(X, y, rng)
+        if feature < 0:
+            return _Node(value=node_value)
+
+        mask = X[:, feature] <= threshold
+        # Guard against degenerate thresholds: if two adjacent distinct
+        # values are so close that their midpoint rounds onto one of them,
+        # a child can end up empty — treat the node as a leaf instead.
+        if not mask.any() or mask.all():
+            return _Node(value=node_value)
+        self._importance[feature] += gain * len(y)
+        left = self._build(X[mask], y[mask], depth + 1, rng)
+        right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return _Node(
+            value=node_value, feature=feature, threshold=threshold,
+            left=left, right=right,
+        )
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator):
+        n = len(y)
+        parent_var = y.var()
+        if parent_var <= 0:
+            return -1, 0.0, 0.0
+        k = self._n_split_features()
+        if k < self._num_features:
+            features = rng.choice(self._num_features, size=k, replace=False)
+        else:
+            features = np.arange(self._num_features)
+
+        best_feature, best_threshold, best_gain = -1, 0.0, 0.0
+        min_leaf = self.min_samples_leaf
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # Cumulative sums allow O(n) evaluation of all split points.
+            csum = np.cumsum(ys)
+            csum_sq = np.cumsum(ys ** 2)
+            total, total_sq = csum[-1], csum_sq[-1]
+            # Valid split positions: between i and i+1 where value changes.
+            idx = np.arange(min_leaf, n - min_leaf + 1)
+            if len(idx) == 0:
+                continue
+            # Exclude positions where xs[i-1] == xs[i] (can't split there).
+            distinct = xs[idx - 1] < xs[idx]
+            idx = idx[distinct]
+            if len(idx) == 0:
+                continue
+            left_n = idx.astype(float)
+            right_n = n - left_n
+            left_sum = csum[idx - 1]
+            left_sq = csum_sq[idx - 1]
+            right_sum = total - left_sum
+            right_sq = total_sq - left_sq
+            left_var = left_sq / left_n - (left_sum / left_n) ** 2
+            right_var = right_sq / right_n - (right_sum / right_n) ** 2
+            weighted = (left_n * left_var + right_n * right_var) / n
+            gains = parent_var - weighted
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_gain + 1e-15:
+                best_gain = float(gains[best_local])
+                best_feature = int(feature)
+                pos = idx[best_local]
+                best_threshold = float((xs[pos - 1] + xs[pos]) / 2.0)
+        return best_feature, best_threshold, best_gain

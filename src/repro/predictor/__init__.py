@@ -1,0 +1,23 @@
+"""The proposed figure of merit: datasets, estimator, PST extension."""
+
+from .dataset import CircuitDataset, DatasetEntry, build_dataset
+from .estimator import (
+    DEFAULT_PARAM_GRID,
+    EstimatorReport,
+    HellingerEstimator,
+    train_and_evaluate,
+)
+from .pst import mirror_circuit, pst, pst_label
+
+__all__ = [
+    "CircuitDataset",
+    "DEFAULT_PARAM_GRID",
+    "DatasetEntry",
+    "EstimatorReport",
+    "HellingerEstimator",
+    "build_dataset",
+    "mirror_circuit",
+    "pst",
+    "pst_label",
+    "train_and_evaluate",
+]

@@ -1,0 +1,134 @@
+"""Dataset construction: features and Hellinger labels per (circuit, device).
+
+Implements the workflow of the paper's Fig. 2: every benchmark circuit is
+compiled for the target QPU, executed on it (here: on the emulator), and
+labelled with the Hellinger distance between its true distribution and the
+execution result.  The same pass also records the established figures of
+merit so the correlation study can score everything on identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bench.suite import DEPTH_LIMIT, BenchmarkCircuit
+from ..compiler.compile import compile_circuit
+from ..fom.features import feature_vector
+from ..fom.metrics import circuit_depth, esp, expected_fidelity, gate_count
+from ..hardware.device import Device
+from ..simulation.distributions import hellinger_distance
+from ..simulation.executor import QPUExecutor
+from ..simulation.statevector import ideal_distribution
+
+
+@dataclass
+class DatasetEntry:
+    """One labelled circuit."""
+
+    name: str
+    algorithm: str
+    num_qubits: int
+    features: np.ndarray
+    label: float
+    fom_values: Dict[str, float]
+    compiled_depth: int
+    compiled_two_qubit_gates: int
+    success_probability: float
+    compiled: object = None  # the compiled QuantumCircuit (for ablations)
+
+
+@dataclass
+class CircuitDataset:
+    """Feature matrix ``X``, labels ``y``, and per-circuit bookkeeping."""
+
+    device_name: str
+    entries: List[DatasetEntry] = field(default_factory=list)
+
+    @property
+    def X(self) -> np.ndarray:
+        return np.vstack([entry.features for entry in self.entries])
+
+    @property
+    def y(self) -> np.ndarray:
+        return np.array([entry.label for entry in self.entries])
+
+    def fom_column(self, fom_name: str) -> np.ndarray:
+        return np.array([entry.fom_values[fom_name] for entry in self.entries])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def build_dataset(
+    suite: Sequence[BenchmarkCircuit],
+    device: Device,
+    optimization_level: int = 3,
+    shots: int = 2000,
+    seed: int = 0,
+    depth_limit: int = DEPTH_LIMIT,
+    ideal_cache: Optional[Dict[str, Dict[str, float]]] = None,
+    sim_dtype=np.complex64,
+    progress: bool = False,
+) -> CircuitDataset:
+    """Compile, execute, and label every suite circuit on ``device``.
+
+    Circuits whose *compiled* depth reaches ``depth_limit`` are dropped,
+    matching the paper's selection rule.  ``ideal_cache`` (keyed by benchmark
+    name) shares the expensive noiseless simulations across devices — valid
+    because compilation preserves the measured distribution.
+    """
+    executor = QPUExecutor(device)
+    dataset = CircuitDataset(device_name=device.name)
+    cache = ideal_cache if ideal_cache is not None else {}
+    for index, entry in enumerate(suite):
+        # Cheap pre-filter: compilation to the native two-qubit-heavy basis
+        # never compresses depth by 2x, so circuits this deep cannot pass
+        # the compiled-depth filter; skip the expensive compilation.
+        if entry.circuit.depth() >= 2 * depth_limit:
+            continue
+        result = compile_circuit(
+            entry.circuit, device,
+            optimization_level=optimization_level,
+            seed=seed + index,
+        )
+        compiled = result.circuit
+        depth = compiled.depth()
+        if depth >= depth_limit:
+            continue
+        if entry.name not in cache:
+            cache[entry.name] = ideal_distribution(entry.circuit, dtype=sim_dtype)
+        ideal = cache[entry.name]
+        execution = executor.execute(
+            compiled, shots=shots, seed=seed + 7919 * index, ideal=ideal
+        )
+        label = hellinger_distance(ideal, execution.distribution())
+        fom_values = {
+            "Number of gates": float(gate_count(compiled)),
+            "Circuit depth": float(circuit_depth(compiled)),
+            "Expected fidelity": expected_fidelity(compiled, device),
+            "ESP": esp(compiled, device),
+        }
+        dataset.entries.append(
+            DatasetEntry(
+                name=entry.name,
+                algorithm=entry.algorithm,
+                num_qubits=entry.num_qubits,
+                features=feature_vector(compiled),
+                label=label,
+                fom_values=fom_values,
+                compiled_depth=depth,
+                compiled_two_qubit_gates=compiled.num_nonlocal_gates(),
+                success_probability=execution.success_probability,
+                compiled=compiled,
+            )
+        )
+        if progress:
+            print(
+                f"[{device.name}] {entry.name:<20} depth={depth:<5} "
+                f"S={execution.success_probability:.3f} d={label:.3f}",
+                flush=True,
+            )
+    return dataset

@@ -1,0 +1,135 @@
+"""The proposed figure of merit: a trained Hellinger-distance estimator.
+
+Section IV-B / V-A3 of the paper: a random forest regressor per QPU, trained
+on the 30-dim feature vectors with measured Hellinger distances as labels,
+using an 80/20 train/test split, 3-fold cross-validation, a hyper-parameter
+grid search (number of trees, maximum depth, minimum samples per leaf and
+split), and the Pearson correlation coefficient as the model score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..ml.forest import RandomForestRegressor
+from ..ml.metrics import pearson_r
+from ..ml.model_selection import grid_search, train_test_split
+
+#: Grid searched in Section V-A3 (trees, depth, leaf/split minima).
+DEFAULT_PARAM_GRID: Dict[str, Sequence] = {
+    "n_estimators": [50, 100],
+    "max_depth": [None, 8, 16],
+    "min_samples_leaf": [1, 2, 4],
+    "min_samples_split": [2, 4],
+}
+
+
+class HellingerEstimator:
+    """Trainable figure of merit predicting a circuit's Hellinger distance.
+
+    Usage matches any other figure of merit after :meth:`fit`: call
+    :meth:`predict` on feature vectors of candidate compiled circuits and
+    prefer the candidate with the smallest predicted distance.
+    """
+
+    def __init__(
+        self,
+        param_grid: Optional[Dict[str, Sequence]] = None,
+        n_splits: int = 3,
+        seed: int = 0,
+    ):
+        self.param_grid = dict(param_grid) if param_grid else dict(DEFAULT_PARAM_GRID)
+        self.n_splits = n_splits
+        self.seed = seed
+        self.model: Optional[RandomForestRegressor] = None
+        self.best_params_: Dict[str, object] = {}
+        self.cv_score_: float = float("nan")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "HellingerEstimator":
+        """Grid-search hyper-parameters with CV, then fit on all of ``X``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        base = RandomForestRegressor(random_state=self.seed, max_features="sqrt")
+        search = grid_search(
+            base, self.param_grid, X, y,
+            n_splits=self.n_splits, seed=self.seed, scorer=pearson_r,
+        )
+        self.best_params_ = search.best_params
+        self.cv_score_ = search.best_score
+        self.model = base.clone().set_params(**search.best_params)
+        self.model.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("estimator is not fitted")
+        return self.model.predict(np.asarray(X, dtype=float))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Pearson correlation between predictions and true labels."""
+        return pearson_r(np.asarray(y, dtype=float), self.predict(X))
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("estimator is not fitted")
+        return self.model.feature_importances_
+
+
+@dataclass
+class EstimatorReport:
+    """Everything the study records about one trained estimator."""
+
+    device_name: str
+    test_pearson: float
+    train_pearson: float
+    cv_score: float
+    best_params: Dict[str, object]
+    feature_importances: np.ndarray
+    y_test: np.ndarray
+    y_test_pred: np.ndarray
+    test_indices: np.ndarray = field(default_factory=lambda: np.array([]))
+
+
+def train_and_evaluate(
+    X: np.ndarray,
+    y: np.ndarray,
+    device_name: str = "QPU",
+    test_size: float = 0.2,
+    n_splits: int = 3,
+    seed: int = 0,
+    param_grid: Optional[Dict[str, Sequence]] = None,
+) -> EstimatorReport:
+    """Run the paper's full evaluation protocol for one QPU.
+
+    80/20 split, grid search with ``n_splits``-fold CV on the training set,
+    final fit on the training set, Pearson scoring on the held-out test set.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = len(X)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_size)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+
+    estimator = HellingerEstimator(
+        param_grid=param_grid, n_splits=n_splits, seed=seed
+    )
+    estimator.fit(X[train_idx], y[train_idx])
+    test_pred = estimator.predict(X[test_idx])
+    train_pred = estimator.predict(X[train_idx])
+    return EstimatorReport(
+        device_name=device_name,
+        test_pearson=pearson_r(y[test_idx], test_pred),
+        train_pearson=pearson_r(y[train_idx], train_pred),
+        cv_score=estimator.cv_score_,
+        best_params=dict(estimator.best_params_),
+        feature_importances=estimator.feature_importances_.copy(),
+        y_test=y[test_idx].copy(),
+        y_test_pred=test_pred,
+        test_indices=test_idx.copy(),
+    )

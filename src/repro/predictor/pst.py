@@ -1,0 +1,90 @@
+"""Probability of Successful Trials via mirror circuits (Section V-D).
+
+The paper's future-work discussion notes that the PST — obtained by
+appending a circuit's inverse and measuring how often the all-zero string
+returns — can stand in for simulation-based labels once circuits outgrow
+classical simulation.  This module implements that extension: mirror
+construction, PST measurement on the emulator, and a PST-based label that
+can replace the Hellinger distance in training.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.device import Device
+from ..simulation.executor import QPUExecutor
+
+
+def mirror_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Return ``C . barrier . C^{-1}`` with terminal measurements everywhere.
+
+    The ideal output is exactly ``|0...0>``, so no simulation is needed to
+    know the reference distribution.  The barrier at the mirror point is
+    essential: without it, any optimizing compiler would cancel the circuit
+    against its inverse and the "execution" would measure an empty circuit.
+    """
+    body = circuit.without_directives()
+    mirrored = QuantumCircuit(
+        circuit.num_qubits, circuit.num_qubits,
+        name=f"{circuit.name}_mirror",
+    )
+    mirrored.compose(body)
+    mirrored.barrier()
+    mirrored.compose(body.inverse())
+    mirrored.global_phase = 0.0
+    mirrored.measure_all()
+    return mirrored
+
+
+def pst(
+    circuit: QuantumCircuit,
+    device: Device,
+    shots: int = 2000,
+    seed: int = 0,
+    compiled: bool = False,
+) -> Tuple[float, QuantumCircuit]:
+    """Probability of successful trials of ``circuit`` on ``device``.
+
+    Builds the mirror circuit, compiles it (unless ``compiled`` indicates the
+    input is already a native mirror circuit), executes it on the device
+    emulator, and returns the frequency of the all-zero outcome together
+    with the executed circuit.
+    """
+    from ..compiler.compile import compile_circuit
+
+    mirrored = circuit if compiled else mirror_circuit(circuit)
+    if not compiled:
+        result = compile_circuit(mirrored, device, optimization_level=3, seed=seed)
+        mirrored = result.circuit
+    zero_key = "0" * _output_width(mirrored)
+    executor = QPUExecutor(device)
+    execution = executor.execute(
+        mirrored, shots=shots, seed=seed, ideal={zero_key: 1.0}
+    )
+    return execution.counts.get(zero_key, 0) / shots, mirrored
+
+
+def pst_label(
+    circuit: QuantumCircuit,
+    device: Device,
+    shots: int = 2000,
+    seed: int = 0,
+) -> float:
+    """A Hellinger-style label derived from PST: ``sqrt(1 - PST)``.
+
+    For an ideal point distribution the Hellinger distance to the noisy
+    result is ``sqrt(1 - sqrt(p_zero) ...)``; the simpler ``sqrt(1 - PST)``
+    preserves ordering and lands in ``[0, 1]``, which is all the regressor
+    needs.
+    """
+    value, _ = pst(circuit, device, shots=shots, seed=seed)
+    return (1.0 - value) ** 0.5
+
+
+def _output_width(circuit: QuantumCircuit) -> int:
+    pairs = circuit.measured_qubits()
+    if not pairs:
+        raise ValueError("mirror circuit has no measurements")
+    return max(clbit for _, clbit in pairs) + 1

@@ -1,0 +1,125 @@
+"""Kraus channels for density-matrix noise modelling.
+
+These channels back the small-scale density-matrix simulator used to
+validate the fast executor's error model: depolarizing, amplitude damping,
+phase damping, bit/phase flips, and readout confusion.  Each channel is a
+list of Kraus operators ``K_i`` with ``sum_i K_i^dagger K_i = I``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+Kraus = List[np.ndarray]
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _validate_probability(p: float, name: str = "p") -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} = {p} outside [0, 1]")
+
+
+def identity_channel() -> Kraus:
+    """The trivial channel."""
+    return [_I.copy()]
+
+
+def bit_flip(p: float) -> Kraus:
+    """X error with probability ``p``."""
+    _validate_probability(p)
+    return [math.sqrt(1 - p) * _I, math.sqrt(p) * _X]
+
+
+def phase_flip(p: float) -> Kraus:
+    """Z error with probability ``p``."""
+    _validate_probability(p)
+    return [math.sqrt(1 - p) * _I, math.sqrt(p) * _Z]
+
+
+def depolarizing(p: float) -> Kraus:
+    """Single-qubit depolarizing channel with error probability ``p``."""
+    _validate_probability(p)
+    return [
+        math.sqrt(1 - p) * _I,
+        math.sqrt(p / 3) * _X,
+        math.sqrt(p / 3) * _Y,
+        math.sqrt(p / 3) * _Z,
+    ]
+
+
+def two_qubit_depolarizing(p: float) -> Kraus:
+    """Two-qubit depolarizing channel (15 non-identity Paulis)."""
+    _validate_probability(p)
+    paulis = [_I, _X, _Y, _Z]
+    ops: Kraus = []
+    for i, a in enumerate(paulis):
+        for j, b in enumerate(paulis):
+            weight = 1 - p if (i == 0 and j == 0) else p / 15
+            ops.append(math.sqrt(weight) * np.kron(a, b))
+    return ops
+
+
+def amplitude_damping(gamma: float) -> Kraus:
+    """T1 relaxation: ``|1> -> |0>`` with probability ``gamma``."""
+    _validate_probability(gamma, "gamma")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+def phase_damping(lam: float) -> Kraus:
+    """Pure dephasing (T2) with probability ``lam``."""
+    _validate_probability(lam, "lam")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=complex)
+    return [k0, k1]
+
+
+def thermal_relaxation(t1: float, t2: float, duration: float) -> Kraus:
+    """Combined T1/T2 channel over ``duration`` (same units as T1/T2).
+
+    Requires ``t2 <= 2 * t1`` (physicality).  Implemented as amplitude
+    damping followed by the residual pure dephasing.
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-12:
+        raise ValueError("unphysical relaxation: T2 > 2*T1")
+    gamma = 1.0 - math.exp(-duration / t1)
+    # Residual dephasing after accounting for the T1 contribution.
+    exp_t2 = math.exp(-duration / t2)
+    exp_t1_half = math.exp(-duration / (2 * t1))
+    dephase = 1.0 - (exp_t2 / exp_t1_half) ** 2
+    dephase = min(max(dephase, 0.0), 1.0)
+    amplitude = amplitude_damping(gamma)
+    phase = phase_damping(dephase)
+    return compose_channels(amplitude, phase)
+
+
+def compose_channels(first: Kraus, second: Kraus) -> Kraus:
+    """The channel applying ``first`` then ``second``."""
+    return [k2 @ k1 for k2 in second for k1 in first]
+
+
+def is_trace_preserving(channel: Kraus, atol: float = 1e-9) -> bool:
+    """Check ``sum K_i^dagger K_i == I``."""
+    dim = channel[0].shape[0]
+    total = sum(k.conj().T @ k for k in channel)
+    return np.allclose(total, np.eye(dim), atol=atol)
+
+
+def readout_confusion_matrix(p01: float, p10: float) -> np.ndarray:
+    """Column-stochastic classical confusion matrix.
+
+    ``M[i, j] = P(read i | true j)`` with ``p01 = P(1|0)``, ``p10 = P(0|1)``.
+    """
+    _validate_probability(p01, "p01")
+    _validate_probability(p10, "p10")
+    return np.array([[1 - p01, p10], [p01, 1 - p10]])

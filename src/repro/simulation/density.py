@@ -1,0 +1,142 @@
+"""Density-matrix simulation with Kraus noise channels.
+
+A reference implementation for small systems (<= ~8 qubits): exact mixed-
+state evolution under gate unitaries and per-gate Kraus channels.  It exists
+to validate the fast sampling executor: both models agree on the physics
+(depolarizing error scaling, T1/T2 decay, readout confusion), while the
+executor trades exactness for the throughput the full study needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import gate_matrix
+from .channels import Kraus
+
+_MAX_DENSITY_QUBITS = 10
+
+
+class DensityMatrix:
+    """A ``2^n x 2^n`` density matrix with gate/channel application."""
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        if not 0 <= num_qubits <= _MAX_DENSITY_QUBITS:
+            raise ValueError(
+                f"num_qubits must be in [0, {_MAX_DENSITY_QUBITS}]"
+            )
+        self.num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if data is None:
+            self.data = np.zeros((dim, dim), dtype=complex)
+            self.data[0, 0] = 1.0
+        else:
+            data = np.asarray(data, dtype=complex)
+            if data.shape != (dim, dim):
+                raise ValueError("density matrix shape mismatch")
+            self.data = data.copy()
+
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.data)))
+
+    def purity(self) -> float:
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def _embed(self, matrix: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
+        """Expand a k-qubit operator to the full Hilbert space."""
+        n = self.num_qubits
+        k = len(qubits)
+        full = np.zeros((1 << n, 1 << n), dtype=complex)
+        others = [q for q in range(n) if q not in qubits]
+        for row_local in range(1 << k):
+            for col_local in range(1 << k):
+                amp = matrix[row_local, col_local]
+                if amp == 0:
+                    continue
+                for rest in range(1 << len(others)):
+                    base = 0
+                    for index, q in enumerate(others):
+                        if (rest >> index) & 1:
+                            base |= 1 << q
+                    row = base
+                    col = base
+                    for index, q in enumerate(qubits):
+                        if (row_local >> index) & 1:
+                            row |= 1 << q
+                        if (col_local >> index) & 1:
+                            col |= 1 << q
+                    full[row, col] += amp
+        return full
+
+    def apply_unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        full = self._embed(matrix, qubits)
+        self.data = full @ self.data @ full.conj().T
+
+    def apply_channel(self, channel: Kraus, qubits: Sequence[int]) -> None:
+        full_ops = [self._embed(k, qubits) for k in channel]
+        self.data = sum(
+            op @ self.data @ op.conj().T for op in full_ops
+        )
+
+    def probabilities(self) -> np.ndarray:
+        return np.clip(np.real(np.diag(self.data)), 0.0, None)
+
+    def measurement_distribution(
+        self, qubits: Optional[Sequence[int]] = None
+    ) -> Dict[str, float]:
+        """Z-basis outcome distribution over ``qubits`` (default: all)."""
+        if qubits is None:
+            qubits = list(range(self.num_qubits))
+        probs = self.probabilities()
+        out: Dict[str, float] = {}
+        width = len(qubits)
+        for index, prob in enumerate(probs):
+            if prob < 1e-14:
+                continue
+            bits = "".join(
+                "1" if (index >> q) & 1 else "0" for q in reversed(qubits)
+            )
+            out[bits] = out.get(bits, 0.0) + float(prob)
+        return out
+
+
+def simulate_density(
+    circuit: QuantumCircuit,
+    gate_noise: Optional[Dict[int, Kraus]] = None,
+    default_1q_noise: Optional[Kraus] = None,
+    default_2q_noise: Optional[Kraus] = None,
+) -> DensityMatrix:
+    """Evolve a circuit as a density matrix with optional per-gate noise.
+
+    Args:
+        circuit: circuit to simulate (measures/barriers ignored).
+        gate_noise: optional map instruction index -> Kraus channel applied
+            after that instruction (on its qubits).
+        default_1q_noise: channel applied after every 1-qubit gate.
+        default_2q_noise: channel applied after every 2-qubit gate.
+    """
+    rho = DensityMatrix(circuit.num_qubits)
+    for index, instruction in enumerate(circuit.instructions):
+        if not instruction.is_unitary:
+            continue
+        matrix = gate_matrix(instruction.name, instruction.params)
+        rho.apply_unitary(matrix, instruction.qubits)
+        channel = None
+        if gate_noise and index in gate_noise:
+            channel = gate_noise[index]
+        elif instruction.num_qubits == 1 and default_1q_noise is not None:
+            channel = default_1q_noise
+        elif instruction.num_qubits == 2 and default_2q_noise is not None:
+            channel = default_2q_noise
+        if channel is not None:
+            dim = channel[0].shape[0]
+            target_qubits: Iterable[int]
+            if dim == 2:
+                target_qubits = instruction.qubits[:1]
+            else:
+                target_qubits = instruction.qubits[:2]
+            rho.apply_channel(channel, list(target_qubits))
+    return rho

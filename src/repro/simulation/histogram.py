@@ -1,0 +1,75 @@
+"""ASCII histograms for measurement distributions.
+
+Used by the examples and handy in a REPL: render one distribution, or two
+side by side (the paper's Fig. 2 contrasts the true distribution with the
+QPU distribution — this is the text-mode equivalent).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+Distribution = Mapping[str, float]
+
+
+def render_histogram(
+    distribution: Distribution,
+    title: str = "",
+    width: int = 40,
+    max_rows: int = 16,
+) -> str:
+    """Render a single distribution as horizontal bars.
+
+    Outcomes are sorted by probability; at most ``max_rows`` rows are shown,
+    with the remaining mass aggregated into an "(other)" row.
+    """
+    items = sorted(distribution.items(), key=lambda kv: -kv[1])
+    shown = items[:max_rows]
+    rest = sum(p for _, p in items[max_rows:])
+    peak = max((p for _, p in shown), default=1.0)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, prob in shown:
+        bar = "#" * max(1, int(round(width * prob / peak))) if prob > 0 else ""
+        lines.append(f"  {key}  {prob:7.4f} |{bar}")
+    if rest > 1e-12:
+        lines.append(f"  (other)  {rest:6.4f}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    ideal: Distribution,
+    measured: Distribution,
+    title: str = "",
+    width: int = 30,
+    max_rows: int = 12,
+    labels: Optional[tuple[str, str]] = None,
+) -> str:
+    """Render two distributions side by side over their union support."""
+    label_a, label_b = labels or ("ideal", "measured")
+    keys = sorted(
+        set(ideal) | set(measured),
+        key=lambda k: -(ideal.get(k, 0.0) + measured.get(k, 0.0)),
+    )
+    shown = keys[:max_rows]
+    peak = max(
+        [ideal.get(k, 0.0) for k in shown]
+        + [measured.get(k, 0.0) for k in shown]
+        + [1e-12]
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  {'outcome':<12} {label_a:>9} {label_b:>9}")
+    for key in shown:
+        pa = ideal.get(key, 0.0)
+        pb = measured.get(key, 0.0)
+        bar_a = "#" * int(round(width * pa / peak))
+        bar_b = "=" * int(round(width * pb / peak))
+        lines.append(f"  {key:<12} {pa:9.4f} {pb:9.4f}  |{bar_a}")
+        lines.append(f"  {'':<12} {'':>9} {'':>9}  |{bar_b}")
+    remaining = len(keys) - len(shown)
+    if remaining > 0:
+        lines.append(f"  ... {remaining} more outcomes")
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Dense noiseless statevector simulation.
+
+This is the substrate the paper uses (via Qiskit Aer) to obtain the *true*
+output distribution of every benchmark circuit.  The simulator applies each
+gate's unitary to a dense ``2**n`` complex state using tensor reshapes, so it
+comfortably handles the paper's 2-20 qubit range.
+
+Bit convention: index ``i`` of the state vector has qubit ``k`` in the bit
+``(i >> k) & 1`` — qubit 0 is the least-significant bit, matching Qiskit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import gate_matrix
+
+_MAX_DENSE_QUBITS = 26
+
+
+class Statevector:
+    """A mutable ``2**n`` statevector with gate application kernels."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        data: np.ndarray | None = None,
+        dtype=np.complex128,
+    ):
+        if num_qubits < 0 or num_qubits > _MAX_DENSE_QUBITS:
+            raise ValueError(
+                f"num_qubits must be in [0, {_MAX_DENSE_QUBITS}], got {num_qubits}"
+            )
+        self.num_qubits = num_qubits
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise ValueError("dtype must be complex64 or complex128")
+        dim = 1 << num_qubits
+        if data is None:
+            self.data = np.zeros(dim, dtype=self.dtype)
+            self.data[0] = 1.0
+        else:
+            data = np.asarray(data, dtype=self.dtype).reshape(dim)
+            self.data = data.copy()
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self.data, dtype=self.dtype)
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a ``2**k x 2**k`` unitary to the given qubits in place.
+
+        ``qubits[0]`` corresponds to the least-significant bit of the matrix
+        index (the registry convention).  One- and two-qubit gates use fast
+        contiguous-slice kernels; larger gates fall back to a generic
+        tensor-reshape path.
+        """
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match {k} qubits"
+            )
+        if k == 1:
+            self._apply_1q(matrix, qubits[0])
+        elif k == 2:
+            self._apply_2q(matrix, qubits[0], qubits[1])
+        else:
+            self._apply_general(matrix, qubits)
+
+    def _apply_1q(self, matrix: np.ndarray, qubit: int) -> None:
+        view = self.data.reshape(-1, 2, 1 << qubit)
+        m00, m01, m10, m11 = matrix[0, 0], matrix[0, 1], matrix[1, 0], matrix[1, 1]
+        if m01 == 0 and m10 == 0:
+            # Diagonal gate (rz, p, z, ...): two scalings, no mixing.
+            if m00 != 1.0:
+                view[:, 0, :] *= m00
+            if m11 != 1.0:
+                view[:, 1, :] *= m11
+            return
+        if m00 == 0 and m11 == 0:
+            # Anti-diagonal gate (x, y): swap-and-scale.
+            s0 = view[:, 0, :].copy()
+            view[:, 0, :] = m01 * view[:, 1, :]
+            view[:, 1, :] = m10 * s0
+            return
+        s0 = view[:, 0, :].copy()
+        s1 = view[:, 1, :]
+        view[:, 0, :] = m00 * s0 + m01 * s1
+        view[:, 1, :] = m10 * s0 + m11 * s1
+
+    def _apply_2q(self, matrix: np.ndarray, qubit_a: int, qubit_b: int) -> None:
+        lo, hi = (qubit_a, qubit_b) if qubit_a < qubit_b else (qubit_b, qubit_a)
+        view = self.data.reshape(
+            -1, 2, 1 << (hi - lo - 1), 2, 1 << lo
+        )
+        # Matrix index m: bit 0 = value of qubit_a, bit 1 = value of qubit_b.
+        # View axis 1 = bit of `hi`, axis 3 = bit of `lo`.
+        slices = []
+        for m in range(4):
+            bit_a, bit_b = m & 1, (m >> 1) & 1
+            bit_lo, bit_hi = (bit_a, bit_b) if qubit_a == lo else (bit_b, bit_a)
+            slices.append((bit_hi, bit_lo))
+        off_diagonal = abs(matrix).sum() - abs(np.diag(matrix)).sum()
+        if off_diagonal == 0:
+            # Diagonal gate (cz, cp, rzz, ...): pure scalings.
+            for m, (bh, bl) in enumerate(slices):
+                if matrix[m, m] != 1.0:
+                    view[:, bh, :, bl, :] *= matrix[m, m]
+            return
+        olds = [view[:, bh, :, bl, :].copy() for bh, bl in slices]
+        for m, (bh, bl) in enumerate(slices):
+            view[:, bh, :, bl, :] = (
+                matrix[m, 0] * olds[0]
+                + matrix[m, 1] * olds[1]
+                + matrix[m, 2] * olds[2]
+                + matrix[m, 3] * olds[3]
+            )
+
+    def _apply_general(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        k = len(qubits)
+        n = self.num_qubits
+        # View the state as an n-axis tensor; axis j corresponds to qubit
+        # n-1-j (most-significant qubit first).
+        tensor = self.data.reshape((2,) * n)
+        # Matrix index bit m corresponds to qubits[m]; bring the axes so the
+        # most-significant matrix bit (qubits[k-1]) comes first.
+        axes = [n - 1 - qubits[m] for m in reversed(range(k))]
+        tensor = np.moveaxis(tensor, axes, range(k))
+        shape = tensor.shape
+        tensor = tensor.reshape(1 << k, -1)
+        tensor = matrix @ tensor
+        tensor = tensor.reshape(shape)
+        tensor = np.moveaxis(tensor, range(k), axes)
+        self.data = np.ascontiguousarray(tensor).reshape(-1)
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational-basis state."""
+        return np.abs(self.data) ** 2
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Marginal distribution over a subset of qubits.
+
+        Output index bit ``m`` corresponds to ``qubits[m]``.
+        """
+        probs = self.probabilities().reshape((2,) * self.num_qubits)
+        keep_axes = [self.num_qubits - 1 - q for q in qubits]
+        drop_axes = tuple(
+            axis for axis in range(self.num_qubits) if axis not in keep_axes
+        )
+        if drop_axes:
+            probs = probs.sum(axis=drop_axes)
+        # Remaining axes are ordered by original axis index (descending qubit).
+        kept_sorted = sorted(keep_axes)
+        # Reorder so that qubits[m] maps to output bit m (axis order:
+        # most-significant first == reversed(qubits)).
+        desired = [kept_sorted.index(axis) for axis in
+                   (self.num_qubits - 1 - q for q in reversed(qubits))]
+        probs = np.transpose(probs, desired)
+        return probs.reshape(-1)
+
+    def expectation_z(self, qubit: int) -> float:
+        """Expectation value of Pauli-Z on ``qubit``."""
+        probs = self.marginal_probabilities([qubit])
+        return float(probs[0] - probs[1])
+
+    def fidelity(self, other: "Statevector") -> float:
+        """State fidelity ``|<self|other>|^2``."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit count mismatch")
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+
+def simulate_statevector(
+    circuit: QuantumCircuit, dtype=np.complex128
+) -> Statevector:
+    """Run ``circuit`` (ignoring measures/barriers) and return the final state.
+
+    ``dtype=numpy.complex64`` halves memory traffic; the resulting
+    distribution error (~1e-6 for thousand-gate circuits) is far below shot
+    noise, so the bulk study uses it.
+    """
+    state = Statevector(circuit.num_qubits, dtype=dtype)
+    for instruction in circuit.instructions:
+        if not instruction.is_unitary:
+            continue
+        matrix = gate_matrix(instruction.name, instruction.params).astype(dtype)
+        state.apply_matrix(matrix, instruction.qubits)
+    if circuit.global_phase:
+        state.data *= np.exp(1j * circuit.global_phase)
+    return state
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Full ``2**n x 2**n`` unitary of the circuit (small circuits only).
+
+    Column ``j`` is the state produced from input basis state ``j``.
+    """
+    n = circuit.num_qubits
+    if n > 12:
+        raise ValueError("circuit_unitary is limited to 12 qubits")
+    dim = 1 << n
+    out = np.zeros((dim, dim), dtype=complex)
+    for j in range(dim):
+        state = Statevector(n)
+        state.data[:] = 0
+        state.data[j] = 1.0
+        for instruction in circuit.instructions:
+            if not instruction.is_unitary:
+                continue
+            matrix = gate_matrix(instruction.name, instruction.params)
+            state.apply_matrix(matrix, instruction.qubits)
+        out[:, j] = state.data
+    if circuit.global_phase:
+        out *= np.exp(1j * circuit.global_phase)
+    return out
+
+
+def ideal_distribution(
+    circuit: QuantumCircuit, dtype=np.complex128
+) -> Dict[str, float]:
+    """The circuit's noiseless measurement distribution as a bitstring dict.
+
+    Measured clbits define the output register: bit ``c`` of the output
+    string is the measured value of the qubit mapped to clbit ``c``.  If the
+    circuit has no measurements, all qubits are reported in qubit order.
+    Bitstrings are big-endian (clbit 0 is the right-most character), matching
+    Qiskit's counts convention.
+    """
+    state = simulate_statevector(circuit, dtype=dtype)
+    pairs = circuit.measured_qubits()
+    if pairs:
+        measured_qubits = [qubit for qubit, _ in pairs]
+        if len(set(measured_qubits)) != len(measured_qubits):
+            raise ValueError(
+                "a qubit is measured more than once; terminal measurements "
+                "must be unique per qubit"
+            )
+        clbit_for = {}
+        for qubit, clbit in pairs:
+            clbit_for[clbit] = qubit
+        clbits = sorted(clbit_for)
+        qubits = [clbit_for[c] for c in clbits]
+        width = max(clbits) + 1
+        positions = clbits
+    else:
+        qubits = list(range(circuit.num_qubits))
+        width = circuit.num_qubits
+        positions = list(range(width))
+    marginal = state.marginal_probabilities(qubits)
+    dist: Dict[str, float] = {}
+    for index, prob in enumerate(marginal):
+        if prob < 1e-14:
+            continue
+        bits = ["0"] * width
+        for m, pos in enumerate(positions):
+            if (index >> m) & 1:
+                bits[pos] = "1"
+        key = "".join(reversed(bits))
+        dist[key] = dist.get(key, 0.0) + float(prob)
+    return dist
+
+
+def sample_counts(
+    distribution: Dict[str, float],
+    shots: int,
+    rng: np.random.Generator,
+) -> Dict[str, int]:
+    """Sample ``shots`` outcomes from a bitstring probability dict."""
+    keys = sorted(distribution)
+    probs = np.array([distribution[k] for k in keys], dtype=float)
+    total = probs.sum()
+    if not math.isclose(total, 1.0, abs_tol=1e-6):
+        probs = probs / total
+    draws = rng.multinomial(shots, probs)
+    return {k: int(c) for k, c in zip(keys, draws) if c > 0}

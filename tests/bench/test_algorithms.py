@@ -1,0 +1,118 @@
+"""Unit tests for benchmark circuit generators."""
+
+import math
+
+import pytest
+
+from repro.bench.algorithms import ALGORITHMS
+from repro.simulation.statevector import ideal_distribution
+
+
+@pytest.mark.parametrize("family", sorted(ALGORITHMS))
+def test_generator_produces_measured_circuit(family):
+    generator, minimum, maximum = ALGORITHMS[family]
+    qc = generator(minimum)
+    assert qc.num_qubits == minimum
+    assert len(qc.measured_qubits()) >= 1
+    assert qc.size() > 0
+
+
+@pytest.mark.parametrize("family", sorted(ALGORITHMS))
+def test_generator_deterministic(family):
+    generator, minimum, _ = ALGORITHMS[family]
+    width = minimum + 2
+    assert generator(width).instructions == generator(width).instructions
+
+
+@pytest.mark.parametrize("family", sorted(ALGORITHMS))
+def test_distribution_normalized(family):
+    generator, minimum, _ = ALGORITHMS[family]
+    dist = ideal_distribution(generator(min(minimum + 2, 6)))
+    assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("family", sorted(ALGORITHMS))
+def test_minimum_width_enforced(family):
+    generator, minimum, _ = ALGORITHMS[family]
+    with pytest.raises(ValueError):
+        generator(minimum - 1)
+
+
+def test_ghz_distribution():
+    dist = ideal_distribution(ALGORITHMS["ghz"][0](5))
+    assert set(dist) == {"00000", "11111"}
+    assert dist["00000"] == pytest.approx(0.5, abs=1e-9)
+
+
+def test_wstate_distribution():
+    n = 5
+    dist = ideal_distribution(ALGORITHMS["wstate"][0](n))
+    assert len(dist) == n
+    for key, prob in dist.items():
+        assert key.count("1") == 1
+        assert prob == pytest.approx(1.0 / n, abs=1e-9)
+
+
+def test_bv_recovers_secret_deterministically():
+    dist = ideal_distribution(ALGORITHMS["bv"][0](6))
+    top = max(dist, key=dist.get)
+    assert dist[top] > 0.999
+    assert "1" in top  # non-trivial secret
+
+
+def test_dj_balanced_oracle_never_returns_zero():
+    dist = ideal_distribution(ALGORITHMS["dj"][0](6))
+    top = max(dist, key=dist.get)
+    assert dist[top] > 0.999
+    assert top != "0" * len(top)
+
+
+def test_qpeexact_single_peak():
+    dist = ideal_distribution(ALGORITHMS["qpeexact"][0](6))
+    assert max(dist.values()) > 0.999
+
+
+def test_qpeinexact_spread():
+    dist = ideal_distribution(ALGORITHMS["qpeinexact"][0](6))
+    assert max(dist.values()) < 0.9
+    assert len(dist) > 2
+
+
+def test_grover_amplifies_target():
+    dist = ideal_distribution(ALGORITHMS["grover"][0](5))
+    # 4 search qubits, up to 3 iterations: strong amplification.
+    assert max(dist.values()) > 0.5
+
+
+def test_qft_on_zero_gives_uniform():
+    n = 4
+    dist = ideal_distribution(ALGORITHMS["qft"][0](n))
+    assert len(dist) == 2 ** n
+    for prob in dist.values():
+        assert prob == pytest.approx(1.0 / 2 ** n, abs=1e-9)
+
+
+def test_qaoa_valid_two_layer_structure():
+    qc = ALGORITHMS["qaoa"][0](6)
+    ops = qc.count_ops()
+    assert ops["h"] == 6
+    assert ops["rzz"] >= 12  # two layers over >= 6 edges
+    assert ops["rx"] == 12
+
+
+def test_hamsim_gate_structure():
+    qc = ALGORITHMS["hamsim"][0](4)
+    ops = qc.count_ops()
+    assert ops["rxx"] == ops["ryy"] == ops["rzz"]
+
+
+def test_family_caps_documented():
+    assert ALGORITHMS["grover"][2] == 8
+    assert ALGORITHMS["qwalk"][2] == 10
+    assert ALGORITHMS["ghz"][2] == 20
+
+
+def test_qwalk_walks():
+    dist = ideal_distribution(ALGORITHMS["qwalk"][0](4))
+    # After 3 steps the position register is spread over several values.
+    assert len(dist) >= 3

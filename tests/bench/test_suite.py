@@ -1,0 +1,91 @@
+"""Unit tests for benchmark suite construction."""
+
+import pytest
+
+from repro.bench.algorithms import ALGORITHMS
+from repro.bench.suite import (
+    DEPTH_LIMIT,
+    BenchmarkCircuit,
+    build_suite,
+    filter_by_depth,
+    suite_summary,
+)
+
+
+def test_default_suite_composition():
+    suite = build_suite()
+    assert len(suite) > 250
+    families = {entry.algorithm for entry in suite}
+    assert families == set(ALGORITHMS)
+    widths = {entry.num_qubits for entry in suite}
+    assert min(widths) == 2
+    assert max(widths) == 20
+
+
+def test_respects_family_caps():
+    suite = build_suite()
+    grover_widths = [e.num_qubits for e in suite if e.algorithm == "grover"]
+    assert max(grover_widths) == 8
+
+
+def test_qubit_range_selection():
+    suite = build_suite(min_qubits=4, max_qubits=6)
+    assert all(4 <= entry.num_qubits <= 6 for entry in suite)
+
+
+def test_step():
+    suite = build_suite(min_qubits=2, max_qubits=10, step=4)
+    widths = sorted({e.num_qubits for e in suite if e.algorithm == "ghz"})
+    assert widths == [2, 6, 10]
+
+
+def test_algorithm_subset():
+    suite = build_suite(algorithms=["ghz", "qft"], max_qubits=5)
+    assert {entry.algorithm for entry in suite} == {"ghz", "qft"}
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        build_suite(algorithms=["bogus"])
+
+
+def test_invalid_ranges_rejected():
+    with pytest.raises(ValueError):
+        build_suite(min_qubits=1)
+    with pytest.raises(ValueError):
+        build_suite(min_qubits=5, max_qubits=3)
+
+
+def test_entry_names():
+    suite = build_suite(algorithms=["ghz"], max_qubits=3)
+    assert suite[0].name == "ghz_2"
+    assert suite[1].name == "ghz_3"
+
+
+def test_filter_by_depth():
+    suite = build_suite(algorithms=["ghz"], max_qubits=5)
+    depths = {"ghz_2": 10, "ghz_3": 999, "ghz_4": 1000, "ghz_5": 5000}
+    kept = filter_by_depth(suite, depths)
+    assert [e.name for e in kept] == ["ghz_2", "ghz_3"]
+    assert DEPTH_LIMIT == 1000
+
+
+def test_filter_skips_missing_entries():
+    suite = build_suite(algorithms=["ghz"], max_qubits=3)
+    kept = filter_by_depth(suite, {"ghz_2": 5})
+    assert [e.name for e in kept] == ["ghz_2"]
+
+
+def test_summary_format():
+    suite = build_suite(algorithms=["ghz", "qft"], max_qubits=4)
+    text = suite_summary(suite)
+    assert "ghz" in text
+    assert "qft" in text
+    assert "total" in text
+
+
+def test_circuits_are_fresh_instances():
+    a = build_suite(algorithms=["ghz"], max_qubits=3)
+    b = build_suite(algorithms=["ghz"], max_qubits=3)
+    assert a[0].circuit is not b[0].circuit
+    assert a[0].circuit.instructions == b[0].circuit.instructions

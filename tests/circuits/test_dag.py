@@ -1,0 +1,118 @@
+"""Unit tests for the circuit dependency DAG."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import (
+    CircuitDag,
+    circuit_layers,
+    interaction_pairs,
+    parallel_groups,
+)
+
+
+def _sample_circuit():
+    qc = QuantumCircuit(3, 3)
+    qc.h(0)          # 0
+    qc.cx(0, 1)      # 1
+    qc.h(2)          # 2
+    qc.cx(1, 2)      # 3
+    qc.measure(0, 0)  # 4
+    return qc
+
+
+def test_dependencies():
+    dag = CircuitDag(_sample_circuit())
+    assert dag.nodes[0].predecessors == set()
+    assert dag.nodes[1].predecessors == {0}
+    assert dag.nodes[2].predecessors == set()
+    assert dag.nodes[3].predecessors == {1, 2}
+    assert dag.nodes[4].predecessors == {1}
+    assert dag.nodes[0].successors == {1}
+    assert dag.nodes[1].successors == {3, 4}
+
+
+def test_front_layer_progression():
+    dag = CircuitDag(_sample_circuit())
+    front = dag.front_layer(set())
+    assert {n.index for n in front} == {0, 2}
+    front = dag.front_layer({0, 2})
+    assert {n.index for n in front} == {1}
+    front = dag.front_layer({0, 1, 2})
+    assert {n.index for n in front} == {3, 4}
+
+
+def test_layers_match_depth():
+    qc = _sample_circuit()
+    layers = circuit_layers(qc)
+    assert len(layers) == qc.depth(include_measure=False)
+    # First layer holds the two independent Hadamards.
+    assert {ins.name for ins in layers[0]} == {"h"}
+    assert len(layers[0]) == 2
+
+
+def test_layers_barrier_orders_but_occupies_no_layer():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.barrier()
+    qc.h(1)
+    layers = circuit_layers(qc)
+    # Barrier forces h(1) after h(0), producing two layers.
+    assert len(layers) == 2
+    assert layers[0][0].qubits == (0,)
+    assert layers[1][0].qubits == (1,)
+
+
+def test_asap_levels():
+    dag = CircuitDag(_sample_circuit())
+    levels = dag.asap_levels()
+    assert levels[0] == 0
+    assert levels[1] == 1
+    assert levels[2] == 0
+    assert levels[3] == 2
+    assert levels[4] == 2
+
+
+def test_critical_path():
+    dag = CircuitDag(_sample_circuit())
+    path = dag.critical_path()
+    # Longest chain: h(0) -> cx(0,1) -> cx(1,2) (or the measure branch).
+    assert len(path) == 3
+    assert path[0] == 0
+    assert path[1] == 1
+    assert path[2] in (3, 4)
+
+
+def test_critical_path_empty_circuit():
+    assert CircuitDag(QuantumCircuit(2)).critical_path() == []
+
+
+def test_qubit_dependencies():
+    dag = CircuitDag(_sample_circuit())
+    per_qubit = dag.qubit_dependencies()
+    assert per_qubit[0] == [0, 1, 4]
+    assert per_qubit[1] == [1, 3]
+    assert per_qubit[2] == [2, 3]
+
+
+def test_parallel_groups_includes_measures():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0).h(1)
+    qc.measure(0, 0).measure(1, 1)
+    groups = parallel_groups(qc)
+    assert len(groups) == 2
+    assert all(ins.name == "measure" for ins in groups[1])
+
+
+def test_interaction_pairs():
+    qc = QuantumCircuit(4)
+    qc.cx(0, 1).cz(2, 3).cx(1, 0)
+    assert interaction_pairs(qc) == {(0, 1), (2, 3)}
+
+
+def test_measure_clbit_ordering_dependency():
+    qc = QuantumCircuit(2, 1)
+    qc.measure(0, 0)
+    qc.measure(1, 0)  # same clbit -> must be ordered
+    dag = CircuitDag(qc)
+    assert dag.nodes[1].predecessors == {0}

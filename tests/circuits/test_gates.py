@@ -1,0 +1,188 @@
+"""Unit tests for the gate registry and gate matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    GATES,
+    NON_UNITARY,
+    gate_matrix,
+    get_spec,
+    is_unitary_gate,
+)
+
+UNITARY_GATES = sorted(set(GATES) - NON_UNITARY)
+
+
+def _random_params(spec, rng):
+    return tuple(rng.uniform(0.1, 2 * math.pi - 0.1) for _ in range(spec.num_params))
+
+
+@pytest.mark.parametrize("name", UNITARY_GATES)
+def test_matrix_is_unitary(name):
+    rng = np.random.default_rng(hash(name) % (2**32))
+    spec = GATES[name]
+    params = _random_params(spec, rng)
+    matrix = gate_matrix(name, params)
+    dim = 1 << spec.num_qubits
+    assert matrix.shape == (dim, dim)
+    assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+
+@pytest.mark.parametrize("name", UNITARY_GATES)
+def test_inverse_composes_to_identity(name):
+    rng = np.random.default_rng(hash(name) % (2**31))
+    spec = GATES[name]
+    params = _random_params(spec, rng)
+    inv_name, inv_params = spec.inverse(params)
+    matrix = gate_matrix(name, params)
+    inv_matrix = gate_matrix(inv_name, inv_params)
+    dim = matrix.shape[0]
+    assert np.allclose(inv_matrix @ matrix, np.eye(dim), atol=1e-10)
+
+
+@pytest.mark.parametrize("name", [n for n in UNITARY_GATES if GATES[n].self_inverse])
+def test_self_inverse_flag_is_truthful(name):
+    matrix = gate_matrix(name)
+    dim = matrix.shape[0]
+    assert np.allclose(matrix @ matrix, np.eye(dim), atol=1e-10)
+
+
+def test_known_matrices():
+    assert np.allclose(gate_matrix("x"), [[0, 1], [1, 0]])
+    assert np.allclose(gate_matrix("z"), [[1, 0], [0, -1]])
+    h = gate_matrix("h")
+    assert np.allclose(h, np.array([[1, 1], [1, -1]]) / math.sqrt(2))
+    cx = gate_matrix("cx")
+    expected = np.array(
+        [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]]
+    )
+    assert np.allclose(cx, expected)
+
+
+def test_s_is_sqrt_z_and_t_is_sqrt_s():
+    s = gate_matrix("s")
+    t = gate_matrix("t")
+    assert np.allclose(s @ s, gate_matrix("z"))
+    assert np.allclose(t @ t, s)
+
+
+def test_sx_is_sqrt_x():
+    sx = gate_matrix("sx")
+    assert np.allclose(sx @ sx, gate_matrix("x"), atol=1e-12)
+
+
+def test_rotation_composition():
+    a, b = 0.7, 1.1
+    assert np.allclose(
+        gate_matrix("rx", (a,)) @ gate_matrix("rx", (b,)),
+        gate_matrix("rx", (a + b,)),
+        atol=1e-12,
+    )
+    assert np.allclose(
+        gate_matrix("rz", (a,)) @ gate_matrix("rz", (b,)),
+        gate_matrix("rz", (a + b,)),
+        atol=1e-12,
+    )
+
+
+def test_prx_reduces_to_rx_and_ry():
+    theta = 0.9
+    assert np.allclose(
+        gate_matrix("prx", (theta, 0.0)), gate_matrix("rx", (theta,)), atol=1e-12
+    )
+    assert np.allclose(
+        gate_matrix("prx", (theta, math.pi / 2)),
+        gate_matrix("ry", (theta,)),
+        atol=1e-12,
+    )
+
+
+def test_prx_phase_conjugation_rule():
+    """PRX(theta, phi) == RZ(phi) RX(theta) RZ(-phi)."""
+    theta, phi = 1.3, 0.4
+    rz = gate_matrix("rz", (phi,))
+    rx = gate_matrix("rx", (theta,))
+    rz_inv = gate_matrix("rz", (-phi,))
+    assert np.allclose(
+        gate_matrix("prx", (theta, phi)), rz @ rx @ rz_inv, atol=1e-12
+    )
+
+
+def test_u_gate_euler_form():
+    theta, phi, lam = 0.5, 1.2, -0.8
+    u = gate_matrix("u", (theta, phi, lam))
+    expected = (
+        np.exp(1j * (phi + lam) / 2)
+        * gate_matrix("rz", (phi,))
+        @ gate_matrix("ry", (theta,))
+        @ gate_matrix("rz", (lam,))
+    )
+    assert np.allclose(u, expected, atol=1e-12)
+
+
+def test_cp_matches_controlled_phase():
+    lam = 0.9
+    cp = gate_matrix("cp", (lam,))
+    expected = np.eye(4, dtype=complex)
+    expected[3, 3] = np.exp(1j * lam)
+    assert np.allclose(cp, expected)
+
+
+def test_rzz_is_diagonal():
+    theta = 0.6
+    rzz = gate_matrix("rzz", (theta,))
+    assert np.allclose(rzz, np.diag(np.diag(rzz)))
+    assert np.isclose(rzz[0, 0], np.exp(-1j * theta / 2))
+    assert np.isclose(rzz[3, 3], np.exp(-1j * theta / 2))
+    assert np.isclose(rzz[1, 1], np.exp(1j * theta / 2))
+
+
+def test_ccx_truth_table():
+    ccx = gate_matrix("ccx")
+    for i in range(8):
+        controls_set = (i & 1) and (i & 2)
+        expected = i ^ 4 if controls_set else i
+        column = ccx[:, i]
+        assert np.isclose(abs(column[expected]), 1.0)
+
+
+def test_cswap_truth_table():
+    cswap = gate_matrix("cswap")
+    # control = bit 0; targets = bits 1, 2.
+    for i in range(8):
+        if i & 1:
+            b1, b2 = (i >> 1) & 1, (i >> 2) & 1
+            expected = (i & 1) | (b2 << 1) | (b1 << 2)
+        else:
+            expected = i
+        assert np.isclose(abs(cswap[expected, i]), 1.0)
+
+
+def test_get_spec_error_message():
+    with pytest.raises(KeyError, match="unknown gate"):
+        get_spec("nonexistent")
+
+
+def test_matrix_wrong_param_count():
+    with pytest.raises(ValueError, match="parameters"):
+        GATES["rx"].matrix(())
+
+
+def test_non_unitary_has_no_matrix():
+    with pytest.raises(ValueError, match="no matrix"):
+        GATES["measure"].matrix(())
+    assert not is_unitary_gate("measure")
+    assert not is_unitary_gate("barrier")
+    assert is_unitary_gate("cx")
+    assert not is_unitary_gate("not_a_gate")
+
+
+def test_gate_qubit_counts():
+    assert GATES["h"].num_qubits == 1
+    assert GATES["cx"].num_qubits == 2
+    assert GATES["ccx"].num_qubits == 3
+    assert GATES["u"].num_params == 3
+    assert GATES["prx"].num_params == 2

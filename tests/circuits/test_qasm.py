@@ -1,0 +1,100 @@
+"""Unit tests for OpenQASM 2.0 import/export."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import from_qasm, qasm_roundtrip_equal, to_qasm
+from repro.circuits.random import random_circuit
+from repro.simulation.statevector import circuit_unitary
+
+
+def test_export_basic():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1)
+    text = to_qasm(qc)
+    assert "OPENQASM 2.0;" in text
+    assert "qreg q[2];" in text
+    assert "creg c[2];" in text
+    assert "h q[0];" in text
+    assert "cx q[0],q[1];" in text
+    assert "measure q[0] -> c[0];" in text
+
+
+def test_export_pi_fractions():
+    qc = QuantumCircuit(1)
+    qc.rx(math.pi / 2, 0)
+    text = to_qasm(qc)
+    assert "pi/2" in text
+
+
+def test_import_basic():
+    text = """
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[3];
+    creg c[3];
+    h q[0];
+    cx q[0],q[1];
+    rz(pi/4) q[2];
+    barrier q[0],q[1],q[2];
+    measure q[0] -> c[0];
+    """
+    qc = from_qasm(text)
+    assert qc.num_qubits == 3
+    assert qc.num_clbits == 3
+    names = [ins.name for ins in qc]
+    assert names == ["h", "cx", "rz", "barrier", "measure"]
+    assert math.isclose(qc.instructions[2].params[0], math.pi / 4)
+
+
+def test_import_comments_ignored():
+    text = "OPENQASM 2.0;\nqreg q[1];\nh q[0]; // a comment\n// full line\n"
+    qc = from_qasm(text)
+    assert qc.size() == 1
+
+
+def test_import_u1_u2_u3_aliases():
+    text = (
+        "OPENQASM 2.0;\nqreg q[1];\n"
+        "u1(0.5) q[0];\nu2(0.1,0.2) q[0];\nu3(0.1,0.2,0.3) q[0];\n"
+    )
+    qc = from_qasm(text)
+    assert [ins.name for ins in qc] == ["p", "u", "u"]
+    assert math.isclose(qc.instructions[1].params[0], math.pi / 2)
+
+
+def test_import_rejects_unknown_gate():
+    with pytest.raises(ValueError, match="unsupported QASM gate"):
+        from_qasm("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n")
+
+
+def test_import_rejects_bad_angle():
+    with pytest.raises(ValueError, match="angle"):
+        from_qasm("OPENQASM 2.0;\nqreg q[1];\nrx(__import__) q[0];\n")
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_roundtrip_random_circuits(seed):
+    qc = random_circuit(4, 8, seed=seed, measure=True)
+    assert qasm_roundtrip_equal(qc)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_roundtrip_preserves_unitary(seed):
+    qc = random_circuit(3, 6, seed=seed)
+    parsed = from_qasm(to_qasm(qc))
+    assert np.allclose(
+        circuit_unitary(parsed), circuit_unitary(qc), atol=1e-8
+    )
+
+
+def test_angle_format_roundtrip_precision():
+    qc = QuantumCircuit(1)
+    qc.rz(0.12345678901234, 0)
+    parsed = from_qasm(to_qasm(qc))
+    assert math.isclose(
+        parsed.instructions[0].params[0], 0.12345678901234, rel_tol=1e-12
+    )

@@ -1,0 +1,59 @@
+"""Unit tests for random circuit generation."""
+
+import pytest
+
+from repro.circuits.random import random_circuit, random_clifford_circuit
+
+
+def test_deterministic_given_seed():
+    a = random_circuit(4, 10, seed=42)
+    b = random_circuit(4, 10, seed=42)
+    assert a.instructions == b.instructions
+
+
+def test_different_seeds_differ():
+    a = random_circuit(4, 10, seed=1)
+    b = random_circuit(4, 10, seed=2)
+    assert a.instructions != b.instructions
+
+
+def test_depth_bound():
+    qc = random_circuit(5, 12, seed=0)
+    assert qc.depth() <= 12
+    assert qc.depth() >= 1
+
+
+def test_measure_flag():
+    qc = random_circuit(3, 4, seed=0, measure=True)
+    assert len(qc.measured_qubits()) == 3
+    qc2 = random_circuit(3, 4, seed=0, measure=False)
+    assert len(qc2.measured_qubits()) == 0
+
+
+def test_two_qubit_prob_zero_yields_no_2q_gates():
+    qc = random_circuit(4, 10, seed=3, two_qubit_prob=0.0)
+    assert qc.num_nonlocal_gates() == 0
+
+
+def test_two_qubit_prob_one_maximizes_2q_gates():
+    qc = random_circuit(4, 10, seed=3, two_qubit_prob=1.0)
+    # 4 qubits -> 2 two-qubit gates per layer possible.
+    assert qc.num_nonlocal_gates() == 20
+
+
+def test_clifford_restriction():
+    qc = random_clifford_circuit(4, 20, seed=1)
+    clifford = {"h", "s", "sdg", "x", "y", "z", "sx", "cx", "cz", "swap"}
+    assert all(ins.name in clifford for ins in qc)
+    assert all(not ins.params for ins in qc)
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        random_circuit(0, 5)
+
+
+def test_single_qubit_circuit():
+    qc = random_circuit(1, 6, seed=0)
+    assert qc.num_qubits == 1
+    assert qc.size() == 6

@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII circuit drawer."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.text_drawer import draw_circuit
+
+
+def test_draws_one_row_per_qubit():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    text = draw_circuit(qc)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith("q0:")
+    assert lines[2].startswith("q2:")
+
+
+def test_gate_labels_present():
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1).rz(0.5, 1)
+    text = draw_circuit(qc)
+    assert "h" in text
+    assert "cx" in text
+    assert "rz(0.5)" in text
+
+
+def test_multi_qubit_gate_role_markers():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    text = draw_circuit(qc)
+    assert "cx[0]" in text  # control
+    assert "cx[1]" in text  # target
+
+
+def test_measure_shows_clbit():
+    qc = QuantumCircuit(1, 1)
+    qc.measure(0, 0)
+    text = draw_circuit(qc)
+    assert "M->c0" in text
+
+
+def test_parallel_gates_share_column():
+    qc = QuantumCircuit(2)
+    qc.h(0).h(1)
+    lines = draw_circuit(qc).splitlines()
+    assert len(lines[0]) == len(lines[1])
+
+
+def test_truncates_very_deep_circuits():
+    qc = QuantumCircuit(1)
+    for _ in range(500):
+        qc.h(0)
+    text = draw_circuit(qc)
+    assert "truncated" in text
+
+
+def test_empty_circuit():
+    qc = QuantumCircuit(2)
+    text = draw_circuit(qc)
+    assert text.splitlines()[0].startswith("q0:")
+
+
+def test_circuit_draw_method_delegates():
+    qc = QuantumCircuit(1)
+    qc.x(0)
+    assert qc.draw() == draw_circuit(qc)

@@ -1,0 +1,173 @@
+"""Integration tests: the full compilation pipeline at every level."""
+
+import numpy as np
+import pytest
+
+from repro.bench.algorithms import ALGORITHMS
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.random import random_circuit
+from repro.compiler import compile_circuit
+from repro.hardware import make_device, make_q20a
+from repro.hardware.coupling import grid_map, line_map
+from repro.simulation.statevector import ideal_distribution
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_q20a()
+
+
+def _distributions_match(a, b, tol=1e-7):
+    for key in set(a) | set(b):
+        if abs(a.get(key, 0.0) - b.get(key, 0.0)) > tol:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("level", [0, 1, 2, 3])
+def test_compiled_distribution_matches_original(level, device):
+    qc = random_circuit(5, 8, seed=11, measure=True)
+    reference = ideal_distribution(qc)
+    result = compile_circuit(qc, device, optimization_level=level, seed=5)
+    compiled_dist = ideal_distribution(result.circuit)
+    assert _distributions_match(reference, compiled_dist)
+
+
+@pytest.mark.parametrize("level", [0, 1, 2, 3])
+def test_compiled_uses_only_native_gates(level, device):
+    qc = random_circuit(4, 6, seed=3, measure=True)
+    result = compile_circuit(qc, device, optimization_level=level, seed=5)
+    device.validate_circuit(result.circuit)  # native + adjacency check
+
+
+@pytest.mark.parametrize(
+    "family", ["ghz", "wstate", "qft", "dj", "bv", "qaoa", "vqe", "ae"]
+)
+def test_benchmark_families_compile_and_match(family, device):
+    generator, minimum, _ = ALGORITHMS[family]
+    qc = generator(max(minimum, 4))
+    reference = ideal_distribution(qc)
+    result = compile_circuit(qc, device, optimization_level=3, seed=2)
+    compiled_dist = ideal_distribution(result.circuit)
+    assert _distributions_match(reference, compiled_dist)
+
+
+def test_higher_levels_do_not_increase_two_qubit_count(device):
+    qc = random_circuit(6, 12, seed=7, measure=True)
+    counts = {}
+    for level in range(4):
+        result = compile_circuit(qc, device, optimization_level=level, seed=5)
+        counts[level] = result.circuit.num_nonlocal_gates()
+    assert counts[2] <= counts[0]
+    assert counts[3] <= counts[2] * 1.05 + 1  # level 3 picks by fidelity
+
+
+def test_layouts_are_permutations(device):
+    qc = random_circuit(5, 6, seed=1, measure=True)
+    result = compile_circuit(qc, device, optimization_level=3, seed=5)
+    assert sorted(result.initial_layout.keys()) == list(range(5))
+    assert len(set(result.initial_layout.values())) == 5
+    assert sorted(result.final_layout.keys()) == list(range(5))
+    assert len(set(result.final_layout.values())) == 5
+
+
+def test_measures_are_terminal_and_complete(device):
+    qc = random_circuit(4, 5, seed=9, measure=True)
+    result = compile_circuit(qc, device, optimization_level=2, seed=5)
+    measures = [
+        i for i, ins in enumerate(result.circuit.instructions)
+        if ins.name == "measure"
+    ]
+    assert len(measures) == 4
+    # All measures come after all gates.
+    last_gate = max(
+        (i for i, ins in enumerate(result.circuit.instructions)
+         if ins.name != "measure"),
+        default=-1,
+    )
+    assert all(m > last_gate for m in measures)
+
+
+def test_keep_final_rz_gives_exact_unitary_equivalence(device):
+    from repro.simulation.statevector import circuit_unitary
+
+    qc = random_circuit(3, 6, seed=13)
+    result = compile_circuit(
+        qc, device, optimization_level=1, seed=5, keep_final_rz=True
+    )
+    # Project the compiled circuit back onto the initial layout wires.
+    layout = result.initial_layout
+    final = result.final_layout
+    # Level 1 on a small circuit: if no swaps were inserted, layouts agree
+    # and we can compare unitaries on the occupied block directly.
+    if layout == final and sorted(layout.values()) == list(range(3)):
+        inverse_map = {phys: prog for prog, phys in layout.items()}
+        mapped = result.circuit.remap_qubits(
+            {p: inverse_map.get(p, p) for p in range(device.num_qubits)},
+            num_qubits=device.num_qubits,
+        )
+        small = QuantumCircuit(3, global_phase=mapped.global_phase)
+        for ins in mapped.instructions:
+            if all(q < 3 for q in ins.qubits):
+                small.append_instruction(ins)
+        assert np.allclose(
+            circuit_unitary(small), circuit_unitary(qc), atol=1e-8
+        )
+
+
+def test_rejects_too_wide_circuit():
+    device = make_device("tiny", line_map(3), seed=0)
+    qc = QuantumCircuit(5)
+    with pytest.raises(ValueError, match="qubits"):
+        compile_circuit(qc, device)
+
+
+def test_rejects_invalid_level(device):
+    qc = QuantumCircuit(2)
+    with pytest.raises(ValueError, match="optimization_level"):
+        compile_circuit(qc, device, optimization_level=7)
+
+
+def test_rejects_mid_circuit_measurement(device):
+    qc = QuantumCircuit(2, 2)
+    qc.measure(0, 0)
+    qc.h(0)
+    with pytest.raises(ValueError, match="mid-circuit"):
+        compile_circuit(qc, device)
+
+
+def test_rejects_double_measurement(device):
+    qc = QuantumCircuit(2, 2)
+    qc.measure(0, 0)
+    qc.measure(0, 1)
+    with pytest.raises(ValueError, match="measured twice"):
+        compile_circuit(qc, device)
+
+
+def test_compilation_deterministic_given_seed(device):
+    qc = random_circuit(5, 8, seed=21, measure=True)
+    a = compile_circuit(qc, device, optimization_level=3, seed=4)
+    b = compile_circuit(qc, device, optimization_level=3, seed=4)
+    assert a.circuit.instructions == b.circuit.instructions
+
+
+def test_result_schedule_lazy(device):
+    qc = random_circuit(3, 4, seed=2, measure=True)
+    result = compile_circuit(qc, device, optimization_level=1, seed=5)
+    schedule = result.schedule
+    assert schedule.total_duration > 0
+    assert result.schedule is schedule  # cached
+
+
+def test_metadata_records_level(device):
+    qc = random_circuit(3, 4, seed=2, measure=True)
+    result = compile_circuit(qc, device, optimization_level=2, seed=5)
+    assert result.circuit.metadata["optimization_level"] == 2
+
+
+def test_compile_on_small_grid_device():
+    device = make_device("grid9", grid_map(3, 3), seed=1)
+    qc = random_circuit(9, 10, seed=5, measure=True)
+    reference = ideal_distribution(qc)
+    result = compile_circuit(qc, device, optimization_level=2, seed=3)
+    assert _distributions_match(reference, ideal_distribution(result.circuit))

@@ -1,0 +1,89 @@
+"""Unit tests for gate decomposition rules."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATES, gate_matrix
+from repro.circuits.random import random_circuit
+from repro.compiler.passes.base import PropertySet
+from repro.compiler.passes.decompose import (
+    DECOMPOSABLE_GATES,
+    Decompose,
+    decompose_circuit,
+)
+from repro.compiler.unitary_math import matrices_equal_up_to_phase
+from repro.simulation.statevector import circuit_unitary
+
+_BASIS = {"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+          "rx", "ry", "rz", "p", "u", "prx", "cx", "cz", "measure", "barrier"}
+
+
+@pytest.mark.parametrize("name", DECOMPOSABLE_GATES)
+def test_decomposition_preserves_unitary(name):
+    rng = np.random.default_rng(abs(hash(name)) % (2**31))
+    spec = GATES[name]
+    params = tuple(rng.uniform(0.1, 6.1) for _ in range(spec.num_params))
+    qc = QuantumCircuit(spec.num_qubits)
+    qc.append(name, tuple(range(spec.num_qubits)), params)
+    decomposed = decompose_circuit(qc)
+    assert matrices_equal_up_to_phase(
+        circuit_unitary(decomposed), gate_matrix(name, params)
+    )
+
+
+@pytest.mark.parametrize("name", DECOMPOSABLE_GATES)
+def test_decomposition_emits_only_basis_gates(name):
+    spec = GATES[name]
+    params = tuple(0.5 for _ in range(spec.num_params))
+    qc = QuantumCircuit(spec.num_qubits)
+    qc.append(name, tuple(range(spec.num_qubits)), params)
+    decomposed = decompose_circuit(qc)
+    assert all(ins.name in _BASIS for ins in decomposed.instructions)
+
+
+def test_decomposition_on_permuted_qubits():
+    qc = QuantumCircuit(3)
+    qc.ccx(2, 0, 1)
+    decomposed = decompose_circuit(qc)
+    assert matrices_equal_up_to_phase(
+        circuit_unitary(decomposed), circuit_unitary(qc)
+    )
+
+
+def test_basis_gates_pass_through():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0).cx(0, 1).rz(0.3, 1).measure(0, 0)
+    decomposed = decompose_circuit(qc)
+    assert [ins.name for ins in decomposed] == ["h", "cx", "rz", "measure"]
+
+
+def test_barrier_preserved():
+    qc = QuantumCircuit(2)
+    qc.swap(0, 1)
+    qc.barrier()
+    decomposed = decompose_circuit(qc)
+    assert any(ins.name == "barrier" for ins in decomposed.instructions)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_circuit_decomposition_equivalence(seed):
+    qc = random_circuit(4, 10, seed=seed)
+    decomposed = Decompose().run(qc, PropertySet())
+    assert np.allclose(
+        circuit_unitary(decomposed), circuit_unitary(qc), atol=1e-8
+    )
+
+
+def test_swap_decomposes_to_three_cx():
+    qc = QuantumCircuit(2)
+    qc.swap(0, 1)
+    decomposed = decompose_circuit(qc)
+    assert [ins.name for ins in decomposed] == ["cx", "cx", "cx"]
+
+
+def test_ccx_uses_six_cx():
+    qc = QuantumCircuit(3)
+    qc.ccx(0, 1, 2)
+    decomposed = decompose_circuit(qc)
+    assert decomposed.count_ops()["cx"] == 6

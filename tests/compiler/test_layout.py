@@ -1,0 +1,95 @@
+"""Unit tests for initial layout passes."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.passes.base import PropertySet
+from repro.compiler.passes.layout import (
+    GreedySubgraphLayout,
+    LineLayout,
+    TrivialLayout,
+    apply_layout,
+)
+from repro.hardware.coupling import grid_map, line_map
+
+
+def test_trivial_layout_identity():
+    coupling = grid_map(2, 3)
+    qc = QuantumCircuit(4)
+    qc.cx(0, 3)
+    properties = PropertySet()
+    widened = TrivialLayout(coupling).run(qc, properties)
+    assert properties["initial_layout"] == {0: 0, 1: 1, 2: 2, 3: 3}
+    assert widened.num_qubits == 6
+    assert widened.instructions[0].qubits == (0, 3)
+
+
+def test_apply_layout_injective_check():
+    qc = QuantumCircuit(2)
+    with pytest.raises(ValueError, match="injective"):
+        apply_layout(qc, {0: 1, 1: 1}, 4)
+
+
+def test_apply_layout_missing_qubit():
+    qc = QuantumCircuit(2)
+    with pytest.raises(ValueError, match="misses"):
+        apply_layout(qc, {0: 1}, 4)
+
+
+def test_greedy_layout_places_interacting_pairs_close():
+    coupling = grid_map(4, 5)
+    qc = QuantumCircuit(4)
+    # Heavy 0-1 interaction, light others.
+    for _ in range(10):
+        qc.cx(0, 1)
+    qc.cx(2, 3)
+    layout = GreedySubgraphLayout(coupling, seed=1).select_layout(qc)
+    dist = coupling.distance_matrix()
+    assert dist[layout[0], layout[1]] == 1
+
+
+def test_greedy_layout_is_injective_and_complete():
+    coupling = grid_map(4, 5)
+    qc = QuantumCircuit(12)
+    for i in range(11):
+        qc.cx(i, i + 1)
+    layout = GreedySubgraphLayout(coupling, seed=0).select_layout(qc)
+    assert len(layout) == 12
+    assert len(set(layout.values())) == 12
+    assert all(0 <= phys < 20 for phys in layout.values())
+
+
+def test_greedy_layout_deterministic_given_seed():
+    coupling = grid_map(4, 5)
+    qc = QuantumCircuit(6)
+    for i in range(5):
+        qc.cx(i, i + 1)
+    a = GreedySubgraphLayout(coupling, seed=3).select_layout(qc)
+    b = GreedySubgraphLayout(coupling, seed=3).select_layout(qc)
+    assert a == b
+
+
+def test_line_layout_path_is_connected():
+    coupling = grid_map(4, 5)
+    qc = QuantumCircuit(8)
+    properties = PropertySet()
+    LineLayout(coupling).run(qc, properties)
+    layout = properties["initial_layout"]
+    assert len(set(layout.values())) == 8
+
+
+def test_line_layout_too_wide():
+    coupling = line_map(3)
+    qc = QuantumCircuit(5)
+    with pytest.raises(ValueError, match="wider"):
+        LineLayout(coupling).run(qc, PropertySet())
+
+
+def test_layout_preserves_clbits():
+    coupling = grid_map(2, 3)
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.measure(0, 0)
+    widened = TrivialLayout(coupling).run(qc, PropertySet())
+    assert widened.num_clbits == 2
+    assert widened.instructions[-1].clbits == (0,)

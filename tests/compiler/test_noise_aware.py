@@ -1,0 +1,113 @@
+"""Unit tests for noise-aware layout and routing."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.random import random_circuit
+from repro.compiler.passes.base import PropertySet
+from repro.compiler.passes.noise_aware import (
+    NoiseAwareLayout,
+    NoiseAwareRouting,
+    compile_noise_aware,
+    effective_distance_matrix,
+)
+from repro.hardware import make_q20a
+from repro.hardware.calibration import random_calibration
+from repro.hardware.coupling import line_map
+from repro.simulation.statevector import ideal_distribution
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_q20a()
+
+
+def test_effective_distance_reduces_to_hops_on_perfect_device():
+    coupling = line_map(4)
+    rng = np.random.default_rng(0)
+    calibration = random_calibration(
+        coupling, rng, two_qubit_fidelity=(1.0, 1.0)
+    )
+    dist = effective_distance_matrix(coupling, calibration)
+    assert dist[0, 3] == pytest.approx(3.0)
+    assert dist[0, 1] == pytest.approx(1.0)
+
+
+def test_effective_distance_penalizes_bad_edges():
+    coupling = line_map(3)
+    rng = np.random.default_rng(1)
+    calibration = random_calibration(coupling, rng)
+    calibration.two_qubit_fidelity[(0, 1)] = 0.5   # terrible link
+    calibration.two_qubit_fidelity[(1, 2)] = 0.999
+    dist = effective_distance_matrix(coupling, calibration)
+    assert dist[0, 1] > dist[1, 2]
+
+
+def test_noise_aware_layout_prefers_good_region(device):
+    qc = QuantumCircuit(2)
+    for _ in range(5):
+        qc.cx(0, 1)
+    layout = NoiseAwareLayout(
+        device.coupling, device.reported_calibration, seed=0
+    ).select_layout(qc)
+    a, b = layout[0], layout[1]
+    assert device.coupling.has_edge(a, b)
+    # The chosen edge is among the best third of edges by fidelity.
+    chosen = device.reported_calibration.edge_fidelity(a, b)
+    fidelities = sorted(
+        device.reported_calibration.two_qubit_fidelity.values(), reverse=True
+    )
+    assert chosen >= fidelities[len(fidelities) // 3]
+
+
+def test_noise_aware_layout_injective(device):
+    qc = random_circuit(8, 12, seed=2)
+    layout = NoiseAwareLayout(
+        device.coupling, device.reported_calibration, seed=1
+    ).select_layout(qc)
+    assert len(set(layout.values())) == 8
+
+
+def test_noise_aware_routing_respects_coupling(device):
+    qc = random_circuit(6, 10, seed=3)
+    widened = qc.remap_qubits({i: i for i in range(6)}, num_qubits=20)
+    properties = PropertySet()
+    routed = NoiseAwareRouting(
+        device.coupling, device.reported_calibration, seed=0
+    ).run(widened, properties)
+    for instruction in routed.instructions:
+        if instruction.is_unitary and instruction.num_qubits == 2:
+            assert device.coupling.has_edge(*instruction.qubits)
+
+
+def test_compile_noise_aware_preserves_distribution(device):
+    qc = random_circuit(5, 8, seed=4, measure=True)
+    reference = ideal_distribution(qc)
+    compiled = compile_noise_aware(qc, device, seed=1)
+    result = ideal_distribution(compiled)
+    for key in set(reference) | set(result):
+        assert reference.get(key, 0.0) == pytest.approx(
+            result.get(key, 0.0), abs=1e-6
+        )
+
+
+def test_compile_noise_aware_native(device):
+    qc = random_circuit(4, 6, seed=5, measure=True)
+    compiled = compile_noise_aware(qc, device, seed=0)
+    device.validate_circuit(compiled)
+
+
+def test_noise_aware_beats_or_matches_geometric_on_avg(device):
+    """Error-aware routing should not lose expected fidelity on average."""
+    from repro.compiler import compile_circuit
+    from repro.fom import expected_fidelity
+
+    geo, aware = [], []
+    for seed in range(6):
+        qc = random_circuit(6, 10, seed=100 + seed, measure=True)
+        geometric = compile_circuit(qc, device, optimization_level=2, seed=seed)
+        noise_aware = compile_noise_aware(qc, device, seed=seed)
+        geo.append(expected_fidelity(geometric.circuit, device))
+        aware.append(expected_fidelity(noise_aware, device))
+    assert np.mean(aware) > np.mean(geo) - 0.05

@@ -1,0 +1,166 @@
+"""Unit tests for optimization passes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.random import random_circuit
+from repro.compiler.passes.base import PropertySet
+from repro.compiler.passes.optimization import (
+    CancelInversePairs,
+    Merge1QRuns,
+    OptimizationLoop,
+    RemoveIdentities,
+)
+from repro.simulation.statevector import circuit_unitary
+
+PROPS = PropertySet
+
+
+def test_remove_identities():
+    qc = QuantumCircuit(2)
+    qc.i(0).rx(0.0, 1).h(0).rz(0.0, 0)
+    out = RemoveIdentities().run(qc, PROPS())
+    assert [ins.name for ins in out] == ["h"]
+
+
+def test_merge_collapses_run_to_single_u():
+    qc = QuantumCircuit(1)
+    qc.h(0).t(0).s(0).rx(0.3, 0)
+    out = Merge1QRuns().run(qc, PROPS())
+    assert out.size() == 1
+    assert out.instructions[0].name == "u"
+    assert np.allclose(
+        circuit_unitary(out), circuit_unitary(qc), atol=1e-9
+    )
+
+
+def test_merge_cancels_inverse_run():
+    qc = QuantumCircuit(1)
+    qc.h(0).h(0)
+    out = Merge1QRuns().run(qc, PROPS())
+    assert out.size() == 0
+    assert np.allclose(circuit_unitary(out), np.eye(2), atol=1e-10)
+
+
+def test_merge_tracks_global_phase_of_identity_product():
+    qc = QuantumCircuit(1)
+    qc.z(0).z(0)  # Z^2 = I exactly
+    out = Merge1QRuns().run(qc, PROPS())
+    assert np.allclose(circuit_unitary(out), circuit_unitary(qc), atol=1e-10)
+    qc2 = QuantumCircuit(1)
+    qc2.x(0).y(0)  # = iZ: one u gate + phase
+    out2 = Merge1QRuns().run(qc2, PROPS())
+    assert np.allclose(circuit_unitary(out2), circuit_unitary(qc2), atol=1e-10)
+
+
+def test_merge_does_not_cross_two_qubit_gates():
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1).h(0)
+    out = Merge1QRuns().run(qc, PROPS())
+    # The two Hadamards are separated by the CX; they must not merge.
+    assert out.size() == 3
+    assert np.allclose(circuit_unitary(out), circuit_unitary(qc), atol=1e-9)
+
+
+def test_merge_does_not_cross_barrier():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    qc.barrier()
+    qc.h(0)
+    out = Merge1QRuns().run(qc, PROPS())
+    assert sum(1 for ins in out if ins.name != "barrier") == 2
+
+
+def test_merge_does_not_cross_measure():
+    qc = QuantumCircuit(1, 1)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.h(0)
+    out = Merge1QRuns().run(qc, PROPS())
+    names = [ins.name for ins in out.instructions]
+    assert names == ["u", "measure", "u"]
+
+
+def test_cancel_adjacent_cx_pair():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1).cx(0, 1)
+    out = CancelInversePairs().run(qc, PROPS())
+    assert out.size() == 0
+
+
+def test_cancel_cx_pair_requires_same_orientation():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1).cx(1, 0)
+    out = CancelInversePairs().run(qc, PROPS())
+    assert out.size() == 2
+
+
+def test_cancel_cz_pair_any_orientation():
+    qc = QuantumCircuit(2)
+    qc.cz(0, 1).cz(1, 0)
+    out = CancelInversePairs().run(qc, PROPS())
+    assert out.size() == 0
+
+
+def test_cancel_through_commuting_diagonal_on_cz():
+    qc = QuantumCircuit(2)
+    qc.cz(0, 1).rz(0.4, 0).s(1).cz(0, 1)
+    out = CancelInversePairs().run(qc, PROPS())
+    assert [ins.name for ins in out] == ["rz", "s"]
+    assert np.allclose(circuit_unitary(out), circuit_unitary(qc), atol=1e-9)
+
+
+def test_cancel_through_x_on_cx_target():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1).rx(0.3, 1).cx(0, 1)
+    out = CancelInversePairs().run(qc, PROPS())
+    assert [ins.name for ins in out] == ["rx"]
+    assert np.allclose(circuit_unitary(out), circuit_unitary(qc), atol=1e-9)
+
+
+def test_no_cancel_through_blocking_gate():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1).h(1).cx(0, 1)
+    out = CancelInversePairs().run(qc, PROPS())
+    assert out.size() == 3
+
+
+def test_no_cancel_through_h_on_control():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1).h(0).cx(0, 1)
+    out = CancelInversePairs().run(qc, PROPS())
+    assert out.size() == 3
+    assert np.allclose(circuit_unitary(out), circuit_unitary(qc), atol=1e-9)
+
+
+def test_cancel_swap_pair():
+    qc = QuantumCircuit(2)
+    qc.swap(0, 1).swap(1, 0)
+    out = CancelInversePairs().run(qc, PROPS())
+    assert out.size() == 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_optimization_loop_preserves_unitary(seed):
+    qc = random_circuit(4, 12, seed=seed)
+    out = OptimizationLoop().run(qc, PROPS())
+    assert out.size() <= qc.size()
+    assert np.allclose(
+        circuit_unitary(out), circuit_unitary(qc), atol=1e-8
+    )
+
+
+def test_optimization_loop_reaches_fixpoint():
+    qc = QuantumCircuit(2)
+    qc.h(0).h(0).cx(0, 1).cx(0, 1).t(1).tdg(1)
+    out = OptimizationLoop().run(qc, PROPS())
+    assert out.size() == 0
+
+
+def test_optimization_preserves_measures():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0).h(0)
+    qc.measure(0, 0)
+    out = OptimizationLoop().run(qc, PROPS())
+    assert [ins.name for ins in out.instructions] == ["measure"]

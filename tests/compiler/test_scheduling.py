@@ -1,0 +1,105 @@
+"""Unit tests for ASAP scheduling and idle-time accounting."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.passes.base import PropertySet
+from repro.compiler.passes.scheduling import ASAPSchedule, schedule_asap
+from repro.hardware.calibration import GateDurations
+
+DURATIONS = GateDurations(one_qubit=10.0, two_qubit=30.0, readout=100.0)
+
+
+def test_sequential_gates_stack():
+    qc = QuantumCircuit(1)
+    qc.prx(0.1, 0.0, 0)
+    qc.prx(0.2, 0.0, 0)
+    schedule = schedule_asap(qc, DURATIONS)
+    assert schedule.timed[0].start == 0.0
+    assert schedule.timed[0].end == 10.0
+    assert schedule.timed[1].start == 10.0
+    assert schedule.total_duration == 20.0
+
+
+def test_parallel_gates_overlap():
+    qc = QuantumCircuit(2)
+    qc.prx(0.1, 0.0, 0)
+    qc.prx(0.1, 0.0, 1)
+    schedule = schedule_asap(qc, DURATIONS)
+    assert schedule.timed[0].start == 0.0
+    assert schedule.timed[1].start == 0.0
+    assert schedule.total_duration == 10.0
+
+
+def test_two_qubit_gate_waits_for_both():
+    qc = QuantumCircuit(2)
+    qc.prx(0.1, 0.0, 0)
+    qc.cz(0, 1)
+    schedule = schedule_asap(qc, DURATIONS)
+    cz = schedule.timed[1]
+    assert cz.start == 10.0
+    assert cz.end == 40.0
+
+
+def test_barrier_aligns_qubits():
+    qc = QuantumCircuit(2)
+    qc.prx(0.1, 0.0, 0)
+    qc.barrier()
+    qc.prx(0.1, 0.0, 1)
+    schedule = schedule_asap(qc, DURATIONS)
+    # After the barrier, qubit 1's gate starts at qubit 0's finish time.
+    assert schedule.timed[-1].start == 10.0
+
+
+def test_idle_time_of_waiting_qubit():
+    qc = QuantumCircuit(2)
+    qc.prx(0.1, 0.0, 0)
+    qc.prx(0.1, 0.0, 0)
+    qc.cz(0, 1)
+    schedule = schedule_asap(qc, DURATIONS)
+    # Qubit 1 waits 20ns for qubit 0's two gates, then is busy 30ns.
+    assert schedule.idle_time(1) == pytest.approx(20.0)
+    assert schedule.idle_time(0) == pytest.approx(0.0)
+
+
+def test_idle_time_untouched_qubit_is_zero():
+    qc = QuantumCircuit(3)
+    qc.prx(0.1, 0.0, 0)
+    schedule = schedule_asap(qc, DURATIONS)
+    assert schedule.idle_time(2) == 0.0
+
+
+def test_measure_duration():
+    qc = QuantumCircuit(1, 1)
+    qc.measure(0, 0)
+    schedule = schedule_asap(qc, DURATIONS)
+    assert schedule.total_duration == 100.0
+
+
+def test_qubit_busy_accounting():
+    qc = QuantumCircuit(2)
+    qc.cz(0, 1)
+    qc.prx(0.2, 0.0, 0)
+    schedule = schedule_asap(qc, DURATIONS)
+    assert schedule.qubit_busy[0] == pytest.approx(40.0)
+    assert schedule.qubit_busy[1] == pytest.approx(30.0)
+
+
+def test_parallel_groups_by_time_overlap():
+    qc = QuantumCircuit(3)
+    qc.cz(0, 1)        # 0-30
+    qc.prx(0.1, 0.0, 2)  # 0-10, overlaps cz
+    qc.prx(0.1, 0.0, 0)  # 30-40
+    schedule = schedule_asap(qc, DURATIONS)
+    groups = schedule.parallel_groups()
+    assert len(groups) == 2
+    assert len(groups[0]) == 2
+
+
+def test_pass_stores_schedule():
+    qc = QuantumCircuit(1)
+    qc.prx(0.1, 0.0, 0)
+    properties = PropertySet()
+    ASAPSchedule(DURATIONS).run(qc, properties)
+    assert "schedule" in properties
+    assert properties["schedule"].total_duration == 10.0

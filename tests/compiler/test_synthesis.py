@@ -1,0 +1,148 @@
+"""Unit tests for native-gate synthesis and virtual RZ folding."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.random import random_circuit
+from repro.compiler.passes.base import PropertySet
+from repro.compiler.passes.decompose import Decompose
+from repro.compiler.passes.synthesis import NativeSynthesis, VirtualRZ
+from repro.simulation.statevector import circuit_unitary
+
+NATIVE = {"prx", "rz", "cz", "measure", "barrier"}
+
+
+def _to_native(circuit, keep_final_rz=True):
+    properties = PropertySet()
+    lowered = Decompose().run(circuit, properties)
+    native = NativeSynthesis().run(lowered, properties)
+    return VirtualRZ(keep_final_rz=keep_final_rz).run(native, properties)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_synthesis_preserves_unitary_exactly(seed):
+    qc = random_circuit(3, 10, seed=seed)
+    native = _to_native(qc)
+    assert np.allclose(
+        circuit_unitary(native), circuit_unitary(qc), atol=1e-8
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_synthesis_emits_only_native_gates(seed):
+    qc = random_circuit(3, 8, seed=seed, measure=True)
+    native = _to_native(qc)
+    assert all(ins.name in NATIVE for ins in native.instructions)
+
+
+def test_virtual_rz_drops_all_rz():
+    qc = random_circuit(3, 8, seed=1)
+    native = _to_native(qc, keep_final_rz=False)
+    assert all(ins.name in ("prx", "cz") for ins in native.instructions)
+
+
+def test_virtual_rz_preserves_distribution():
+    """Dropping trailing RZ must not change Z-basis probabilities."""
+    from repro.simulation.statevector import ideal_distribution
+
+    qc = random_circuit(3, 8, seed=2)
+    qc.measure_all()
+    with_rz = _to_native(qc, keep_final_rz=True)
+    without_rz = _to_native(qc, keep_final_rz=False)
+    d_with = ideal_distribution(with_rz)
+    d_without = ideal_distribution(without_rz)
+    for key in set(d_with) | set(d_without):
+        assert d_with.get(key, 0.0) == pytest.approx(
+            d_without.get(key, 0.0), abs=1e-9
+        )
+
+
+def test_hadamard_synthesis():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    native = _to_native(qc)
+    assert np.allclose(
+        circuit_unitary(native), circuit_unitary(qc), atol=1e-10
+    )
+    prx_count = sum(1 for ins in native.instructions if ins.name == "prx")
+    assert prx_count == 1
+
+
+def test_cx_becomes_h_cz_h():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    native = _to_native(qc)
+    assert sum(1 for ins in native if ins.name == "cz") == 1
+    assert np.allclose(
+        circuit_unitary(native), circuit_unitary(qc), atol=1e-10
+    )
+
+
+def test_swap_synthesis():
+    qc = QuantumCircuit(2)
+    qc.swap(0, 1)
+    properties = PropertySet()
+    native = NativeSynthesis().run(qc, properties)
+    assert sum(1 for ins in native if ins.name == "cz") == 3
+    assert np.allclose(
+        circuit_unitary(native), circuit_unitary(qc), atol=1e-10
+    )
+
+
+def test_diagonal_gate_becomes_single_rz():
+    qc = QuantumCircuit(1)
+    qc.rz(0.7, 0)
+    native = NativeSynthesis().run(qc, PropertySet())
+    assert [ins.name for ins in native] == ["rz"]
+
+
+def test_rz_angle_normalized_with_phase_fix():
+    qc = QuantumCircuit(1)
+    qc.rz(7.0, 0)  # > pi, wraps
+    native = _to_native(qc)
+    assert np.allclose(
+        circuit_unitary(native), circuit_unitary(qc), atol=1e-10
+    )
+    for ins in native.instructions:
+        if ins.name == "rz":
+            assert -math.pi < ins.params[0] <= math.pi
+
+
+def test_prx_phi_commutation_rule():
+    """rz(a) then prx(t, phi) == prx(t, phi - a) then rz(a)."""
+    a, theta, phi = 0.9, 1.1, 0.3
+    left = QuantumCircuit(1)
+    left.rz(a, 0).prx(theta, phi, 0)
+    right = QuantumCircuit(1)
+    right.prx(theta, phi - a, 0).rz(a, 0)
+    assert np.allclose(
+        circuit_unitary(left), circuit_unitary(right), atol=1e-10
+    )
+
+
+def test_virtual_rz_rejects_non_native():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    with pytest.raises(ValueError, match="native"):
+        VirtualRZ().run(qc, PropertySet())
+
+
+def test_synthesis_rejects_unlowered_gates():
+    qc = QuantumCircuit(3)
+    qc.ccx(0, 1, 2)
+    with pytest.raises(ValueError, match="Decompose"):
+        NativeSynthesis().run(qc, PropertySet())
+
+
+def test_measure_and_barrier_flow_through():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.barrier()
+    qc.measure(0, 0)
+    native = _to_native(qc)
+    names = [ins.name for ins in native.instructions]
+    assert "barrier" in names
+    assert "measure" in names

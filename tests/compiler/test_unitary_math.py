@@ -1,0 +1,96 @@
+"""Unit tests for single-qubit unitary decomposition math."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import unitary_group
+
+from repro.circuits.gates import gate_matrix, ry_matrix, rz_matrix
+from repro.compiler.unitary_math import (
+    is_identity_angle,
+    matrices_equal_up_to_phase,
+    normalize_angle,
+    u_params,
+    zyz_decompose,
+)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_zyz_reconstructs_random_unitaries(seed):
+    unitary = unitary_group.rvs(2, random_state=seed)
+    alpha, phi, theta, lam = zyz_decompose(unitary)
+    reconstructed = (
+        np.exp(1j * alpha) * rz_matrix(phi) @ ry_matrix(theta) @ rz_matrix(lam)
+    )
+    assert np.allclose(reconstructed, unitary, atol=1e-8)
+
+
+@pytest.mark.parametrize(
+    "name", ["id", "x", "y", "z", "h", "s", "t", "sx"]
+)
+def test_zyz_on_named_gates(name):
+    matrix = gate_matrix(name)
+    alpha, phi, theta, lam = zyz_decompose(matrix)
+    reconstructed = (
+        np.exp(1j * alpha) * rz_matrix(phi) @ ry_matrix(theta) @ rz_matrix(lam)
+    )
+    assert np.allclose(reconstructed, matrix, atol=1e-10)
+
+
+def test_zyz_diagonal_case():
+    matrix = rz_matrix(0.7)
+    alpha, phi, theta, lam = zyz_decompose(matrix)
+    assert theta == pytest.approx(0.0, abs=1e-9)
+
+
+def test_zyz_antidiagonal_case():
+    matrix = gate_matrix("x")
+    alpha, phi, theta, lam = zyz_decompose(matrix)
+    assert theta == pytest.approx(math.pi, abs=1e-9)
+
+
+def test_zyz_rejects_non_unitary():
+    with pytest.raises(ValueError, match="unitary"):
+        zyz_decompose(np.array([[1, 0], [0, 2]], dtype=complex))
+    with pytest.raises(ValueError, match="2x2"):
+        zyz_decompose(np.eye(4))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_u_params_reconstruction(seed):
+    unitary = unitary_group.rvs(2, random_state=100 + seed)
+    theta, phi, lam, phase = u_params(unitary)
+    reconstructed = np.exp(1j * phase) * gate_matrix("u", (theta, phi, lam))
+    assert np.allclose(reconstructed, unitary, atol=1e-8)
+
+
+def test_normalize_angle_range():
+    for angle in (-10.0, -math.pi, 0.0, 1.0, math.pi, 7.5, 100.0):
+        wrapped = normalize_angle(angle)
+        assert -math.pi < wrapped <= math.pi
+        # Same angle modulo 2*pi.
+        assert math.isclose(
+            math.cos(wrapped), math.cos(angle), abs_tol=1e-12
+        )
+        assert math.isclose(
+            math.sin(wrapped), math.sin(angle), abs_tol=1e-12
+        )
+
+
+def test_is_identity_angle():
+    assert is_identity_angle(0.0)
+    assert is_identity_angle(2 * math.pi)
+    assert is_identity_angle(-4 * math.pi)
+    assert not is_identity_angle(0.1)
+    assert not is_identity_angle(math.pi)
+
+
+def test_matrices_equal_up_to_phase():
+    a = gate_matrix("h")
+    assert matrices_equal_up_to_phase(a, a)
+    assert matrices_equal_up_to_phase(1j * a, a)
+    assert matrices_equal_up_to_phase(np.exp(0.3j) * a, a)
+    assert not matrices_equal_up_to_phase(a, gate_matrix("x"))
+    assert not matrices_equal_up_to_phase(2.0 * a, a)
+    assert not matrices_equal_up_to_phase(np.eye(2), np.eye(4))

@@ -1,0 +1,64 @@
+"""Unit tests for feature-importance grouping (Fig. 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.importance import (
+    grouped_importances,
+    importance_table,
+    sorted_groups,
+    top_features,
+)
+from repro.fom.features import FEATURE_GROUPS, FEATURE_NAMES, GROUP_ORDER
+
+
+def test_grouped_importances_sum_preserved():
+    importances = np.full(30, 1.0 / 30)
+    grouped = grouped_importances(importances)
+    assert sum(grouped.values()) == pytest.approx(1.0)
+    assert set(grouped) == set(GROUP_ORDER)
+
+
+def test_grouped_importances_assigns_to_right_group():
+    importances = np.zeros(30)
+    index = FEATURE_NAMES.index("liveness")
+    importances[index] = 1.0
+    grouped = grouped_importances(importances)
+    assert grouped["Liveness"] == pytest.approx(1.0)
+    assert grouped["Gate counts"] == pytest.approx(0.0)
+
+
+def test_grouped_importances_validates_length():
+    with pytest.raises(ValueError):
+        grouped_importances(np.zeros(10))
+
+
+def test_importance_table_rows():
+    per_device = {
+        "Q20-A": np.full(30, 1.0 / 30),
+        "Q20-B": np.full(30, 1.0 / 30),
+    }
+    rows = importance_table(per_device)
+    assert len(rows) == len(GROUP_ORDER)
+    assert rows[0]["feature"] == GROUP_ORDER[0]
+    assert "Q20-A" in rows[0]
+    assert "Q20-B" in rows[0]
+
+
+def test_top_features():
+    importances = np.zeros(30)
+    importances[3] = 0.5
+    importances[7] = 0.3
+    top = top_features(importances, k=2)
+    assert top[0] == (FEATURE_NAMES[3], 0.5)
+    assert top[1] == (FEATURE_NAMES[7], 0.3)
+
+
+def test_sorted_groups_descending():
+    grouped = {"A": 0.1, "B": 0.7, "C": 0.2}
+    ordered = sorted_groups(grouped)
+    assert [name for name, _ in ordered] == ["B", "C", "A"]
+
+
+def test_every_feature_group_in_order():
+    assert set(FEATURE_GROUPS.values()) == set(GROUP_ORDER)

@@ -1,0 +1,72 @@
+"""Unit tests for study persistence (JSON save/load)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.persistence import (
+    load_datasets,
+    load_study_data,
+    save_study,
+    study_to_dict,
+)
+from repro.evaluation.study import FOM_ORDER, StudyConfig, run_study
+
+CONFIG = StudyConfig(
+    algorithms=["ghz", "bv", "qft"],
+    max_qubits=5,
+    shots=200,
+    seed=0,
+    optimization_level=1,
+    param_grid={
+        "n_estimators": [10],
+        "max_depth": [4],
+        "min_samples_leaf": [1],
+        "min_samples_split": [2],
+    },
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_study(config=CONFIG)
+
+
+def test_roundtrip_correlations(result, tmp_path):
+    path = save_study(result, tmp_path / "study.json")
+    data = load_study_data(path)
+    for fom in FOM_ORDER:
+        for column, value in result.correlations[fom].items():
+            assert data["correlations"][fom][column] == pytest.approx(value)
+    assert data["device_names"] == result.device_names
+
+
+def test_roundtrip_datasets(result, tmp_path):
+    path = save_study(result, tmp_path / "study.json")
+    datasets = load_datasets(path)
+    for name, original in result.datasets.items():
+        restored = datasets[name]
+        assert len(restored) == len(original)
+        assert np.allclose(restored.X, original.X)
+        assert np.allclose(restored.y, original.y)
+        for fom in FOM_ORDER:
+            assert np.allclose(
+                restored.fom_column(fom), original.fom_column(fom)
+            )
+
+
+def test_restored_dataset_trains_model(result, tmp_path):
+    from repro.ml import RandomForestRegressor, pearson_r
+
+    path = save_study(result, tmp_path / "study.json")
+    datasets = load_datasets(path)
+    data = next(iter(datasets.values()))
+    model = RandomForestRegressor(n_estimators=10, random_state=0)
+    model.fit(data.X, data.y)
+    assert pearson_r(data.y, model.predict(data.X)) > 0.5
+
+
+def test_serialization_is_json_compatible(result):
+    import json
+
+    text = json.dumps(study_to_dict(result))
+    assert "correlations" in text

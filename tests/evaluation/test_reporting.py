@@ -1,0 +1,78 @@
+"""Unit tests for ASCII report rendering."""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_fig3, format_series, format_table_i
+from repro.evaluation.study import FOM_ORDER, PROPOSED_LABEL, StudyResult
+from repro.predictor.dataset import CircuitDataset
+from repro.predictor.estimator import EstimatorReport
+
+
+def _fake_result():
+    correlations = {}
+    for index, fom in enumerate(FOM_ORDER):
+        base = 0.4 + 0.05 * index
+        correlations[fom] = {
+            "Q20-A": base, "Q20-B": base + 0.1, "Combined": base + 0.05,
+        }
+    correlations[PROPOSED_LABEL] = {
+        "Q20-A": 0.88, "Q20-B": 0.94, "Combined": 0.91,
+    }
+    reports = {
+        name: EstimatorReport(
+            device_name=name,
+            test_pearson=correlations[PROPOSED_LABEL][name],
+            train_pearson=0.99,
+            cv_score=0.9,
+            best_params={},
+            feature_importances=np.full(30, 1 / 30),
+            y_test=np.zeros(3),
+            y_test_pred=np.zeros(3),
+        )
+        for name in ("Q20-A", "Q20-B")
+    }
+    datasets = {
+        name: CircuitDataset(device_name=name) for name in ("Q20-A", "Q20-B")
+    }
+    result = StudyResult(
+        device_names=["Q20-A", "Q20-B"],
+        correlations=correlations,
+        reports=reports,
+        datasets=datasets,
+    )
+    from repro.evaluation.study import compute_improvements
+
+    result.improvements = compute_improvements(result)
+    return result
+
+
+def test_table_i_contains_all_rows():
+    text = format_table_i(_fake_result())
+    assert "TABLE I" in text
+    for fom in FOM_ORDER + [PROPOSED_LABEL]:
+        assert fom in text
+    assert "0.88" in text
+    assert "0.94" in text
+    assert "Improvement" in text
+
+
+def test_fig3_renders_bars():
+    per_device = {
+        "Q20-A": np.full(30, 1 / 30),
+        "Q20-B": np.linspace(0.0, 1.0, 30) / np.linspace(0.0, 1.0, 30).sum(),
+    }
+    text = format_fig3(per_device)
+    assert "Fig. 3" in text
+    assert "Liveness" in text
+    assert "#" in text
+
+
+def test_format_series_alignment():
+    text = format_series(
+        "Figure X", "qubits", [2, 3, 4],
+        {"metric_a": [0.1, 0.2, 0.3], "metric_b": [1.0, 2.0, 3.0]},
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Figure X"
+    assert "metric_a" in lines[2]
+    assert len(lines) == 4 + 3

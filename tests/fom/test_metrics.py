@@ -1,0 +1,126 @@
+"""Unit tests for the established figures of merit."""
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.fom.metrics import (
+    ESTABLISHED_FOMS,
+    circuit_depth,
+    esp,
+    esp_decay_factor,
+    expected_fidelity,
+    gate_count,
+    two_qubit_gate_count,
+)
+from repro.hardware import make_q20a
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_q20a()
+
+
+def _native_circuit(device):
+    qc = QuantumCircuit(device.num_qubits, device.num_qubits)
+    qc.prx(0.3, 0.0, 0)
+    qc.cz(0, 1)
+    qc.prx(0.2, 0.4, 1)
+    qc.measure(0, 0)
+    qc.measure(1, 1)
+    return qc
+
+
+def test_gate_count(device):
+    qc = _native_circuit(device)
+    assert gate_count(qc) == 3
+    assert gate_count(qc, two_qubit_only=True) == 1
+    assert two_qubit_gate_count(qc) == 1
+
+
+def test_circuit_depth(device):
+    qc = _native_circuit(device)
+    assert circuit_depth(qc) == qc.depth()
+
+
+def test_expected_fidelity_is_product(device):
+    qc = _native_circuit(device)
+    cal = device.reported_calibration
+    expected = (
+        cal.one_qubit_fidelity[0]
+        * cal.edge_fidelity(0, 1)
+        * cal.one_qubit_fidelity[1]
+        * cal.readout_fidelity[0]
+        * cal.readout_fidelity[1]
+    )
+    assert expected_fidelity(qc, device) == pytest.approx(expected)
+
+
+def test_expected_fidelity_uses_reported_by_default(device):
+    qc = _native_circuit(device)
+    reported = expected_fidelity(qc, device)
+    true = expected_fidelity(
+        qc, device, calibration=device.true_calibration
+    )
+    assert reported != pytest.approx(true, abs=1e-12)
+
+
+def test_expected_fidelity_empty_circuit(device):
+    qc = QuantumCircuit(device.num_qubits)
+    assert expected_fidelity(qc, device) == pytest.approx(1.0)
+
+
+def test_expected_fidelity_rejects_three_qubit_gate(device):
+    qc = QuantumCircuit(device.num_qubits)
+    qc.ccz(0, 1, 2)
+    with pytest.raises(ValueError, match="compiled"):
+        expected_fidelity(qc, device)
+
+
+def test_esp_below_expected_fidelity_when_idle(device):
+    qc = QuantumCircuit(device.num_qubits, device.num_qubits)
+    # Qubit 1 idles while qubit 0 works.
+    for _ in range(50):
+        qc.prx(0.1, 0.0, 0)
+    qc.cz(0, 1)
+    qc.measure(0, 0)
+    qc.measure(1, 1)
+    assert esp(qc, device) < expected_fidelity(qc, device)
+
+
+def test_esp_equals_fidelity_times_decay(device):
+    qc = _native_circuit(device)
+    assert esp(qc, device) == pytest.approx(
+        expected_fidelity(qc, device) * esp_decay_factor(qc, device)
+    )
+
+
+def test_esp_decay_in_unit_interval(device):
+    qc = _native_circuit(device)
+    decay = esp_decay_factor(qc, device)
+    assert 0.0 < decay <= 1.0
+
+
+def test_established_foms_registry(device):
+    qc = _native_circuit(device)
+    assert set(ESTABLISHED_FOMS) == {
+        "Number of gates", "Circuit depth", "Expected fidelity", "ESP",
+    }
+    for name, (fn, higher_better) in ESTABLISHED_FOMS.items():
+        value = fn(qc, device)
+        assert isinstance(value, float)
+        if name in ("Expected fidelity", "ESP"):
+            assert higher_better
+            assert 0 <= value <= 1
+        else:
+            assert not higher_better
+
+
+def test_more_gates_lower_fidelity(device):
+    short = QuantumCircuit(device.num_qubits)
+    short.cz(0, 1)
+    long = QuantumCircuit(device.num_qubits)
+    for _ in range(10):
+        long.cz(0, 1)
+    assert expected_fidelity(long, device) < expected_fidelity(short, device)

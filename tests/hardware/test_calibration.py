@@ -1,0 +1,145 @@
+"""Unit tests for calibration data and the drift (staleness) model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.calibration import (
+    Calibration,
+    GateDurations,
+    drift_calibration,
+    random_calibration,
+)
+from repro.hardware.coupling import grid_map
+
+
+@pytest.fixture
+def calibration():
+    return random_calibration(grid_map(2, 3), np.random.default_rng(0))
+
+
+def test_random_calibration_covers_all_qubits_and_edges(calibration):
+    coupling = grid_map(2, 3)
+    assert set(calibration.one_qubit_fidelity) == set(range(6))
+    assert set(calibration.readout_fidelity) == set(range(6))
+    assert set(calibration.two_qubit_fidelity) == set(coupling.edges)
+    assert set(calibration.t1) == set(range(6))
+
+
+def test_random_calibration_ranges(calibration):
+    for value in calibration.one_qubit_fidelity.values():
+        assert 0.99 < value <= 1.0
+    for value in calibration.two_qubit_fidelity.values():
+        assert 0.9 < value < 1.0
+    for q in range(6):
+        assert calibration.t2[q] <= 2.0 * calibration.t1[q] + 1e-9
+
+
+def test_edge_fidelity_symmetric_lookup(calibration):
+    assert calibration.edge_fidelity(0, 1) == calibration.edge_fidelity(1, 0)
+
+
+def test_min_relaxation(calibration):
+    q = 0
+    assert calibration.min_relaxation(q) == min(
+        calibration.t1[q], calibration.t2[q]
+    )
+
+
+def test_validation_rejects_bad_fidelity():
+    with pytest.raises(ValueError):
+        Calibration(
+            one_qubit_fidelity={0: 1.5},
+            two_qubit_fidelity={},
+            readout_fidelity={0: 0.9},
+            t1={0: 1000.0},
+            t2={0: 1000.0},
+        )
+
+
+def test_validation_rejects_unsorted_edge():
+    with pytest.raises(ValueError, match="sorted"):
+        Calibration(
+            one_qubit_fidelity={0: 0.99, 1: 0.99},
+            two_qubit_fidelity={(1, 0): 0.98},
+            readout_fidelity={0: 0.9, 1: 0.9},
+            t1={0: 1000.0, 1: 1000.0},
+            t2={0: 900.0, 1: 900.0},
+        )
+
+
+def test_validation_rejects_nonpositive_t1():
+    with pytest.raises(ValueError):
+        Calibration(
+            one_qubit_fidelity={0: 0.99},
+            two_qubit_fidelity={},
+            readout_fidelity={0: 0.9},
+            t1={0: 0.0},
+            t2={0: 100.0},
+        )
+
+
+def test_drift_changes_values(calibration):
+    rng = np.random.default_rng(1)
+    stale = drift_calibration(calibration, rng)
+    assert stale.timestamp == "stale"
+    changed_t1 = sum(
+        1 for q in calibration.t1 if abs(stale.t1[q] - calibration.t1[q]) > 1e-9
+    )
+    assert changed_t1 == len(calibration.t1)
+    # Fidelities stay in (0.5, 1].
+    for value in stale.two_qubit_fidelity.values():
+        assert 0.5 <= value <= 1.0
+
+
+def test_drift_zero_magnitude_is_identity(calibration):
+    rng = np.random.default_rng(2)
+    stale = drift_calibration(
+        calibration, rng, fidelity_drift=0.0, relaxation_drift=0.0
+    )
+    for q, value in calibration.one_qubit_fidelity.items():
+        assert stale.one_qubit_fidelity[q] == pytest.approx(value)
+    for q, value in calibration.t1.items():
+        assert stale.t1[q] == pytest.approx(value)
+
+
+def test_drift_relaxation_stronger_than_fidelity(calibration):
+    """Relative T1 drift should exceed relative infidelity drift on average."""
+    rng = np.random.default_rng(3)
+    rel_t1, rel_fid = [], []
+    for _ in range(30):
+        stale = drift_calibration(
+            calibration, rng, fidelity_drift=0.2, relaxation_drift=0.8
+        )
+        for q in calibration.t1:
+            rel_t1.append(abs(np.log(stale.t1[q] / calibration.t1[q])))
+        for e, value in calibration.two_qubit_fidelity.items():
+            rel_fid.append(
+                abs(np.log((1 - stale.two_qubit_fidelity[e]) / (1 - value)))
+            )
+    assert np.mean(rel_t1) > 2 * np.mean(rel_fid)
+
+
+def test_drift_rejects_negative_magnitude(calibration):
+    with pytest.raises(ValueError):
+        drift_calibration(
+            calibration, np.random.default_rng(0), fidelity_drift=-1.0
+        )
+
+
+def test_durations_lookup():
+    durations = GateDurations(one_qubit=40, two_qubit=120, readout=800)
+    assert durations.of(1, is_measure=False) == 40
+    assert durations.of(2, is_measure=False) == 120
+    assert durations.of(1, is_measure=True) == 800
+
+
+def test_copy_is_deep(calibration):
+    clone = calibration.copy(timestamp="copy")
+    clone.t1[0] = 1.0
+    assert calibration.t1[0] != 1.0
+    assert clone.timestamp == "copy"
+
+
+def test_mean_helpers(calibration):
+    assert 0.9 < calibration.mean_two_qubit_fidelity() < 1.0
+    assert 0.9 < calibration.mean_readout_fidelity() < 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for device models and the Q20 pair."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware import (
+    IQM_NATIVE_GATES,
+    make_device,
+    make_q20a,
+    make_q20b,
+    q20_coupling,
+)
+from repro.hardware.coupling import line_map
+
+
+def test_q20_devices_shape():
+    for device in (make_q20a(), make_q20b()):
+        assert device.num_qubits == 20
+        assert device.native_gates == IQM_NATIVE_GATES
+        assert len(device.coupling.edges) == 31
+        assert device.coupling.is_connected()
+
+
+def test_q20_names():
+    assert make_q20a().name == "Q20-A"
+    assert make_q20b().name == "Q20-B"
+
+
+def test_q20a_noisier_than_q20b():
+    qa, qb = make_q20a(), make_q20b()
+    assert (
+        qa.true_calibration.mean_two_qubit_fidelity()
+        < qb.true_calibration.mean_two_qubit_fidelity()
+    )
+    assert qa.noise.crosstalk_two_two > qb.noise.crosstalk_two_two
+
+
+def test_devices_deterministic():
+    a1, a2 = make_q20a(), make_q20a()
+    assert a1.true_calibration.t1 == a2.true_calibration.t1
+    assert a1.reported_calibration.t1 == a2.reported_calibration.t1
+
+
+def test_reported_differs_from_true():
+    device = make_q20a()
+    diffs = [
+        abs(device.reported_calibration.t1[q] - device.true_calibration.t1[q])
+        for q in range(20)
+    ]
+    assert all(d > 0 for d in diffs)
+
+
+def test_validate_accepts_native_circuit():
+    device = make_q20a()
+    qc = QuantumCircuit(20, 20)
+    qc.prx(0.3, 0.1, 0)
+    qc.cz(0, 1)
+    qc.rz(0.2, 1)
+    qc.measure(0, 0)
+    device.validate_circuit(qc)  # no raise
+
+
+def test_validate_rejects_non_native_gate():
+    device = make_q20a()
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    with pytest.raises(ValueError, match="not native"):
+        device.validate_circuit(qc)
+
+
+def test_validate_rejects_non_adjacent_cz():
+    device = make_q20a()
+    qc = QuantumCircuit(20)
+    qc.cz(0, 19)
+    with pytest.raises(ValueError, match="non-adjacent"):
+        device.validate_circuit(qc)
+
+
+def test_validate_rejects_too_wide():
+    device = make_q20a()
+    qc = QuantumCircuit(25)
+    with pytest.raises(ValueError, match="qubits"):
+        device.validate_circuit(qc)
+
+
+def test_make_device_custom():
+    device = make_device("test", line_map(4), seed=5)
+    assert device.num_qubits == 4
+    assert device.supports("prx")
+    assert not device.supports("h")
+
+
+def test_q20_coupling_is_grid():
+    coupling = q20_coupling()
+    assert coupling.num_qubits == 20
+    assert coupling.has_edge(0, 1)
+    assert coupling.has_edge(0, 5)
+    assert not coupling.has_edge(4, 5)  # row wrap must not connect

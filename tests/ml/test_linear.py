@@ -1,0 +1,65 @@
+"""Unit tests for linear baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, RidgeRegression
+
+
+def test_ols_recovers_coefficients():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, size=(200, 3))
+    y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 + 0.001 * rng.standard_normal(200)
+    model = LinearRegression().fit(X, y)
+    assert model.coef_[0] == pytest.approx(2.0, abs=0.01)
+    assert model.coef_[1] == pytest.approx(-1.0, abs=0.01)
+    assert model.coef_[2] == pytest.approx(0.0, abs=0.01)
+    assert model.intercept_ == pytest.approx(0.5, abs=0.01)
+
+
+def test_ols_exact_on_noiseless_data():
+    X = np.array([[0.0], [1.0], [2.0]])
+    y = np.array([1.0, 3.0, 5.0])
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.predict(X), y, atol=1e-10)
+
+
+def test_ols_predict_before_fit():
+    with pytest.raises(RuntimeError):
+        LinearRegression().predict([[1.0]])
+
+
+def test_ridge_shrinks_towards_zero():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-1, 1, size=(100, 2))
+    y = 3.0 * X[:, 0]
+    small = RidgeRegression(alpha=0.01).fit(X, y)
+    large = RidgeRegression(alpha=1000.0).fit(X, y)
+    assert abs(large.coef_[0]) < abs(small.coef_[0])
+
+
+def test_ridge_handles_constant_feature():
+    X = np.column_stack([np.ones(50), np.linspace(0, 1, 50)])
+    y = 2.0 * X[:, 1]
+    model = RidgeRegression(alpha=0.1).fit(X, y)
+    predictions = model.predict(X)
+    assert np.all(np.isfinite(predictions))
+
+
+def test_ridge_rejects_negative_alpha():
+    with pytest.raises(ValueError):
+        RidgeRegression(alpha=-1.0)
+
+
+def test_clone_and_params():
+    model = RidgeRegression(alpha=2.0)
+    clone = model.clone()
+    assert clone.alpha == 2.0
+    clone.set_params(alpha=5.0)
+    assert model.alpha == 2.0
+    with pytest.raises(ValueError):
+        clone.set_params(beta=1)
+    lin = LinearRegression()
+    assert lin.clone().get_params() == {}
+    with pytest.raises(ValueError):
+        lin.set_params(alpha=1)

@@ -1,0 +1,89 @@
+"""Unit tests for ML metrics (Pearson, Spearman, regression errors)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    pearson_r,
+    r2_score,
+    root_mean_squared_error,
+    spearman_r,
+)
+
+
+def test_pearson_perfect_correlation():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    assert pearson_r(x, 2 * x + 1) == pytest.approx(1.0)
+    assert pearson_r(x, -x) == pytest.approx(-1.0)
+
+
+def test_pearson_matches_scipy():
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        x = rng.standard_normal(40)
+        y = rng.standard_normal(40)
+        assert pearson_r(x, y) == pytest.approx(
+            stats.pearsonr(x, y)[0], abs=1e-12
+        )
+
+
+def test_pearson_constant_input_returns_zero():
+    assert pearson_r(np.ones(5), np.arange(5.0)) == 0.0
+
+
+def test_pearson_validates_input():
+    with pytest.raises(ValueError):
+        pearson_r(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        pearson_r(np.zeros(1), np.zeros(1))
+
+
+def test_spearman_matches_scipy():
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        x = rng.standard_normal(30)
+        y = x ** 3 + 0.1 * rng.standard_normal(30)
+        assert spearman_r(x, y) == pytest.approx(
+            stats.spearmanr(x, y)[0], abs=1e-10
+        )
+
+
+def test_spearman_with_ties_matches_scipy():
+    x = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0])
+    y = np.array([2.0, 1.0, 3.0, 5.0, 4.0, 4.0])
+    assert spearman_r(x, y) == pytest.approx(
+        stats.spearmanr(x, y)[0], abs=1e-10
+    )
+
+
+def test_spearman_invariant_to_monotone_transform():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(0.1, 5.0, size=50)
+    y = rng.uniform(0.1, 5.0, size=50)
+    assert spearman_r(x, y) == pytest.approx(
+        spearman_r(np.log(x), y ** 3), abs=1e-10
+    )
+
+
+def test_r2_perfect_and_mean_predictor():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, y) == pytest.approx(1.0)
+    assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+
+def test_r2_constant_truth():
+    y = np.ones(4)
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, y + 1) == 0.0
+
+
+def test_mae_and_rmse():
+    y_true = np.array([0.0, 0.0, 0.0, 0.0])
+    y_pred = np.array([1.0, -1.0, 1.0, -1.0])
+    assert mean_absolute_error(y_true, y_pred) == pytest.approx(1.0)
+    assert root_mean_squared_error(y_true, y_pred) == pytest.approx(1.0)
+    y_pred2 = np.array([2.0, 0.0, 0.0, 0.0])
+    assert mean_absolute_error(y_true, y_pred2) == pytest.approx(0.5)
+    assert root_mean_squared_error(y_true, y_pred2) == pytest.approx(1.0)

@@ -1,0 +1,60 @@
+"""Unit tests for the kNN regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.neighbors import KNeighborsRegressor
+
+
+def test_one_neighbor_memorizes():
+    X = np.array([[0.0], [1.0], [2.0]])
+    y = np.array([10.0, 20.0, 30.0])
+    model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+    assert np.allclose(model.predict(X), y)
+
+
+def test_k_equals_n_returns_mean():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([1.0, 2.0, 3.0, 4.0])
+    model = KNeighborsRegressor(n_neighbors=4).fit(X, y)
+    assert model.predict([[1.5]])[0] == pytest.approx(y.mean())
+
+
+def test_distance_weighting_prefers_close_points():
+    X = np.array([[0.0], [10.0]])
+    y = np.array([0.0, 1.0])
+    uniform = KNeighborsRegressor(n_neighbors=2, weights="uniform").fit(X, y)
+    weighted = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+    probe = [[1.0]]
+    assert uniform.predict(probe)[0] == pytest.approx(0.5)
+    assert weighted.predict(probe)[0] < 0.5
+
+
+def test_standardization_balances_feature_scales():
+    rng = np.random.default_rng(0)
+    n = 200
+    signal = rng.uniform(-1, 1, size=n)
+    noise_feature = rng.uniform(-1000, 1000, size=n)
+    X = np.column_stack([signal, noise_feature])
+    y = signal
+    model = KNeighborsRegressor(n_neighbors=5).fit(X[:150], y[:150])
+    predictions = model.predict(X[150:])
+    correlation = np.corrcoef(predictions, y[150:])[0, 1]
+    assert correlation > 0.6
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KNeighborsRegressor(n_neighbors=0)
+    with pytest.raises(ValueError):
+        KNeighborsRegressor(weights="bogus")
+    with pytest.raises(ValueError, match="fewer"):
+        KNeighborsRegressor(n_neighbors=10).fit(np.zeros((3, 1)), np.zeros(3))
+    with pytest.raises(RuntimeError):
+        KNeighborsRegressor().predict([[0.0]])
+
+
+def test_clone_params():
+    model = KNeighborsRegressor(n_neighbors=7, weights="distance")
+    clone = model.clone()
+    assert clone.get_params() == model.get_params()

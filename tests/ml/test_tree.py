@@ -1,0 +1,124 @@
+"""Unit tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _step_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = np.where(X[:, 0] > 0.0, 1.0, -1.0)
+    return X, y
+
+
+def test_learns_step_function():
+    X, y = _step_data()
+    tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+    predictions = tree.predict(X)
+    assert np.mean((predictions - y) ** 2) < 0.01
+
+
+def test_perfect_fit_unbounded_depth():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(0, 1, size=(50, 2))
+    y = rng.uniform(0, 1, size=50)
+    tree = DecisionTreeRegressor().fit(X, y)
+    assert np.allclose(tree.predict(X), y, atol=1e-12)
+
+
+def test_max_depth_limits_tree():
+    X, y = _step_data()
+    tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+    assert tree.depth() <= 1
+    assert tree.num_leaves() <= 2
+
+
+def test_min_samples_leaf_respected():
+    X, y = _step_data(100)
+    tree = DecisionTreeRegressor(min_samples_leaf=30).fit(X, y)
+    # With 100 samples and 30-minimum leaves, at most 3 leaves exist.
+    assert tree.num_leaves() <= 3
+
+
+def test_min_samples_split():
+    X, y = _step_data(10)
+    tree = DecisionTreeRegressor(min_samples_split=100).fit(X, y)
+    assert tree.num_leaves() == 1
+    assert tree.predict(X[:2])[0] == pytest.approx(y.mean())
+
+
+def test_constant_target_single_leaf():
+    X = np.arange(20, dtype=float).reshape(-1, 1)
+    y = np.full(20, 3.5)
+    tree = DecisionTreeRegressor().fit(X, y)
+    assert tree.num_leaves() == 1
+    assert tree.predict([[100.0]])[0] == pytest.approx(3.5)
+
+
+def test_feature_importances_identify_signal():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(-1, 1, size=(300, 4))
+    y = 2.0 * X[:, 2] + 0.01 * rng.standard_normal(300)
+    tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    assert tree.feature_importances_ is not None
+    assert np.argmax(tree.feature_importances_) == 2
+    assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+
+def test_max_features_subsampling_changes_splits():
+    X, y = _step_data(300, seed=3)
+    full = DecisionTreeRegressor(random_state=0).fit(X, y)
+    sub = DecisionTreeRegressor(max_features=1, random_state=0).fit(X, y)
+    assert full.depth() <= sub.depth()
+
+
+def test_max_features_string_options():
+    X, y = _step_data(50)
+    for option in ("sqrt", "log2", 0.5, 2):
+        tree = DecisionTreeRegressor(max_features=option, random_state=1)
+        tree.fit(X, y)
+        assert tree.predict(X).shape == (50,)
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(RuntimeError, match="not fitted"):
+        DecisionTreeRegressor().predict([[1.0]])
+
+
+def test_fit_validates_shapes():
+    tree = DecisionTreeRegressor()
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((3, 2)), np.zeros(5))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros(3), np.zeros(3))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((0, 2)), np.zeros(0))
+
+
+def test_clone_and_params_roundtrip():
+    tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=3)
+    clone = tree.clone()
+    assert clone.get_params() == tree.get_params()
+    clone.set_params(max_depth=2)
+    assert tree.max_depth == 5
+    with pytest.raises(ValueError, match="unknown parameter"):
+        clone.set_params(bogus=1)
+
+
+def test_duplicate_feature_values_handled():
+    X = np.array([[1.0], [1.0], [1.0], [2.0], [2.0]])
+    y = np.array([0.0, 0.0, 0.0, 1.0, 1.0])
+    tree = DecisionTreeRegressor().fit(X, y)
+    assert tree.predict([[1.0]])[0] == pytest.approx(0.0)
+    assert tree.predict([[2.0]])[0] == pytest.approx(1.0)
+
+
+def test_deterministic_given_random_state():
+    rng = np.random.default_rng(5)
+    X = rng.uniform(size=(100, 5))
+    y = rng.uniform(size=100)
+    a = DecisionTreeRegressor(max_features="sqrt", random_state=7).fit(X, y)
+    b = DecisionTreeRegressor(max_features="sqrt", random_state=7).fit(X, y)
+    assert np.array_equal(a.predict(X), b.predict(X))

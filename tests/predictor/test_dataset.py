@@ -1,0 +1,93 @@
+"""Unit tests for dataset construction (features + Hellinger labels)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import build_suite
+from repro.hardware import make_q20a, make_q20b
+from repro.predictor.dataset import build_dataset
+
+SMALL_SUITE = build_suite(algorithms=["ghz", "bv", "qft"], max_qubits=5)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        SMALL_SUITE, make_q20a(), shots=500, seed=0, optimization_level=1
+    )
+
+
+def test_dataset_covers_suite(dataset):
+    assert len(dataset) == len(SMALL_SUITE)
+    assert dataset.device_name == "Q20-A"
+
+
+def test_feature_matrix_shape(dataset):
+    assert dataset.X.shape == (len(SMALL_SUITE), 30)
+    assert np.all(np.isfinite(dataset.X))
+
+
+def test_labels_in_unit_interval(dataset):
+    assert np.all(dataset.y >= 0)
+    assert np.all(dataset.y <= 1)
+
+
+def test_fom_values_recorded(dataset):
+    for fom in ("Number of gates", "Circuit depth", "Expected fidelity", "ESP"):
+        column = dataset.fom_column(fom)
+        assert len(column) == len(dataset)
+        assert np.all(np.isfinite(column))
+    fidelity = dataset.fom_column("Expected fidelity")
+    esp = dataset.fom_column("ESP")
+    assert np.all(esp <= fidelity + 1e-12)
+
+
+def test_entries_metadata(dataset):
+    entry = dataset.entries[0]
+    assert entry.algorithm in ("ghz", "bv", "qft")
+    assert entry.compiled_depth > 0
+    assert entry.compiled_two_qubit_gates >= 0
+    assert 0 <= entry.success_probability <= 1
+
+
+def test_depth_limit_filters():
+    tight = build_dataset(
+        SMALL_SUITE, make_q20a(), shots=100, seed=0,
+        optimization_level=1, depth_limit=10,
+    )
+    assert len(tight) < len(SMALL_SUITE)
+
+
+def test_ideal_cache_shared_across_devices():
+    cache = {}
+    a = build_dataset(
+        SMALL_SUITE, make_q20a(), shots=100, seed=0,
+        optimization_level=1, ideal_cache=cache,
+    )
+    assert len(cache) == len(SMALL_SUITE)
+    before = dict(cache)
+    b = build_dataset(
+        SMALL_SUITE, make_q20b(), shots=100, seed=0,
+        optimization_level=1, ideal_cache=cache,
+    )
+    assert cache.keys() == before.keys()
+    assert len(b) == len(SMALL_SUITE)
+
+
+def test_deterministic_given_seed():
+    a = build_dataset(SMALL_SUITE, make_q20a(), shots=100, seed=3,
+                      optimization_level=1)
+    b = build_dataset(SMALL_SUITE, make_q20a(), shots=100, seed=3,
+                      optimization_level=1)
+    assert np.array_equal(a.y, b.y)
+    assert np.array_equal(a.X, b.X)
+
+
+def test_labels_differ_between_devices():
+    a = build_dataset(SMALL_SUITE, make_q20a(), shots=500, seed=0,
+                      optimization_level=1)
+    b = build_dataset(SMALL_SUITE, make_q20b(), shots=500, seed=0,
+                      optimization_level=1)
+    assert not np.allclose(a.y, b.y)
+    # The cleaner device should produce smaller distances on average.
+    assert b.y.mean() < a.y.mean()

@@ -1,0 +1,91 @@
+"""Unit tests for the Hellinger estimator (the proposed figure of merit)."""
+
+import numpy as np
+import pytest
+
+from repro.predictor.estimator import (
+    DEFAULT_PARAM_GRID,
+    HellingerEstimator,
+    train_and_evaluate,
+)
+
+SMALL_GRID = {"n_estimators": [20], "max_depth": [10], "min_samples_leaf": [1],
+              "min_samples_split": [2]}
+
+
+def _synthetic_labels(n=150, seed=0):
+    """Labels resembling Hellinger distances driven by 30 features."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 30))
+    raw = 2.2 * X[:, 12] + 1.4 * X[:, 8] + 0.7 * X[:, 17]
+    y = 1.0 - np.exp(-raw)
+    y += 0.02 * rng.standard_normal(n)
+    return X, np.clip(y, 0, 1)
+
+
+def test_fit_predict_quality():
+    X, y = _synthetic_labels()
+    estimator = HellingerEstimator(param_grid=SMALL_GRID, seed=0).fit(X, y)
+    assert estimator.score(X, y) > 0.9
+
+
+def test_unfitted_raises():
+    estimator = HellingerEstimator()
+    with pytest.raises(RuntimeError):
+        estimator.predict(np.zeros((1, 30)))
+    with pytest.raises(RuntimeError):
+        _ = estimator.feature_importances_
+
+
+def test_grid_search_records_best_params():
+    X, y = _synthetic_labels(80)
+    grid = {"n_estimators": [5, 15], "max_depth": [2, 6],
+            "min_samples_leaf": [1], "min_samples_split": [2]}
+    estimator = HellingerEstimator(param_grid=grid, seed=1).fit(X, y)
+    assert set(estimator.best_params_) == set(grid)
+    assert np.isfinite(estimator.cv_score_)
+
+
+def test_feature_importances_highlight_signal():
+    X, y = _synthetic_labels(300, seed=2)
+    estimator = HellingerEstimator(param_grid=SMALL_GRID, seed=2).fit(X, y)
+    top = set(np.argsort(estimator.feature_importances_)[-3:])
+    assert 12 in top
+
+
+def test_default_grid_matches_paper_hyperparameters():
+    assert "n_estimators" in DEFAULT_PARAM_GRID
+    assert "max_depth" in DEFAULT_PARAM_GRID
+    assert "min_samples_leaf" in DEFAULT_PARAM_GRID
+    assert "min_samples_split" in DEFAULT_PARAM_GRID
+
+
+def test_train_and_evaluate_protocol():
+    X, y = _synthetic_labels(200, seed=3)
+    report = train_and_evaluate(
+        X, y, device_name="TEST", test_size=0.2, n_splits=3, seed=0,
+        param_grid=SMALL_GRID,
+    )
+    assert report.device_name == "TEST"
+    assert len(report.y_test) == 40
+    assert len(report.y_test_pred) == 40
+    assert report.test_pearson > 0.8
+    assert report.train_pearson >= report.test_pearson - 0.1
+    assert report.feature_importances.shape == (30,)
+
+
+def test_train_test_split_is_disjoint():
+    X, y = _synthetic_labels(100, seed=4)
+    report = train_and_evaluate(
+        X, y, test_size=0.2, seed=5, param_grid=SMALL_GRID
+    )
+    assert len(set(report.test_indices.tolist())) == len(report.test_indices)
+    assert len(report.test_indices) == 20
+
+
+def test_deterministic_given_seed():
+    X, y = _synthetic_labels(100, seed=6)
+    a = train_and_evaluate(X, y, seed=7, param_grid=SMALL_GRID)
+    b = train_and_evaluate(X, y, seed=7, param_grid=SMALL_GRID)
+    assert a.test_pearson == pytest.approx(b.test_pearson)
+    assert np.array_equal(a.test_indices, b.test_indices)

@@ -1,0 +1,80 @@
+"""Unit tests for the PST (mirror-circuit) extension."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.random import random_circuit
+from repro.hardware import make_q20a
+from repro.predictor.pst import mirror_circuit, pst, pst_label
+from repro.simulation.statevector import ideal_distribution
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_q20a()
+
+
+def test_mirror_ideal_output_is_all_zeros():
+    qc = random_circuit(4, 8, seed=1, measure=True)
+    mirrored = mirror_circuit(qc)
+    dist = ideal_distribution(mirrored)
+    assert dist == {"0000": pytest.approx(1.0)}
+
+
+def test_mirror_has_double_gates():
+    qc = random_circuit(3, 6, seed=2)
+    mirrored = mirror_circuit(qc)
+    gates = sum(1 for ins in mirrored.instructions if ins.is_unitary)
+    assert gates == 2 * qc.size()
+    assert len(mirrored.measured_qubits()) == 3
+
+
+def test_mirror_strips_existing_measures():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0).cx(0, 1)
+    qc.measure_all()
+    mirrored = mirror_circuit(qc)
+    measures = [ins for ins in mirrored.instructions if ins.name == "measure"]
+    assert len(measures) == 2
+
+
+def test_pst_in_unit_interval(device):
+    qc = random_circuit(4, 5, seed=3, measure=True)
+    value, executed = pst(qc, device, shots=500, seed=1)
+    assert 0.0 <= value <= 1.0
+    device.validate_circuit(executed)
+
+
+def test_pst_decreases_with_depth(device):
+    shallow = random_circuit(4, 2, seed=4, measure=True)
+    deep = random_circuit(4, 30, seed=4, measure=True)
+    shallow_pst, _ = pst(shallow, device, shots=2000, seed=2)
+    deep_pst, _ = pst(deep, device, shots=2000, seed=2)
+    assert deep_pst < shallow_pst
+
+
+def test_pst_label_monotone_transform(device):
+    qc = random_circuit(3, 4, seed=5, measure=True)
+    value, _ = pst(qc, device, shots=500, seed=3)
+    label = pst_label(qc, device, shots=500, seed=3)
+    assert label == pytest.approx((1.0 - value) ** 0.5)
+
+
+def test_pst_correlates_with_hellinger_label(device):
+    """PST-derived labels must rank circuits like Hellinger labels do."""
+    from repro.compiler import compile_circuit
+    from repro.simulation.executor import execute_and_label
+
+    depths = [2, 40]
+    hellinger, pst_vals = [], []
+    for depth in depths:
+        qc = random_circuit(4, depth, seed=6, measure=True)
+        compiled = compile_circuit(qc, device, optimization_level=2, seed=1)
+        d, _ = execute_and_label(compiled.circuit, device, shots=2000, seed=4)
+        hellinger.append(d)
+        pst_vals.append(pst_label(qc, device, shots=2000, seed=4))
+    # Distribution-shape effects allow local non-monotonicity, so compare
+    # only the shallow-vs-deep endpoints, where both labels must agree.
+    assert hellinger[1] > hellinger[0]
+    assert pst_vals[1] > pst_vals[0]

@@ -1,0 +1,112 @@
+"""Unit tests for Kraus channels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.channels import (
+    amplitude_damping,
+    bit_flip,
+    compose_channels,
+    depolarizing,
+    identity_channel,
+    is_trace_preserving,
+    phase_damping,
+    phase_flip,
+    readout_confusion_matrix,
+    thermal_relaxation,
+    two_qubit_depolarizing,
+)
+
+ALL_CHANNELS = [
+    ("identity", identity_channel()),
+    ("bit_flip", bit_flip(0.1)),
+    ("phase_flip", phase_flip(0.2)),
+    ("depolarizing", depolarizing(0.3)),
+    ("two_qubit_depolarizing", two_qubit_depolarizing(0.1)),
+    ("amplitude_damping", amplitude_damping(0.25)),
+    ("phase_damping", phase_damping(0.15)),
+    ("thermal", thermal_relaxation(100.0, 80.0, 10.0)),
+]
+
+
+@pytest.mark.parametrize("name,channel", ALL_CHANNELS)
+def test_trace_preserving(name, channel):
+    assert is_trace_preserving(channel), name
+
+
+def test_probability_validation():
+    for factory in (bit_flip, phase_flip, depolarizing, amplitude_damping,
+                    phase_damping):
+        with pytest.raises(ValueError):
+            factory(1.5)
+        with pytest.raises(ValueError):
+            factory(-0.1)
+
+
+def test_bit_flip_action():
+    channel = bit_flip(1.0)
+    rho = np.array([[1, 0], [0, 0]], dtype=complex)
+    out = sum(k @ rho @ k.conj().T for k in channel)
+    assert np.allclose(out, [[0, 0], [0, 1]])
+
+
+def test_depolarizing_fixed_point_is_maximally_mixed():
+    channel = depolarizing(0.75)  # full depolarization (p = 3/4)
+    rho = np.array([[1, 0], [0, 0]], dtype=complex)
+    out = sum(k @ rho @ k.conj().T for k in channel)
+    assert np.allclose(out, np.eye(2) / 2, atol=1e-12)
+
+
+def test_amplitude_damping_decays_excited_state():
+    channel = amplitude_damping(0.4)
+    rho = np.array([[0, 0], [0, 1]], dtype=complex)
+    out = sum(k @ rho @ k.conj().T for k in channel)
+    assert out[0, 0] == pytest.approx(0.4)
+    assert out[1, 1] == pytest.approx(0.6)
+
+
+def test_amplitude_damping_fixes_ground_state():
+    channel = amplitude_damping(0.9)
+    rho = np.array([[1, 0], [0, 0]], dtype=complex)
+    out = sum(k @ rho @ k.conj().T for k in channel)
+    assert np.allclose(out, rho)
+
+
+def test_phase_damping_kills_coherence_not_populations():
+    channel = phase_damping(1.0)
+    plus = np.full((2, 2), 0.5, dtype=complex)
+    out = sum(k @ plus @ k.conj().T for k in channel)
+    assert out[0, 0] == pytest.approx(0.5)
+    assert abs(out[0, 1]) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_thermal_relaxation_rejects_unphysical():
+    with pytest.raises(ValueError, match="unphysical"):
+        thermal_relaxation(10.0, 25.0, 1.0)
+    with pytest.raises(ValueError):
+        thermal_relaxation(-1.0, 1.0, 1.0)
+
+
+def test_thermal_relaxation_limits():
+    # Long duration: excited population fully decays.
+    channel = thermal_relaxation(1.0, 1.0, 100.0)
+    rho = np.array([[0, 0], [0, 1]], dtype=complex)
+    out = sum(k @ rho @ k.conj().T for k in channel)
+    assert out[0, 0] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_compose_channels_is_sequential():
+    full_flip = compose_channels(bit_flip(1.0), bit_flip(1.0))
+    rho = np.array([[1, 0], [0, 0]], dtype=complex)
+    out = sum(k @ rho @ k.conj().T for k in full_flip)
+    assert np.allclose(out, rho)  # two flips cancel
+    assert is_trace_preserving(full_flip)
+
+
+def test_readout_confusion_matrix_columns_sum_to_one():
+    m = readout_confusion_matrix(0.03, 0.08)
+    assert np.allclose(m.sum(axis=0), [1.0, 1.0])
+    assert m[1, 0] == pytest.approx(0.03)
+    assert m[0, 1] == pytest.approx(0.08)

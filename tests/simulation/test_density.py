@@ -1,0 +1,113 @@
+"""Unit tests for the density-matrix simulator (validation substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.random import random_circuit
+from repro.simulation.channels import (
+    amplitude_damping,
+    depolarizing,
+    two_qubit_depolarizing,
+)
+from repro.simulation.density import DensityMatrix, simulate_density
+from repro.simulation.statevector import ideal_distribution, simulate_statevector
+
+
+def test_initial_state_pure_zero():
+    rho = DensityMatrix(2)
+    assert rho.trace() == pytest.approx(1.0)
+    assert rho.purity() == pytest.approx(1.0)
+    assert rho.data[0, 0] == pytest.approx(1.0)
+
+
+def test_noiseless_matches_statevector():
+    qc = random_circuit(3, 8, seed=5)
+    rho = simulate_density(qc)
+    state = simulate_statevector(qc)
+    expected = np.outer(state.data, state.data.conj())
+    assert np.allclose(rho.data, expected, atol=1e-9)
+
+
+def test_noiseless_distribution_matches():
+    qc = random_circuit(3, 6, seed=7, measure=True)
+    rho = simulate_density(qc)
+    dm_dist = rho.measurement_distribution()
+    sv_dist = ideal_distribution(qc.without_directives().copy())
+    # ideal_distribution without measures reports all qubits.
+    sv_all = ideal_distribution(qc.without_directives())
+    for key in set(dm_dist) | set(sv_all):
+        assert dm_dist.get(key, 0.0) == pytest.approx(
+            sv_all.get(key, 0.0), abs=1e-9
+        )
+
+
+def test_depolarizing_noise_reduces_purity():
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1)
+    rho = simulate_density(
+        qc,
+        default_1q_noise=depolarizing(0.05),
+        default_2q_noise=two_qubit_depolarizing(0.05),
+    )
+    assert rho.trace() == pytest.approx(1.0, abs=1e-9)
+    assert rho.purity() < 1.0
+
+
+def test_noise_scaling_with_gate_count():
+    """More noisy gates -> lower fidelity with the ideal state (executor's premise)."""
+    purities = []
+    for repetitions in (1, 5, 10):
+        qc = QuantumCircuit(1)
+        for _ in range(repetitions):
+            qc.x(0)
+            qc.x(0)
+        rho = simulate_density(qc, default_1q_noise=depolarizing(0.05))
+        purities.append(rho.purity())
+    assert purities[0] > purities[1] > purities[2]
+
+
+def test_amplitude_damping_biases_towards_zero():
+    """Validates the executor's 0-biased 'garbage' distribution physically."""
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    for _ in range(20):
+        qc.i(0)
+    rho = simulate_density(qc, default_1q_noise=amplitude_damping(0.2))
+    dist = rho.measurement_distribution()
+    assert dist["0"] > dist["1"]
+
+
+def test_per_gate_noise_map():
+    qc = QuantumCircuit(1)
+    qc.x(0)  # index 0
+    qc.x(0)  # index 1
+    rho = simulate_density(qc, gate_noise={1: depolarizing(0.3)})
+    assert rho.purity() < 1.0
+    rho_clean = simulate_density(qc, gate_noise={})
+    assert rho_clean.purity() == pytest.approx(1.0)
+
+
+def test_trace_preserved_under_any_channel():
+    qc = random_circuit(2, 6, seed=9)
+    rho = simulate_density(
+        qc,
+        default_1q_noise=amplitude_damping(0.1),
+        default_2q_noise=two_qubit_depolarizing(0.2),
+    )
+    assert rho.trace() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_size_limit():
+    with pytest.raises(ValueError):
+        DensityMatrix(11)
+
+
+def test_measurement_distribution_subset():
+    qc = QuantumCircuit(2)
+    qc.x(1)
+    rho = simulate_density(qc)
+    assert rho.measurement_distribution([1]) == {"1": pytest.approx(1.0)}
+    assert rho.measurement_distribution([0]) == {"0": pytest.approx(1.0)}

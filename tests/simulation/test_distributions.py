@@ -1,0 +1,164 @@
+"""Unit tests for distribution utilities and the Hellinger distance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.distributions import (
+    apply_bitflip_confusion,
+    bhattacharyya_coefficient,
+    counts_to_distribution,
+    cross_entropy,
+    hellinger_distance,
+    hellinger_fidelity,
+    marginalize,
+    mix,
+    normalize,
+    shannon_entropy,
+    total_variation_distance,
+    uniform_distribution,
+    validate_distribution,
+)
+
+
+def test_hellinger_identity():
+    p = {"00": 0.5, "11": 0.5}
+    assert hellinger_distance(p, p) == pytest.approx(0.0)
+
+
+def test_hellinger_disjoint_support_is_one():
+    p = {"00": 1.0}
+    q = {"11": 1.0}
+    assert hellinger_distance(p, q) == pytest.approx(1.0)
+
+
+def test_hellinger_symmetry():
+    p = {"00": 0.7, "01": 0.3}
+    q = {"00": 0.2, "01": 0.5, "10": 0.3}
+    assert hellinger_distance(p, q) == pytest.approx(hellinger_distance(q, p))
+
+
+def test_hellinger_known_value():
+    p = {"0": 1.0}
+    q = {"0": 0.5, "1": 0.5}
+    expected = math.sqrt(1.0 - math.sqrt(0.5))
+    assert hellinger_distance(p, q) == pytest.approx(expected)
+
+
+def test_hellinger_triangle_inequality():
+    rng = np.random.default_rng(0)
+    keys = ["00", "01", "10", "11"]
+    for _ in range(50):
+        dists = []
+        for _ in range(3):
+            raw = rng.dirichlet(np.ones(4))
+            dists.append(dict(zip(keys, raw)))
+        p, q, r = dists
+        assert hellinger_distance(p, r) <= (
+            hellinger_distance(p, q) + hellinger_distance(q, r) + 1e-12
+        )
+
+
+def test_hellinger_fidelity_relationship():
+    p = {"0": 0.8, "1": 0.2}
+    q = {"0": 0.3, "1": 0.7}
+    d = hellinger_distance(p, q)
+    assert hellinger_fidelity(p, q) == pytest.approx((1 - d * d) ** 2)
+
+
+def test_total_variation_bounds_and_known_value():
+    p = {"0": 1.0}
+    q = {"0": 0.5, "1": 0.5}
+    assert total_variation_distance(p, q) == pytest.approx(0.5)
+    assert total_variation_distance(p, p) == pytest.approx(0.0)
+
+
+def test_bhattacharyya():
+    p = {"0": 0.5, "1": 0.5}
+    assert bhattacharyya_coefficient(p, p) == pytest.approx(1.0)
+
+
+def test_cross_entropy_self_is_entropy():
+    p = {"0": 0.25, "1": 0.75}
+    assert cross_entropy(p, p) == pytest.approx(
+        -(0.25 * math.log(0.25) + 0.75 * math.log(0.75))
+    )
+
+
+def test_shannon_entropy():
+    assert shannon_entropy({"0": 1.0}) == pytest.approx(0.0)
+    assert shannon_entropy({"0": 0.5, "1": 0.5}) == pytest.approx(1.0)
+
+
+def test_uniform_distribution():
+    u = uniform_distribution(3)
+    assert len(u) == 8
+    assert sum(u.values()) == pytest.approx(1.0)
+    assert u["101"] == pytest.approx(1 / 8)
+
+
+def test_normalize():
+    d = normalize({"a": 2.0, "b": 6.0})
+    assert d == {"a": pytest.approx(0.25), "b": pytest.approx(0.75)}
+    with pytest.raises(ValueError):
+        normalize({"a": 0.0})
+
+
+def test_counts_to_distribution():
+    d = counts_to_distribution({"00": 750, "11": 250})
+    assert d["00"] == pytest.approx(0.75)
+    with pytest.raises(ValueError):
+        counts_to_distribution({})
+
+
+def test_validate_distribution():
+    validate_distribution({"0": 0.5, "1": 0.5})
+    with pytest.raises(ValueError, match="negative"):
+        validate_distribution({"0": -0.1, "1": 1.1})
+    with pytest.raises(ValueError, match="sum"):
+        validate_distribution({"0": 0.6})
+
+
+def test_mix():
+    p = {"0": 1.0}
+    q = {"1": 1.0}
+    m = mix(p, q, 0.25)
+    assert m == {"0": pytest.approx(0.25), "1": pytest.approx(0.75)}
+    with pytest.raises(ValueError):
+        mix(p, q, 1.5)
+
+
+def test_apply_bitflip_confusion_identity():
+    p = {"01": 0.5, "10": 0.5}
+    out = apply_bitflip_confusion(p, [0.0, 0.0], [0.0, 0.0])
+    assert out == p
+
+
+def test_apply_bitflip_confusion_full_flip():
+    p = {"0": 1.0}
+    out = apply_bitflip_confusion(p, [1.0], [0.0])
+    assert out == {"1": pytest.approx(1.0)}
+
+
+def test_apply_bitflip_confusion_preserves_mass():
+    p = {"010": 0.4, "111": 0.6}
+    out = apply_bitflip_confusion(p, [0.1, 0.2, 0.05], [0.3, 0.1, 0.2])
+    assert sum(out.values()) == pytest.approx(1.0)
+
+
+def test_apply_bitflip_confusion_bit_indexing():
+    # Bit 0 is the right-most character.
+    p = {"00": 1.0}
+    out = apply_bitflip_confusion(p, [1.0, 0.0], [0.0, 0.0])
+    assert out == {"01": pytest.approx(1.0)}
+
+
+def test_marginalize():
+    p = {"01": 0.5, "11": 0.5}
+    # Keep bit 0 (right-most): always 1.
+    assert marginalize(p, [0]) == {"1": pytest.approx(1.0)}
+    # Keep bit 1: 0 or 1 with equal probability.
+    out = marginalize(p, [1])
+    assert out["0"] == pytest.approx(0.5)
+    assert out["1"] == pytest.approx(0.5)

@@ -1,0 +1,188 @@
+"""Unit tests for the noisy QPU executor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler import compile_circuit
+from repro.hardware import make_q20a, make_q20b
+from repro.simulation.distributions import hellinger_distance
+from repro.simulation.executor import QPUExecutor, execute_and_label
+from repro.simulation.statevector import ideal_distribution
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_q20a()
+
+
+def _compiled_ghz(device, n, seed=1):
+    qc = QuantumCircuit(n)
+    qc.h(0)
+    for i in range(n - 1):
+        qc.cx(i, i + 1)
+    qc.measure_all()
+    return compile_circuit(qc, device, optimization_level=2, seed=seed).circuit
+
+
+def test_counts_sum_to_shots(device):
+    compiled = _compiled_ghz(device, 4)
+    result = QPUExecutor(device).execute(compiled, shots=512, seed=3)
+    assert sum(result.counts.values()) == 512
+
+
+def test_deterministic_given_seed(device):
+    compiled = _compiled_ghz(device, 4)
+    executor = QPUExecutor(device)
+    a = executor.execute(compiled, shots=256, seed=7)
+    b = executor.execute(compiled, shots=256, seed=7)
+    assert a.counts == b.counts
+
+
+def test_different_seed_changes_shot_noise(device):
+    compiled = _compiled_ghz(device, 4)
+    executor = QPUExecutor(device)
+    a = executor.execute(compiled, shots=256, seed=7)
+    b = executor.execute(compiled, shots=256, seed=8)
+    assert a.counts != b.counts
+
+
+def test_success_probability_decreases_with_size(device):
+    values = []
+    for n in (3, 6, 10):
+        compiled = _compiled_ghz(device, n)
+        result = QPUExecutor(device).execute(compiled, shots=128, seed=1)
+        values.append(result.success_probability)
+    assert values[0] > values[1] > values[2]
+
+
+def test_hellinger_grows_with_circuit_size(device):
+    distances = []
+    for n in (3, 8, 14):
+        compiled = _compiled_ghz(device, n)
+        d, _ = execute_and_label(compiled, device, shots=2000, seed=5)
+        distances.append(d)
+    assert distances[0] < distances[1] < distances[2]
+
+
+def test_label_in_unit_interval(device):
+    compiled = _compiled_ghz(device, 5)
+    d, _ = execute_and_label(compiled, device, shots=500, seed=2)
+    assert 0.0 <= d <= 1.0
+
+
+def test_validation_rejects_non_native(device):
+    qc = QuantumCircuit(2, 2)
+    qc.h(0).measure_all()
+    with pytest.raises(ValueError, match="not native"):
+        QPUExecutor(device).execute(qc, shots=10, seed=0)
+
+
+def test_requires_measurements(device):
+    qc = QuantumCircuit(2)
+    qc.prx(0.3, 0.1, 0)
+    with pytest.raises(ValueError, match="no measurements"):
+        QPUExecutor(device).execute(qc, shots=10, seed=0)
+
+
+def test_requires_positive_shots(device):
+    compiled = _compiled_ghz(device, 3)
+    with pytest.raises(ValueError, match="shots"):
+        QPUExecutor(device).execute(compiled, shots=0, seed=0)
+
+
+def test_trivial_circuit_mostly_zero(device):
+    """An idle-ish circuit should return mostly all-zeros (readout noise only)."""
+    qc = QuantumCircuit(2)
+    qc.prx(0.0, 0.0, 0)
+    qc.measure_all()
+    result = QPUExecutor(device).execute(qc, shots=4000, seed=4)
+    zero_fraction = result.counts.get("00", 0) / 4000
+    assert zero_fraction > 0.85
+
+
+def test_crosstalk_accumulates_on_parallel_cz(device):
+    """Parallel CZ gates on adjacent edges must add crosstalk error."""
+    # Edges (0,1) and (5,6) on the 4x5 grid: qubits 1 and 6 are adjacent.
+    parallel = QuantumCircuit(device.num_qubits)
+    for _ in range(10):
+        parallel.cz(0, 1)
+        parallel.cz(5, 6)
+    parallel.measure_all()
+    serial = QuantumCircuit(device.num_qubits)
+    for _ in range(10):
+        serial.cz(0, 1)
+        serial.barrier()  # prevent ASAP layering from re-parallelizing
+    for _ in range(10):
+        serial.cz(5, 6)
+        serial.barrier()
+    serial.measure_all()
+    executor = QPUExecutor(device)
+    res_par = executor.execute(parallel, shots=10, seed=0)
+    res_ser = executor.execute(serial, shots=10, seed=0)
+    assert res_par.crosstalk_error_accumulated > 0
+    assert res_ser.crosstalk_error_accumulated == pytest.approx(0.0)
+    # Same gates -> same base gate error; crosstalk only hits the parallel
+    # version.  (Total success also differs via idle dephasing, so compare
+    # the gate+crosstalk channel specifically.)
+    assert res_par.gate_error_accumulated == pytest.approx(
+        res_ser.gate_error_accumulated
+    )
+
+
+def test_cleaner_device_scores_better():
+    qa, qb = make_q20a(), make_q20b()
+    qc = QuantumCircuit(8)
+    qc.h(0)
+    for i in range(7):
+        qc.cx(i, i + 1)
+    qc.measure_all()
+    distances = {}
+    for device in (qa, qb):
+        compiled = compile_circuit(qc, device, optimization_level=2, seed=1).circuit
+        total = 0.0
+        for seed in range(5):
+            d, _ = execute_and_label(compiled, device, shots=2000, seed=seed)
+            total += d
+        distances[device.name] = total / 5
+    assert distances["Q20-B"] < distances["Q20-A"]
+
+
+def test_precomputed_ideal_matches_internal(device):
+    compiled = _compiled_ghz(device, 4)
+    ideal = ideal_distribution(compiled)
+    executor = QPUExecutor(device)
+    with_ideal = executor.execute(compiled, shots=128, seed=9, ideal=ideal)
+    without = executor.execute(compiled, shots=128, seed=9)
+    assert with_ideal.counts == without.counts
+
+
+def test_coherent_distortion_is_deterministic(device):
+    compiled = _compiled_ghz(device, 5)
+    ideal = ideal_distribution(compiled)
+    executor = QPUExecutor(device)
+    a = executor._coherent_distortion(compiled, ideal, success=0.5)
+    b = executor._coherent_distortion(compiled, ideal, success=0.5)
+    assert a == b
+    assert sum(a.values()) == pytest.approx(1.0)
+
+
+def test_more_shots_reduce_label_variance(device):
+    compiled = _compiled_ghz(device, 5)
+    ideal = ideal_distribution(compiled)
+
+    def label_std(shots):
+        labels = [
+            hellinger_distance(
+                ideal,
+                QPUExecutor(device)
+                .execute(compiled, shots=shots, seed=seed, ideal=ideal)
+                .distribution(),
+            )
+            for seed in range(8)
+        ]
+        return np.std(labels)
+
+    assert label_std(4000) < label_std(100)

@@ -1,0 +1,47 @@
+"""Unit tests for ASCII histogram rendering."""
+
+from repro.simulation.histogram import render_comparison, render_histogram
+
+
+def test_render_histogram_basic():
+    text = render_histogram({"00": 0.75, "11": 0.25}, title="bell")
+    lines = text.splitlines()
+    assert lines[0] == "bell"
+    assert "00" in lines[1]
+    assert "0.7500" in lines[1]
+    # The peak bar is the longest one.
+    assert lines[1].count("#") > lines[2].count("#")
+
+
+def test_render_histogram_truncates():
+    dist = {format(i, "04b"): 1 / 16 for i in range(16)}
+    text = render_histogram(dist, max_rows=4)
+    assert "(other)" in text
+    assert len(text.splitlines()) == 5
+
+
+def test_render_histogram_zero_tail_hidden():
+    text = render_histogram({"0": 1.0, "1": 0.0})
+    assert "(other)" not in text
+
+
+def test_render_comparison_shows_both():
+    ideal = {"00": 0.5, "11": 0.5}
+    measured = {"00": 0.4, "11": 0.35, "01": 0.25}
+    text = render_comparison(ideal, measured, title="cmp")
+    assert "cmp" in text
+    assert "ideal" in text
+    assert "measured" in text
+    assert "#" in text and "=" in text
+    assert "01" in text
+
+
+def test_render_comparison_truncation_note():
+    ideal = {format(i, "04b"): 1 / 16 for i in range(16)}
+    text = render_comparison(ideal, ideal, max_rows=3)
+    assert "more outcomes" in text
+
+
+def test_render_comparison_custom_labels():
+    text = render_comparison({"0": 1.0}, {"0": 1.0}, labels=("a", "b"))
+    assert " a" in text and " b" in text

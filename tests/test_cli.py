@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import to_qasm
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    qc = QuantumCircuit(3, 3)
+    qc.h(0).cx(0, 1).cx(1, 2)
+    qc.measure_all()
+    path = tmp_path / "ghz.qasm"
+    path.write_text(to_qasm(qc))
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_devices_command(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "Q20-A" in out
+    assert "Q20-B" in out
+    assert "mean CZ fidelity" in out
+
+
+def test_compile_command(qasm_file, capsys):
+    assert main(["compile", qasm_file, "--device", "q20b", "--level", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "OPENQASM 2.0;" in captured.out
+    assert "prx" in captured.out or "cz" in captured.out
+    assert "expected fidelity" in captured.err
+
+
+def test_execute_command(qasm_file, capsys):
+    assert main([
+        "execute", qasm_file, "--device", "q20a",
+        "--shots", "200", "--level", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "hellinger distance" in out
+    assert "counts:" in out
+
+
+def test_features_command(qasm_file, capsys):
+    assert main(["features", qasm_file, "--level", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "liveness" in out
+    assert "parallelism" in out
+    assert len(out.strip().splitlines()) == 30
+
+
+def test_unknown_device_rejected(qasm_file):
+    with pytest.raises(SystemExit, match="unknown device"):
+        main(["compile", qasm_file, "--device", "bogus"])

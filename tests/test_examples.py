@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 600) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "Hellinger distance" in result.stdout
+    assert "expected fidelity" in result.stdout
+
+
+def test_compilation_pipeline_runs():
+    result = _run("compilation_pipeline.py")
+    assert result.returncode == 0, result.stderr
+    assert "Optimization level sweep" in result.stdout
+    assert "Pass-by-pass progress" in result.stdout
+
+
+def test_device_comparison_runs():
+    result = _run("device_comparison.py", timeout=900)
+    assert result.returncode == 0, result.stderr
+    assert "Q20-A" in result.stdout
+    assert "Q20-B" in result.stdout
+
+
+@pytest.mark.slow
+def test_train_fom_estimator_runs():
+    result = _run("train_fom_estimator.py", timeout=1800)
+    assert result.returncode == 0, result.stderr
+    assert "held-out test Pearson" in result.stdout
+    assert "Feature importance" in result.stdout

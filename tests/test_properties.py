@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the library-wide contracts that unit tests can only spot-check:
+unitarity preservation through every compiler stage, metric axioms of the
+Hellinger distance, routing legality on arbitrary circuits, feature-vector
+well-formedness, and regressor output bounds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.random import random_circuit
+from repro.compiler import compile_circuit
+from repro.compiler.passes.base import PropertySet
+from repro.compiler.passes.decompose import Decompose
+from repro.compiler.passes.optimization import OptimizationLoop
+from repro.compiler.passes.routing import route_circuit
+from repro.compiler.passes.synthesis import NativeSynthesis, VirtualRZ
+from repro.fom.features import feature_vector
+from repro.hardware import make_device
+from repro.hardware.coupling import grid_map, line_map, ring_map
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import pearson_r
+from repro.simulation.distributions import (
+    hellinger_distance,
+    normalize,
+    total_variation_distance,
+)
+from repro.simulation.statevector import circuit_unitary, ideal_distribution
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+circuit_params = st.tuples(
+    st.integers(min_value=2, max_value=4),   # qubits
+    st.integers(min_value=1, max_value=8),   # depth
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def dirichlet_dists(num_keys: int):
+    return st.lists(
+        st.floats(min_value=1e-3, max_value=1.0),
+        min_size=num_keys, max_size=num_keys,
+    ).map(
+        lambda raw: normalize(
+            {format(i, "02b"): v for i, v in enumerate(raw)}
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Circuit algebra
+# ---------------------------------------------------------------------------
+
+@_SETTINGS
+@given(circuit_params)
+def test_inverse_composes_to_identity(params):
+    n, depth, seed = params
+    qc = random_circuit(n, depth, seed=seed)
+    unitary = circuit_unitary(qc)
+    inverse = circuit_unitary(qc.inverse())
+    assert np.allclose(inverse @ unitary, np.eye(1 << n), atol=1e-8)
+
+
+@_SETTINGS
+@given(circuit_params)
+def test_compose_multiplies_unitaries(params):
+    n, depth, seed = params
+    a = random_circuit(n, depth, seed=seed)
+    b = random_circuit(n, depth, seed=seed + 1)
+    ua, ub = circuit_unitary(a), circuit_unitary(b)
+    combined = a.copy().compose(b)
+    assert np.allclose(circuit_unitary(combined), ub @ ua, atol=1e-8)
+
+
+@_SETTINGS
+@given(circuit_params)
+def test_simulation_preserves_norm(params):
+    n, depth, seed = params
+    qc = random_circuit(n, depth, seed=seed, measure=True)
+    dist = ideal_distribution(qc)
+    assert math.isclose(sum(dist.values()), 1.0, abs_tol=1e-6)
+    assert all(v >= 0 for v in dist.values())
+
+
+# ---------------------------------------------------------------------------
+# Compiler invariants
+# ---------------------------------------------------------------------------
+
+@_SETTINGS
+@given(circuit_params)
+def test_full_synthesis_chain_preserves_unitary(params):
+    n, depth, seed = params
+    qc = random_circuit(n, depth, seed=seed)
+    props = PropertySet()
+    stage = Decompose().run(qc, props)
+    stage = OptimizationLoop().run(stage, props)
+    stage = NativeSynthesis().run(stage, props)
+    stage = VirtualRZ(keep_final_rz=True).run(stage, props)
+    assert np.allclose(
+        circuit_unitary(stage), circuit_unitary(qc), atol=1e-7
+    )
+
+
+@_SETTINGS
+@given(
+    circuit_params,
+    st.sampled_from(["line", "ring", "grid"]),
+)
+def test_routing_always_yields_coupled_gates(params, topology):
+    n, depth, seed = params
+    coupling = {
+        "line": line_map(5), "ring": ring_map(5), "grid": grid_map(2, 3),
+    }[topology]
+    qc = random_circuit(n, depth, seed=seed, measure=True)
+    routed, final = route_circuit(qc, coupling, seed=seed)
+    for instruction in routed.instructions:
+        if instruction.is_unitary and instruction.num_qubits == 2:
+            assert coupling.has_edge(*instruction.qubits)
+    # Final mapping is always a permutation of physical qubits.
+    assert sorted(final.values()) == list(range(coupling.num_qubits))
+
+
+@_SETTINGS
+@given(circuit_params, st.integers(min_value=0, max_value=3))
+def test_compile_preserves_distribution(params, level):
+    n, depth, seed = params
+    device = make_device("prop", grid_map(2, 3), seed=1)
+    qc = random_circuit(n, depth, seed=seed, measure=True)
+    reference = ideal_distribution(qc)
+    result = compile_circuit(qc, device, optimization_level=level, seed=seed)
+    compiled = ideal_distribution(result.circuit)
+    for key in set(reference) | set(compiled):
+        assert math.isclose(
+            reference.get(key, 0.0), compiled.get(key, 0.0), abs_tol=1e-6
+        )
+
+
+# ---------------------------------------------------------------------------
+# Hellinger distance axioms
+# ---------------------------------------------------------------------------
+
+@_SETTINGS
+@given(dirichlet_dists(4), dirichlet_dists(4))
+def test_hellinger_metric_axioms(p, q):
+    d_pq = hellinger_distance(p, q)
+    assert 0.0 <= d_pq <= 1.0
+    assert d_pq == pytest.approx(hellinger_distance(q, p))
+    assert hellinger_distance(p, p) == pytest.approx(0.0, abs=1e-9)
+
+
+@_SETTINGS
+@given(dirichlet_dists(4), dirichlet_dists(4), dirichlet_dists(4))
+def test_hellinger_triangle(p, q, r):
+    assert hellinger_distance(p, r) <= (
+        hellinger_distance(p, q) + hellinger_distance(q, r) + 1e-9
+    )
+
+
+@_SETTINGS
+@given(dirichlet_dists(4), dirichlet_dists(4))
+def test_hellinger_tvd_inequality(p, q):
+    """h^2 <= tvd <= h * sqrt(2)."""
+    h = hellinger_distance(p, q)
+    tvd = total_variation_distance(p, q)
+    assert h * h <= tvd + 1e-9
+    assert tvd <= h * math.sqrt(2.0) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Features and ML
+# ---------------------------------------------------------------------------
+
+@_SETTINGS
+@given(circuit_params)
+def test_feature_vector_always_finite(params):
+    n, depth, seed = params
+    qc = random_circuit(n, depth, seed=seed, measure=True)
+    vec = feature_vector(qc)
+    assert vec.shape == (30,)
+    assert np.all(np.isfinite(vec))
+    assert np.all(vec >= 0.0)
+
+
+@_SETTINGS
+@given(st.integers(min_value=0, max_value=1000))
+def test_forest_predictions_bounded_by_labels(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(40, 5))
+    y = rng.uniform(size=40)
+    forest = RandomForestRegressor(
+        n_estimators=5, random_state=seed
+    ).fit(X, y)
+    probe = rng.uniform(-1, 2, size=(20, 5))
+    predictions = forest.predict(probe)
+    assert predictions.min() >= y.min() - 1e-12
+    assert predictions.max() <= y.max() + 1e-12
+
+
+@_SETTINGS
+@given(
+    st.lists(st.floats(-100, 100), min_size=3, max_size=30),
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=-50, max_value=50),
+)
+def test_pearson_affine_invariance(values, scale, shift):
+    x = np.array(values)
+    if np.ptp(x) < 1e-6:
+        # Degenerate spread: squaring sub-epsilon deviations underflows,
+        # which pearson_r legitimately reports as "no correlation".
+        return
+    y = scale * x + shift
+    assert pearson_r(x, y) == pytest.approx(1.0, abs=1e-6)
