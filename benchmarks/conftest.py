@@ -20,6 +20,12 @@ from repro.evaluation import StudyConfig, run_study
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+
+def pytest_collection_modifyitems(items):
+    """Every test in this directory carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 FULL_SCALE = os.environ.get("REPRO_FULL") == "1"
 
 REDUCED_GRID = {

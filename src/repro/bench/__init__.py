@@ -6,6 +6,7 @@ from .suite import (
     BenchmarkCircuit,
     build_suite,
     filter_by_depth,
+    ideal_distributions,
     suite_summary,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "DEPTH_LIMIT",
     "build_suite",
     "filter_by_depth",
+    "ideal_distributions",
     "suite_summary",
 ]

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from ..circuits.circuit import QuantumCircuit
 from .algorithms import ALGORITHMS
 
@@ -76,6 +78,34 @@ def build_suite(
                 )
             )
     return suite
+
+
+def ideal_distributions(
+    suite: Sequence[BenchmarkCircuit],
+    dtype=np.complex64,
+    max_workers: Optional[int] = None,
+    cache: Optional[Dict[str, Dict[str, float]]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Noiseless output distributions of every suite circuit, batched.
+
+    The statevector simulations run on a worker pool (``max_workers``,
+    default one per CPU) — this is the dataset-generation hot path shared
+    across devices.  Entries already present in ``cache`` are not
+    recomputed; the (possibly shared) cache dict is returned.
+    """
+    from ..simulation.executor import parallel_map
+    from ..simulation.statevector import ideal_distribution
+
+    cache = cache if cache is not None else {}
+    missing = [entry for entry in suite if entry.name not in cache]
+    fresh = parallel_map(
+        lambda entry: ideal_distribution(entry.circuit, dtype=dtype),
+        missing,
+        max_workers=max_workers,
+    )
+    for entry, dist in zip(missing, fresh):
+        cache[entry.name] = dist
+    return cache
 
 
 def filter_by_depth(

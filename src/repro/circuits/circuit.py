@@ -31,6 +31,19 @@ class Instruction:
     params: Tuple[float, ...] = ()
     clbits: Tuple[int, ...] = ()
 
+    def __post_init__(self) -> None:
+        # Precomputed content hash: instructions are immutable and hashed
+        # in bulk by the simulator's cache-revalidation fingerprints, so
+        # paying the tuple hash once at construction keeps those hot.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.name, self.qubits, self.params, self.clbits)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     @property
     def num_qubits(self) -> int:
         return len(self.qubits)

@@ -50,6 +50,9 @@ class StudyConfig:
     n_splits: int = 3
     param_grid: Optional[Dict[str, Sequence]] = None
     progress: bool = False
+    #: Worker-pool size for batched compile/simulate/execute stages
+    #: (``None``: one worker per CPU).
+    max_workers: Optional[int] = None
 
 
 @dataclass
@@ -103,6 +106,7 @@ def run_study(
             depth_limit=config.depth_limit,
             ideal_cache=ideal_cache,
             progress=config.progress,
+            max_workers=config.max_workers,
         )
 
     correlations: Dict[str, Dict[str, float]] = {

@@ -14,14 +14,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..bench.suite import DEPTH_LIMIT, BenchmarkCircuit
+from ..bench.suite import DEPTH_LIMIT, BenchmarkCircuit, ideal_distributions
 from ..compiler.compile import compile_circuit
 from ..fom.features import feature_vector
 from ..fom.metrics import circuit_depth, esp, expected_fidelity, gate_count
 from ..hardware.device import Device
 from ..simulation.distributions import hellinger_distance
-from ..simulation.executor import QPUExecutor
-from ..simulation.statevector import ideal_distribution
+from ..simulation.executor import SEED_STRIDE, QPUExecutor
 
 
 @dataclass
@@ -72,6 +71,7 @@ def build_dataset(
     ideal_cache: Optional[Dict[str, Dict[str, float]]] = None,
     sim_dtype=np.complex64,
     progress: bool = False,
+    max_workers: Optional[int] = None,
 ) -> CircuitDataset:
     """Compile, execute, and label every suite circuit on ``device``.
 
@@ -79,31 +79,64 @@ def build_dataset(
     matching the paper's selection rule.  ``ideal_cache`` (keyed by benchmark
     name) shares the expensive noiseless simulations across devices — valid
     because compilation preserves the measured distribution.
+
+    The pipeline is batched: noiseless simulation and noisy execution run
+    as worker-pool passes (``max_workers``, default one per CPU) via
+    :func:`ideal_distributions` and :meth:`QPUExecutor.run_batch` — both
+    numpy-heavy stages that release the GIL.  Compilation is pure Python
+    (the GIL serializes it), so it stays a sequential pass.  Per-circuit
+    seeds are fixed functions of ``seed`` and the suite index, so results
+    are bit-identical for every worker count.
     """
     executor = QPUExecutor(device)
     dataset = CircuitDataset(device_name=device.name)
     cache = ideal_cache if ideal_cache is not None else {}
-    for index, entry in enumerate(suite):
-        # Cheap pre-filter: compilation to the native two-qubit-heavy basis
-        # never compresses depth by 2x, so circuits this deep cannot pass
-        # the compiled-depth filter; skip the expensive compilation.
-        if entry.circuit.depth() >= 2 * depth_limit:
-            continue
-        result = compile_circuit(
+
+    # Stage 1 — compile and apply the compiled-depth filter.
+    # The cheap pre-filter skips compilation entirely: compilation to the
+    # native two-qubit-heavy basis never compresses depth by 2x, so those
+    # circuits cannot pass the compiled-depth filter.
+    candidates = [
+        (index, entry) for index, entry in enumerate(suite)
+        if entry.circuit.depth() < 2 * depth_limit
+    ]
+
+    compiled_circuits = [
+        compile_circuit(
             entry.circuit, device,
             optimization_level=optimization_level,
             seed=seed + index,
-        )
-        compiled = result.circuit
+        ).circuit
+        for index, entry in candidates
+    ]
+    survivors = []
+    for (index, entry), compiled in zip(candidates, compiled_circuits):
         depth = compiled.depth()
-        if depth >= depth_limit:
-            continue
-        if entry.name not in cache:
-            cache[entry.name] = ideal_distribution(entry.circuit, dtype=sim_dtype)
+        if depth < depth_limit:
+            survivors.append((index, entry, compiled, depth))
+
+    # Stage 2 — noiseless reference distributions (parallel, cache-shared).
+    ideal_distributions(
+        [entry for _, entry, _, _ in survivors],
+        dtype=sim_dtype,
+        max_workers=max_workers,
+        cache=cache,
+    )
+
+    # Stage 3 — noisy execution through the batched executor API.
+    executions = executor.run_batch(
+        [compiled for _, _, compiled, _ in survivors],
+        shots=shots,
+        ideals=[cache[entry.name] for _, entry, _, _ in survivors],
+        seeds=[seed + SEED_STRIDE * index for index, _, _, _ in survivors],
+        max_workers=max_workers,
+    )
+
+    # Stage 4 — assemble features, labels, and figures of merit.
+    for (index, entry, compiled, depth), execution in zip(
+        survivors, executions
+    ):
         ideal = cache[entry.name]
-        execution = executor.execute(
-            compiled, shots=shots, seed=seed + 7919 * index, ideal=ideal
-        )
         label = hellinger_distance(ideal, execution.distribution())
         fom_values = {
             "Number of gates": float(gate_count(compiled)),

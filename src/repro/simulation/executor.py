@@ -23,25 +23,72 @@ identifies:
 The outcome distribution is the mixture ``S * P_distorted + (1 - S) * E``
 where ``S`` is the accumulated success probability and the error
 distribution ``E`` combines locally scrambled copies of ``P`` with a uniform
-background.  Sampling is fully vectorized over shots, so 20-qubit circuits
-with thousands of gates execute in milliseconds.
+background.
+
+Throughput comes from two mechanisms.  All circuit-static quantities
+(success probability, idle schedule, readout flip rates, the structural
+signature of the coherent distortion) are computed once per ``(circuit,
+device)`` pair and cached, so repeated executions — PST sweeps, seed
+ensembles, shot-count scans — only pay for sampling.  Sampling itself is
+fully vectorized: one cumulative-distribution table serves every shot via a
+single ``searchsorted`` batch, and scramble/readout bit flips are drawn as
+one ``(shots, width)`` matrix.  :meth:`QPUExecutor.run_batch` executes many
+circuits with a worker pool and deterministic per-circuit RNG streams.
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
+import os
+import weakref
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.dag import CircuitDag
 from ..hardware.device import Device
-from .statevector import ideal_distribution
+from .kernels import circuit_fingerprint
+from .statevector import bitstring_keys, ideal_distribution, sample_indices
 
 _SCRAMBLE_FLIP_PROB = 0.3
+
+#: Stride between the default per-circuit RNG seeds of :meth:`run_batch`
+#: (prime, so overlapping batches decorrelate quickly).
+SEED_STRIDE = 7919
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(max_workers: Optional[int], num_items: int) -> int:
+    """Worker count for a batch: explicit value, else one per CPU."""
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if max_workers < 1:
+        raise ValueError("max_workers must be positive")
+    return max(1, min(max_workers, num_items))
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    max_workers: Optional[int] = None,
+) -> List[_R]:
+    """Order-preserving map over a thread pool.
+
+    Falls back to a plain loop for a single worker or a single item, so
+    results (and exceptions) are identical across worker counts — the
+    per-item work must itself be deterministic.
+    """
+    workers = resolve_workers(max_workers, len(items))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
 
 
 @dataclass
@@ -57,6 +104,62 @@ class ExecutionResult:
 
     def distribution(self) -> Dict[str, float]:
         return {k: v / self.shots for k, v in self.counts.items()}
+
+
+def _device_fingerprint(device: Device) -> int:
+    """Content hash of everything the execution profile reads off a device.
+
+    Covers the true calibration tables, noise parameters, and coupling
+    edges, so in-place drift (e.g. scaling ``true_calibration.t2``) is
+    detected and the cached profile recomputed.
+    """
+    cal = device.true_calibration
+    noise = device.noise
+    return hash((
+        device.name,
+        tuple(sorted(cal.one_qubit_fidelity.items())),
+        tuple(sorted(cal.two_qubit_fidelity.items())),
+        tuple(sorted(cal.readout_fidelity.items())),
+        tuple(sorted(cal.t1.items())),
+        tuple(sorted(cal.t2.items())),
+        (
+            cal.durations.one_qubit,
+            cal.durations.two_qubit,
+            cal.durations.readout,
+        ),
+        (
+            noise.crosstalk_two_two,
+            noise.crosstalk_two_one,
+            noise.coherent_strength,
+            noise.scramble_locality,
+            noise.garbage_one_bias,
+            noise.readout_asymmetry,
+        ),
+        tuple(sorted(device.coupling.edges)),
+    ))
+
+
+@dataclass
+class _CircuitProfile:
+    """Everything about executing a circuit that does not depend on shots."""
+
+    fingerprint: int
+    device_fingerprint: int
+    success: float
+    diag: Dict[str, float]
+    idle: Dict[int, float]
+    signature: int
+    clbit_to_qubit: Dict[int, int]
+
+
+#: Cache of circuit-static execution profiles, keyed by
+#: ``(id(circuit), id(device))`` — object identity on both sides, so two
+#: devices that share a name but differ in calibration/noise never reuse
+#: each other's profiles.  Entries are evicted when either object is
+#: garbage collected (guarding against ``id`` reuse) and revalidated
+#: against content fingerprints of both the circuit and the device
+#: (guarding against in-place edits and calibration drift).
+_PROFILE_CACHE: Dict[Tuple[int, int], _CircuitProfile] = {}
 
 
 class QPUExecutor:
@@ -86,37 +189,122 @@ class QPUExecutor:
             ideal: optional precomputed ideal distribution (saves the
                 statevector simulation when the caller already has it).
         """
-        self.device.validate_circuit(circuit)
-        measured = circuit.measured_qubits()
-        if not measured:
-            raise ValueError("circuit has no measurements; nothing to sample")
         if shots <= 0:
             raise ValueError("shots must be positive")
+        profile = self._profile(circuit)
 
         if ideal is None:
             ideal = ideal_distribution(circuit)
 
         rng = np.random.default_rng(seed)
-        success, diag = self._success_probability(circuit)
-        distorted = self._coherent_distortion(circuit, ideal, success)
+        distorted = self._distort(profile.signature, ideal, profile.success)
 
         width = len(next(iter(ideal)))
-        clbit_to_qubit = self._clbit_mapping(circuit, width)
         outcomes = self._sample_outcomes(
-            distorted, success, width, shots, rng
+            distorted, profile.success, width, shots, rng
         )
         outcomes = self._apply_readout_and_decay(
-            outcomes, width, clbit_to_qubit, circuit, rng
+            outcomes, width, profile, rng
         )
         counts = self._to_counts(outcomes, width)
         return ExecutionResult(
             counts=counts,
             shots=shots,
-            success_probability=success,
-            gate_error_accumulated=diag["gate"],
-            crosstalk_error_accumulated=diag["crosstalk"],
-            dephasing_factor=diag["dephasing"],
+            success_probability=profile.success,
+            gate_error_accumulated=profile.diag["gate"],
+            crosstalk_error_accumulated=profile.diag["crosstalk"],
+            dephasing_factor=profile.diag["dephasing"],
         )
+
+    def run_batch(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        shots: int = 2000,
+        seed: int = 0,
+        ideals: Optional[Sequence[Optional[Dict[str, float]]]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[ExecutionResult]:
+        """Execute many circuits, in parallel, with per-circuit RNG streams.
+
+        Circuit ``i`` runs exactly as ``execute(circuits[i], shots,
+        seed=seeds[i], ideal=ideals[i])`` would — results are returned in
+        input order and are bit-identical to the sequential calls for any
+        worker count, because every circuit owns an independent RNG stream.
+
+        Args:
+            circuits: circuits to execute.
+            shots: shots per circuit.
+            seed: base seed; circuit ``i`` defaults to the stream
+                ``seed + SEED_STRIDE * i``.
+            ideals: optional per-circuit precomputed ideal distributions
+                (``None`` entries are simulated on the worker).
+            seeds: optional explicit per-circuit seeds (overrides ``seed``).
+            max_workers: worker-pool size (default: one per CPU).
+
+        Returns:
+            One :class:`ExecutionResult` per circuit, in input order.
+        """
+        n = len(circuits)
+        if seeds is None:
+            seeds = [seed + SEED_STRIDE * i for i in range(n)]
+        elif len(seeds) != n:
+            raise ValueError("seeds must match circuits in length")
+        if ideals is None:
+            ideals = [None] * n
+        elif len(ideals) != n:
+            raise ValueError("ideals must match circuits in length")
+
+        def job(index: int) -> ExecutionResult:
+            return self.execute(
+                circuits[index],
+                shots=shots,
+                seed=seeds[index],
+                ideal=ideals[index],
+            )
+
+        return parallel_map(job, range(n), max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # Circuit-static profile
+    # ------------------------------------------------------------------
+
+    def _profile(self, circuit: QuantumCircuit) -> _CircuitProfile:
+        """Validate the circuit and compute (or recall) its static profile."""
+        key = (id(circuit), id(self.device))
+        fingerprint = circuit_fingerprint(circuit)
+        device_fingerprint = _device_fingerprint(self.device)
+        cached = _PROFILE_CACHE.get(key)
+        if cached is not None and (
+            cached.fingerprint == fingerprint
+            and cached.device_fingerprint == device_fingerprint
+        ):
+            return cached
+
+        self.device.validate_circuit(circuit)
+        measured = circuit.measured_qubits()
+        if not measured:
+            raise ValueError("circuit has no measurements; nothing to sample")
+
+        success, diag, idle = self._success_probability(circuit)
+        profile = _CircuitProfile(
+            fingerprint=fingerprint,
+            device_fingerprint=device_fingerprint,
+            success=success,
+            diag=diag,
+            idle=idle,
+            signature=self._structural_hash(circuit),
+            clbit_to_qubit={clbit: qubit for qubit, clbit in measured},
+        )
+        # One finalizer per live (circuit, device) key: entries only leave
+        # the cache when the circuit dies, so a key absent at insertion has
+        # no live finalizer yet.  Device id reuse needs no finalizer — the
+        # device fingerprint check above makes a stale hit impossible.
+        is_new_key = key not in _PROFILE_CACHE
+        _PROFILE_CACHE[key] = profile
+        if is_new_key:
+            weakref.finalize(circuit, _PROFILE_CACHE.pop, key, None)
+        return profile
 
     # ------------------------------------------------------------------
     # Error accumulation
@@ -124,8 +312,13 @@ class QPUExecutor:
 
     def _success_probability(
         self, circuit: QuantumCircuit
-    ) -> Tuple[float, Dict[str, float]]:
-        """Accumulate gate, crosstalk, and dephasing error into ``S``."""
+    ) -> Tuple[float, Dict[str, float], Dict[int, float]]:
+        """Accumulate gate, crosstalk, and dephasing error into ``S``.
+
+        Returns ``(success, diagnostics, per-qubit idle times)``; the idle
+        times are reused by the readout/decay channel so the schedule is
+        computed once per circuit.
+        """
         cal = self.device.true_calibration
         noise = self.device.noise
         coupling = self.device.coupling
@@ -182,17 +375,19 @@ class QPUExecutor:
         from ..compiler.passes.scheduling import schedule_asap
 
         schedule = schedule_asap(circuit, cal.durations)
+        idle = schedule.idle_times()
         dephasing = 0.0
-        for qubit, idle in schedule.idle_times().items():
-            dephasing += idle / cal.t2[qubit]
+        for qubit, idle_time in idle.items():
+            dephasing += idle_time / cal.t2[qubit]
         dephasing_factor = math.exp(-dephasing)
 
         success = math.exp(log_success) * dephasing_factor
-        return success, {
+        diag = {
             "gate": gate_error,
             "crosstalk": crosstalk_error,
             "dephasing": dephasing_factor,
         }
+        return success, diag, idle
 
     @staticmethod
     def _edges_adjacent(coupling, qubits_a, qubits_b) -> bool:
@@ -223,10 +418,14 @@ class QPUExecutor:
         distortion is a fixed function of (device, circuit structure), so
         repeated executions see the same systematic error.
         """
+        return self._distort(self._structural_hash(circuit), ideal, success)
+
+    def _distort(
+        self, signature: int, ideal: Dict[str, float], success: float
+    ) -> Dict[str, float]:
         strength = self.device.noise.coherent_strength * (1.0 - success)
         if strength <= 0.0:
             return dict(ideal)
-        signature = self._structural_hash(circuit)
         rng = np.random.default_rng(signature)
         keys = sorted(ideal)
         weights = np.array([ideal[k] for k in keys])
@@ -251,7 +450,12 @@ class QPUExecutor:
         shots: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Draw raw outcome integers from ``S * P' + (1 - S) * E``."""
+        """Draw raw outcome integers from ``S * P' + (1 - S) * E``.
+
+        Ideal and scrambled shots share one cumulative-distribution table
+        and one ``searchsorted`` batch; scramble and background bit flips
+        are drawn as ``(shots, width)`` matrices and packed to integers.
+        """
         keys = sorted(distorted_ideal)
         key_ints = np.array([int(k, 2) for k in keys], dtype=np.int64)
         probs = np.array([distorted_ideal[k] for k in keys])
@@ -265,89 +469,82 @@ class QPUExecutor:
         )
         from_uniform = ~(from_ideal | from_scramble)
 
+        powers = 1 << np.arange(width, dtype=np.int64)
         outcomes = np.empty(shots, dtype=np.int64)
         n_ideal = int(from_ideal.sum())
         n_scramble = int(from_scramble.sum())
         n_uniform = int(from_uniform.sum())
-        if n_ideal:
-            idx = rng.choice(len(keys), size=n_ideal, p=probs)
-            outcomes[from_ideal] = key_ints[idx]
-        if n_scramble:
-            idx = rng.choice(len(keys), size=n_scramble, p=probs)
-            base = key_ints[idx]
-            flip_mask = np.zeros(n_scramble, dtype=np.int64)
-            for bit in range(width):
-                flips = rng.random(n_scramble) < _SCRAMBLE_FLIP_PROB
-                flip_mask |= flips.astype(np.int64) << bit
-            outcomes[from_scramble] = base ^ flip_mask
+        if n_ideal or n_scramble:
+            # One CDF draw serves both ideal and scrambled shots.
+            drawn = key_ints[
+                sample_indices(probs, n_ideal + n_scramble, rng)
+            ]
+            if n_ideal:
+                outcomes[from_ideal] = drawn[:n_ideal]
+            if n_scramble:
+                flips = rng.random((n_scramble, width)) < _SCRAMBLE_FLIP_PROB
+                flip_mask = flips.astype(np.int64) @ powers
+                outcomes[from_scramble] = drawn[n_ideal:] ^ flip_mask
         if n_uniform:
             # Fully decohered background: independent bits biased towards 0
             # (amplitude damping), not a flat uniform distribution.
             bias = self.device.noise.garbage_one_bias
-            background = np.zeros(n_uniform, dtype=np.int64)
-            for bit in range(width):
-                ones = rng.random(n_uniform) < bias
-                background |= ones.astype(np.int64) << bit
-            outcomes[from_uniform] = background
+            ones = rng.random((n_uniform, width)) < bias
+            outcomes[from_uniform] = ones.astype(np.int64) @ powers
         return outcomes
 
-    def _clbit_mapping(
-        self, circuit: QuantumCircuit, width: int
-    ) -> Dict[int, int]:
-        mapping = {}
-        for qubit, clbit in circuit.measured_qubits():
-            mapping[clbit] = qubit
-        if len(mapping) < width:
-            # Unmeasured clbits keep value 0; map them to no qubit.
-            pass
-        return mapping
-
-    def _apply_readout_and_decay(
-        self,
-        outcomes: np.ndarray,
-        width: int,
-        clbit_to_qubit: Dict[int, int],
-        circuit: QuantumCircuit,
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Per-qubit asymmetric readout confusion plus T1 idle decay."""
-        from ..compiler.passes.scheduling import schedule_asap
-
+    def _readout_flip_probabilities(
+        self, width: int, profile: _CircuitProfile
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-clbit ``(p 0->1, p 1->0)`` flip rates, T1 decay included."""
         cal = self.device.true_calibration
         asym = self.device.noise.readout_asymmetry
-        schedule = schedule_asap(circuit, cal.durations)
-        idle = schedule.idle_times()
-
-        shots = len(outcomes)
+        p01 = np.zeros(width)
+        p10 = np.zeros(width)
         for clbit in range(width):
-            qubit = clbit_to_qubit.get(clbit)
+            qubit = profile.clbit_to_qubit.get(clbit)
             if qubit is None:
+                # Unmeasured clbits keep value 0; no flips.
                 continue
             fidelity = cal.readout_fidelity[qubit]
             # Split the assignment error asymmetrically: decay (1->0) is
             # `asym` times more likely than excitation (0->1).
             error = 1.0 - fidelity
-            p01 = 2.0 * error / (1.0 + asym)
-            p10 = asym * p01
+            e01 = 2.0 * error / (1.0 + asym)
+            e10 = asym * e01
             # Amplitude damping from idle time adds to the 1->0 channel.
             t1 = cal.t1[qubit]
-            p10 += (1.0 - math.exp(-idle.get(qubit, 0.0) / t1)) * 0.5
-            p01 = min(p01, 0.5)
-            p10 = min(p10, 0.9)
+            e10 += (1.0 - math.exp(-profile.idle.get(qubit, 0.0) / t1)) * 0.5
+            p01[clbit] = min(e01, 0.5)
+            p10[clbit] = min(e10, 0.9)
+        return p01, p10
 
-            bit_vals = (outcomes >> clbit) & 1
-            rand = rng.random(shots)
-            flip = np.where(bit_vals == 1, rand < p10, rand < p01)
-            outcomes = outcomes ^ (flip.astype(np.int64) << clbit)
-        return outcomes
+    def _apply_readout_and_decay(
+        self,
+        outcomes: np.ndarray,
+        width: int,
+        profile: _CircuitProfile,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-qubit asymmetric readout confusion plus T1 idle decay.
+
+        All clbits flip in one vectorized pass: a single ``(shots, width)``
+        uniform draw against per-bit thresholds selected by bit value.
+        """
+        p01, p10 = self._readout_flip_probabilities(width, profile)
+        shifts = np.arange(width, dtype=np.int64)
+        bit_vals = (outcomes[:, None] >> shifts) & 1
+        rand = rng.random((len(outcomes), width))
+        thresholds = np.where(bit_vals == 1, p10[None, :], p01[None, :])
+        flips = rand < thresholds
+        flip_mask = flips.astype(np.int64) @ (1 << shifts)
+        return outcomes ^ flip_mask
 
     @staticmethod
     def _to_counts(outcomes: np.ndarray, width: int) -> Dict[str, int]:
         values, counts = np.unique(outcomes, return_counts=True)
-        return {
-            format(int(v), f"0{width}b"): int(c)
-            for v, c in zip(values, counts)
-        }
+        keys = bitstring_keys(values, width)
+        return {k: int(c) for k, c in zip(keys, counts)}
 
 
 def execute_and_label(

@@ -1,9 +1,12 @@
 """Dense noiseless statevector simulation.
 
 This is the substrate the paper uses (via Qiskit Aer) to obtain the *true*
-output distribution of every benchmark circuit.  The simulator applies each
-gate's unitary to a dense ``2**n`` complex state using tensor reshapes, so it
-comfortably handles the paper's 2-20 qubit range.
+output distribution of every benchmark circuit.  Gate application is
+delegated to the shared tensor kernels in :mod:`repro.simulation.kernels`:
+each gate is one einsum contraction over the target qubit axes, runs of
+single-qubit gates are fused into the next entangling gate, and matrices
+are memoized — so the simulator comfortably handles the paper's 2-20 qubit
+range at dataset-generation throughput.
 
 Bit convention: index ``i`` of the state vector has qubit ``k`` in the bit
 ``(i >> k) & 1`` — qubit 0 is the least-significant bit, matching Qiskit.
@@ -12,14 +15,19 @@ Bit convention: index ``i`` of the state vector has qubit ``k`` in the bit
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from functools import lru_cache
+
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gates import gate_matrix
+from .kernels import apply_matrix, circuit_plan, execute_plan
 
 _MAX_DENSE_QUBITS = 26
+
+#: Probabilities below this are dropped from distribution dicts.
+_PROB_CUTOFF = 1e-14
 
 
 class Statevector:
@@ -54,97 +62,34 @@ class Statevector:
         """Apply a ``2**k x 2**k`` unitary to the given qubits in place.
 
         ``qubits[0]`` corresponds to the least-significant bit of the matrix
-        index (the registry convention).  One- and two-qubit gates use fast
-        contiguous-slice kernels; larger gates fall back to a generic
-        tensor-reshape path.
+        index (the registry convention).
         """
-        k = len(qubits)
-        if matrix.shape != (1 << k, 1 << k):
-            raise ValueError(
-                f"matrix shape {matrix.shape} does not match {k} qubits"
-            )
-        if k == 1:
-            self._apply_1q(matrix, qubits[0])
-        elif k == 2:
-            self._apply_2q(matrix, qubits[0], qubits[1])
-        else:
-            self._apply_general(matrix, qubits)
-
-    def _apply_1q(self, matrix: np.ndarray, qubit: int) -> None:
-        view = self.data.reshape(-1, 2, 1 << qubit)
-        m00, m01, m10, m11 = matrix[0, 0], matrix[0, 1], matrix[1, 0], matrix[1, 1]
-        if m01 == 0 and m10 == 0:
-            # Diagonal gate (rz, p, z, ...): two scalings, no mixing.
-            if m00 != 1.0:
-                view[:, 0, :] *= m00
-            if m11 != 1.0:
-                view[:, 1, :] *= m11
-            return
-        if m00 == 0 and m11 == 0:
-            # Anti-diagonal gate (x, y): swap-and-scale.
-            s0 = view[:, 0, :].copy()
-            view[:, 0, :] = m01 * view[:, 1, :]
-            view[:, 1, :] = m10 * s0
-            return
-        s0 = view[:, 0, :].copy()
-        s1 = view[:, 1, :]
-        view[:, 0, :] = m00 * s0 + m01 * s1
-        view[:, 1, :] = m10 * s0 + m11 * s1
-
-    def _apply_2q(self, matrix: np.ndarray, qubit_a: int, qubit_b: int) -> None:
-        lo, hi = (qubit_a, qubit_b) if qubit_a < qubit_b else (qubit_b, qubit_a)
-        view = self.data.reshape(
-            -1, 2, 1 << (hi - lo - 1), 2, 1 << lo
-        )
-        # Matrix index m: bit 0 = value of qubit_a, bit 1 = value of qubit_b.
-        # View axis 1 = bit of `hi`, axis 3 = bit of `lo`.
-        slices = []
-        for m in range(4):
-            bit_a, bit_b = m & 1, (m >> 1) & 1
-            bit_lo, bit_hi = (bit_a, bit_b) if qubit_a == lo else (bit_b, bit_a)
-            slices.append((bit_hi, bit_lo))
-        off_diagonal = abs(matrix).sum() - abs(np.diag(matrix)).sum()
-        if off_diagonal == 0:
-            # Diagonal gate (cz, cp, rzz, ...): pure scalings.
-            for m, (bh, bl) in enumerate(slices):
-                if matrix[m, m] != 1.0:
-                    view[:, bh, :, bl, :] *= matrix[m, m]
-            return
-        olds = [view[:, bh, :, bl, :].copy() for bh, bl in slices]
-        for m, (bh, bl) in enumerate(slices):
-            view[:, bh, :, bl, :] = (
-                matrix[m, 0] * olds[0]
-                + matrix[m, 1] * olds[1]
-                + matrix[m, 2] * olds[2]
-                + matrix[m, 3] * olds[3]
-            )
+        if matrix.dtype != self.dtype:
+            matrix = matrix.astype(self.dtype)
+        self.data = apply_matrix(self.data, matrix, qubits, self.num_qubits)
 
     def _apply_general(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
-        k = len(qubits)
-        n = self.num_qubits
-        # View the state as an n-axis tensor; axis j corresponds to qubit
-        # n-1-j (most-significant qubit first).
-        tensor = self.data.reshape((2,) * n)
-        # Matrix index bit m corresponds to qubits[m]; bring the axes so the
-        # most-significant matrix bit (qubits[k-1]) comes first.
-        axes = [n - 1 - qubits[m] for m in reversed(range(k))]
-        tensor = np.moveaxis(tensor, axes, range(k))
-        shape = tensor.shape
-        tensor = tensor.reshape(1 << k, -1)
-        tensor = matrix @ tensor
-        tensor = tensor.reshape(shape)
-        tensor = np.moveaxis(tensor, range(k), axes)
-        self.data = np.ascontiguousarray(tensor).reshape(-1)
+        """Generic tensor-reshape path (reference implementation for tests)."""
+        from .kernels import _apply_general
+
+        self.data = _apply_general(
+            self.data, matrix.astype(self.dtype), qubits, self.num_qubits, 1
+        )
 
     def probabilities(self) -> np.ndarray:
         """Probability of each computational-basis state."""
-        return np.abs(self.data) ** 2
+        real, imag = self.data.real, self.data.imag
+        return real * real + imag * imag
 
     def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
         """Marginal distribution over a subset of qubits.
 
         Output index bit ``m`` corresponds to ``qubits[m]``.
         """
+        if list(qubits) == list(range(self.num_qubits)):
+            # Identity layout: the flat probabilities already have output
+            # bit m = qubit m.
+            return self.probabilities()
         probs = self.probabilities().reshape((2,) * self.num_qubits)
         keep_axes = [self.num_qubits - 1 - q for q in qubits]
         drop_axes = tuple(
@@ -178,58 +123,52 @@ def simulate_statevector(
 ) -> Statevector:
     """Run ``circuit`` (ignoring measures/barriers) and return the final state.
 
+    Gates are fused (runs of single-qubit gates folded into one matrix and
+    absorbed into adjacent two-qubit gates) before application, so the cost
+    scales with the entangling-gate count rather than the raw gate count.
+
     ``dtype=numpy.complex64`` halves memory traffic; the resulting
     distribution error (~1e-6 for thousand-gate circuits) is far below shot
     noise, so the bulk study uses it.
     """
     state = Statevector(circuit.num_qubits, dtype=dtype)
-    for instruction in circuit.instructions:
-        if not instruction.is_unitary:
-            continue
-        matrix = gate_matrix(instruction.name, instruction.params).astype(dtype)
-        state.apply_matrix(matrix, instruction.qubits)
+    plan = circuit_plan(circuit, dtype=dtype)
+    state.data = execute_plan(state.data, plan, circuit.num_qubits)
     if circuit.global_phase:
-        state.data *= np.exp(1j * circuit.global_phase)
+        state.data = state.data * np.exp(1j * circuit.global_phase).astype(
+            dtype
+        )
     return state
 
 
 def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
     """Full ``2**n x 2**n`` unitary of the circuit (small circuits only).
 
-    Column ``j`` is the state produced from input basis state ``j``.
+    Column ``j`` is the state produced from input basis state ``j``.  All
+    columns evolve simultaneously: the identity matrix is treated as a batch
+    of ``2**n`` statevectors and every fused gate is applied as one
+    contraction with a trailing batch axis.
     """
     n = circuit.num_qubits
     if n > 12:
         raise ValueError("circuit_unitary is limited to 12 qubits")
     dim = 1 << n
-    out = np.zeros((dim, dim), dtype=complex)
-    for j in range(dim):
-        state = Statevector(n)
-        state.data[:] = 0
-        state.data[j] = 1.0
-        for instruction in circuit.instructions:
-            if not instruction.is_unitary:
-                continue
-            matrix = gate_matrix(instruction.name, instruction.params)
-            state.apply_matrix(matrix, instruction.qubits)
-        out[:, j] = state.data
+    out = np.eye(dim, dtype=complex)
+    out = execute_plan(out, circuit_plan(circuit), n, tail=dim)
     if circuit.global_phase:
-        out *= np.exp(1j * circuit.global_phase)
+        out = out * np.exp(1j * circuit.global_phase)
     return out
 
 
-def ideal_distribution(
-    circuit: QuantumCircuit, dtype=np.complex128
-) -> Dict[str, float]:
-    """The circuit's noiseless measurement distribution as a bitstring dict.
+def _measurement_layout(
+    circuit: QuantumCircuit,
+) -> Tuple[List[int], int, List[int]]:
+    """Resolve ``(qubits, width, positions)`` of the output register.
 
-    Measured clbits define the output register: bit ``c`` of the output
-    string is the measured value of the qubit mapped to clbit ``c``.  If the
-    circuit has no measurements, all qubits are reported in qubit order.
-    Bitstrings are big-endian (clbit 0 is the right-most character), matching
-    Qiskit's counts convention.
+    Measured clbits define the output: bit ``positions[m]`` of the output
+    string is the measured value of ``qubits[m]``.  Circuits without
+    measurements report all qubits in qubit order.
     """
-    state = simulate_statevector(circuit, dtype=dtype)
     pairs = circuit.measured_qubits()
     if pairs:
         measured_qubits = [qubit for qubit, _ in pairs]
@@ -249,18 +188,80 @@ def ideal_distribution(
         qubits = list(range(circuit.num_qubits))
         width = circuit.num_qubits
         positions = list(range(width))
+    return qubits, width, positions
+
+
+def _bitstring_keys(indices: np.ndarray, width: int) -> List[str]:
+    """Vectorized big-endian bitstring rendering of integer outcomes."""
+    if width == 0:
+        return ["" for _ in range(len(indices))]
+    indices = np.asarray(indices, dtype=np.int64)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+    bits = (indices[:, None] >> shifts) & 1
+    chars = (bits + ord("0")).astype(np.uint8)
+    flat = chars.tobytes().decode("ascii")
+    return [flat[i:i + width] for i in range(0, len(flat), width)]
+
+
+#: Widths whose complete bitstring tables are memoized (64k strings max).
+_KEY_TABLE_MAX_WIDTH = 16
+
+
+@lru_cache(maxsize=_KEY_TABLE_MAX_WIDTH + 1)
+def _key_table(width: int) -> Tuple[str, ...]:
+    """All ``2**width`` bitstrings, index-ordered (for small widths).
+
+    Built by doubling — ``table(w) = ['0'+s, then '1'+s for s in
+    table(w-1)]`` — which is several times faster than rendering 2**w
+    strings from scratch.
+    """
+    if width == 1:
+        return ("0", "1")
+    half = _key_table(width - 1)
+    return tuple(prefix + s for prefix in ("0", "1") for s in half)
+
+
+def bitstring_keys(indices: np.ndarray, width: int) -> Sequence[str]:
+    """Big-endian bitstrings of integer outcomes, table-backed when small."""
+    if 0 < width <= _KEY_TABLE_MAX_WIDTH:
+        table = _key_table(width)
+        if len(indices) == len(table) and np.array_equal(
+            indices, np.arange(len(table))
+        ):
+            return table
+        return [table[i] for i in np.asarray(indices).tolist()]
+    return _bitstring_keys(indices, width)
+
+
+def ideal_distribution(
+    circuit: QuantumCircuit, dtype=np.complex128
+) -> Dict[str, float]:
+    """The circuit's noiseless measurement distribution as a bitstring dict.
+
+    Measured clbits define the output register: bit ``c`` of the output
+    string is the measured value of the qubit mapped to clbit ``c``.  If the
+    circuit has no measurements, all qubits are reported in qubit order.
+    Bitstrings are big-endian (clbit 0 is the right-most character), matching
+    Qiskit's counts convention.
+    """
+    state = simulate_statevector(circuit, dtype=dtype)
+    qubits, width, positions = _measurement_layout(circuit)
     marginal = state.marginal_probabilities(qubits)
-    dist: Dict[str, float] = {}
-    for index, prob in enumerate(marginal):
-        if prob < 1e-14:
-            continue
-        bits = ["0"] * width
+    support = np.flatnonzero(marginal >= _PROB_CUTOFF)
+    if len(support) == len(marginal):
+        probs = marginal
+    else:
+        probs = marginal[support]
+    if positions == list(range(width)):
+        out_index = support
+    else:
+        # Scatter marginal bit m to output bit positions[m].  The map is
+        # injective (positions are distinct), so no aggregation needed.
+        out_index = np.zeros(len(support), dtype=np.int64)
         for m, pos in enumerate(positions):
-            if (index >> m) & 1:
-                bits[pos] = "1"
-        key = "".join(reversed(bits))
-        dist[key] = dist.get(key, 0.0) + float(prob)
-    return dist
+            out_index |= ((support >> m) & 1) << pos
+    keys = bitstring_keys(out_index, width)
+    return dict(zip(keys, np.asarray(probs, dtype=float).tolist()))
 
 
 def sample_counts(
@@ -268,11 +269,25 @@ def sample_counts(
     shots: int,
     rng: np.random.Generator,
 ) -> Dict[str, int]:
-    """Sample ``shots`` outcomes from a bitstring probability dict."""
+    """Sample ``shots`` outcomes from a bitstring probability dict.
+
+    Vectorized: one cumulative-distribution table and a single batch of
+    uniform draws, binned with ``searchsorted`` — no per-shot Python work.
+    """
     keys = sorted(distribution)
     probs = np.array([distribution[k] for k in keys], dtype=float)
     total = probs.sum()
     if not math.isclose(total, 1.0, abs_tol=1e-6):
         probs = probs / total
-    draws = rng.multinomial(shots, probs)
-    return {k: int(c) for k, c in zip(keys, draws) if c > 0}
+    draws = sample_indices(probs, shots, rng)
+    counts = np.bincount(draws, minlength=len(keys))
+    return {k: int(c) for k, c in zip(keys, counts) if c > 0}
+
+
+def sample_indices(
+    probs: np.ndarray, shots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``shots`` category indices from ``probs`` via one CDF lookup."""
+    cdf = np.cumsum(probs)
+    cdf[-1] = max(cdf[-1], 1.0)  # guard against round-off at the tail
+    return np.searchsorted(cdf, rng.random(shots), side="right")

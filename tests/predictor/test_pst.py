@@ -62,19 +62,26 @@ def test_pst_label_monotone_transform(device):
 
 
 def test_pst_correlates_with_hellinger_label(device):
-    """PST-derived labels must rank circuits like Hellinger labels do."""
+    """PST-derived labels must rank circuits like Hellinger labels do.
+
+    Uses structured (GHZ-chain) circuits whose peaked ideal distribution
+    makes the Hellinger label grow robustly with size; for small random
+    circuits both labels saturate near the uniform-distribution floor and
+    the ordering is shot-noise.
+    """
     from repro.compiler import compile_circuit
     from repro.simulation.executor import execute_and_label
 
-    depths = [2, 40]
     hellinger, pst_vals = [], []
-    for depth in depths:
-        qc = random_circuit(4, depth, seed=6, measure=True)
+    for n in (3, 10):
+        qc = QuantumCircuit(n)
+        qc.h(0)
+        for i in range(n - 1):
+            qc.cx(i, i + 1)
+        qc.measure_all()
         compiled = compile_circuit(qc, device, optimization_level=2, seed=1)
         d, _ = execute_and_label(compiled.circuit, device, shots=2000, seed=4)
         hellinger.append(d)
         pst_vals.append(pst_label(qc, device, shots=2000, seed=4))
-    # Distribution-shape effects allow local non-monotonicity, so compare
-    # only the shallow-vs-deep endpoints, where both labels must agree.
     assert hellinger[1] > hellinger[0]
     assert pst_vals[1] > pst_vals[0]

@@ -32,6 +32,7 @@ def test_compilation_pipeline_runs():
     assert "Pass-by-pass progress" in result.stdout
 
 
+@pytest.mark.slow
 def test_device_comparison_runs():
     result = _run("device_comparison.py", timeout=900)
     assert result.returncode == 0, result.stderr
