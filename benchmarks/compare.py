@@ -1,0 +1,124 @@
+"""Perf-regression comparator for the CI smoke-bench gate.
+
+Compares a fresh pytest-benchmark JSON result file against a committed
+baseline and fails (exit code 1) when any shared benchmark slowed down by
+more than the threshold (default 30%).
+
+Both files may be either full pytest-benchmark exports (``{"benchmarks":
+[{"name": ..., "stats": {"mean": ...}}, ...]}``) or the simplified mapping
+this script writes with ``--update`` (``{"benchmark_name": mean_seconds}``).
+Benchmarks present on only one side are reported but never fail the gate,
+so adding or retiring benchmarks does not require touching the baseline in
+the same commit.
+
+The baseline records wall-clock means and is therefore machine-class
+specific: regenerate it (``--update``) whenever the CI runner class
+changes or a slowdown is intentional, and expect a freshly committed
+baseline from a development machine to need one CI-side regeneration
+before the gate is meaningful.
+
+Usage:
+    python benchmarks/compare.py BASELINE FRESH [--threshold 0.30]
+    python benchmarks/compare.py BASELINE FRESH --update   # rewrite baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_means(path: str | Path) -> Dict[str, float]:
+    """Benchmark-name -> mean-seconds from either supported JSON shape."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, dict) and "benchmarks" in data:
+        means = {}
+        for bench in data["benchmarks"]:
+            means[bench["name"]] = float(bench["stats"]["mean"])
+        return means
+    if isinstance(data, dict):
+        return {name: float(mean) for name, mean in data.items()}
+    raise ValueError(f"unrecognized benchmark JSON shape in {path}")
+
+
+def compare(
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+):
+    """Classify each benchmark; returns ``(regressions, report_lines)``.
+
+    A benchmark regresses when ``fresh > baseline * (1 + threshold)``.
+    """
+    regressions = []
+    lines = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            lines.append(f"  [gone]   {name} (baseline {baseline[name]:.4f}s)")
+            continue
+        if name not in baseline:
+            lines.append(f"  [new]    {name} ({fresh[name]:.4f}s)")
+            continue
+        base, now = baseline[name], fresh[name]
+        ratio = now / base if base > 0 else float("inf")
+        status = "ok"
+        if now > base * (1.0 + threshold):
+            status = "SLOWER"
+            regressions.append(name)
+        elif now < base:
+            status = "faster"
+        lines.append(
+            f"  [{status:<6}] {name}: {base:.4f}s -> {now:.4f}s "
+            f"({ratio:.2f}x)"
+        )
+    return regressions, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="fresh pytest-benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed slowdown fraction before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the fresh results and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_means(args.fresh)
+    if args.update:
+        Path(args.baseline).write_text(
+            json.dumps(dict(sorted(fresh.items())), indent=2) + "\n"
+        )
+        print(f"baseline updated with {len(fresh)} benchmarks")
+        return 0
+
+    baseline = load_means(args.baseline)
+    regressions, lines = compare(baseline, fresh, args.threshold)
+    print(
+        f"perf comparison vs {args.baseline} "
+        f"(threshold: +{args.threshold:.0%}):"
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) regressed by more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print("OK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

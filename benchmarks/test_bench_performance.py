@@ -10,8 +10,9 @@ import numpy as np
 import pytest
 
 from repro.bench.algorithms import qft
+from repro.bench.suite import build_suite, compile_suite
 from repro.circuits.random import random_circuit
-from repro.compiler import compile_circuit
+from repro.compiler import clear_compile_cache, compile_circuit
 from repro.fom import feature_vector
 from repro.hardware import make_q20a
 from repro.ml import RandomForestRegressor
@@ -42,6 +43,40 @@ def test_perf_compile_level3(benchmark, device):
     benchmark.pedantic(
         lambda: compile_circuit(circuit, device, optimization_level=3, seed=0),
         rounds=3, iterations=1,
+    )
+
+
+def test_perf_compile_level3_suite(benchmark, device):
+    """The full 2-20-qubit benchmark suite at optimization level 3.
+
+    This is the dataset-generation compile workload (the dominant
+    `run_study` cost since PR 1 made simulation fast).  The cache is
+    cleared each round, so this measures *cold* compilation; the warm
+    path is covered by `test_perf_compile_level3_suite_warm`.
+    """
+    suite = build_suite(min_qubits=2, max_qubits=20)
+
+    def run():
+        # max_workers=1: compilation is pure Python (GIL-serialized), so a
+        # sequential pass gives the stablest timing for the regression gate.
+        clear_compile_cache()
+        return compile_suite(
+            suite, device, optimization_level=3, seed=0, max_workers=1
+        )
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_perf_compile_level3_suite_warm(benchmark, device):
+    """Warm recompilation of the full suite (pass-cache hit path)."""
+    suite = build_suite(min_qubits=2, max_qubits=20)
+    clear_compile_cache()
+    compile_suite(suite, device, optimization_level=3, seed=0, max_workers=1)
+    benchmark.pedantic(
+        lambda: compile_suite(
+            suite, device, optimization_level=3, seed=0, max_workers=1
+        ),
+        rounds=2, iterations=1,
     )
 
 

@@ -13,7 +13,6 @@ qubits so the example finishes in about a minute):
 Run:  python examples/train_fom_estimator.py
 """
 
-import numpy as np
 
 from repro.bench import build_suite
 from repro.compiler import compile_circuit

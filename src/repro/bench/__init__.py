@@ -5,6 +5,7 @@ from .suite import (
     DEPTH_LIMIT,
     BenchmarkCircuit,
     build_suite,
+    compile_suite,
     filter_by_depth,
     ideal_distributions,
     suite_summary,
@@ -15,6 +16,7 @@ __all__ = [
     "BenchmarkCircuit",
     "DEPTH_LIMIT",
     "build_suite",
+    "compile_suite",
     "filter_by_depth",
     "ideal_distributions",
     "suite_summary",

@@ -85,6 +85,7 @@ def ideal_distributions(
     dtype=np.complex64,
     max_workers: Optional[int] = None,
     cache: Optional[Dict[str, Dict[str, float]]] = None,
+    on_result=None,
 ) -> Dict[str, Dict[str, float]]:
     """Noiseless output distributions of every suite circuit, batched.
 
@@ -92,6 +93,8 @@ def ideal_distributions(
     default one per CPU) — this is the dataset-generation hot path shared
     across devices.  Entries already present in ``cache`` are not
     recomputed; the (possibly shared) cache dict is returned.
+    ``on_result(position, distribution)`` fires per freshly simulated
+    circuit (positions index the not-yet-cached subset, in suite order).
     """
     from ..simulation.executor import parallel_map
     from ..simulation.statevector import ideal_distribution
@@ -102,10 +105,41 @@ def ideal_distributions(
         lambda entry: ideal_distribution(entry.circuit, dtype=dtype),
         missing,
         max_workers=max_workers,
+        on_result=on_result,
     )
     for entry, dist in zip(missing, fresh):
         cache[entry.name] = dist
     return cache
+
+
+def compile_suite(
+    suite: Sequence[BenchmarkCircuit],
+    device,
+    optimization_level: int = 3,
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+    on_result=None,
+):
+    """Compile every suite circuit for ``device`` through the batch API.
+
+    Thin wrapper over :func:`repro.compiler.compile.compile_batch` using
+    the dataset convention for per-circuit seeds (``seed + index``), so a
+    suite compiled here matches the circuits
+    :func:`repro.predictor.dataset.build_dataset` would produce.
+
+    Returns one :class:`~repro.compiler.compile.CompilationResult` per
+    suite entry, in suite order.
+    """
+    from ..compiler.compile import compile_batch
+
+    return compile_batch(
+        [entry.circuit for entry in suite],
+        device,
+        optimization_level=optimization_level,
+        seeds=[seed + index for index in range(len(suite))],
+        max_workers=max_workers,
+        on_result=on_result,
+    )
 
 
 def filter_by_depth(

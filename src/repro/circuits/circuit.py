@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
-from .gates import GATES, NON_UNITARY, get_spec
+from .gates import NON_UNITARY, get_spec
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ features (critical path composition, layer parallelism).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from .circuit import Instruction, QuantumCircuit
 

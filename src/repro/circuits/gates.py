@@ -13,6 +13,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np
@@ -368,6 +369,24 @@ def get_spec(name: str) -> GateSpec:
 def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
     """Convenience wrapper: matrix of gate ``name`` with ``params``."""
     return get_spec(name).matrix(params)
+
+
+@lru_cache(maxsize=16384)
+def _cached_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
+    matrix = get_spec(name).matrix(params)
+    matrix.setflags(write=False)
+    return matrix
+
+
+def cached_gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Memoized :func:`gate_matrix`.  The returned array is read-only.
+
+    The single process-wide matrix memo, shared by the simulation kernels
+    and the compiler's merge/synthesis passes (which look the same few
+    matrices up hundreds of thousands of times per suite compilation).
+    Callers must not write to the returned array.
+    """
+    return _cached_matrix(name, tuple(params))
 
 
 def is_unitary_gate(name: str) -> bool:

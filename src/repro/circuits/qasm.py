@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List
+from typing import List
 
 from .circuit import QuantumCircuit
 from .gates import GATES

@@ -1,6 +1,13 @@
 """Quantum circuit compiler: passes, pipelines, optimization levels 0-3."""
 
-from .compile import CompilationResult, compile_circuit
+from .cache import (
+    CompileCache,
+    clear_compile_cache,
+    compile_cache_stats,
+    configure_compile_cache,
+    get_compile_cache,
+)
+from .compile import SEED_STRIDE, CompilationResult, compile_batch, compile_circuit
 from .passes.base import Pass, PassManager, PropertySet
 from .passes.decompose import Decompose, decompose_circuit
 from .passes.layout import GreedySubgraphLayout, LineLayout, TrivialLayout, apply_layout
@@ -30,6 +37,7 @@ __all__ = [
     "ASAPSchedule",
     "CancelInversePairs",
     "CompilationResult",
+    "CompileCache",
     "Decompose",
     "GreedySubgraphLayout",
     "LineLayout",
@@ -43,14 +51,20 @@ __all__ = [
     "PathRouting",
     "PropertySet",
     "RemoveIdentities",
+    "SEED_STRIDE",
     "SabreRouting",
     "Schedule",
     "TimedInstruction",
     "TrivialLayout",
     "VirtualRZ",
     "apply_layout",
+    "clear_compile_cache",
+    "compile_batch",
+    "compile_cache_stats",
     "compile_circuit",
     "compile_noise_aware",
+    "configure_compile_cache",
+    "get_compile_cache",
     "effective_distance_matrix",
     "decompose_circuit",
     "matrices_equal_up_to_phase",

@@ -1,0 +1,158 @@
+"""Pass-level compilation cache.
+
+Many compiler passes are pure functions of ``(circuit, pass configuration,
+declared property reads)``: decomposition, the optimization loop, native
+synthesis, layout selection, and routing (for a fixed seed).  The
+:class:`CompileCache` memoizes their results so that repeated compilations
+— level-3 trials re-running the shared pre-layout "body", warm dataset
+rebuilds, seed sweeps over identical circuits — skip the pass entirely.
+
+Keys combine three ingredients (assembled by
+:class:`~repro.compiler.passes.base.PassManager`):
+
+* the pass's :meth:`~repro.compiler.passes.base.Pass.cache_key` — its
+  class plus every option that affects its output (seeds, tolerances, the
+  coupling-map fingerprint),
+* a content fingerprint of the input circuit (qubit/clbit counts, global
+  phase, and a hash over the immutable instruction tuple — the same
+  machinery the simulation caches use),
+* the frozen values of the property-set keys the pass declares it reads
+  (e.g. routing reads ``initial_layout``).
+
+Cached entries store an immutable snapshot of the output instructions plus
+the metadata/property *deltas* the pass produced, so a hit rebuilds a
+fresh, independently mutable circuit.  The cache is a bounded LRU shared
+process-wide; all operations take a lock, so concurrent
+:func:`~repro.compiler.compile.compile_batch` workers share work safely.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+#: Default number of cached pass results.  One level-3 compilation stores
+#: roughly two dozen entries, so the default comfortably covers a full
+#: benchmark-suite sweep (~335 circuits) without evictions.
+DEFAULT_MAXSIZE = 32768
+
+
+@dataclass
+class CachedPassResult:
+    """Immutable snapshot of one pass run.
+
+    ``instructions`` is a tuple (instructions themselves are frozen), so a
+    stored entry can never be corrupted by callers mutating the circuit a
+    hit handed back.  ``metadata_delta`` / ``properties_delta`` hold only
+    the keys the pass added or changed, letting a hit compose them onto
+    inputs that differ in (output-irrelevant) metadata.
+    """
+
+    num_qubits: int
+    num_clbits: int
+    global_phase: float
+    instructions: Tuple
+    metadata_delta: Dict[str, Any] = field(default_factory=dict)
+    properties_delta: Dict[str, Any] = field(default_factory=dict)
+
+
+class CompileCache:
+    """Bounded, thread-safe LRU cache of pass results with hit counters."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE, enabled: bool = True):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.enabled = enabled
+        self._data: "OrderedDict[Hashable, CachedPassResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Optional[CachedPassResult]:
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: Hashable, entry: CachedPassResult) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._data[key] = entry
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of ``{hits, misses, size, maxsize}``."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+#: The process-wide cache used by :func:`repro.compiler.compile.compile_circuit`.
+_GLOBAL_CACHE = CompileCache()
+
+
+def get_compile_cache() -> CompileCache:
+    """The shared pass-result cache (configure via the helpers below)."""
+    return _GLOBAL_CACHE
+
+
+def active_compile_cache() -> Optional[CompileCache]:
+    """The shared cache, or ``None`` when caching is disabled."""
+    return _GLOBAL_CACHE if _GLOBAL_CACHE.enabled else None
+
+
+def configure_compile_cache(
+    maxsize: Optional[int] = None, enabled: Optional[bool] = None
+) -> CompileCache:
+    """Adjust the shared cache knobs; returns the cache for chaining.
+
+    ``configure_compile_cache(enabled=False)`` turns pass memoization off
+    globally (every compilation runs cold); ``maxsize`` bounds the number
+    of retained pass results.
+    """
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        _GLOBAL_CACHE.maxsize = maxsize
+        with _GLOBAL_CACHE._lock:
+            while len(_GLOBAL_CACHE._data) > maxsize:
+                _GLOBAL_CACHE._data.popitem(last=False)
+    if enabled is not None:
+        _GLOBAL_CACHE.enabled = enabled
+    return _GLOBAL_CACHE
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached pass result and reset the hit/miss counters."""
+    _GLOBAL_CACHE.clear()
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the shared compile cache."""
+    return _GLOBAL_CACHE.stats()

@@ -17,15 +17,27 @@ level three"):
 Measurements must be terminal.  They are stripped before the pipeline and
 re-appended on the physical qubit that holds each measured program qubit
 after routing, so the output counts keep their program-level meaning.
+
+Throughput comes from three mechanisms.  Pass results that are pure
+functions of ``(circuit, device, options)`` are memoized in the shared
+:mod:`~repro.compiler.cache` (so warm recompiles and overlapping trials
+skip entire passes).  Level-3 trials share their trial-invariant prefix —
+the decompose + optimization-loop "body" runs once, not once per trial —
+and candidates are scored with one vectorized
+:func:`~repro.fom.metrics.expected_fidelity_batch` sweep over the
+calibration arrays.  :func:`compile_batch` compiles many circuits through
+a worker pool with deterministic per-circuit seed streams, mirroring
+:meth:`repro.simulation.executor.QPUExecutor.run_batch`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.device import Device
+from .cache import active_compile_cache
 from .passes.base import Pass, PassManager, PropertySet
 from .passes.decompose import Decompose
 from .passes.layout import GreedySubgraphLayout, LineLayout, TrivialLayout
@@ -33,6 +45,11 @@ from .passes.optimization import Merge1QRuns, OptimizationLoop, RemoveIdentities
 from .passes.routing import PathRouting, SabreRouting
 from .passes.scheduling import Schedule, schedule_asap
 from .passes.synthesis import NativeSynthesis, VirtualRZ
+
+#: Stride between the default per-circuit seed streams of
+#: :func:`compile_batch` (the same prime :mod:`repro.simulation.executor`
+#: uses, so compile and execute streams decorrelate identically).
+SEED_STRIDE = 7919
 
 
 @dataclass
@@ -81,19 +98,46 @@ def _split_measurements(
     return body, sorted(measured.items())
 
 
+def _pass_manager(passes: List[Pass]) -> PassManager:
+    """A pipeline wired to the shared compile cache, history disabled."""
+    return PassManager(
+        passes, cache=active_compile_cache(), collect_history=False
+    )
+
+
+def _layout_pass(
+    device: Device, optimization_level: int, seed: int, layout: str | None
+) -> Pass:
+    coupling = device.coupling
+    if layout == "line":
+        return LineLayout(coupling)
+    if layout == "trivial" or (layout is None and optimization_level <= 1):
+        return TrivialLayout(coupling)
+    return GreedySubgraphLayout(coupling, seed=seed)
+
+
+def _trial_suffix(
+    device: Device, seed: int, keep_final_rz: bool,
+    layout: str | None, routing_seed: int,
+) -> List[Pass]:
+    """The trial-varying tail of the level-2/3 pipeline (post-"body")."""
+    return [
+        _layout_pass(device, 2, seed, layout),
+        SabreRouting(device.coupling, seed=routing_seed, lookahead=True),
+        Decompose(),
+        OptimizationLoop(),
+        NativeSynthesis(),
+        VirtualRZ(keep_final_rz=keep_final_rz),
+    ]
+
+
 def _build_pipeline(
     device: Device, optimization_level: int, seed: int,
     keep_final_rz: bool, layout: str | None = None, routing_seed: int | None = None,
 ) -> List[Pass]:
     coupling = device.coupling
     routing_seed = seed if routing_seed is None else routing_seed
-    layout_pass: Pass
-    if layout == "line":
-        layout_pass = LineLayout(coupling)
-    elif layout == "trivial" or (layout is None and optimization_level <= 1):
-        layout_pass = TrivialLayout(coupling)
-    else:
-        layout_pass = GreedySubgraphLayout(coupling, seed=seed)
+    layout_pass = _layout_pass(device, optimization_level, seed, layout)
 
     if optimization_level == 0:
         return [
@@ -117,16 +161,9 @@ def _build_pipeline(
             VirtualRZ(keep_final_rz=keep_final_rz),
         ]
     # Levels 2 and 3 share the heavy pipeline.
-    return [
-        Decompose(),
-        OptimizationLoop(),
-        layout_pass,
-        SabreRouting(coupling, seed=routing_seed, lookahead=True),
-        Decompose(),
-        OptimizationLoop(),
-        NativeSynthesis(),
-        VirtualRZ(keep_final_rz=keep_final_rz),
-    ]
+    return [Decompose(), OptimizationLoop()] + _trial_suffix(
+        device, seed, keep_final_rz, layout, routing_seed
+    )
 
 
 def compile_circuit(
@@ -198,6 +235,74 @@ def compile_circuit(
     )
 
 
+def compile_batch(
+    circuits: Sequence[QuantumCircuit],
+    device: Device,
+    optimization_level: int = 3,
+    seed: int = 0,
+    seeds: Optional[Sequence[int]] = None,
+    keep_final_rz: bool = False,
+    num_trials: int = 4,
+    max_workers: Optional[int] = None,
+    on_result: Optional[Callable[[int, CompilationResult], None]] = None,
+) -> List[CompilationResult]:
+    """Compile many circuits, in parallel, with per-circuit seed streams.
+
+    Circuit ``i`` is compiled exactly as ``compile_circuit(circuits[i],
+    device, optimization_level, seed=seeds[i], ...)`` would — results come
+    back in input order and are identical for every worker count, because
+    each circuit's stochastic pass decisions depend only on its own seed.
+    Workers share the process-wide pass cache, so identical sub-problems
+    (repeated suite circuits, shared trial prefixes) are solved once.
+
+    Unlike :meth:`run_batch` (numpy-heavy, releases the GIL), compilation
+    is pure Python and GIL-serialized, so the default is a sequential
+    pass — thread workers add contention without parallel speedup.  Pass
+    ``max_workers`` explicitly to opt into a pool anyway (e.g. to overlap
+    ``on_result`` I/O with compilation).
+
+    Args:
+        circuits: program circuits to compile.
+        device: compilation target shared by the whole batch.
+        optimization_level: 0-3, applied to every circuit.
+        seed: base seed; circuit ``i`` defaults to the stream
+            ``seed + SEED_STRIDE * i`` (the :meth:`run_batch` convention).
+        seeds: optional explicit per-circuit seeds (overrides ``seed``).
+        keep_final_rz: forwarded to :func:`compile_circuit`.
+        num_trials: level-3 trial count per circuit.
+        max_workers: worker-pool size (default: 1, i.e. sequential —
+            see above).
+        on_result: optional ``callback(index, result)`` fired as each
+            circuit finishes (from worker threads, completion order).
+
+    Returns:
+        One :class:`CompilationResult` per circuit, in input order.
+    """
+    from ..simulation.executor import parallel_map
+
+    n = len(circuits)
+    if seeds is None:
+        seeds = [seed + SEED_STRIDE * i for i in range(n)]
+    elif len(seeds) != n:
+        raise ValueError("seeds must match circuits in length")
+
+    def job(index: int) -> CompilationResult:
+        return compile_circuit(
+            circuits[index],
+            device,
+            optimization_level=optimization_level,
+            seed=seeds[index],
+            keep_final_rz=keep_final_rz,
+            num_trials=num_trials,
+        )
+
+    return parallel_map(
+        job, range(n),
+        max_workers=1 if max_workers is None else max_workers,
+        on_result=on_result,
+    )
+
+
 def _run_single(
     body: QuantumCircuit,
     device: Device,
@@ -211,7 +316,7 @@ def _run_single(
         device, optimization_level, seed, keep_final_rz, layout, routing_seed
     )
     properties = PropertySet()
-    compiled = PassManager(pipeline).run(body, properties)
+    compiled = _pass_manager(pipeline).run(body, properties)
     return compiled, properties
 
 
@@ -222,22 +327,39 @@ def _run_trials(
     keep_final_rz: bool,
     num_trials: int,
 ) -> Tuple[QuantumCircuit, PropertySet]:
-    """Level 3: several layout/routing trials, best expected fidelity wins."""
-    from ..fom.metrics import expected_fidelity
+    """Level 3: several layout/routing trials, best expected fidelity wins.
+
+    The trial-invariant prefix (decompose + optimization loop on the
+    program body) runs once and every trial continues from its output;
+    trials share the device's cached routing tables through their layout
+    and routing passes, and all candidates are scored in one vectorized
+    expected-fidelity sweep.
+    """
+    from ..fom.metrics import expected_fidelity_batch
+
+    prepared = _pass_manager([Decompose(), OptimizationLoop()]).run(
+        body, PropertySet()
+    )
 
     layouts = ["greedy", "trivial", "line"] + ["greedy"] * max(0, num_trials - 3)
-    best: Optional[Tuple[float, QuantumCircuit, PropertySet]] = None
+    candidates: List[Tuple[QuantumCircuit, PropertySet]] = []
     for trial in range(num_trials):
         layout = layouts[trial % len(layouts)]
-        compiled, properties = _run_single(
-            body, device, 2, seed + trial, keep_final_rz,
+        suffix = _trial_suffix(
+            device, seed + trial, keep_final_rz,
             layout if layout != "greedy" else None,
             routing_seed=seed * 1000 + trial,
         )
-        score = expected_fidelity(
-            compiled, device, calibration=device.reported_calibration
-        )
-        if best is None or score > best[0]:
-            best = (score, compiled, properties)
-    assert best is not None
-    return best[1], best[2]
+        properties = PropertySet()
+        compiled = _pass_manager(suffix).run(prepared, properties)
+        candidates.append((compiled, properties))
+
+    scores = expected_fidelity_batch(
+        [compiled for compiled, _ in candidates],
+        device,
+        calibration=device.reported_calibration,
+    )
+    # First occurrence of the maximum mirrors the historical scan's
+    # strict-greater-than update rule.
+    best = int(scores.argmax())
+    return candidates[best]

@@ -5,14 +5,22 @@ schedules, statistics) into a shared :class:`PropertySet`.  A
 :class:`PassManager` runs a sequence of passes, mirroring the architecture
 of production transpilers so that pass orderings can be studied (the paper's
 Section II-A: "passes can be performed in any order and might be repeated").
+
+Passes that are pure functions of ``(circuit, configuration, declared
+property reads)`` advertise a :meth:`Pass.cache_key`; a
+:class:`PassManager` constructed with a
+:class:`~repro.compiler.cache.CompileCache` memoizes their results, so
+repeated compilations (level-3 trials, warm dataset rebuilds) skip the
+pass bodies entirely.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ...circuits.circuit import QuantumCircuit
+from ..cache import CachedPassResult, CompileCache
 
 
 class PropertySet(dict):
@@ -33,6 +41,11 @@ class PropertySet(dict):
 class Pass(ABC):
     """Base class for all compiler passes."""
 
+    #: Property-set keys whose values feed into this pass's output (beyond
+    #: the circuit itself).  Only these keys are visible to a cached run,
+    #: and their frozen values become part of the cache key.
+    reads: Tuple[str, ...] = ()
+
     @property
     def name(self) -> str:
         return type(self).__name__
@@ -41,15 +54,69 @@ class Pass(ABC):
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         """Transform ``circuit``; may read/write ``properties``."""
 
+    def cache_key(self) -> Optional[Hashable]:
+        """Configuration signature for pass-result memoization.
+
+        Return a hashable tuple covering *every* option that affects the
+        pass output (seeds, tolerances, coupling fingerprints, ...), or
+        ``None`` (the default) when the pass must not be cached.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return self.name
 
 
-class PassManager:
-    """Runs passes in order, collecting per-pass statistics."""
+def circuit_cache_fingerprint(circuit: QuantumCircuit) -> Tuple:
+    """Content fingerprint of a circuit for compile-cache keys.
 
-    def __init__(self, passes: List[Pass] | None = None):
+    Instructions are immutable and pre-hashed, so the tuple hash is cheap;
+    length is included alongside to shrink the collision surface.
+    """
+    return (
+        circuit.num_qubits,
+        circuit.num_clbits,
+        circuit.global_phase,
+        len(circuit.instructions),
+        hash(tuple(circuit.instructions)),
+    )
+
+
+def _freeze_property(value: Any) -> Hashable:
+    """Hashable snapshot of a property value (layout dicts become tuples)."""
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+def _copy_property(value: Any) -> Any:
+    """Defensive copy of a property value handed out of the cache."""
+    if isinstance(value, dict):
+        return dict(value)
+    return value
+
+
+class PassManager:
+    """Runs passes in order, optionally memoizing and collecting statistics.
+
+    Args:
+        passes: the pipeline.
+        cache: a :class:`CompileCache`; when given, passes with a
+            non-``None`` :meth:`Pass.cache_key` are memoized.
+        collect_history: record per-pass size/depth statistics in
+            :attr:`history`.  Depth is O(circuit), so the hot compile path
+            disables this.
+    """
+
+    def __init__(
+        self,
+        passes: List[Pass] | None = None,
+        cache: Optional[CompileCache] = None,
+        collect_history: bool = True,
+    ):
         self.passes: List[Pass] = list(passes or [])
+        self.cache = cache
+        self.collect_history = collect_history
         self.history: List[Dict[str, Any]] = []
 
     def append(self, pass_: Pass) -> "PassManager":
@@ -67,16 +134,96 @@ class PassManager:
         self.history = []
         current = circuit
         for pass_ in self.passes:
-            before_size = current.size()
-            before_depth = current.depth()
-            current = pass_.run(current, properties)
-            self.history.append(
-                {
-                    "pass": pass_.name,
-                    "size_before": before_size,
-                    "size_after": current.size(),
-                    "depth_before": before_depth,
-                    "depth_after": current.depth(),
-                }
-            )
+            if self.collect_history:
+                before_size = current.size()
+                before_depth = current.depth()
+            current = self._run_pass(pass_, current, properties)
+            if self.collect_history:
+                self.history.append(
+                    {
+                        "pass": pass_.name,
+                        "size_before": before_size,
+                        "size_after": current.size(),
+                        "depth_before": before_depth,
+                        "depth_after": current.depth(),
+                    }
+                )
         return current
+
+    # ------------------------------------------------------------------
+    # Memoized execution
+    # ------------------------------------------------------------------
+
+    def _run_pass(
+        self, pass_: Pass, circuit: QuantumCircuit, properties: PropertySet
+    ) -> QuantumCircuit:
+        cache = self.cache
+        config_key = pass_.cache_key() if cache is not None else None
+        if cache is None or config_key is None:
+            return pass_.run(circuit, properties)
+
+        read_state = tuple(
+            (key, _freeze_property(properties.get(key))) for key in pass_.reads
+        )
+        key = (config_key, circuit_cache_fingerprint(circuit), read_state)
+        entry = cache.get(key)
+        if entry is None:
+            entry, result = self._execute_and_snapshot(pass_, circuit, properties)
+            cache.put(key, entry)
+            for prop_key, value in entry.properties_delta.items():
+                properties[prop_key] = _copy_property(value)
+            return result
+        # Hit: rebuild a fresh circuit from the immutable snapshot, carrying
+        # the *input's* name/metadata plus the deltas the pass produced.
+        metadata = dict(circuit.metadata)
+        metadata.update(
+            (k, _copy_property(v)) for k, v in entry.metadata_delta.items()
+        )
+        for prop_key, value in entry.properties_delta.items():
+            properties[prop_key] = _copy_property(value)
+        return QuantumCircuit(
+            num_qubits=entry.num_qubits,
+            num_clbits=entry.num_clbits,
+            name=circuit.name,
+            global_phase=entry.global_phase,
+            instructions=list(entry.instructions),
+            metadata=metadata,
+        )
+
+    @staticmethod
+    def _execute_and_snapshot(
+        pass_: Pass, circuit: QuantumCircuit, properties: PropertySet
+    ) -> Tuple[CachedPassResult, QuantumCircuit]:
+        """Run ``pass_`` against an overlay limited to its declared reads.
+
+        The overlay guarantees cache-key completeness by construction: the
+        pass can only observe properties listed in :attr:`Pass.reads`, and
+        everything it wrote is captured as the delta stored with the entry.
+        """
+        overlay = PropertySet(
+            {key: properties[key] for key in pass_.reads if key in properties}
+        )
+        result = pass_.run(circuit, overlay)
+        properties_delta = {
+            key: value
+            for key, value in overlay.items()
+            if key not in pass_.reads or properties.get(key) is not value
+        }
+        metadata_delta = {
+            key: value
+            for key, value in result.metadata.items()
+            if key not in circuit.metadata or circuit.metadata[key] != value
+        }
+        entry = CachedPassResult(
+            num_qubits=result.num_qubits,
+            num_clbits=result.num_clbits,
+            global_phase=result.global_phase,
+            instructions=tuple(result.instructions),
+            metadata_delta={
+                k: _copy_property(v) for k, v in metadata_delta.items()
+            },
+            properties_delta={
+                k: _copy_property(v) for k, v in properties_delta.items()
+            },
+        )
+        return entry, result

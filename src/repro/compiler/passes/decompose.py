@@ -10,7 +10,7 @@ native set (PRX + CZ for IQM) happens later in
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Hashable, Optional
 
 from ...circuits.circuit import Instruction, QuantumCircuit
 from ...circuits.gates import gate_matrix
@@ -27,17 +27,21 @@ _BASIS = frozenset({
 class Decompose(Pass):
     """Rewrite all non-basis gates into ``{1q, cx, cz}`` equivalents."""
 
+    def cache_key(self) -> Optional[Hashable]:
+        return ("Decompose",)
+
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         out = QuantumCircuit(
             circuit.num_qubits, circuit.num_clbits,
             name=circuit.name, global_phase=circuit.global_phase,
             metadata=dict(circuit.metadata),
         )
+        append = out.instructions.append
         for instruction in circuit.instructions:
-            if instruction.name == "barrier":
-                out.instructions.append(instruction)
-            elif instruction.name in _BASIS:
-                out.append_instruction(instruction)
+            # Instructions are immutable and were validated on construction,
+            # so basis gates and directives pass through by reference.
+            if instruction.name == "barrier" or instruction.name in _BASIS:
+                append(instruction)
             else:
                 _decompose_into(out, instruction)
         return out

@@ -8,7 +8,7 @@ remaining non-adjacent interactions.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
@@ -37,6 +37,9 @@ class TrivialLayout(Pass):
     def __init__(self, coupling: CouplingMap):
         self.coupling = coupling
 
+    def cache_key(self) -> Optional[Hashable]:
+        return ("TrivialLayout", self.coupling.fingerprint())
+
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         layout = {q: q for q in range(circuit.num_qubits)}
         properties["initial_layout"] = layout
@@ -56,6 +59,9 @@ class GreedySubgraphLayout(Pass):
     def __init__(self, coupling: CouplingMap, seed: int = 0):
         self.coupling = coupling
         self.seed = seed
+
+    def cache_key(self) -> Optional[Hashable]:
+        return ("GreedySubgraphLayout", self.coupling.fingerprint(), self.seed)
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         layout = self.select_layout(circuit)
@@ -115,6 +121,9 @@ class LineLayout(Pass):
 
     def __init__(self, coupling: CouplingMap):
         self.coupling = coupling
+
+    def cache_key(self) -> Optional[Hashable]:
+        return ("LineLayout", self.coupling.fingerprint())
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         order = self._bfs_path()

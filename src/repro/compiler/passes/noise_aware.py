@@ -91,6 +91,15 @@ class _WeightedCouplingView(CouplingMap):
         super().__init__(base.num_qubits, base.edges)
         self._distance = effective_distance_matrix(base, calibration)
 
+    def fingerprint(self) -> int:
+        # Include the weighted metric: this view must never share
+        # compile-cache keys with the plain topology it wraps.
+        if self._fingerprint is None:
+            self._fingerprint = hash((
+                self.num_qubits, tuple(self.edges), self._distance.tobytes(),
+            ))
+        return self._fingerprint
+
 
 class NoiseAwareLayout(Pass):
     """Greedy layout maximizing the fidelity of the occupied region.

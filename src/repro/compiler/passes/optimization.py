@@ -14,13 +14,13 @@ from __future__ import annotations
 
 import cmath
 import math
-from typing import Dict, List, Optional
+from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
 from ...circuits.circuit import Instruction, QuantumCircuit
-from ...circuits.gates import DIAGONAL_GATES, gate_matrix
-from ..unitary_math import u_params
+from ...circuits.gates import DIAGONAL_GATES, cached_gate_matrix
+from ..unitary_math import u_params_cached
 from .base import Pass, PropertySet
 
 _ZERO_ANGLE_GATES = frozenset({"rx", "ry", "rz", "p", "rxx", "ryy", "rzz",
@@ -32,6 +32,9 @@ class RemoveIdentities(Pass):
 
     def __init__(self, atol: float = 1e-10):
         self.atol = atol
+
+    def cache_key(self) -> Optional[Hashable]:
+        return ("RemoveIdentities", self.atol)
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         out = circuit.copy()
@@ -60,6 +63,9 @@ class Merge1QRuns(Pass):
     def __init__(self, atol: float = 1e-10):
         self.atol = atol
 
+    def cache_key(self) -> Optional[Hashable]:
+        return ("Merge1QRuns", self.atol)
+
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         out = QuantumCircuit(
             circuit.num_qubits, circuit.num_clbits,
@@ -80,13 +86,15 @@ class Merge1QRuns(Pass):
                     and abs(matrix[0, 0] - matrix[1, 1]) < self.atol:
                 out.global_phase += cmath.phase(matrix[0, 0])
                 return
-            theta, phi, lam, phase = u_params(matrix)
+            theta, phi, lam, phase = u_params_cached(matrix)
             out.global_phase += phase
-            out.u(theta, phi, lam, qubit)
+            out.instructions.append(
+                Instruction("u", (qubit,), (theta, phi, lam))
+            )
 
         for instruction in circuit.instructions:
             if instruction.is_unitary and instruction.num_qubits == 1:
-                matrix = gate_matrix(instruction.name, instruction.params)
+                matrix = cached_gate_matrix(instruction.name, instruction.params)
                 q = instruction.qubits[0]
                 pending[q] = (
                     matrix if pending[q] is None else matrix @ pending[q]
@@ -141,6 +149,9 @@ class CancelInversePairs(Pass):
     that commute across the relevant wire (diagonals on a CZ wire or a CX
     control, X-axis rotations on a CX target) are skipped during the search.
     """
+
+    def cache_key(self) -> Optional[Hashable]:
+        return ("CancelInversePairs",)
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         instructions = list(circuit.instructions)
@@ -219,6 +230,9 @@ class OptimizationLoop(Pass):
     def __init__(self, max_iterations: int = 8):
         self.max_iterations = max_iterations
         self._passes = [RemoveIdentities(), Merge1QRuns(), CancelInversePairs()]
+
+    def cache_key(self) -> Optional[Hashable]:
+        return ("OptimizationLoop", self.max_iterations)
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         current = circuit

@@ -12,17 +12,26 @@ indices (after a layout pass).  It maintains ``tau``: the mapping from
 qubits, initialized to identity.  The final mapping is stored as
 ``final_layout`` so later stages (and result interpretation) can undo the
 permutation.
+
+Throughput notes: topology lookups (distance matrix, adjacency, neighbour
+lists) come from the :class:`~repro.hardware.coupling.RoutingTables` cached
+per coupling map, the virtual/physical permutation and its inverse are
+maintained incrementally, and candidate SWAPs are scored in one vectorized
+batch per decision (:func:`_select_swap`).  Distances are whole numbers, so
+the vectorized sums are exact and the selected SWAP is bit-identical to the
+scalar reference (:func:`_swap_score`, kept for verification).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ...circuits.circuit import Instruction, QuantumCircuit
 from ...circuits.dag import CircuitDag
-from ...hardware.coupling import CouplingMap
+from ...hardware.coupling import CouplingMap, RoutingTables
 from .base import Pass, PropertySet
 
 _DECAY_RESET_INTERVAL = 5
@@ -33,6 +42,8 @@ _LOOKAHEAD_SIZE = 20
 
 class SabreRouting(Pass):
     """Heuristic SWAP insertion with lookahead (SABRE-style)."""
+
+    reads = ("initial_layout",)
 
     def __init__(
         self,
@@ -47,6 +58,15 @@ class SabreRouting(Pass):
         if swap_gate not in ("swap", "cx"):
             raise ValueError("swap_gate must be 'swap' or 'cx'")
         self.swap_gate = swap_gate
+
+    def cache_key(self) -> Optional[Hashable]:
+        return (
+            "SabreRouting",
+            self.coupling.fingerprint(),
+            self.seed,
+            self.lookahead,
+            self.swap_gate,
+        )
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         routed, final_virtual_to_phys = route_circuit(
@@ -75,6 +95,7 @@ def route_circuit(
     seed: int = 0,
     lookahead: bool = True,
     swap_gate: str = "swap",
+    tables: Optional[RoutingTables] = None,
 ) -> Tuple[QuantumCircuit, Dict[int, int]]:
     """Route ``circuit`` onto ``coupling``.
 
@@ -86,14 +107,22 @@ def route_circuit(
     """
     if circuit.num_qubits > coupling.num_qubits:
         raise ValueError("circuit wider than coupling map")
+    if tables is None:
+        tables = coupling.routing_tables()
     rng = np.random.default_rng(seed)
     dag = CircuitDag(circuit)
-    distance = coupling.distance_matrix()
+    distance = tables.distance
+    adjacency = tables.adjacency
+    neighbors = tables.neighbors
+    num_qubits = coupling.num_qubits
 
-    # tau: virtual wire -> physical qubit; phys_to_virt inverse.
-    tau: Dict[int, int] = {q: q for q in range(coupling.num_qubits)}
+    # tau: virtual wire -> physical qubit, with its inverse maintained
+    # incrementally (a rebuilt inverse dict per SWAP dominated the old
+    # router's profile).
+    tau: List[int] = list(range(num_qubits))
+    phys_to_virt: List[int] = list(range(num_qubits))
     out = QuantumCircuit(
-        coupling.num_qubits, circuit.num_clbits,
+        num_qubits, circuit.num_clbits,
         name=circuit.name, global_phase=circuit.global_phase,
         metadata=dict(circuit.metadata),
     )
@@ -101,14 +130,15 @@ def route_circuit(
     done: Set[int] = set()
     remaining_successors = {node.index: set(node.predecessors) for node in dag.nodes}
     swaps_inserted = 0
-    decay = np.ones(coupling.num_qubits)
+    decay = np.ones(num_qubits)
     steps_since_reset = 0
 
     def executable(instruction: Instruction) -> bool:
         if instruction.num_qubits < 2 or not instruction.is_unitary:
             return True
-        a, b = tau[instruction.qubits[0]], tau[instruction.qubits[1]]
-        return coupling.has_edge(a, b)
+        return adjacency[
+            tau[instruction.qubits[0]], tau[instruction.qubits[1]]
+        ]
 
     # Measurements are deferred and emitted on the *final* mapping: a swap
     # inserted after an inline measure would otherwise re-use the measured
@@ -119,13 +149,19 @@ def route_circuit(
         if instruction.name == "measure":
             deferred_measures.append(instruction)
             return
-        mapped = Instruction(
-            instruction.name,
-            tuple(tau[q] for q in instruction.qubits),
-            instruction.params,
-            instruction.clbits,
+        mapped_qubits = tuple(tau[q] for q in instruction.qubits)
+        if mapped_qubits == instruction.qubits:
+            # Identity-mapped (common before the first SWAP): reuse.
+            out.instructions.append(instruction)
+            return
+        out.instructions.append(
+            Instruction(
+                instruction.name,
+                mapped_qubits,
+                instruction.params,
+                instruction.clbits,
+            )
         )
-        out.instructions.append(mapped)
 
     front = [n.index for n in dag.nodes if not n.predecessors]
 
@@ -157,22 +193,19 @@ def route_circuit(
         ]
         lookahead_gates = _collect_lookahead(dag, front, done) if lookahead else []
 
-        candidates = _candidate_swaps(front_gates, tau, coupling)
+        candidates = _candidate_swaps(front_gates, tau, neighbors)
         if not candidates:
             raise RuntimeError("router stuck with no candidate swaps")
-        best_swap, best_score = None, float("inf")
         order = sorted(candidates)
         rng.shuffle(order)
-        for swap in order:
-            score = _swap_score(
-                swap, front_gates, lookahead_gates, tau, distance, decay
-            )
-            if score < best_score:
-                best_score, best_swap = score, swap
-        a, b = best_swap
-        _apply_swap(tau, a, b)
+        a, b = _select_swap(
+            order, front_gates, lookahead_gates, tau, distance, decay
+        )
+        va, vb = phys_to_virt[a], phys_to_virt[b]
+        tau[va], tau[vb] = b, a
+        phys_to_virt[a], phys_to_virt[b] = vb, va
         if swap_gate == "swap":
-            out.append("swap", (a, b))
+            out.instructions.append(Instruction("swap", (a, b)))
         else:
             out.cx(a, b).cx(b, a).cx(a, b)
         swaps_inserted += 1
@@ -193,7 +226,7 @@ def route_circuit(
             )
         )
     out.metadata["routing_swaps"] = swaps_inserted
-    final_mapping = {virt: tau[virt] for virt in range(coupling.num_qubits)}
+    final_mapping = {virt: tau[virt] for virt in range(num_qubits)}
     return out, final_mapping
 
 
@@ -206,8 +239,8 @@ def _apply_swap(tau: Dict[int, int], phys_a: int, phys_b: int) -> None:
 
 def _candidate_swaps(
     front_gates: Sequence[Instruction],
-    tau: Dict[int, int],
-    coupling: CouplingMap,
+    tau: Sequence[int],
+    neighbors: Sequence[Sequence[int]],
 ) -> Set[Tuple[int, int]]:
     """Hardware edges touching any qubit involved in a blocked front gate."""
     physical_qubits: Set[int] = set()
@@ -215,8 +248,8 @@ def _candidate_swaps(
         physical_qubits.update(tau[q] for q in gate.qubits)
     swaps: Set[Tuple[int, int]] = set()
     for phys in physical_qubits:
-        for nbr in coupling.neighbors(phys):
-            swaps.add(tuple(sorted((phys, nbr))))
+        for nbr in neighbors[phys]:
+            swaps.add((phys, nbr) if phys < nbr else (nbr, phys))
     return swaps
 
 
@@ -225,10 +258,10 @@ def _collect_lookahead(
 ) -> List[Instruction]:
     """The next ``_LOOKAHEAD_SIZE`` two-qubit gates beyond the front layer."""
     seen: Set[int] = set(front)
-    queue = list(front)
+    queue = deque(front)
     collected: List[Instruction] = []
     while queue and len(collected) < _LOOKAHEAD_SIZE:
-        index = queue.pop(0)
+        index = queue.popleft()
         for succ in sorted(dag.nodes[index].successors):
             if succ in seen or succ in done:
                 continue
@@ -240,6 +273,55 @@ def _collect_lookahead(
     return collected
 
 
+def _select_swap(
+    order: Sequence[Tuple[int, int]],
+    front_gates: Sequence[Instruction],
+    lookahead_gates: Sequence[Instruction],
+    tau: Sequence[int],
+    distance: np.ndarray,
+    decay: np.ndarray,
+) -> Tuple[int, int]:
+    """Lowest-cost candidate SWAP, scored for all candidates in one batch.
+
+    Scores every candidate against every front/lookahead gate with array
+    arithmetic.  On hop-count metrics (every :func:`compile_circuit`
+    level) the distance sums are over whole numbers — exact in float64 —
+    so the scores, and therefore the selected SWAP, are bit-identical to
+    scanning candidates with the scalar :func:`_swap_score`; ties resolve
+    to the first candidate in ``order``, matching the scalar scan's
+    strict-less-than update rule.  On real-valued metrics (the
+    noise-aware router's error-weighted distances) numpy's pairwise
+    summation may differ from the scalar fold in the last ulp; selection
+    stays deterministic, but an exact-tie could resolve differently than
+    the scalar scan.
+    """
+    cand = np.asarray(order, dtype=np.intp)
+    a = cand[:, 0:1]
+    b = cand[:, 1:2]
+
+    def mapped_distance(gates: Sequence[Instruction]) -> np.ndarray:
+        phys = np.array(
+            [(tau[g.qubits[0]], tau[g.qubits[1]]) for g in gates], dtype=np.intp
+        )
+        pa, pb = phys[:, 0][None, :], phys[:, 1][None, :]
+        # Under candidate swap (a, b): position a maps to b and vice versa.
+        ma = np.where(pa == a, b, np.where(pa == b, a, pa))
+        mb = np.where(pb == a, b, np.where(pb == b, a, pb))
+        return distance[ma, mb].sum(axis=1)
+
+    front_cost = mapped_distance(front_gates) / max(len(front_gates), 1)
+    if lookahead_gates:
+        look_cost = mapped_distance(lookahead_gates) * (
+            _LOOKAHEAD_WEIGHT / len(lookahead_gates)
+        )
+    else:
+        look_cost = 0.0
+    scores = np.maximum(decay[cand[:, 0]], decay[cand[:, 1]]) * (
+        front_cost + look_cost
+    )
+    return order[int(np.argmin(scores))]
+
+
 def _swap_score(
     swap: Tuple[int, int],
     front_gates: Sequence[Instruction],
@@ -248,7 +330,11 @@ def _swap_score(
     distance: np.ndarray,
     decay: np.ndarray,
 ) -> float:
-    """SABRE cost of applying ``swap``: front distance + weighted lookahead."""
+    """SABRE cost of applying ``swap``: front distance + weighted lookahead.
+
+    Scalar reference for :func:`_select_swap`; kept for the equivalence
+    tests that pin the vectorized scorer to the historical behaviour.
+    """
     a, b = swap
     # Build the trial mapping lazily: only qubits a/b change.
     inv = {p: v for v, p in tau.items()}
@@ -284,8 +370,13 @@ class PathRouting(Pass):
     in the compiler benchmarks).
     """
 
+    reads = ("initial_layout",)
+
     def __init__(self, coupling: CouplingMap):
         self.coupling = coupling
+
+    def cache_key(self) -> Optional[Hashable]:
+        return ("PathRouting", self.coupling.fingerprint())
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         routed, final_mapping = self.route(circuit)

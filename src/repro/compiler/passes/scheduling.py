@@ -7,8 +7,8 @@ merit (Section II-B) and the noisy executor's decoherence model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ...circuits.circuit import Instruction, QuantumCircuit
 from ...hardware.calibration import GateDurations

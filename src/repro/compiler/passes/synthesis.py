@@ -5,61 +5,90 @@ For IQM-style targets the native set is ``{prx, rz, cz}`` where RZ is
 subsequent PRX pulses.  The :class:`VirtualRZ` pass performs exactly that
 folding, so the emitted circuit consists of PRX and CZ pulses only (plus an
 optional trailing RZ layer when exact unitary equivalence is required).
+
+The emission path is throughput-tuned: every distinct 2x2 matrix maps to a
+precomputed template (its ZYZ decomposition, angle normalizations, and
+global-phase increments), so synthesizing the millionth Hadamard costs two
+tuple appends instead of a fresh trigonometric decomposition.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
-from ...circuits.circuit import QuantumCircuit
-from ...circuits.gates import H_MATRIX, gate_matrix
+from ...circuits.circuit import Instruction, QuantumCircuit
+from ...circuits.gates import H_MATRIX, cached_gate_matrix
 from ..unitary_math import is_identity_angle, normalize_angle, u_params
 from .base import Pass, PropertySet
 
+#: Emission template per distinct matrix content: an ordered tuple of
+#: ``(None, delta)`` phase events and ``(name, params, per_qubit)`` gate
+#: events, where ``per_qubit`` lazily interns one immutable
+#: :class:`Instruction` per target qubit (compiled circuits re-emit the
+#: same few 1q unitaries hundreds of thousands of times).  Event order
+#: reproduces the historical sequential emission exactly (global-phase
+#: floating-point accumulation included).
+_TEMPLATE_CACHE: Dict[bytes, Tuple] = {}
+_TEMPLATE_CACHE_MAX = 16384
 
-class NativeSynthesis(Pass):
-    """Rewrite a ``{1q, cx, cz, swap}`` circuit into ``{prx, rz, cz}``.
 
-    Every single-qubit unitary ``U`` is expressed through its ZYZ form as
-    ``rz(lam) . prx(theta, pi/2) . rz(phi)`` (circuit order), with the global
-    phase tracked on the circuit so the translation is *exactly* unitary-
-    preserving.  ``cx(c, t)`` becomes ``h(t) cz(c, t) h(t)`` with the
-    Hadamards synthesized natively.
+def _native_1q_template(matrix: np.ndarray) -> Tuple:
+    """Ordered phase/gate events realizing a 2x2 unitary natively.
+
+    Uses ``matrix = e^{i(phase + (phi+lam)/2)} RZ(phi) RY(theta) RZ(lam)``
+    with ``RY(theta) = PRX(theta, pi/2)``.
     """
+    key = matrix.tobytes()
+    template = _TEMPLATE_CACHE.get(key)
+    if template is not None:
+        return template
 
-    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        out = QuantumCircuit(
-            circuit.num_qubits, circuit.num_clbits,
-            name=circuit.name, global_phase=circuit.global_phase,
-            metadata=dict(circuit.metadata),
-        )
-        for instruction in circuit.instructions:
-            name = instruction.name
-            if name in ("barrier", "measure", "cz", "prx", "rz"):
-                out.instructions.append(instruction)
-            elif name == "cx":
-                control, target = instruction.qubits
-                _append_native_1q(out, H_MATRIX, target)
-                out.cz(control, target)
-                _append_native_1q(out, H_MATRIX, target)
-            elif name == "swap":
-                a, b = instruction.qubits
-                for control, target in ((a, b), (b, a), (a, b)):
-                    _append_native_1q(out, H_MATRIX, target)
-                    out.cz(control, target)
-                    _append_native_1q(out, H_MATRIX, target)
-            elif instruction.is_unitary and instruction.num_qubits == 1:
-                matrix = gate_matrix(name, instruction.params)
-                _append_native_1q(out, matrix, instruction.qubits[0])
-            else:
-                raise ValueError(
-                    f"NativeSynthesis cannot translate '{name}' "
-                    "(run Decompose first)"
-                )
-        return out
+    events = []
+
+    def emit_rz(angle: float) -> None:
+        # ``rz(a + 2*pi) = -rz(a)``: normalizing may flip the unitary's
+        # sign, compensated on the global phase.
+        norm = normalize_angle(angle)
+        if round((angle - norm) / (2.0 * math.pi)) % 2:
+            events.append((None, math.pi))
+        if not is_identity_angle(norm):
+            events.append(("rz", (norm,), {}))
+
+    theta, phi, lam, phase = u_params(matrix)
+    events.append((None, phase + (phi + lam) / 2.0))
+    if is_identity_angle(theta):
+        # Purely diagonal (theta = 0 mod 2pi; u_params yields theta in [0, pi]).
+        emit_rz(phi + lam)
+    else:
+        emit_rz(lam)
+        events.append(("prx", (normalize_angle(theta), math.pi / 2), {}))
+        if round((theta - normalize_angle(theta)) / (2.0 * math.pi)) % 2:
+            events.append((None, math.pi))
+        emit_rz(phi)
+
+    template = tuple(events)
+    if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_MAX:
+        _TEMPLATE_CACHE.clear()
+    _TEMPLATE_CACHE[key] = template
+    return template
+
+
+def _append_native_1q(out: QuantumCircuit, matrix: np.ndarray, qubit: int) -> None:
+    """Append the native realization of a 2x2 unitary on ``qubit``."""
+    for event in _native_1q_template(matrix):
+        name = event[0]
+        if name is None:
+            out.global_phase += event[1]
+            continue
+        per_qubit = event[2]
+        instruction = per_qubit.get(qubit)
+        if instruction is None:
+            instruction = Instruction(name, (qubit,), event[1])
+            per_qubit[qubit] = instruction
+        out.instructions.append(instruction)
 
 
 def _emit_rz(out: QuantumCircuit, angle: float, qubit: int) -> None:
@@ -76,23 +105,50 @@ def _emit_rz(out: QuantumCircuit, angle: float, qubit: int) -> None:
         out.rz(norm, qubit)
 
 
-def _append_native_1q(out: QuantumCircuit, matrix: np.ndarray, qubit: int) -> None:
-    """Append the native realization of a 2x2 unitary on ``qubit``.
+class NativeSynthesis(Pass):
+    """Rewrite a ``{1q, cx, cz, swap}`` circuit into ``{prx, rz, cz}``.
 
-    Uses ``matrix = e^{i(phase + (phi+lam)/2)} RZ(phi) RY(theta) RZ(lam)``
-    with ``RY(theta) = PRX(theta, pi/2)``.
+    Every single-qubit unitary ``U`` is expressed through its ZYZ form as
+    ``rz(lam) . prx(theta, pi/2) . rz(phi)`` (circuit order), with the global
+    phase tracked on the circuit so the translation is *exactly* unitary-
+    preserving.  ``cx(c, t)`` becomes ``h(t) cz(c, t) h(t)`` with the
+    Hadamards synthesized natively.
     """
-    theta, phi, lam, phase = u_params(matrix)
-    out.global_phase += phase + (phi + lam) / 2.0
-    if is_identity_angle(theta):
-        # Purely diagonal (theta = 0 mod 2pi; u_params yields theta in [0, pi]).
-        _emit_rz(out, phi + lam, qubit)
-        return
-    _emit_rz(out, lam, qubit)
-    out.prx(normalize_angle(theta), math.pi / 2, qubit)
-    if round((theta - normalize_angle(theta)) / (2.0 * math.pi)) % 2:
-        out.global_phase += math.pi
-    _emit_rz(out, phi, qubit)
+
+    def cache_key(self) -> Optional[Hashable]:
+        return ("NativeSynthesis",)
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = QuantumCircuit(
+            circuit.num_qubits, circuit.num_clbits,
+            name=circuit.name, global_phase=circuit.global_phase,
+            metadata=dict(circuit.metadata),
+        )
+        append = out.instructions.append
+        for instruction in circuit.instructions:
+            name = instruction.name
+            if name in ("barrier", "measure", "cz", "prx", "rz"):
+                append(instruction)
+            elif name == "cx":
+                control, target = instruction.qubits
+                _append_native_1q(out, H_MATRIX, target)
+                append(Instruction("cz", (control, target)))
+                _append_native_1q(out, H_MATRIX, target)
+            elif name == "swap":
+                a, b = instruction.qubits
+                for control, target in ((a, b), (b, a), (a, b)):
+                    _append_native_1q(out, H_MATRIX, target)
+                    append(Instruction("cz", (control, target)))
+                    _append_native_1q(out, H_MATRIX, target)
+            elif instruction.is_unitary and instruction.num_qubits == 1:
+                matrix = cached_gate_matrix(name, instruction.params)
+                _append_native_1q(out, matrix, instruction.qubits[0])
+            else:
+                raise ValueError(
+                    f"NativeSynthesis cannot translate '{name}' "
+                    "(run Decompose first)"
+                )
+        return out
 
 
 class VirtualRZ(Pass):
@@ -111,12 +167,16 @@ class VirtualRZ(Pass):
     def __init__(self, keep_final_rz: bool = False):
         self.keep_final_rz = keep_final_rz
 
+    def cache_key(self) -> Optional[Hashable]:
+        return ("VirtualRZ", self.keep_final_rz)
+
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         out = QuantumCircuit(
             circuit.num_qubits, circuit.num_clbits,
             name=circuit.name, global_phase=circuit.global_phase,
             metadata=dict(circuit.metadata),
         )
+        append = out.instructions.append
         z: Dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
         for instruction in circuit.instructions:
             name = instruction.name
@@ -126,9 +186,14 @@ class VirtualRZ(Pass):
                 q = instruction.qubits[0]
                 theta, phi = instruction.params
                 # prx is exactly 2*pi-periodic in phi, so normalization is free.
-                out.prx(theta, normalize_angle(phi - z[q]), q)
+                folded = normalize_angle(phi - z[q])
+                if folded == phi:
+                    # Identical content: reuse the immutable instruction.
+                    append(instruction)
+                else:
+                    append(Instruction("prx", (q,), (theta, folded)))
             elif name in ("cz", "barrier", "measure"):
-                out.instructions.append(instruction)
+                append(instruction)
             else:
                 raise ValueError(
                     f"VirtualRZ expects a native circuit, found '{name}'"

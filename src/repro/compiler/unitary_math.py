@@ -59,6 +59,26 @@ def u_params(matrix: np.ndarray) -> Tuple[float, float, float, float]:
     return theta, phi, lam, phase
 
 
+#: Memo for :func:`u_params_cached`, keyed by the matrix bytes.  Compiled
+#: circuits contain a small set of distinct single-qubit matrices (H from
+#: CX/SWAP synthesis dominates), so the decomposition trigonometry is paid
+#: once per distinct matrix instead of once per gate.
+_U_PARAMS_CACHE: dict = {}
+_U_PARAMS_CACHE_MAX = 16384
+
+
+def u_params_cached(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Memoized :func:`u_params` (bit-identical results, keyed by content)."""
+    key = matrix.tobytes()
+    params = _U_PARAMS_CACHE.get(key)
+    if params is None:
+        params = u_params(matrix)
+        if len(_U_PARAMS_CACHE) >= _U_PARAMS_CACHE_MAX:
+            _U_PARAMS_CACHE.clear()
+        _U_PARAMS_CACHE[key] = params
+    return params
+
+
 def normalize_angle(angle: float) -> float:
     """Wrap an angle into ``(-pi, pi]``."""
     wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)

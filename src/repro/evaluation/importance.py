@@ -7,7 +7,7 @@ counts, circuit depth, other features) and plots them per QPU.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -8,7 +8,7 @@ import numpy as np
 
 from ..fom.features import GROUP_ORDER
 from .importance import grouped_importances
-from .study import FOM_ORDER, PROPOSED_LABEL, StudyResult
+from .study import PROPOSED_LABEL, StudyResult
 
 
 def format_table_i(result: StudyResult) -> str:

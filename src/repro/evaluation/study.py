@@ -22,7 +22,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..bench.suite import DEPTH_LIMIT, build_suite
-from ..fom.metrics import ESTABLISHED_FOMS
 from ..hardware.device import Device
 from ..hardware.iqm import make_q20_pair
 from ..ml.metrics import pearson_r

@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
 
 Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RoutingTables:
+    """Precomputed per-topology lookup structures shared by router trials.
+
+    Built once per coupling map (level-3 compilation runs four routing
+    trials over the same device; datasets run hundreds) and cached on the
+    :class:`CouplingMap` / :class:`~repro.hardware.device.Device`:
+
+    Attributes:
+        distance: all-pairs shortest-path matrix (float64).
+        adjacency: boolean adjacency matrix (``adjacency[a, b]`` iff edge).
+        neighbors: sorted neighbour tuple per qubit.
+    """
+
+    distance: np.ndarray
+    adjacency: np.ndarray
+    neighbors: Tuple[Tuple[int, ...], ...]
 
 
 class CouplingMap:
@@ -28,6 +48,8 @@ class CouplingMap:
                 raise ValueError(f"self-loop on qubit {a}")
             self.graph.add_edge(int(a), int(b))
         self._distance: np.ndarray | None = None
+        self._routing_tables: RoutingTables | None = None
+        self._fingerprint: int | None = None
 
     @property
     def edges(self) -> List[Edge]:
@@ -59,6 +81,27 @@ class CouplingMap:
                     dist[source, target] = length
             self._distance = dist
         return self._distance
+
+    def routing_tables(self) -> RoutingTables:
+        """Cached :class:`RoutingTables` (distance/adjacency/neighbours)."""
+        if self._routing_tables is None:
+            adjacency = np.zeros((self.num_qubits, self.num_qubits), dtype=bool)
+            for a, b in self.graph.edges:
+                adjacency[a, b] = adjacency[b, a] = True
+            self._routing_tables = RoutingTables(
+                distance=self.distance_matrix(),
+                adjacency=adjacency,
+                neighbors=tuple(
+                    tuple(self.neighbors(q)) for q in range(self.num_qubits)
+                ),
+            )
+        return self._routing_tables
+
+    def fingerprint(self) -> int:
+        """Content hash of the topology, used in compile-cache keys."""
+        if self._fingerprint is None:
+            self._fingerprint = hash((self.num_qubits, tuple(self.edges)))
+        return self._fingerprint
 
     def distance(self, a: int, b: int) -> int:
         value = self.distance_matrix()[a, b]

@@ -10,7 +10,7 @@ hardware's actual state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
+from typing import FrozenSet
 
 import numpy as np
 
@@ -67,6 +67,16 @@ class Device:
     @property
     def num_qubits(self) -> int:
         return self.coupling.num_qubits
+
+    @property
+    def routing_tables(self):
+        """Precomputed routing lookup tables, cached per topology.
+
+        Distance matrix, adjacency matrix, and neighbour lists are shared
+        by every layout/routing trial that targets this device (see
+        :class:`~repro.hardware.coupling.RoutingTables`).
+        """
+        return self.coupling.routing_tables()
 
     def supports(self, gate_name: str) -> bool:
         return gate_name in self.native_gates

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..bench.suite import DEPTH_LIMIT, BenchmarkCircuit, ideal_distributions
-from ..compiler.compile import compile_circuit
+from ..compiler.compile import compile_batch
 from ..fom.features import feature_vector
 from ..fom.metrics import circuit_depth, esp, expected_fidelity, gate_count
 from ..hardware.device import Device
@@ -80,13 +80,16 @@ def build_dataset(
     name) shares the expensive noiseless simulations across devices — valid
     because compilation preserves the measured distribution.
 
-    The pipeline is batched: noiseless simulation and noisy execution run
-    as worker-pool passes (``max_workers``, default one per CPU) via
-    :func:`ideal_distributions` and :meth:`QPUExecutor.run_batch` — both
-    numpy-heavy stages that release the GIL.  Compilation is pure Python
-    (the GIL serializes it), so it stays a sequential pass.  Per-circuit
-    seeds are fixed functions of ``seed`` and the suite index, so results
-    are bit-identical for every worker count.
+    The pipeline is batched: compilation goes through
+    :func:`~repro.compiler.compile.compile_batch` (sequential by default —
+    pure Python, GIL-serialized), and the numpy-heavy noiseless simulation
+    and noisy execution run as worker-pool passes (``max_workers``,
+    default one per CPU) via :func:`ideal_distributions` and
+    :meth:`QPUExecutor.run_batch`.  Per-circuit seeds are fixed functions
+    of ``seed`` and the suite index, so results are bit-identical for
+    every worker count.  With ``progress=True`` each batched stage reports
+    per-circuit liveness as results land (completion order), instead of
+    after the stage drains.
     """
     executor = QPUExecutor(device)
     dataset = CircuitDataset(device_name=device.name)
@@ -101,35 +104,68 @@ def build_dataset(
         if entry.circuit.depth() < 2 * depth_limit
     ]
 
-    compiled_circuits = [
-        compile_circuit(
-            entry.circuit, device,
-            optimization_level=optimization_level,
-            seed=seed + index,
-        ).circuit
-        for index, entry in candidates
-    ]
+    def compile_progress(position: int, result) -> None:
+        _, entry = candidates[position]
+        print(
+            f"[{device.name}] {entry.name:<20} compiled "
+            f"depth={result.circuit.depth():<5} "
+            f"cz={result.circuit.num_nonlocal_gates()}",
+            flush=True,
+        )
+
+    # Compilation is GIL-serialized pure Python: compile_batch's default
+    # sequential pass is the fast path, and liveness still streams through
+    # on_result; max_workers only fans out the numpy stages below.
+    compiled_results = compile_batch(
+        [entry.circuit for _, entry in candidates],
+        device,
+        optimization_level=optimization_level,
+        seeds=[seed + index for index, _ in candidates],
+        on_result=compile_progress if progress else None,
+    )
     survivors = []
-    for (index, entry), compiled in zip(candidates, compiled_circuits):
-        depth = compiled.depth()
+    for (index, entry), result in zip(candidates, compiled_results):
+        depth = result.circuit.depth()
         if depth < depth_limit:
-            survivors.append((index, entry, compiled, depth))
+            survivors.append((index, entry, result.circuit, depth))
 
     # Stage 2 — noiseless reference distributions (parallel, cache-shared).
+    # ``on_result`` positions index the not-yet-cached subset, in order.
+    missing_names = [
+        entry.name for _, entry, _, _ in survivors if entry.name not in cache
+    ]
+
+    def simulate_progress(position: int, _dist) -> None:
+        print(
+            f"[{device.name}] {missing_names[position]:<20} simulated",
+            flush=True,
+        )
+
     ideal_distributions(
         [entry for _, entry, _, _ in survivors],
         dtype=sim_dtype,
         max_workers=max_workers,
         cache=cache,
+        on_result=simulate_progress if progress else None,
     )
 
     # Stage 3 — noisy execution through the batched executor API.
+    def execute_progress(position: int, execution) -> None:
+        _, entry, _, depth = survivors[position]
+        label = hellinger_distance(cache[entry.name], execution.distribution())
+        print(
+            f"[{device.name}] {entry.name:<20} depth={depth:<5} "
+            f"S={execution.success_probability:.3f} d={label:.3f}",
+            flush=True,
+        )
+
     executions = executor.run_batch(
         [compiled for _, _, compiled, _ in survivors],
         shots=shots,
         ideals=[cache[entry.name] for _, entry, _, _ in survivors],
         seeds=[seed + SEED_STRIDE * index for index, _, _, _ in survivors],
         max_workers=max_workers,
+        on_result=execute_progress if progress else None,
     )
 
     # Stage 4 — assemble features, labels, and figures of merit.
@@ -158,10 +194,4 @@ def build_dataset(
                 compiled=compiled,
             )
         )
-        if progress:
-            print(
-                f"[{device.name}] {entry.name:<20} depth={depth:<5} "
-                f"S={execution.success_probability:.3f} d={label:.3f}",
-                flush=True,
-            )
     return dataset

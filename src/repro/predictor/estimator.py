@@ -16,7 +16,7 @@ import numpy as np
 
 from ..ml.forest import RandomForestRegressor
 from ..ml.metrics import pearson_r
-from ..ml.model_selection import grid_search, train_test_split
+from ..ml.model_selection import grid_search
 
 #: Grid searched in Section V-A3 (trees, depth, leaf/split minima).
 DEFAULT_PARAM_GRID: Dict[str, Sequence] = {

@@ -77,18 +77,39 @@ def parallel_map(
     fn: Callable[[_T], _R],
     items: Sequence[_T],
     max_workers: Optional[int] = None,
+    on_result: Optional[Callable[[int, _R], None]] = None,
 ) -> List[_R]:
     """Order-preserving map over a thread pool.
 
     Falls back to a plain loop for a single worker or a single item, so
     results (and exceptions) are identical across worker counts — the
     per-item work must itself be deterministic.
+
+    ``on_result(index, result)`` fires as each item finishes (from worker
+    threads, in completion order), giving batch callers per-item liveness
+    without waiting for the pool to drain.  Callbacks never affect the
+    returned list, which is always in input order.
     """
     workers = resolve_workers(max_workers, len(items))
     if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        if on_result is None:
+            return list(pool.map(fn, items))
+
+        def job(indexed: Tuple[int, _T]) -> _R:
+            index, item = indexed
+            result = fn(item)
+            on_result(index, result)
+            return result
+
+        return list(pool.map(job, enumerate(items)))
 
 
 @dataclass
@@ -161,6 +182,30 @@ class _CircuitProfile:
 #: (guarding against in-place edits and calibration drift).
 _PROFILE_CACHE: Dict[Tuple[int, int], _CircuitProfile] = {}
 
+#: Live cache keys per device id, so a device's finalizer can evict every
+#: profile computed against it (long-lived circuits executed on short-lived
+#: devices would otherwise pin dead-device entries until the *circuit*
+#: died).  ``_DEVICE_FINALIZED`` tracks which device ids currently carry a
+#: finalizer; the id is released in the finalizer so a recycled id gets a
+#: fresh one.
+_DEVICE_KEYS: Dict[int, set] = {}
+_DEVICE_FINALIZED: set = set()
+
+
+def _evict_device_profiles(device_id: int) -> None:
+    """Drop every cached profile computed against a now-dead device."""
+    _DEVICE_FINALIZED.discard(device_id)
+    for key in _DEVICE_KEYS.pop(device_id, ()):
+        _PROFILE_CACHE.pop(key, None)
+
+
+def _profile_cache_evict(key: Tuple[int, int]) -> None:
+    """Drop one profile when its circuit dies (device bookkeeping included)."""
+    _PROFILE_CACHE.pop(key, None)
+    device_keys = _DEVICE_KEYS.get(key[1])
+    if device_keys is not None:
+        device_keys.discard(key)
+
 
 class QPUExecutor:
     """Executes compiled circuits on an emulated noisy device."""
@@ -224,6 +269,7 @@ class QPUExecutor:
         ideals: Optional[Sequence[Optional[Dict[str, float]]]] = None,
         seeds: Optional[Sequence[int]] = None,
         max_workers: Optional[int] = None,
+        on_result: Optional[Callable[[int, ExecutionResult], None]] = None,
     ) -> List[ExecutionResult]:
         """Execute many circuits, in parallel, with per-circuit RNG streams.
 
@@ -241,6 +287,9 @@ class QPUExecutor:
                 (``None`` entries are simulated on the worker).
             seeds: optional explicit per-circuit seeds (overrides ``seed``).
             max_workers: worker-pool size (default: one per CPU).
+            on_result: optional ``callback(index, result)`` fired as each
+                circuit finishes (from worker threads, completion order) —
+                per-circuit liveness for progress reporting.
 
         Returns:
             One :class:`ExecutionResult` per circuit, in input order.
@@ -263,7 +312,9 @@ class QPUExecutor:
                 ideal=ideals[index],
             )
 
-        return parallel_map(job, range(n), max_workers=max_workers)
+        return parallel_map(
+            job, range(n), max_workers=max_workers, on_result=on_result
+        )
 
     # ------------------------------------------------------------------
     # Circuit-static profile
@@ -298,12 +349,19 @@ class QPUExecutor:
         )
         # One finalizer per live (circuit, device) key: entries only leave
         # the cache when the circuit dies, so a key absent at insertion has
-        # no live finalizer yet.  Device id reuse needs no finalizer — the
-        # device fingerprint check above makes a stale hit impossible.
+        # no live finalizer yet.  The device side mirrors this with one
+        # finalizer per live device id, evicting every key computed against
+        # it, so dead devices release their profiles without waiting for
+        # the circuits to be collected.
         is_new_key = key not in _PROFILE_CACHE
         _PROFILE_CACHE[key] = profile
+        device_id = id(self.device)
+        _DEVICE_KEYS.setdefault(device_id, set()).add(key)
+        if device_id not in _DEVICE_FINALIZED:
+            _DEVICE_FINALIZED.add(device_id)
+            weakref.finalize(self.device, _evict_device_profiles, device_id)
         if is_new_key:
-            weakref.finalize(circuit, _PROFILE_CACHE.pop, key, None)
+            weakref.finalize(circuit, _profile_cache_evict, key)
         return profile
 
     # ------------------------------------------------------------------

@@ -34,12 +34,11 @@ index ``i`` holds qubit ``k`` in bit ``(i >> k) & 1``.
 from __future__ import annotations
 
 import weakref
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.gates import SWAP_MATRIX, gate_matrix
+from ..circuits.gates import SWAP_MATRIX, cached_gate_matrix
 
 #: Operation kinds precomputed at fusion time.
 KIND_DIAGONAL = "d"
@@ -51,17 +50,8 @@ FusedOp = Tuple[np.ndarray, Tuple[int, ...], str]
 
 _ID2 = np.eye(2, dtype=complex)
 
-
-@lru_cache(maxsize=4096)
-def _cached_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
-    matrix = gate_matrix(name, params)
-    matrix.setflags(write=False)
-    return matrix
-
-
-def cached_gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
-    """Memoized :func:`gate_matrix`.  The returned array is read-only."""
-    return _cached_matrix(name, tuple(params))
+# The gate-matrix memo lives in repro.circuits.gates (cached_gate_matrix)
+# and is shared with the compiler's merge/synthesis passes.
 
 
 def _is_diagonal(matrix: np.ndarray) -> bool:

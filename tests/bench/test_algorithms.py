@@ -1,6 +1,5 @@
 """Unit tests for benchmark circuit generators."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,93 @@
+"""Unit tests for the CI perf-regression comparator (benchmarks/compare.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_COMPARE_PATH = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "compare.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE_PATH)
+compare_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_mod)
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_load_means_simplified_mapping(tmp_path):
+    path = _write(tmp_path, "baseline.json", {"a": 1.5, "b": 0.25})
+    assert compare_mod.load_means(path) == {"a": 1.5, "b": 0.25}
+
+
+def test_load_means_pytest_benchmark_export(tmp_path):
+    path = _write(tmp_path, "fresh.json", {
+        "benchmarks": [
+            {"name": "test_perf_a", "stats": {"mean": 0.125, "stddev": 0.01}},
+            {"name": "test_perf_b", "stats": {"mean": 2.0}},
+        ],
+    })
+    assert compare_mod.load_means(path) == {
+        "test_perf_a": 0.125, "test_perf_b": 2.0,
+    }
+
+
+def test_load_means_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError):
+        compare_mod.load_means(path)
+
+
+def test_compare_within_threshold_passes():
+    regressions, _ = compare_mod.compare(
+        {"a": 1.0, "b": 2.0}, {"a": 1.29, "b": 1.5}, threshold=0.30
+    )
+    assert regressions == []
+
+
+def test_compare_flags_regression_beyond_threshold():
+    regressions, lines = compare_mod.compare(
+        {"a": 1.0, "b": 2.0}, {"a": 1.31, "b": 2.0}, threshold=0.30
+    )
+    assert regressions == ["a"]
+    assert any("SLOWER" in line for line in lines)
+
+
+def test_compare_ignores_added_and_removed_benchmarks():
+    regressions, lines = compare_mod.compare(
+        {"gone": 1.0, "kept": 1.0}, {"kept": 1.0, "new": 9.9}, threshold=0.30
+    )
+    assert regressions == []
+    assert any("[new]" in line for line in lines)
+    assert any("[gone]" in line for line in lines)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    baseline = _write(tmp_path, "baseline.json", {"a": 1.0})
+    ok = _write(tmp_path, "ok.json", {"a": 1.1})
+    slow = _write(tmp_path, "slow.json", {"a": 2.0})
+    assert compare_mod.main([str(baseline), str(ok)]) == 0
+    assert compare_mod.main([str(baseline), str(slow)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    # A looser threshold lets the same result pass.
+    assert compare_mod.main(
+        [str(baseline), str(slow), "--threshold", "1.5"]
+    ) == 0
+
+
+def test_main_update_rewrites_baseline(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    fresh = _write(tmp_path, "fresh.json", {
+        "benchmarks": [{"name": "a", "stats": {"mean": 0.5}}],
+    })
+    assert compare_mod.main([str(baseline), str(fresh), "--update"]) == 0
+    assert json.loads(baseline.read_text()) == {"a": 0.5}
+    # And the rewritten baseline round-trips through a comparison.
+    assert compare_mod.main([str(baseline), str(fresh)]) == 0

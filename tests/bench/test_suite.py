@@ -5,7 +5,6 @@ import pytest
 from repro.bench.algorithms import ALGORITHMS
 from repro.bench.suite import (
     DEPTH_LIMIT,
-    BenchmarkCircuit,
     build_suite,
     filter_by_depth,
     suite_summary,

@@ -1,6 +1,5 @@
 """Unit tests for the circuit dependency DAG."""
 
-import pytest
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import (

@@ -1,6 +1,5 @@
 """Unit tests for SABRE and shortest-path routing."""
 
-import numpy as np
 import pytest
 
 from repro.circuits.circuit import QuantumCircuit

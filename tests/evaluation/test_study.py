@@ -7,7 +7,6 @@ from repro.evaluation.study import (
     FOM_ORDER,
     PROPOSED_LABEL,
     StudyConfig,
-    StudyResult,
     compute_improvements,
     run_study,
 )

@@ -1,6 +1,5 @@
 """Unit tests for the 30-dim feature vector."""
 
-import math
 
 import numpy as np
 import pytest

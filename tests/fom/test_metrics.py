@@ -1,6 +1,5 @@
 """Unit tests for the established figures of merit."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for the PST (mirror-circuit) extension."""
 
-import numpy as np
 import pytest
 
 from repro.circuits.circuit import QuantumCircuit

@@ -1,6 +1,5 @@
 """Unit tests for Kraus channels."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the density-matrix simulator (validation substrate)."""
 
-import math
 
 import numpy as np
 import pytest

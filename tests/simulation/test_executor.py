@@ -1,6 +1,5 @@
 """Unit tests for the noisy QPU executor."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,86 @@
+"""Lifecycle of the executor's circuit-static profile cache.
+
+Profiles are keyed by ``(id(circuit), id(device))`` and must be evicted
+when *either* side dies: circuit finalization has been covered since PR 1;
+device finalization is the PR-1 follow-up regression covered here (a
+long-lived circuit executed against short-lived devices used to pin
+dead-device entries until the circuit itself was collected).
+"""
+
+import gc
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware import make_q20a
+from repro.simulation.executor import (
+    _DEVICE_KEYS,
+    _PROFILE_CACHE,
+    QPUExecutor,
+)
+
+
+def _compiled_bell(device):
+    from repro.compiler import compile_circuit
+
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.measure_all()
+    return compile_circuit(qc, device, optimization_level=1, seed=0).circuit
+
+
+def test_profile_cached_per_circuit_and_device():
+    device = make_q20a()
+    circuit = _compiled_bell(device)
+    executor = QPUExecutor(device)
+    executor.execute(circuit, shots=16, seed=0)
+    key = (id(circuit), id(device))
+    assert key in _PROFILE_CACHE
+    assert key in _DEVICE_KEYS[id(device)]
+
+
+def test_dead_device_entries_are_evicted():
+    device = make_q20a()
+    circuit = _compiled_bell(device)
+    QPUExecutor(device).execute(circuit, shots=16, seed=0)
+    device_id = id(device)
+    key = (id(circuit), device_id)
+    assert key in _PROFILE_CACHE
+
+    del device
+    gc.collect()
+
+    # The circuit is still alive, but the device finalizer must have
+    # dropped every profile computed against the dead device.
+    assert key not in _PROFILE_CACHE
+    assert device_id not in _DEVICE_KEYS
+    assert circuit is not None  # keep the circuit alive to the end
+
+
+def test_dead_circuit_entries_leave_device_bookkeeping_clean():
+    device = make_q20a()
+    circuit = _compiled_bell(device)
+    QPUExecutor(device).execute(circuit, shots=16, seed=0)
+    key = (id(circuit), id(device))
+    assert key in _DEVICE_KEYS[id(device)]
+
+    del circuit
+    gc.collect()
+
+    assert key not in _PROFILE_CACHE
+    # The per-device key set must not retain keys of dead circuits.
+    assert key not in _DEVICE_KEYS.get(id(device), set())
+    assert device is not None  # keep the device alive to the end
+
+
+def test_device_id_reuse_gets_fresh_finalizer():
+    # Exercise several create/collect cycles: recycled device ids must be
+    # re-registered and still evict on death.
+    for _ in range(3):
+        device = make_q20a()
+        circuit = _compiled_bell(device)
+        QPUExecutor(device).execute(circuit, shots=16, seed=0)
+        device_id = id(device)
+        assert _DEVICE_KEYS.get(device_id)
+        del device
+        gc.collect()
+        assert device_id not in _DEVICE_KEYS

@@ -1,6 +1,5 @@
 """Tests for the batched execution API (``QPUExecutor.run_batch``)."""
 
-import numpy as np
 import pytest
 
 from repro.circuits.circuit import QuantumCircuit

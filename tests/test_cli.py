@@ -1,6 +1,5 @@
 """Unit tests for the command-line interface."""
 
-import pathlib
 
 import pytest
 

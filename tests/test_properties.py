@@ -13,7 +13,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.random import random_circuit
 from repro.compiler import compile_circuit
 from repro.compiler.passes.base import PropertySet
