@@ -15,7 +15,8 @@ from repro.circuits.random import random_circuit
 from repro.compiler import clear_compile_cache, compile_circuit
 from repro.fom import feature_vector
 from repro.hardware import make_q20a
-from repro.ml import RandomForestRegressor
+from repro.ml import RandomForestRegressor, grid_search
+from repro.predictor.estimator import DEFAULT_PARAM_GRID
 from repro.simulation import QPUExecutor, ideal_distribution
 from repro.simulation.statevector import simulate_statevector
 
@@ -98,7 +99,8 @@ def test_perf_feature_extraction(benchmark, device):
     benchmark(lambda: feature_vector(compiled.circuit))
 
 
-def test_perf_forest_training(benchmark):
+def test_perf_forest_fit(benchmark):
+    """Fitting one paper-sized forest (50 trees, 250x30, sqrt features)."""
     rng = np.random.default_rng(0)
     X = rng.uniform(size=(250, 30))
     y = rng.uniform(size=250)
@@ -107,4 +109,28 @@ def test_perf_forest_training(benchmark):
             n_estimators=50, random_state=0, max_features="sqrt"
         ).fit(X, y),
         rounds=2, iterations=1,
+    )
+
+
+def test_perf_grid_search(benchmark):
+    """The paper's Section V-A3 model selection: the default 36-config
+    grid (trees x depth x leaf/split minima) under 3-fold CV.
+
+    This is the estimator-training workload of ``run_study`` — the
+    dominant cost once compilation (PR 2) and simulation (PR 1) are fast.
+    Sized to a ~120-circuit per-device dataset.  Sequential
+    (max_workers=1) for stable regression-gate timing.
+    """
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(120, 30))
+    y = 1.0 - np.exp(
+        -(2.2 * X[:, 12] + 1.4 * X[:, 8] + 0.7 * X[:, 17])
+    ) + 0.02 * rng.standard_normal(120)
+
+    benchmark.pedantic(
+        lambda: grid_search(
+            RandomForestRegressor(random_state=0, max_features="sqrt"),
+            DEFAULT_PARAM_GRID, X, y, n_splits=3, seed=0, max_workers=1,
+        ),
+        rounds=1, iterations=1,
     )

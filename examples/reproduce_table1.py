@@ -2,10 +2,12 @@
 
 By default runs a reduced configuration (2-12 qubits) that completes in a
 few minutes; pass ``--full`` for the paper-scale 2-20 qubit study (about
-15 minutes).
+15 minutes).  With ``--cache-dir`` the run is resumable: per-device
+datasets and trained estimators are checkpointed there, and a rerun with
+unchanged settings skips the completed compile/execute/train stages.
 
 Run:  python examples/reproduce_table1.py [--full] [--max-qubits N]
-           [--shots N] [--seed N]
+           [--shots N] [--seed N] [--cache-dir DIR] [--max-workers N]
 """
 
 import argparse
@@ -39,6 +41,15 @@ def main() -> None:
         "--progress", action="store_true",
         help="print one line per compiled/executed circuit",
     )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="checkpoint datasets/estimators here; reruns with unchanged "
+             "settings resume instead of recomputing",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker threads for batched stages (default: one per CPU)",
+    )
     args = parser.parse_args()
 
     if args.full:
@@ -51,6 +62,8 @@ def main() -> None:
             param_grid=REDUCED_GRID,
             progress=args.progress,
         )
+    config.cache_dir = args.cache_dir
+    config.max_workers = args.max_workers
 
     start = time.time()
     result = run_study(config=config)

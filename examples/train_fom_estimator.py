@@ -7,16 +7,23 @@ qubits so the example finishes in about a minute):
 2. label every circuit with its Hellinger distance,
 3. train the random-forest estimator (80/20 split, 3-fold CV, grid search),
 4. report the Table-I-style correlations and the Fig.-3 feature importances,
-5. use the trained estimator as a figure of merit to choose between two
-   compilations of an unseen circuit.
+5. save the trained model, reload it, and use it as a figure of merit to
+   choose between compilations of an unseen circuit.
 
-Run:  python examples/train_fom_estimator.py
+Run:  python examples/train_fom_estimator.py [--max-qubits N] [--quick]
+           [--model-path PATH]
+
+``--quick`` (used by the CI examples smoke job) shrinks the suite and the
+hyper-parameter grid so the end-to-end flow finishes in tens of seconds.
 """
 
+import argparse
+import tempfile
+from pathlib import Path
 
 from repro.bench import build_suite
 from repro.compiler import compile_circuit
-from repro.evaluation import grouped_importances, sorted_groups
+from repro.evaluation import grouped_importances, load_model, save_model, sorted_groups
 from repro.fom import expected_fidelity, feature_vector
 from repro.hardware import make_q20a
 from repro.ml import pearson_r, train_test_split
@@ -25,9 +32,22 @@ from repro.simulation import execute_and_label
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-qubits", type=int, default=10)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smallest faithful run: tiny grid, fewer candidate seeds",
+    )
+    parser.add_argument(
+        "--model-path", default=None,
+        help="where to save the trained estimator "
+             "(default: a temporary directory)",
+    )
+    args = parser.parse_args()
+
     device = make_q20a()
-    suite = build_suite(max_qubits=10)
-    print(f"Benchmark suite: {len(suite)} circuits (2-10 qubits)")
+    suite = build_suite(max_qubits=args.max_qubits)
+    print(f"Benchmark suite: {len(suite)} circuits (2-{args.max_qubits} qubits)")
 
     # 1-2. Features + Hellinger labels (the expensive part: compilation,
     # statevector simulation, and noisy execution per circuit).
@@ -41,18 +61,35 @@ def main() -> None:
     X_train, X_test, y_train, y_test = train_test_split(
         dataset.X, dataset.y, test_size=0.2, seed=0
     )
-    estimator = HellingerEstimator(
-        param_grid={
+    if args.quick:
+        grid = {
+            "n_estimators": [25],
+            "max_depth": [None, 10],
+            "min_samples_leaf": [1],
+            "min_samples_split": [2],
+        }
+    else:
+        grid = {
             "n_estimators": [50, 100],
             "max_depth": [None, 10],
             "min_samples_leaf": [1, 2],
             "min_samples_split": [2],
-        },
-        seed=0,
-    ).fit(X_train, y_train)
+        }
+    estimator = HellingerEstimator(param_grid=grid, seed=0).fit(X_train, y_train)
     print(f"grid search best params: {estimator.best_params_}")
     print(f"cross-validation Pearson: {estimator.cv_score_:.3f}")
     print(f"held-out test Pearson:    {estimator.score(X_test, y_test):.3f}")
+
+    # Persist the trained model and work with the reloaded copy from here
+    # on — predictions of a loaded model are bit-identical to the
+    # original's.
+    model_path = Path(
+        args.model_path
+        or Path(tempfile.mkdtemp(prefix="repro_")) / "hellinger_q20a.npz"
+    )
+    save_model(estimator, model_path)
+    estimator = load_model(model_path)
+    print(f"model saved to {model_path} and reloaded")
 
     # Compare with the established figures of merit on the same labels.
     for fom in ("Number of gates", "Circuit depth", "Expected fidelity", "ESP"):
@@ -72,10 +109,11 @@ def main() -> None:
     # with the smallest *predicted* Hellinger distance.
     from repro.bench.algorithms import qftentangled
 
+    num_candidates = 2 if args.quick else 5
     candidate = qftentangled(7)
-    print("Choosing between 5 compilations of qftentangled_7:")
+    print(f"Choosing between {num_candidates} compilations of qftentangled_7:")
     best = None
-    for seed in range(5):
+    for seed in range(num_candidates):
         result = compile_circuit(candidate, device, optimization_level=2,
                                  seed=seed)
         predicted = float(

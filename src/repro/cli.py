@@ -109,6 +109,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
                 "min_samples_split": [2],
             },
         )
+    config.cache_dir = args.cache_dir
+    config.max_workers = args.max_workers
     result = run_study(config=config)
     print(format_table_i(result))
     print()
@@ -171,6 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--max-qubits", type=int, default=10)
     p_study.add_argument("--shots", type=int, default=1000)
     p_study.add_argument("--seed", type=int, default=0)
+    p_study.add_argument(
+        "--cache-dir", default=None,
+        help="checkpoint datasets/models here; reruns skip unchanged stages",
+    )
+    p_study.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker threads for batched stages (default: one per CPU)",
+    )
     p_study.set_defaults(func=_cmd_study)
 
     p_dev = sub.add_parser("devices", help="list built-in devices")

@@ -6,7 +6,15 @@ from .importance import (
     sorted_groups,
     top_features,
 )
-from .persistence import load_datasets, load_study_data, save_study
+from .persistence import (
+    PersistenceError,
+    config_fingerprint,
+    load_datasets,
+    load_model,
+    load_study_data,
+    save_model,
+    save_study,
+)
 from .reporting import format_fig3, format_series, format_table_i
 from .study import (
     FOM_ORDER,
@@ -20,17 +28,21 @@ from .study import (
 __all__ = [
     "FOM_ORDER",
     "PROPOSED_LABEL",
+    "PersistenceError",
     "StudyConfig",
     "StudyResult",
     "compute_improvements",
+    "config_fingerprint",
     "format_fig3",
     "format_series",
     "format_table_i",
     "grouped_importances",
     "load_datasets",
+    "load_model",
     "load_study_data",
     "importance_table",
     "run_study",
+    "save_model",
     "save_study",
     "sorted_groups",
     "top_features",

@@ -1,24 +1,59 @@
-"""Save/load study results as JSON.
+"""Persistence: study archives, trained models, and stage caches.
 
-A full-scale study costs ~15 minutes; archiving its numbers lets ablation
-notebooks, plots, and regression checks reuse the run.  Only plain data is
-persisted (correlations, improvements, importances, per-circuit records) —
-models are cheap to retrain from the persisted features and labels.
+Three layers, all file-based and dependency-free:
+
+* **Study archives** (JSON): the numbers behind Table I / Fig. 3
+  (:func:`save_study` / :func:`load_study_data` / :func:`load_datasets`),
+  unchanged from the original interface.
+* **Models** (``.npz``): fitted trees, forests, and
+  :class:`~repro.predictor.estimator.HellingerEstimator` instances are
+  encoded as flat node arrays plus a JSON metadata blob
+  (:func:`save_model` / :func:`load_model`).  A loaded model predicts
+  bit-identically to the one that was saved.
+* **Stage caches** (JSON): per-device labelled datasets and estimator
+  reports keyed by a fingerprint of everything that influences them, so
+  ``run_study(cache_dir=...)`` skips compile/execute/train stages whose
+  inputs are unchanged (:func:`save_dataset_cache` & friends).
+
+Corrupted or foreign files raise :class:`PersistenceError` from the model
+loaders; the stage-cache readers raise it too, and ``run_study`` treats
+that as a cache miss (a stale cache must never kill a long study).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import io
 import json
+import zipfile
 from pathlib import Path
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 import numpy as np
 
+from ..ml.forest import RandomForestRegressor
+from ..ml.tree import TREE_ARRAY_KEYS, DecisionTreeRegressor
 from ..predictor.dataset import CircuitDataset, DatasetEntry
-from .study import StudyResult
+from ..predictor.estimator import EstimatorReport, HellingerEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
+    from .study import StudyResult
+
+#: Format tag + version embedded in every ``.npz`` model file.
+MODEL_FORMAT = "repro-model"
+MODEL_VERSION = 1
 
 
-def study_to_dict(result: StudyResult) -> Dict:
+class PersistenceError(ValueError):
+    """A model or cache file is missing, corrupted, or incompatible."""
+
+
+# ----------------------------------------------------------------------
+# Study archives (JSON) — original interface.
+
+
+def study_to_dict(result: "StudyResult") -> Dict:
     """Serialize a study result into plain JSON-compatible data."""
     return {
         "device_names": list(result.device_names),
@@ -39,26 +74,13 @@ def study_to_dict(result: StudyResult) -> Dict:
             for name, report in result.reports.items()
         },
         "datasets": {
-            name: [
-                {
-                    "name": entry.name,
-                    "algorithm": entry.algorithm,
-                    "num_qubits": entry.num_qubits,
-                    "features": entry.features.tolist(),
-                    "label": entry.label,
-                    "fom_values": dict(entry.fom_values),
-                    "compiled_depth": entry.compiled_depth,
-                    "compiled_two_qubit_gates": entry.compiled_two_qubit_gates,
-                    "success_probability": entry.success_probability,
-                }
-                for entry in dataset.entries
-            ]
+            name: [_entry_to_dict(entry) for entry in dataset.entries]
             for name, dataset in result.datasets.items()
         },
     }
 
 
-def save_study(result: StudyResult, path: str | Path) -> Path:
+def save_study(result: "StudyResult", path: str | Path) -> Path:
     """Write a study result to ``path`` as JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -83,20 +105,345 @@ def load_datasets(path: str | Path) -> Dict[str, CircuitDataset]:
     for name, entries in data["datasets"].items():
         dataset = CircuitDataset(device_name=name)
         for record in entries:
-            dataset.entries.append(
-                DatasetEntry(
-                    name=record["name"],
-                    algorithm=record["algorithm"],
-                    num_qubits=record["num_qubits"],
-                    features=np.array(record["features"], dtype=float),
-                    label=float(record["label"]),
-                    fom_values=dict(record["fom_values"]),
-                    compiled_depth=int(record["compiled_depth"]),
-                    compiled_two_qubit_gates=int(
-                        record["compiled_two_qubit_gates"]
-                    ),
-                    success_probability=float(record["success_probability"]),
-                )
-            )
+            dataset.entries.append(_entry_from_dict(record))
         datasets[name] = dataset
     return datasets
+
+
+def _entry_to_dict(entry: DatasetEntry) -> Dict:
+    return {
+        "name": entry.name,
+        "algorithm": entry.algorithm,
+        "num_qubits": entry.num_qubits,
+        "features": entry.features.tolist(),
+        "label": entry.label,
+        "fom_values": dict(entry.fom_values),
+        "compiled_depth": entry.compiled_depth,
+        "compiled_two_qubit_gates": entry.compiled_two_qubit_gates,
+        "success_probability": entry.success_probability,
+    }
+
+
+def _entry_from_dict(record: Dict) -> DatasetEntry:
+    return DatasetEntry(
+        name=record["name"],
+        algorithm=record["algorithm"],
+        num_qubits=record["num_qubits"],
+        features=np.array(record["features"], dtype=float),
+        label=float(record["label"]),
+        fom_values=dict(record["fom_values"]),
+        compiled_depth=int(record["compiled_depth"]),
+        compiled_two_qubit_gates=int(record["compiled_two_qubit_gates"]),
+        success_probability=float(record["success_probability"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Model persistence (.npz flat arrays + JSON metadata).
+
+
+def _tree_payload(tree: DecisionTreeRegressor, prefix: str) -> Dict[str, np.ndarray]:
+    arrays = tree.to_arrays()
+    return {f"{prefix}{key}": value for key, value in arrays.items()}
+
+
+def _tree_from_payload(
+    data, prefix: str, params: dict, num_features: int
+) -> DecisionTreeRegressor:
+    try:
+        arrays = {
+            key: data[f"{prefix}{key}"]
+            for key in (*TREE_ARRAY_KEYS, "importances")
+        }
+    except KeyError as exc:
+        raise PersistenceError(f"model file is missing array {exc}") from exc
+    try:
+        return DecisionTreeRegressor.from_arrays(params, num_features, arrays)
+    except ValueError as exc:
+        raise PersistenceError(str(exc)) from exc
+
+
+def _write_npz(path: Path, meta: Dict, arrays: Dict[str, np.ndarray]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"meta": np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )}
+    payload.update(arrays)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    path.write_bytes(buffer.getvalue())
+    return path
+
+
+def _read_npz(path: str | Path):
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no model file at {path}")
+    try:
+        data = np.load(path, allow_pickle=False)
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+    except (
+        ValueError, OSError, KeyError, EOFError,
+        zipfile.BadZipFile, json.JSONDecodeError, UnicodeDecodeError,
+    ) as exc:
+        raise PersistenceError(f"{path} is not a repro model file: {exc}") from exc
+    if meta.get("format") != MODEL_FORMAT:
+        raise PersistenceError(f"{path} is not a repro model file")
+    if meta.get("version") != MODEL_VERSION:
+        raise PersistenceError(
+            f"{path} has unsupported model version {meta.get('version')!r}"
+        )
+    return meta, data
+
+
+def save_model(
+    model: "DecisionTreeRegressor | RandomForestRegressor | HellingerEstimator",
+    path: str | Path,
+) -> Path:
+    """Save a fitted tree, forest, or Hellinger estimator to ``path``.
+
+    The file is a single ``.npz``: flat node arrays per tree plus one JSON
+    metadata entry (kind, hyper-parameters, grid-search outcome for
+    estimators).  Load with :func:`load_model`.
+    """
+    if isinstance(model, HellingerEstimator):
+        if model.model is None:
+            raise PersistenceError("cannot save an unfitted estimator")
+        meta, arrays = _forest_content(model.model)
+        meta["kind"] = "hellinger_estimator"
+        meta["estimator"] = {
+            "param_grid": model.param_grid,
+            "n_splits": model.n_splits,
+            "seed": model.seed,
+            "best_params": model.best_params_,
+            "cv_score": model.cv_score_,
+        }
+    elif isinstance(model, RandomForestRegressor):
+        meta, arrays = _forest_content(model)
+    elif isinstance(model, DecisionTreeRegressor):
+        if model.feature_importances_ is None:
+            raise PersistenceError("cannot save an unfitted tree")
+        meta = {
+            "kind": "tree",
+            "params": model.get_params(),
+            "num_features": model._num_features,
+        }
+        arrays = _tree_payload(model, "tree_")
+    else:
+        raise PersistenceError(
+            f"cannot persist a {type(model).__name__}; expected a tree, "
+            "forest, or HellingerEstimator"
+        )
+    meta["format"] = MODEL_FORMAT
+    meta["version"] = MODEL_VERSION
+    return _write_npz(Path(path), meta, arrays)
+
+
+def _forest_content(forest: RandomForestRegressor):
+    if not forest.estimators_:
+        raise PersistenceError("cannot save an unfitted forest")
+    meta = {
+        "kind": "forest",
+        "params": forest.get_params(),
+        "num_features": forest.estimators_[0]._num_features,
+        "num_trees": len(forest.estimators_),
+        "tree_params": [t.get_params() for t in forest.estimators_],
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "forest_importances": forest.feature_importances_.copy()
+    }
+    for index, tree in enumerate(forest.estimators_):
+        arrays.update(_tree_payload(tree, f"tree{index}_"))
+    return meta, arrays
+
+
+def load_model(path: str | Path):
+    """Load a model written by :func:`save_model`.
+
+    Returns the same kind of object that was saved; predictions and
+    feature importances are bit-identical to the original.  Raises
+    :class:`PersistenceError` on missing, corrupted, or foreign files.
+    """
+    meta, data = _read_npz(path)
+    kind = meta.get("kind")
+    if kind == "tree":
+        return _tree_from_payload(
+            data, "tree_", meta["params"], meta["num_features"]
+        )
+    if kind in ("forest", "hellinger_estimator"):
+        forest = _load_forest(meta, data)
+        if kind == "forest":
+            return forest
+        info = meta["estimator"]
+        estimator = HellingerEstimator(
+            param_grid=info["param_grid"],
+            n_splits=info["n_splits"],
+            seed=info["seed"],
+        )
+        estimator.model = forest
+        estimator.best_params_ = dict(info["best_params"])
+        estimator.cv_score_ = float(info["cv_score"])
+        return estimator
+    raise PersistenceError(f"unknown model kind {kind!r} in {path}")
+
+
+def _load_forest(meta: Dict, data) -> RandomForestRegressor:
+    try:
+        forest = RandomForestRegressor(**meta["params"])
+        num_trees = int(meta["num_trees"])
+        tree_params = meta["tree_params"]
+        num_features = int(meta["num_features"])
+        importances = np.asarray(data["forest_importances"], dtype=float)
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"corrupted forest metadata: {exc}") from exc
+    if len(tree_params) != num_trees:
+        raise PersistenceError("corrupted forest metadata: tree count mismatch")
+    forest.estimators_ = [
+        _tree_from_payload(data, f"tree{i}_", tree_params[i], num_features)
+        for i in range(num_trees)
+    ]
+    forest.feature_importances_ = importances
+    return forest
+
+
+# ----------------------------------------------------------------------
+# Stage caches: fingerprints, datasets, estimator reports.
+
+
+def config_fingerprint(payload: Dict) -> str:
+    """Stable short hash of a JSON-serializable payload (cache keys)."""
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def device_fingerprint(device) -> str:
+    """Content hash of everything a labelled dataset reads off a device.
+
+    Covers the topology, native gate set, both calibration snapshots
+    (compilation sees the *reported* one, execution the *true* one), and
+    the noise-profile parameters — so a renamed-but-identical device hits
+    the cache while an in-place edit of error rates misses it.  Stable
+    across processes (pure content, no Python ``hash()``).
+    """
+    def calibration(cal) -> Dict:
+        return {
+            "one_qubit_fidelity": sorted(cal.one_qubit_fidelity.items()),
+            "two_qubit_fidelity": sorted(
+                (list(edge), value)
+                for edge, value in cal.two_qubit_fidelity.items()
+            ),
+            "readout_fidelity": sorted(cal.readout_fidelity.items()),
+            "t1": sorted(cal.t1.items()),
+            "t2": sorted(cal.t2.items()),
+            "durations": dataclasses.asdict(cal.durations),
+        }
+
+    return config_fingerprint({
+        "name": device.name,
+        "num_qubits": device.num_qubits,
+        "edges": sorted(list(edge) for edge in device.coupling.edges),
+        "native_gates": sorted(device.native_gates),
+        "reported": calibration(device.reported_calibration),
+        "true": calibration(device.true_calibration),
+        "noise": dataclasses.asdict(device.noise),
+    })
+
+
+def save_dataset_cache(
+    dataset: CircuitDataset, path: str | Path, fingerprint: str
+) -> Path:
+    """Write one device's labelled dataset as a cache entry."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "format": "repro-dataset-cache",
+        "fingerprint": fingerprint,
+        "device_name": dataset.device_name,
+        "entries": [_entry_to_dict(entry) for entry in dataset.entries],
+    }))
+    return path
+
+
+def load_dataset_cache(
+    path: str | Path, fingerprint: str
+) -> CircuitDataset:
+    """Load a cached dataset; raises :class:`PersistenceError` when the
+    file is unreadable, foreign, or was written for different inputs."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no dataset cache at {path}")
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"unreadable dataset cache {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != "repro-dataset-cache":
+        raise PersistenceError(f"{path} is not a dataset cache file")
+    if data.get("fingerprint") != fingerprint:
+        raise PersistenceError(
+            f"{path} was built from different inputs "
+            f"(fingerprint {data.get('fingerprint')!r} != {fingerprint!r})"
+        )
+    dataset = CircuitDataset(device_name=data["device_name"])
+    try:
+        for record in data["entries"]:
+            dataset.entries.append(_entry_from_dict(record))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"corrupted dataset cache {path}: {exc}") from exc
+    return dataset
+
+
+def save_report_cache(
+    report: EstimatorReport, path: str | Path, fingerprint: str
+) -> Path:
+    """Write a trained-estimator report as a cache entry."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "format": "repro-report-cache",
+        "fingerprint": fingerprint,
+        "device_name": report.device_name,
+        "test_pearson": report.test_pearson,
+        "train_pearson": report.train_pearson,
+        "cv_score": report.cv_score,
+        "best_params": report.best_params,
+        "feature_importances": report.feature_importances.tolist(),
+        "y_test": report.y_test.tolist(),
+        "y_test_pred": report.y_test_pred.tolist(),
+        "test_indices": report.test_indices.tolist(),
+    }))
+    return path
+
+
+def load_report_cache(path: str | Path, fingerprint: str) -> EstimatorReport:
+    """Load a cached report; raises :class:`PersistenceError` when stale."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no report cache at {path}")
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"unreadable report cache {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != "repro-report-cache":
+        raise PersistenceError(f"{path} is not a report cache file")
+    if data.get("fingerprint") != fingerprint:
+        raise PersistenceError(
+            f"{path} was built from different inputs "
+            f"(fingerprint {data.get('fingerprint')!r} != {fingerprint!r})"
+        )
+    try:
+        return EstimatorReport(
+            device_name=data["device_name"],
+            test_pearson=float(data["test_pearson"]),
+            train_pearson=float(data["train_pearson"]),
+            cv_score=float(data["cv_score"]),
+            best_params=dict(data["best_params"]),
+            feature_importances=np.array(
+                data["feature_importances"], dtype=float
+            ),
+            y_test=np.array(data["y_test"], dtype=float),
+            y_test_pred=np.array(data["y_test_pred"], dtype=float),
+            test_indices=np.array(data["test_indices"], dtype=int),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"corrupted report cache {path}: {exc}") from exc

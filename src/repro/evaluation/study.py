@@ -17,6 +17,7 @@ Pipeline per device:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,6 +28,15 @@ from ..hardware.iqm import make_q20_pair
 from ..ml.metrics import pearson_r
 from ..predictor.dataset import CircuitDataset, build_dataset
 from ..predictor.estimator import EstimatorReport, train_and_evaluate
+from .persistence import (
+    PersistenceError,
+    config_fingerprint,
+    device_fingerprint,
+    load_dataset_cache,
+    load_report_cache,
+    save_dataset_cache,
+    save_report_cache,
+)
 
 #: Table I row labels, in paper order.
 FOM_ORDER = ["Number of gates", "Circuit depth", "Expected fidelity", "ESP"]
@@ -49,9 +59,45 @@ class StudyConfig:
     n_splits: int = 3
     param_grid: Optional[Dict[str, Sequence]] = None
     progress: bool = False
-    #: Worker-pool size for batched compile/simulate/execute stages
-    #: (``None``: one worker per CPU).
+    #: Worker-pool size for batched compile/simulate/execute stages and
+    #: the grid-search/forest training tasks (``None``: one per CPU).
     max_workers: Optional[int] = None
+    #: Directory for stage caches: when set, per-device datasets (the
+    #: compile/simulate/execute product) and trained-estimator reports
+    #: are stored there and reused on reruns whose inputs are unchanged,
+    #: making ``run_study`` (and ``reproduce_table1.py``) resumable.
+    cache_dir: Optional[str] = None
+
+    def dataset_fingerprint(self, device) -> str:
+        """Hash of every input that influences a device's labelled dataset.
+
+        ``device`` is normally a :class:`~repro.hardware.device.Device`,
+        keyed by its full content (topology, calibrations, noise) so an
+        in-place edit of error rates invalidates the cache even under the
+        same name.  A plain string is accepted for key-stability checks
+        but then covers the name only.
+        """
+        key = device if isinstance(device, str) else device_fingerprint(device)
+        return config_fingerprint({
+            "device": key,
+            "algorithms": list(self.algorithms) if self.algorithms else None,
+            "min_qubits": self.min_qubits,
+            "max_qubits": self.max_qubits,
+            "qubit_step": self.qubit_step,
+            "optimization_level": self.optimization_level,
+            "shots": self.shots,
+            "seed": self.seed,
+            "depth_limit": self.depth_limit,
+        })
+
+    def report_fingerprint(self, device) -> str:
+        """Hash of the dataset inputs plus every training knob."""
+        return config_fingerprint({
+            "dataset": self.dataset_fingerprint(device),
+            "test_size": self.test_size,
+            "n_splits": self.n_splits,
+            "param_grid": self.param_grid,
+        })
 
 
 @dataclass
@@ -78,35 +124,66 @@ class StudyResult:
 def run_study(
     devices: Optional[Sequence[Device]] = None,
     config: Optional[StudyConfig] = None,
+    cache_dir: Optional[str] = None,
 ) -> StudyResult:
     """Run the full correlation study on the given devices.
 
     Defaults to the paper's two QPUs (Q20-A, Q20-B) and the paper's
     configuration; a reduced :class:`StudyConfig` gives quick smoke runs.
+
+    With ``cache_dir`` (argument or ``config.cache_dir``), the expensive
+    stages are checkpointed per device: the labelled dataset (compile +
+    simulate + execute) and the trained-estimator report are written to
+    the directory keyed by a fingerprint of their inputs, and reruns with
+    unchanged inputs skip those stages.  Stale or corrupted cache files
+    are treated as misses and rebuilt.
     """
     config = config or StudyConfig()
+    cache = Path(cache_dir or config.cache_dir) if (cache_dir or config.cache_dir) else None
     if devices is None:
         devices = list(make_q20_pair())
-    suite = build_suite(
-        algorithms=config.algorithms,
-        min_qubits=config.min_qubits,
-        max_qubits=config.max_qubits,
-        step=config.qubit_step,
-    )
 
-    ideal_cache: Dict[str, Dict[str, float]] = {}
     datasets: Dict[str, CircuitDataset] = {}
+    missing: List[Device] = []
     for device in devices:
-        datasets[device.name] = build_dataset(
-            suite, device,
-            optimization_level=config.optimization_level,
-            shots=config.shots,
-            seed=config.seed,
-            depth_limit=config.depth_limit,
-            ideal_cache=ideal_cache,
-            progress=config.progress,
-            max_workers=config.max_workers,
+        if cache is not None:
+            try:
+                datasets[device.name] = load_dataset_cache(
+                    _dataset_cache_path(cache, config, device),
+                    config.dataset_fingerprint(device),
+                )
+                if config.progress:
+                    print(f"[{device.name}] dataset loaded from cache", flush=True)
+                continue
+            except PersistenceError:
+                pass
+        missing.append(device)
+
+    if missing:
+        suite = build_suite(
+            algorithms=config.algorithms,
+            min_qubits=config.min_qubits,
+            max_qubits=config.max_qubits,
+            step=config.qubit_step,
         )
+        ideal_cache: Dict[str, Dict[str, float]] = {}
+        for device in missing:
+            datasets[device.name] = build_dataset(
+                suite, device,
+                optimization_level=config.optimization_level,
+                shots=config.shots,
+                seed=config.seed,
+                depth_limit=config.depth_limit,
+                ideal_cache=ideal_cache,
+                progress=config.progress,
+                max_workers=config.max_workers,
+            )
+            if cache is not None:
+                save_dataset_cache(
+                    datasets[device.name],
+                    _dataset_cache_path(cache, config, device),
+                    config.dataset_fingerprint(device),
+                )
 
     correlations: Dict[str, Dict[str, float]] = {
         fom: {} for fom in FOM_ORDER + [PROPOSED_LABEL]
@@ -135,14 +212,33 @@ def run_study(
     all_test_pred: List[np.ndarray] = []
     for device in devices:
         data = datasets[device.name]
-        report = train_and_evaluate(
-            data.X, data.y,
-            device_name=device.name,
-            test_size=config.test_size,
-            n_splits=config.n_splits,
-            seed=config.seed,
-            param_grid=config.param_grid,
-        )
+        report = None
+        if cache is not None:
+            try:
+                report = load_report_cache(
+                    _report_cache_path(cache, config, device),
+                    config.report_fingerprint(device),
+                )
+                if config.progress:
+                    print(f"[{device.name}] estimator loaded from cache", flush=True)
+            except PersistenceError:
+                report = None
+        if report is None:
+            report = train_and_evaluate(
+                data.X, data.y,
+                device_name=device.name,
+                test_size=config.test_size,
+                n_splits=config.n_splits,
+                seed=config.seed,
+                param_grid=config.param_grid,
+                max_workers=config.max_workers,
+            )
+            if cache is not None:
+                save_report_cache(
+                    report,
+                    _report_cache_path(cache, config, device),
+                    config.report_fingerprint(device),
+                )
         reports[device.name] = report
         correlations[PROPOSED_LABEL][device.name] = abs(report.test_pearson)
         all_test_y.append(report.y_test)
@@ -159,6 +255,18 @@ def run_study(
     )
     result.improvements = compute_improvements(result)
     return result
+
+
+def _dataset_cache_path(cache: Path, config: StudyConfig, device: Device) -> Path:
+    return cache / (
+        f"dataset_{device.name}_{config.dataset_fingerprint(device)}.json"
+    )
+
+
+def _report_cache_path(cache: Path, config: StudyConfig, device: Device) -> Path:
+    return cache / (
+        f"report_{device.name}_{config.report_fingerprint(device)}.json"
+    )
 
 
 def compute_improvements(result: StudyResult) -> Dict[str, float]:

@@ -4,15 +4,48 @@ Matches the semantics of scikit-learn's ``RandomForestRegressor`` that the
 paper uses: bootstrap sampling per tree, random feature subsets per split,
 mean aggregation, and mean-impurity-decrease feature importances (the
 quantity plotted in the paper's Fig. 3).
+
+Training is parallel (PR 3): the per-tree seeds and bootstrap rows are
+drawn up front from the master RNG in the original interleaved order, so
+every tree is an independent deterministic task and the fitted model is
+bit-identical for every ``max_workers`` value — and to the sequential
+pre-vectorization implementation (pinned by the golden tests).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..parallel import parallel_map
 from .tree import DecisionTreeRegressor
+
+
+def bootstrap_draws(
+    random_state: Optional[int],
+    n_trees: int,
+    n_rows: int,
+    bootstrap: bool = True,
+) -> List[Tuple[int, np.ndarray]]:
+    """Per-tree ``(seed, rows)`` pairs of a forest's master RNG stream.
+
+    Draws happen in the original per-tree interleaved order (seed, then
+    rows), so the first ``k`` draws of an ``n``-tree forest equal the draws
+    of a ``k``-tree forest with the same ``random_state`` — the prefix
+    property the grid search exploits to share fitted trees between
+    ``n_estimators`` variants.
+    """
+    rng = np.random.default_rng(random_state)
+    draws = []
+    for _ in range(n_trees):
+        seed = int(rng.integers(0, 2 ** 31))
+        if bootstrap:
+            rows = rng.integers(0, n_rows, size=n_rows)
+        else:
+            rows = np.arange(n_rows)
+        draws.append((seed, rows))
+    return draws
 
 
 class RandomForestRegressor:
@@ -26,6 +59,10 @@ class RandomForestRegressor:
             scikit-learn's regressor default.
         bootstrap: sample training rows with replacement per tree.
         random_state: master seed; per-tree seeds derive from it.
+        max_workers: worker threads for tree fitting (``1`` = sequential,
+            ``None`` = one per CPU).  Fitted models are identical for
+            every value; the default stays sequential so nested uses
+            (e.g. inside a parallel grid search) do not oversubscribe.
     """
 
     def __init__(
@@ -37,6 +74,7 @@ class RandomForestRegressor:
         max_features="sqrt",
         bootstrap: bool = True,
         random_state: Optional[int] = None,
+        max_workers: Optional[int] = 1,
     ):
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -45,6 +83,7 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.max_workers = max_workers
         self.estimators_: List[DecisionTreeRegressor] = []
         self.feature_importances_: Optional[np.ndarray] = None
 
@@ -57,6 +96,7 @@ class RandomForestRegressor:
             "max_features": self.max_features,
             "bootstrap": self.bootstrap,
             "random_state": self.random_state,
+            "max_workers": self.max_workers,
         }
 
     def set_params(self, **params) -> "RandomForestRegressor":
@@ -69,6 +109,16 @@ class RandomForestRegressor:
     def clone(self) -> "RandomForestRegressor":
         return RandomForestRegressor(**self.get_params())
 
+    def tree_template(self, seed: int) -> DecisionTreeRegressor:
+        """An unfitted member tree carrying this forest's hyper-parameters."""
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
@@ -76,30 +126,30 @@ class RandomForestRegressor:
             raise ValueError("X and y length mismatch")
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
-        rng = np.random.default_rng(self.random_state)
-        n = len(X)
-        self.estimators_ = []
-        importances = np.zeros(X.shape[1])
-        for _ in range(self.n_estimators):
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=int(rng.integers(0, 2 ** 31)),
-            )
-            if self.bootstrap:
-                rows = rng.integers(0, n, size=n)
-            else:
-                rows = np.arange(n)
-            tree.fit(X[rows], y[rows])
-            self.estimators_.append(tree)
+        draws = bootstrap_draws(
+            self.random_state, self.n_estimators, len(X), self.bootstrap
+        )
+
+        def fit_one(draw: Tuple[int, np.ndarray]) -> DecisionTreeRegressor:
+            seed, rows = draw
+            return self.tree_template(seed).fit(X[rows], y[rows])
+
+        self.estimators_ = parallel_map(
+            fit_one, draws, max_workers=self.max_workers
+        )
+        self._finalize_importances(X.shape[1])
+        return self
+
+    def _finalize_importances(self, num_features: int) -> None:
+        # Sequential accumulation in tree order: identical float rounding
+        # to the original sequential fit, independent of worker count.
+        importances = np.zeros(num_features)
+        for tree in self.estimators_:
             importances += tree.feature_importances_
         total = importances.sum()
         self.feature_importances_ = (
             importances / total if total > 0 else importances
         )
-        return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if not self.estimators_:

@@ -4,16 +4,31 @@ Reimplements the scikit-learn workflow the paper describes: an 80/20
 train/test split, 3-fold cross-validation scored by the Pearson correlation
 coefficient, and a hyper-parameter grid search over tree count, depth, and
 leaf/split minima.
+
+The grid search is parallel and, for random forests, shares work between
+candidates without changing a single score bit (verified by the golden
+tests against the pre-PR sequential implementation):
+
+* every candidate draws the same master RNG stream, so an
+  ``n_estimators=50`` forest is a prefix of the ``n_estimators=100``
+  forest with the same remaining hyper-parameters — trees and their
+  per-fold test predictions are fitted once and sliced;
+* a tree fitted without a depth cap is bit-identical to fitting the same
+  draw with ``max_depth=L`` whenever its natural depth stays below ``L``
+  (no RNG is consumed at pruned depths), so capped variants only refit
+  the trees that actually hit the cap.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..parallel import parallel_map
+from .forest import RandomForestRegressor, bootstrap_draws
 from .metrics import pearson_r
 
 Scorer = Callable[[np.ndarray, np.ndarray], float]
@@ -71,17 +86,26 @@ def cross_val_score(
     n_splits: int = 3,
     seed: int = 0,
     scorer: Scorer = pearson_r,
+    max_workers: Optional[int] = 1,
 ) -> np.ndarray:
-    """Per-fold validation scores of a cloneable model."""
+    """Per-fold validation scores of a cloneable model.
+
+    Folds are independent deterministic tasks; ``max_workers`` fans them
+    out without changing any score (``1`` = sequential, ``None`` = one
+    worker per CPU).
+    """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float)
-    scores = []
-    for train_idx, test_idx in KFold(n_splits, seed).split(len(X)):
+    splits = list(KFold(n_splits, seed).split(len(X)))
+
+    def run_fold(split: Tuple[np.ndarray, np.ndarray]) -> float:
+        train_idx, test_idx = split
         fold_model = model.clone()
         fold_model.fit(X[train_idx], y[train_idx])
         predictions = fold_model.predict(X[test_idx])
-        scores.append(scorer(y[test_idx], predictions))
-    return np.array(scores)
+        return scorer(y[test_idx], predictions)
+
+    return np.array(parallel_map(run_fold, splits, max_workers=max_workers))
 
 
 @dataclass
@@ -101,6 +125,7 @@ def grid_search(
     n_splits: int = 3,
     seed: int = 0,
     scorer: Scorer = pearson_r,
+    max_workers: Optional[int] = 1,
 ) -> GridSearchResult:
     """Exhaustive grid search scored by mean cross-validation score.
 
@@ -111,21 +136,50 @@ def grid_search(
         n_splits: cross-validation folds (the paper uses three).
         seed: split seed.
         scorer: score function, larger is better (default: Pearson r).
+        max_workers: worker threads over independent (candidate, fold)
+            tasks (``1`` = sequential, ``None`` = one per CPU); scores are
+            identical for every value.
     """
     names = sorted(param_grid)
     combos = list(itertools.product(*(param_grid[name] for name in names)))
     if not combos:
         raise ValueError("empty parameter grid")
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    candidates = [
+        (dict(zip(names, combo)), model.clone().set_params(**dict(zip(names, combo))))
+        for combo in combos
+    ]
+    splits = list(KFold(n_splits, seed).split(len(X)))
+
+    if all(isinstance(c, RandomForestRegressor) for _, c in candidates):
+        fold_scores = _forest_grid_fold_scores(
+            candidates, X, y, splits, scorer, max_workers
+        )
+    else:
+        tasks = [
+            (index, split)
+            for index in range(len(candidates))
+            for split in splits
+        ]
+
+        def run_task(task) -> float:
+            index, (train_idx, test_idx) = task
+            fold_model = candidates[index][1].clone()
+            fold_model.fit(X[train_idx], y[train_idx])
+            return scorer(y[test_idx], fold_model.predict(X[test_idx]))
+
+        flat = parallel_map(run_task, tasks, max_workers=max_workers)
+        fold_scores = [
+            flat[i * len(splits):(i + 1) * len(splits)]
+            for i in range(len(candidates))
+        ]
+
     results: List[Tuple[Dict[str, object], float]] = []
     best_params: Dict[str, object] = {}
     best_score = -np.inf
-    for combo in combos:
-        params = dict(zip(names, combo))
-        candidate = model.clone().set_params(**params)
-        scores = cross_val_score(
-            candidate, X, y, n_splits=n_splits, seed=seed, scorer=scorer
-        )
-        mean_score = float(scores.mean())
+    for (params, _), scores in zip(candidates, fold_scores):
+        mean_score = float(np.array(scores).mean())
         results.append((params, mean_score))
         if mean_score > best_score:
             best_score = mean_score
@@ -133,3 +187,101 @@ def grid_search(
     return GridSearchResult(
         best_params=best_params, best_score=best_score, results=results
     )
+
+
+# ----------------------------------------------------------------------
+# Forest-specific grid evaluation (work sharing across candidates).
+
+
+def _forest_grid_fold_scores(
+    candidates: List[Tuple[Dict[str, object], RandomForestRegressor]],
+    X: np.ndarray,
+    y: np.ndarray,
+    splits: List[Tuple[np.ndarray, np.ndarray]],
+    scorer: Scorer,
+    max_workers: Optional[int],
+) -> List[List[float]]:
+    """Per-candidate per-fold CV scores with cross-candidate sharing.
+
+    Candidates are grouped by everything except ``n_estimators`` and
+    ``max_depth``; each (fold, group) is an independent task that fits the
+    depth-uncapped tree sequence once and derives capped/shorter variants
+    from it (see module docstring for why this is bit-exact).
+    """
+    # group key -> {depth values} and the largest tree count needed.
+    groups: Dict[tuple, dict] = {}
+    for index, (_, forest) in enumerate(candidates):
+        params = forest.get_params()
+        key = tuple(sorted(
+            (name, value) for name, value in params.items()
+            if name not in ("n_estimators", "max_depth", "max_workers")
+        ))
+        group = groups.setdefault(
+            key, {"forest": forest, "depths": {}, "max_n": 0}
+        )
+        group["depths"].setdefault(params["max_depth"], []).append(index)
+        group["max_n"] = max(group["max_n"], params["n_estimators"])
+
+    tasks = [
+        (fold_index, group)
+        for fold_index in range(len(splits))
+        for group in groups.values()
+    ]
+
+    def run_task(task) -> List[Tuple[int, float]]:
+        fold_index, group = task
+        train_idx, test_idx = splits[fold_index]
+        X_train, y_train = X[train_idx], y[train_idx]
+        X_test, y_test = X[test_idx], y[test_idx]
+        template: RandomForestRegressor = group["forest"]
+        draws = bootstrap_draws(
+            template.random_state, group["max_n"], len(X_train),
+            template.bootstrap,
+        )
+
+        # Fit the depth-uncapped sequence first so capped variants can
+        # reuse every tree whose natural depth stays below the cap.
+        depth_values = sorted(
+            group["depths"], key=lambda d: (d is not None, d)
+        )
+        uncapped: List = []
+        scored: List[Tuple[int, float]] = []
+        for depth in depth_values:
+            trees = []
+            for tree_pos, (tree_seed, rows) in enumerate(draws):
+                reuse = (
+                    depth is not None
+                    and tree_pos < len(uncapped)
+                    and uncapped[tree_pos].depth() < depth
+                )
+                if reuse:
+                    tree = uncapped[tree_pos]
+                else:
+                    tree = template.tree_template(tree_seed)
+                    tree.max_depth = depth
+                    tree.fit(X_train[rows], y_train[rows])
+                trees.append(tree)
+            if depth is None:
+                uncapped = trees
+            # One prediction per tree, shared by every n_estimators
+            # variant: mean over a prefix of the stacked matrix is
+            # bit-identical to the prefix forest's predict().
+            tree_preds = np.stack(
+                [tree.predict(X_test) for tree in trees]
+            )
+            for index in group["depths"][depth]:
+                n_trees = candidates[index][1].n_estimators
+                prediction = tree_preds[:n_trees].mean(axis=0)
+                scored.append((index, scorer(y_test, prediction)))
+        return scored
+
+    fold_scores: List[List[Optional[float]]] = [
+        [None] * len(splits) for _ in candidates
+    ]
+    for task, scored in zip(
+        tasks, parallel_map(run_task, tasks, max_workers=max_workers)
+    ):
+        fold_index = task[0]
+        for index, score in scored:
+            fold_scores[index][fold_index] = score
+    return fold_scores

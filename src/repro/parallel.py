@@ -1,0 +1,69 @@
+"""Shared worker-pool infrastructure for the batched stages.
+
+Every batched stage in the repo (compilation, noiseless simulation, noisy
+execution, and — since PR 3 — forest training and grid search) funnels
+through :func:`parallel_map`, so worker-count invariance is enforced in one
+place: results are always returned in input order, a single worker degrades
+to a plain loop, and per-item work is required to be deterministic.
+
+Historically these helpers lived in ``repro.simulation.executor``; they
+moved here so the ML layer can reuse them without importing the simulator.
+The old import path still works (the executor re-exports both names).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(max_workers: Optional[int], num_items: int) -> int:
+    """Worker count for a batch: explicit value, else one per CPU."""
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if max_workers < 1:
+        raise ValueError("max_workers must be positive")
+    return max(1, min(max_workers, num_items))
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    max_workers: Optional[int] = None,
+    on_result: Optional[Callable[[int, _R], None]] = None,
+) -> List[_R]:
+    """Order-preserving map over a thread pool.
+
+    Falls back to a plain loop for a single worker or a single item, so
+    results (and exceptions) are identical across worker counts — the
+    per-item work must itself be deterministic.
+
+    ``on_result(index, result)`` fires as each item finishes (from worker
+    threads, in completion order), giving batch callers per-item liveness
+    without waiting for the pool to drain.  Callbacks never affect the
+    returned list, which is always in input order.
+    """
+    workers = resolve_workers(max_workers, len(items))
+    if workers <= 1 or len(items) <= 1:
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        if on_result is None:
+            return list(pool.map(fn, items))
+
+        def job(indexed: Tuple[int, _T]) -> _R:
+            index, item = indexed
+            result = fn(item)
+            on_result(index, result)
+            return result
+
+        return list(pool.map(job, enumerate(items)))

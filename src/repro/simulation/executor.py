@@ -40,17 +40,16 @@ from __future__ import annotations
 
 import hashlib
 import math
-import os
 import weakref
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.dag import CircuitDag
 from ..hardware.device import Device
+from ..parallel import parallel_map, resolve_workers  # noqa: F401  (re-export)
 from .kernels import circuit_fingerprint
 from .statevector import bitstring_keys, ideal_distribution, sample_indices
 
@@ -59,57 +58,6 @@ _SCRAMBLE_FLIP_PROB = 0.3
 #: Stride between the default per-circuit RNG seeds of :meth:`run_batch`
 #: (prime, so overlapping batches decorrelate quickly).
 SEED_STRIDE = 7919
-
-_T = TypeVar("_T")
-_R = TypeVar("_R")
-
-
-def resolve_workers(max_workers: Optional[int], num_items: int) -> int:
-    """Worker count for a batch: explicit value, else one per CPU."""
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    if max_workers < 1:
-        raise ValueError("max_workers must be positive")
-    return max(1, min(max_workers, num_items))
-
-
-def parallel_map(
-    fn: Callable[[_T], _R],
-    items: Sequence[_T],
-    max_workers: Optional[int] = None,
-    on_result: Optional[Callable[[int, _R], None]] = None,
-) -> List[_R]:
-    """Order-preserving map over a thread pool.
-
-    Falls back to a plain loop for a single worker or a single item, so
-    results (and exceptions) are identical across worker counts — the
-    per-item work must itself be deterministic.
-
-    ``on_result(index, result)`` fires as each item finishes (from worker
-    threads, in completion order), giving batch callers per-item liveness
-    without waiting for the pool to drain.  Callbacks never affect the
-    returned list, which is always in input order.
-    """
-    workers = resolve_workers(max_workers, len(items))
-    if workers <= 1 or len(items) <= 1:
-        results = []
-        for index, item in enumerate(items):
-            result = fn(item)
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-        return results
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        if on_result is None:
-            return list(pool.map(fn, items))
-
-        def job(indexed: Tuple[int, _T]) -> _R:
-            index, item = indexed
-            result = fn(item)
-            on_result(index, result)
-            return result
-
-        return list(pool.map(job, enumerate(items)))
 
 
 @dataclass

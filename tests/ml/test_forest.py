@@ -102,3 +102,23 @@ def test_hyperparameters_forwarded_to_trees():
         n_estimators=3, max_depth=2, random_state=0
     ).fit(X, y)
     assert all(tree.depth() <= 2 for tree in forest.estimators_)
+
+
+def test_max_workers_does_not_change_model():
+    X, y = _regression_data(120)
+    seq = RandomForestRegressor(
+        n_estimators=12, random_state=7, max_workers=1
+    ).fit(X, y)
+    par = RandomForestRegressor(
+        n_estimators=12, random_state=7, max_workers=4
+    ).fit(X, y)
+    assert np.array_equal(seq.predict(X), par.predict(X))
+    assert np.array_equal(seq.feature_importances_, par.feature_importances_)
+
+
+def test_max_workers_in_params_roundtrip():
+    forest = RandomForestRegressor(max_workers=3)
+    clone = forest.clone()
+    assert clone.max_workers == 3
+    clone.set_params(max_workers=None)
+    assert forest.max_workers == 3

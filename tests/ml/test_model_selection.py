@@ -106,3 +106,35 @@ def test_grid_search_multiple_parameters():
     )
     assert len(result.results) == 4
     assert set(result.best_params) == {"max_depth", "min_samples_leaf"}
+
+
+def test_cross_val_score_worker_invariant():
+    X, y = _data(90)
+    seq = cross_val_score(LinearRegression(), X, y, n_splits=3, max_workers=1)
+    par = cross_val_score(LinearRegression(), X, y, n_splits=3, max_workers=3)
+    assert np.array_equal(seq, par)
+
+
+def test_grid_search_worker_invariant_forest_path():
+    from repro.ml.forest import RandomForestRegressor
+
+    rng = np.random.default_rng(8)
+    X = rng.uniform(size=(80, 6))
+    y = X[:, 0] - X[:, 3] + 0.1 * rng.standard_normal(80)
+    grid = {"n_estimators": [4, 8], "max_depth": [None, 3]}
+    base = RandomForestRegressor(random_state=0)
+    seq = grid_search(base, grid, X, y, n_splits=3, seed=1, max_workers=1)
+    par = grid_search(base, grid, X, y, n_splits=3, seed=1, max_workers=4)
+    assert seq.best_params == par.best_params
+    assert seq.best_score == par.best_score
+    assert seq.results == par.results
+
+
+def test_grid_search_worker_invariant_generic_path():
+    X, y = _data(90)
+    grid = {"max_depth": [2, 4], "min_samples_leaf": [1, 3]}
+    seq = grid_search(DecisionTreeRegressor(random_state=0), X=X, y=y,
+                      param_grid=grid, n_splits=3, seed=3, max_workers=1)
+    par = grid_search(DecisionTreeRegressor(random_state=0), X=X, y=y,
+                      param_grid=grid, n_splits=3, seed=3, max_workers=4)
+    assert seq.results == par.results
