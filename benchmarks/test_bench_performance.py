@@ -9,12 +9,13 @@ study (650+ compile/execute/label passes).
 import numpy as np
 import pytest
 
-from repro.bench.algorithms import qft
+from repro.bench.algorithms import ghz, qft
 from repro.bench.suite import build_suite, compile_suite
 from repro.circuits.random import random_circuit
 from repro.compiler import clear_compile_cache, compile_circuit
+from repro.compiler.compile import compile_batch
 from repro.fom import feature_vector
-from repro.hardware import make_q20a
+from repro.hardware import make_q20a, make_zoo_device
 from repro.ml import RandomForestRegressor, grid_search
 from repro.predictor.estimator import DEFAULT_PARAM_GRID
 from repro.simulation import QPUExecutor, ideal_distribution
@@ -79,6 +80,25 @@ def test_perf_compile_level3_suite_warm(benchmark, device):
         ),
         rounds=2, iterations=1,
     )
+
+
+def test_perf_compile_heavy_hex(benchmark):
+    """Level-3 compilation on a non-grid coupling (device-zoo smoke bench).
+
+    Heavy-hex is the sparsest realistic topology in the zoo (max degree
+    3), so routing works hardest here — this guards the router/layout
+    fast paths against regressions that only show off the square grid.
+    """
+    device = make_zoo_device("heavy_hex", 16, tier="typical", seed=0)
+    circuits = [ghz(12), qft(10), random_circuit(12, 20, seed=5, measure=True)]
+
+    def run():
+        clear_compile_cache()
+        return compile_batch(
+            circuits, device, optimization_level=3, seed=0, max_workers=1
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
 
 
 def test_perf_noisy_execution(benchmark, device):

@@ -7,6 +7,10 @@ Subcommands:
 * ``features`` — print the 30-dim feature vector of a compiled circuit.
 * ``study``    — run the correlation study and print Table I / Fig. 3.
 * ``devices``  — list the built-in devices and their calibration summary.
+* ``zoo``      — list or inspect the parameterized device-zoo families.
+
+Every ``--device`` option accepts the built-in names (``q20a``, ``q20b``)
+or a zoo spec like ``zoo:heavy_hex:16:noisy:1`` (see ``zoo --list``).
 """
 
 from __future__ import annotations
@@ -19,18 +23,24 @@ from .circuits.qasm import from_qasm, to_qasm
 from .compiler import compile_circuit
 from .evaluation import StudyConfig, format_fig3, format_table_i, run_study
 from .fom import FEATURE_NAMES, esp, expected_fidelity, feature_dict
-from .hardware import Device, make_q20a, make_q20b
+from .hardware import Device, device_from_spec, make_q20a, make_q20b, zoo_summary
 from .simulation import execute_and_label
 
 _DEVICES = {"q20a": make_q20a, "q20b": make_q20b}
 
 
 def _load_device(name: str) -> Device:
+    if name.lower().startswith("zoo:"):
+        try:
+            return device_from_spec(name)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     try:
         return _DEVICES[name.lower()]()
     except KeyError:
         raise SystemExit(
-            f"unknown device '{name}'; available: {sorted(_DEVICES)}"
+            f"unknown device '{name}'; available: {sorted(_DEVICES)} "
+            f"or a zoo spec (see `python -m repro zoo --list`)"
         )
 
 
@@ -135,6 +145,26 @@ def _cmd_devices(args: argparse.Namespace) -> int:
             f"mean CZ fidelity {cal.mean_two_qubit_fidelity():.4f}, "
             f"mean readout {cal.mean_readout_fidelity():.4f}"
         )
+    print("(zoo families: `python -m repro zoo --list`)")
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    if args.list or args.spec is None:
+        print(zoo_summary())
+        return 0
+    device = _load_device(
+        args.spec if args.spec.lower().startswith("zoo:") else f"zoo:{args.spec}"
+    )
+    cal = device.reported_calibration
+    degrees = [device.coupling.degree(q) for q in range(device.num_qubits)]
+    print(f"{device.name}: {device.num_qubits} qubits, "
+          f"{len(device.coupling.edges)} couplers")
+    print(f"degree: min {min(degrees)}, max {max(degrees)}, "
+          f"mean {sum(degrees) / len(degrees):.2f}")
+    print(f"mean CZ fidelity {cal.mean_two_qubit_fidelity():.4f}, "
+          f"mean readout {cal.mean_readout_fidelity():.4f}")
+    print("edges:", " ".join(f"{a}-{b}" for a, b in device.coupling.edges))
     return 0
 
 
@@ -146,7 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
-        p.add_argument("--device", default="q20a", help="q20a or q20b")
+        p.add_argument(
+            "--device", default="q20a",
+            help="q20a, q20b, or a zoo spec like zoo:ring:12:noisy:1",
+        )
         p.add_argument("--level", type=int, default=3, choices=range(4))
         p.add_argument("--seed", type=int, default=0)
 
@@ -185,6 +218,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dev = sub.add_parser("devices", help="list built-in devices")
     p_dev.set_defaults(func=_cmd_devices)
+
+    p_zoo = sub.add_parser(
+        "zoo", help="list or inspect device-zoo families",
+        description=(
+            "With --list (or no spec): enumerate every topology family, "
+            "its sizing rules, and the noise tiers.  With a spec "
+            "(zoo:<family>[:<size>[:<tier>[:<seed>]]], the zoo: prefix "
+            "optional here): print that device's topology and calibration "
+            "summary."
+        ),
+    )
+    p_zoo.add_argument("spec", nargs="?", default=None,
+                       help="device spec, e.g. heavy_hex:16:noisy")
+    p_zoo.add_argument("--list", action="store_true",
+                       help="enumerate families and tiers")
+    p_zoo.set_defaults(func=_cmd_zoo)
     return parser
 
 

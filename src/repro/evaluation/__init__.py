@@ -15,32 +15,44 @@ from .persistence import (
     save_model,
     save_study,
 )
-from .reporting import format_fig3, format_series, format_table_i
+from .reporting import (
+    format_fig3,
+    format_series,
+    format_table_i,
+    format_transfer_table,
+)
 from .study import (
     FOM_ORDER,
     PROPOSED_LABEL,
+    CrossDeviceResult,
     StudyConfig,
     StudyResult,
+    build_device_datasets,
     compute_improvements,
+    run_cross_device_study,
     run_study,
 )
 
 __all__ = [
+    "CrossDeviceResult",
     "FOM_ORDER",
     "PROPOSED_LABEL",
     "PersistenceError",
     "StudyConfig",
     "StudyResult",
+    "build_device_datasets",
     "compute_improvements",
     "config_fingerprint",
     "format_fig3",
     "format_series",
     "format_table_i",
+    "format_transfer_table",
     "grouped_importances",
     "load_datasets",
     "load_model",
     "load_study_data",
     "importance_table",
+    "run_cross_device_study",
     "run_study",
     "save_model",
     "save_study",

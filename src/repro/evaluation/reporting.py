@@ -8,7 +8,7 @@ import numpy as np
 
 from ..fom.features import GROUP_ORDER
 from .importance import grouped_importances
-from .study import PROPOSED_LABEL, StudyResult
+from .study import PROPOSED_LABEL, CrossDeviceResult, StudyResult
 
 
 def format_table_i(result: StudyResult) -> str:
@@ -42,6 +42,65 @@ def format_table_i(result: StudyResult) -> str:
             for name in result.device_names
         )
     )
+    return "\n".join(lines)
+
+
+def format_transfer_table(result: CrossDeviceResult) -> str:
+    """Render a cross-device study: one column per device, train first.
+
+    The proposed row's train column is the in-domain held-out score; the
+    evaluation columns score the train-device model on foreign devices
+    (marked ``*``).  The footer summarizes the transfer gap per device.
+    """
+    columns = result.device_names
+    labels = [result.train_device + " (train)"] + [
+        name + " *" for name in result.eval_device_names
+    ]
+    name_width = max(24, max(len(label) for label in labels) + 2)
+    header = f"{'Figure of merit / QPU':<24}" + "".join(
+        f"{label:>{name_width}}" for label in labels
+    )
+    rule = "-" * len(header)
+    lines = [
+        "Cross-device transfer: Pearson correlation with Hellinger distance",
+        rule,
+        header,
+        rule,
+    ]
+    for fom, values in result.table_rows():
+        if fom == PROPOSED_LABEL:
+            lines.append(rule)
+        lines.append(
+            f"{fom:<24}"
+            + "".join(f"{value:>{name_width}.2f}" for value in values)
+        )
+    lines.append(rule)
+    lines.append(
+        "Transfer gap (in-domain minus transfer, proposed approach) -> "
+        + ", ".join(
+            f"{name}: {result.transfer_gap(name):+.2f}"
+            for name in result.eval_device_names
+        )
+    )
+    lines.append(
+        "Circuits per device -> "
+        + ", ".join(
+            f"{name}: {len(result.datasets[name])}"
+            for name in columns
+        )
+    )
+    if result.transfer_support:
+        fallback = set(result.transfer_fallback)
+        lines.append(
+            "Proposed row scored on held-out programs -> "
+            + ", ".join(
+                f"{name}: {result.transfer_support[name]}"
+                + (" (FALLBACK: full dataset, incl. trained programs)"
+                   if name in fallback else "")
+                for name in columns
+                if name in result.transfer_support
+            )
+        )
     return "\n".join(lines)
 
 

@@ -27,14 +27,21 @@ from ..hardware.device import Device
 from ..hardware.iqm import make_q20_pair
 from ..ml.metrics import pearson_r
 from ..predictor.dataset import CircuitDataset, build_dataset
-from ..predictor.estimator import EstimatorReport, train_and_evaluate
+from ..predictor.estimator import (
+    EstimatorReport,
+    HellingerEstimator,
+    train_and_evaluate,
+    train_and_evaluate_model,
+)
 from .persistence import (
     PersistenceError,
     config_fingerprint,
     device_fingerprint,
     load_dataset_cache,
+    load_model,
     load_report_cache,
     save_dataset_cache,
+    save_model,
     save_report_cache,
 )
 
@@ -143,47 +150,7 @@ def run_study(
     if devices is None:
         devices = list(make_q20_pair())
 
-    datasets: Dict[str, CircuitDataset] = {}
-    missing: List[Device] = []
-    for device in devices:
-        if cache is not None:
-            try:
-                datasets[device.name] = load_dataset_cache(
-                    _dataset_cache_path(cache, config, device),
-                    config.dataset_fingerprint(device),
-                )
-                if config.progress:
-                    print(f"[{device.name}] dataset loaded from cache", flush=True)
-                continue
-            except PersistenceError:
-                pass
-        missing.append(device)
-
-    if missing:
-        suite = build_suite(
-            algorithms=config.algorithms,
-            min_qubits=config.min_qubits,
-            max_qubits=config.max_qubits,
-            step=config.qubit_step,
-        )
-        ideal_cache: Dict[str, Dict[str, float]] = {}
-        for device in missing:
-            datasets[device.name] = build_dataset(
-                suite, device,
-                optimization_level=config.optimization_level,
-                shots=config.shots,
-                seed=config.seed,
-                depth_limit=config.depth_limit,
-                ideal_cache=ideal_cache,
-                progress=config.progress,
-                max_workers=config.max_workers,
-            )
-            if cache is not None:
-                save_dataset_cache(
-                    datasets[device.name],
-                    _dataset_cache_path(cache, config, device),
-                    config.dataset_fingerprint(device),
-                )
+    datasets = build_device_datasets(devices, config, cache)
 
     correlations: Dict[str, Dict[str, float]] = {
         fom: {} for fom in FOM_ORDER + [PROPOSED_LABEL]
@@ -257,6 +224,239 @@ def run_study(
     return result
 
 
+def build_device_datasets(
+    devices: Sequence[Device],
+    config: StudyConfig,
+    cache: Optional[Path] = None,
+) -> Dict[str, CircuitDataset]:
+    """Labelled datasets for every device, cache-aware and width-capped.
+
+    The shared compile/execute/label stage of :func:`run_study` and
+    :func:`run_cross_device_study`.  Each device's suite is capped at the
+    device width (``min(config.max_qubits, device.num_qubits)``) so small
+    zoo devices get the widest suite they can hold; the noiseless
+    reference distributions are shared across all devices through one
+    ``ideal_cache``.  With ``cache`` set, per-device datasets are loaded
+    from / saved to fingerprint-keyed checkpoint files.
+    """
+    datasets: Dict[str, CircuitDataset] = {}
+    missing: List[Device] = []
+    for device in devices:
+        if cache is not None:
+            try:
+                datasets[device.name] = load_dataset_cache(
+                    _dataset_cache_path(cache, config, device),
+                    config.dataset_fingerprint(device),
+                )
+                if config.progress:
+                    print(f"[{device.name}] dataset loaded from cache", flush=True)
+                continue
+            except PersistenceError:
+                pass
+        missing.append(device)
+
+    if missing:
+        suites: Dict[int, List] = {}
+        ideal_cache: Dict[str, Dict[str, float]] = {}
+        for device in missing:
+            width = min(config.max_qubits, device.num_qubits)
+            if width < config.min_qubits:
+                raise ValueError(
+                    f"device {device.name} has {device.num_qubits} qubits, "
+                    f"below the study's min_qubits={config.min_qubits}"
+                )
+            if width not in suites:
+                suites[width] = build_suite(
+                    algorithms=config.algorithms,
+                    min_qubits=config.min_qubits,
+                    max_qubits=width,
+                    step=config.qubit_step,
+                )
+            datasets[device.name] = build_dataset(
+                suites[width], device,
+                optimization_level=config.optimization_level,
+                shots=config.shots,
+                seed=config.seed,
+                depth_limit=config.depth_limit,
+                ideal_cache=ideal_cache,
+                progress=config.progress,
+                max_workers=config.max_workers,
+            )
+            if cache is not None:
+                save_dataset_cache(
+                    datasets[device.name],
+                    _dataset_cache_path(cache, config, device),
+                    config.dataset_fingerprint(device),
+                )
+    return datasets
+
+
+@dataclass
+class CrossDeviceResult:
+    """Outcome of a transfer study: train on one device, score on others.
+
+    ``correlations`` has one column per device (train first): the four
+    established figures of merit plus the proposed estimator.  The
+    proposed row is apples-to-apples across columns — one model, fitted
+    on the train device's 80/20 *training split*, scored everywhere on
+    the **held-out programs only**: the train column is the in-domain
+    test score of Table I's protocol, and each evaluation column scores
+    the same model on the foreign device's rows for those same held-out
+    programs — so a transfer gap isolates the hardware change (new
+    topology, new calibration) from program memorization.  (The suite
+    *programs* are shared across devices by design; their compiled
+    features and Hellinger labels are device-specific.)  If a foreign
+    device's depth filter leaves fewer than two held-out programs, that
+    column falls back to the device's full dataset (see
+    ``transfer_support``).
+
+    ``transfer_support`` records how many circuits each proposed-row
+    column was scored on; ``transfer_fallback`` names the devices whose
+    column used the full-dataset fallback.
+    """
+
+    train_device: str
+    eval_device_names: List[str]
+    correlations: Dict[str, Dict[str, float]]
+    report: EstimatorReport
+    estimator: HellingerEstimator
+    datasets: Dict[str, CircuitDataset]
+    transfer_support: Dict[str, int] = field(default_factory=dict)
+    transfer_fallback: List[str] = field(default_factory=list)
+
+    @property
+    def device_names(self) -> List[str]:
+        return [self.train_device] + list(self.eval_device_names)
+
+    def table_rows(self) -> List[Tuple[str, List[float]]]:
+        """Rows (fom, [train, eval...]) in Table-I order."""
+        return [
+            (fom, [self.correlations[fom][name] for name in self.device_names])
+            for fom in FOM_ORDER + [PROPOSED_LABEL]
+        ]
+
+    def transfer_gap(self, device_name: str) -> float:
+        """In-domain minus transfer correlation of the proposed estimator."""
+        proposed = self.correlations[PROPOSED_LABEL]
+        return proposed[self.train_device] - proposed[device_name]
+
+
+def run_cross_device_study(
+    train_device: Device,
+    eval_devices: Sequence[Device],
+    config: Optional[StudyConfig] = None,
+    cache_dir: Optional[str] = None,
+) -> CrossDeviceResult:
+    """Train the Hellinger estimator on one device, score transfer on others.
+
+    The generalization experiment the two-QPU case study cannot run:
+    every evaluation device (typically drawn from the device zoo, see
+    :mod:`repro.hardware.zoo`) gets its own compiled/executed/labelled
+    dataset, one estimator is fitted on the train device's 80/20
+    training split, and every proposed-row column scores that model on
+    the held-out programs — in-domain on the train device, and on
+    foreign compiled/executed versions of those same programs for each
+    evaluation device (see :class:`CrossDeviceResult` for the exact
+    semantics).
+
+    Stage caches (``cache_dir`` or ``config.cache_dir``) are shared with
+    :func:`run_study`: per-device datasets, the train device's 80/20
+    report, and the train-split estimator are all checkpointed and
+    reused when their input fingerprints are unchanged.
+    """
+    config = config or StudyConfig()
+    cache = Path(cache_dir or config.cache_dir) if (cache_dir or config.cache_dir) else None
+    eval_devices = list(eval_devices)
+    if not eval_devices:
+        raise ValueError("run_cross_device_study needs at least one eval device")
+    names = [train_device.name] + [device.name for device in eval_devices]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate device names in cross-device study: {names}")
+
+    devices = [train_device] + eval_devices
+    datasets = build_device_datasets(devices, config, cache)
+    train_data = datasets[train_device.name]
+
+    # In-domain protocol (80/20 + CV grid search) on the train device.
+    # The report and the transfer model are ONE fit: the estimator that
+    # produced the report's held-out score is the estimator scored on
+    # foreign devices, so the columns differ only in the hardware.  Both
+    # halves are cached; a miss on either recomputes the (deterministic)
+    # pair so they can never drift apart.
+    report = estimator = None
+    if cache is not None:
+        try:
+            report = load_report_cache(
+                _report_cache_path(cache, config, train_device),
+                config.report_fingerprint(train_device),
+            )
+            estimator = load_model(_model_cache_path(cache, config, train_device))
+            if not isinstance(estimator, HellingerEstimator):
+                report = estimator = None
+        except PersistenceError:
+            report = estimator = None
+    if report is None or estimator is None:
+        report, estimator = train_and_evaluate_model(
+            train_data.X, train_data.y,
+            device_name=train_device.name,
+            test_size=config.test_size,
+            n_splits=config.n_splits,
+            seed=config.seed,
+            param_grid=config.param_grid,
+            max_workers=config.max_workers,
+        )
+        if cache is not None:
+            save_report_cache(
+                report,
+                _report_cache_path(cache, config, train_device),
+                config.report_fingerprint(train_device),
+            )
+            save_model(estimator, _model_cache_path(cache, config, train_device))
+
+    heldout_names = {
+        train_data.entries[int(i)].name for i in report.test_indices
+    }
+
+    correlations: Dict[str, Dict[str, float]] = {
+        fom: {} for fom in FOM_ORDER + [PROPOSED_LABEL]
+    }
+    for device in devices:
+        data = datasets[device.name]
+        for fom in FOM_ORDER:
+            correlations[fom][device.name] = abs(
+                pearson_r(data.fom_column(fom), data.y)
+            )
+    correlations[PROPOSED_LABEL][train_device.name] = abs(report.test_pearson)
+    transfer_support = {train_device.name: len(heldout_names)}
+    transfer_fallback: List[str] = []
+    for device in eval_devices:
+        data = datasets[device.name]
+        rows = [
+            index for index, entry in enumerate(data.entries)
+            if entry.name in heldout_names
+        ]
+        if len(rows) < 2:
+            # Foreign depth filter dropped (nearly) all held-out
+            # programs: fall back to the full foreign dataset, and say so.
+            rows = list(range(len(data)))
+            transfer_fallback.append(device.name)
+        transfer_support[device.name] = len(rows)
+        correlations[PROPOSED_LABEL][device.name] = abs(
+            pearson_r(data.y[rows], estimator.predict(data.X[rows]))
+        )
+
+    return CrossDeviceResult(
+        train_device=train_device.name,
+        eval_device_names=[device.name for device in eval_devices],
+        correlations=correlations,
+        report=report,
+        estimator=estimator,
+        datasets=datasets,
+        transfer_support=transfer_support,
+        transfer_fallback=transfer_fallback,
+    )
+
+
 def _dataset_cache_path(cache: Path, config: StudyConfig, device: Device) -> Path:
     return cache / (
         f"dataset_{device.name}_{config.dataset_fingerprint(device)}.json"
@@ -266,6 +466,13 @@ def _dataset_cache_path(cache: Path, config: StudyConfig, device: Device) -> Pat
 def _report_cache_path(cache: Path, config: StudyConfig, device: Device) -> Path:
     return cache / (
         f"report_{device.name}_{config.report_fingerprint(device)}.json"
+    )
+
+
+def _model_cache_path(cache: Path, config: StudyConfig, device: Device) -> Path:
+    """Train-split estimator checkpoint (fingerprint keyed in the name)."""
+    return cache / (
+        f"transfer-estimator_{device.name}_{config.report_fingerprint(device)}.npz"
     )
 
 

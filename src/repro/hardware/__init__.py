@@ -18,26 +18,58 @@ from .coupling import (
 )
 from .device import Device, IQM_NATIVE_GATES, NoiseProfile, make_device
 from .iqm import make_q20a, make_q20b, make_q20_pair, q20_coupling
+from .topologies import (
+    TOPOLOGIES,
+    TopologyFamily,
+    build_topology,
+    heavy_hex_qubits,
+    ladder_map,
+    random_coupling_map,
+    validate_coupling,
+)
+from .zoo import (
+    DEFAULT_SIZES,
+    NOISE_TIERS,
+    NoiseTier,
+    device_from_spec,
+    make_zoo_device,
+    zoo_families,
+    zoo_summary,
+)
 
 __all__ = [
     "Calibration",
     "CouplingMap",
+    "DEFAULT_SIZES",
     "Device",
     "GateDurations",
     "IQM_NATIVE_GATES",
+    "NOISE_TIERS",
     "NoiseProfile",
+    "NoiseTier",
+    "TOPOLOGIES",
+    "TopologyFamily",
+    "build_topology",
+    "device_from_spec",
     "drift_calibration",
     "full_map",
     "grid_map",
     "grid_positions",
     "heavy_hex_map",
+    "heavy_hex_qubits",
+    "ladder_map",
     "line_map",
     "make_device",
     "make_q20a",
     "make_q20b",
     "make_q20_pair",
+    "make_zoo_device",
     "q20_coupling",
     "random_calibration",
+    "random_coupling_map",
     "ring_map",
     "star_map",
+    "validate_coupling",
+    "zoo_families",
+    "zoo_summary",
 ]

@@ -38,14 +38,27 @@ class CouplingMap:
     """
 
     def __init__(self, num_qubits: int, edges: Iterable[Edge]):
+        if num_qubits < 0:
+            raise ValueError(f"num_qubits must be >= 0, got {num_qubits}")
         self.num_qubits = num_qubits
         self.graph = nx.Graph()
         self.graph.add_nodes_from(range(num_qubits))
         for a, b in edges:
             if not (0 <= a < num_qubits and 0 <= b < num_qubits):
-                raise ValueError(f"edge ({a}, {b}) out of range")
+                raise ValueError(
+                    f"edge ({a}, {b}) out of range: qubit indices must lie in "
+                    f"[0, {num_qubits - 1}] for a {num_qubits}-qubit coupling map"
+                )
             if a == b:
-                raise ValueError(f"self-loop on qubit {a}")
+                raise ValueError(
+                    f"self-loop on qubit {a}: couplers connect two distinct "
+                    f"qubits; drop the ({a}, {a}) entry"
+                )
+            if self.graph.has_edge(a, b):
+                raise ValueError(
+                    f"duplicate edge ({a}, {b}): each coupler must be listed "
+                    f"once (edges are undirected, so ({b}, {a}) counts too)"
+                )
             self.graph.add_edge(int(a), int(b))
         self._distance: np.ndarray | None = None
         self._routing_tables: RoutingTables | None = None
@@ -142,6 +155,11 @@ def line_map(num_qubits: int) -> CouplingMap:
 
 def ring_map(num_qubits: int) -> CouplingMap:
     """A cycle."""
+    if num_qubits < 3:
+        raise ValueError(
+            f"a ring needs at least 3 qubits, got {num_qubits}; "
+            f"use line_map for smaller devices"
+        )
     edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
     return CouplingMap(num_qubits, edges)
 

@@ -1,0 +1,291 @@
+"""The topology zoo: parameterized coupling-map families beyond the 4x5 grid.
+
+The paper's case study lives on two square-grid devices; everything above
+``hardware/`` (layout, routing, dataset building, the Hellinger estimator)
+consumes only :class:`~repro.hardware.coupling.CouplingMap`, so it should
+work on *any* connected topology.  This module provides the families that
+exercise that claim:
+
+* :func:`ladder_map` — a 2 x k square ladder (rung-coupled double chain),
+* :func:`random_coupling_map` — seeded bounded-degree random graphs built
+  from a degree-respecting random spanning tree plus extra random edges,
+* sized builders for every family (line, ring, ladder, star, grid,
+  heavy-hex, random) through the :data:`TOPOLOGIES` registry, each
+  returning a *validated* (connected, duplicate-free) coupling map.
+
+Size conventions: every family is requested by a target qubit count
+``num_qubits``.  Heavy-hex quantizes the size — it builds the largest
+lattice that fits within the request and may return fewer qubits.  All
+other families return exactly ``num_qubits`` or raise (grid additionally
+rejects prime counts rather than degenerating into a chain).  Random
+families take a ``seed`` that fully determines the graph; all other
+families ignore it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .coupling import (
+    CouplingMap,
+    Edge,
+    grid_map,
+    heavy_hex_map,
+    line_map,
+    ring_map,
+    star_map,
+)
+
+
+def validate_coupling(coupling: CouplingMap, context: str = "topology") -> CouplingMap:
+    """Assert that ``coupling`` is usable as a compilation target.
+
+    Routing requires a connected graph with at least one qubit; builders
+    funnel their output through this check so an invalid construction
+    fails at build time with a message naming the offending family, not
+    deep inside a router.
+    """
+    if coupling.num_qubits < 1:
+        raise ValueError(f"{context} produced an empty coupling map")
+    if not coupling.is_connected():
+        components = _component_summary(coupling)
+        raise ValueError(
+            f"{context} produced a disconnected coupling map "
+            f"({components}); routing needs a path between every qubit "
+            f"pair — add couplers bridging the components"
+        )
+    return coupling
+
+
+def _component_summary(coupling: CouplingMap) -> str:
+    import networkx as nx
+
+    sizes = sorted(
+        (len(c) for c in nx.connected_components(coupling.graph)), reverse=True
+    )
+    return f"{len(sizes)} components of sizes {sizes}"
+
+
+def ladder_map(num_qubits: int) -> CouplingMap:
+    """A 2 x (n/2) ladder: two chains joined by a rung at every position.
+
+    Qubit ``i`` of the top chain pairs with qubit ``i + n/2`` of the
+    bottom chain.  Requires an even ``num_qubits >= 4``.
+    """
+    if num_qubits < 4 or num_qubits % 2:
+        raise ValueError(
+            f"a ladder needs an even qubit count >= 4, got {num_qubits}; "
+            f"round to the nearest even size or use line_map"
+        )
+    half = num_qubits // 2
+    edges: List[Edge] = []
+    for i in range(half - 1):
+        edges.append((i, i + 1))
+        edges.append((half + i, half + i + 1))
+    edges.extend((i, half + i) for i in range(half))
+    return CouplingMap(num_qubits, edges)
+
+
+def random_coupling_map(
+    num_qubits: int, degree: int = 3, seed: int = 0
+) -> CouplingMap:
+    """A seeded connected random graph with maximum degree ``degree``.
+
+    Construction is deterministic in ``seed``: a random spanning tree is
+    grown by attaching each qubit (in shuffled order) to a uniformly
+    chosen earlier qubit that still has spare degree, then extra random
+    edges are added while both endpoints stay within the degree bound —
+    targeting a mean degree roughly halfway between tree sparsity and the
+    bound, so the graphs look like plausible sparse QPU layouts rather
+    than either trees or near-regular expanders.
+    """
+    if num_qubits < 2:
+        raise ValueError(
+            f"a random coupling map needs >= 2 qubits, got {num_qubits}"
+        )
+    if degree < 2:
+        raise ValueError(
+            f"degree bound must be >= 2 (got {degree}): a bound of 1 "
+            f"cannot connect more than two qubits"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_qubits)
+    deg = np.zeros(num_qubits, dtype=int)
+    edges: List[Edge] = []
+    placed: List[int] = [int(order[0])]
+    for raw in order[1:]:
+        qubit = int(raw)
+        # Attach to a uniformly chosen already-placed qubit with spare
+        # degree; the new leaf consumes one slot of each endpoint.
+        open_slots = [p for p in placed if deg[p] < degree]
+        parent = int(open_slots[rng.integers(len(open_slots))])
+        edges.append((min(qubit, parent), max(qubit, parent)))
+        deg[qubit] += 1
+        deg[parent] += 1
+        placed.append(qubit)
+
+    edge_set = set(edges)
+    # Extra edges: aim for mean degree ~ (2 tree edges + bound) / 2.
+    target_extra = max(0, int(round(num_qubits * (degree - 2) / 2.0)) - 1)
+    attempts = 0
+    while target_extra > 0 and attempts < 20 * num_qubits:
+        attempts += 1
+        a, b = (int(x) for x in rng.integers(num_qubits, size=2))
+        if a == b:
+            continue
+        candidate = (min(a, b), max(a, b))
+        if candidate in edge_set:
+            continue
+        if deg[a] >= degree or deg[b] >= degree:
+            continue
+        edges.append(candidate)
+        edge_set.add(candidate)
+        deg[a] += 1
+        deg[b] += 1
+        target_extra -= 1
+    return CouplingMap(num_qubits, edges)
+
+
+# ---------------------------------------------------------------------------
+# Sized builders: every family requested by target qubit count.
+# ---------------------------------------------------------------------------
+
+
+def _build_line(num_qubits: int, seed: int) -> CouplingMap:
+    if num_qubits < 2:
+        raise ValueError(f"a line needs >= 2 qubits, got {num_qubits}")
+    return line_map(num_qubits)
+
+
+def _build_ring(num_qubits: int, seed: int) -> CouplingMap:
+    return ring_map(num_qubits)
+
+
+def _build_ladder(num_qubits: int, seed: int) -> CouplingMap:
+    return ladder_map(num_qubits)
+
+
+def _build_star(num_qubits: int, seed: int) -> CouplingMap:
+    if num_qubits < 2:
+        raise ValueError(f"a star needs >= 2 qubits, got {num_qubits}")
+    return star_map(num_qubits)
+
+
+def _build_grid(num_qubits: int, seed: int) -> CouplingMap:
+    """The most-square ``rows x cols`` grid with ``rows * cols == num_qubits``.
+
+    Prime sizes degenerate to a 1 x n chain, which is a line in disguise;
+    reject them with a pointer to the nearest composite sizes.
+    """
+    if num_qubits < 4:
+        raise ValueError(f"a grid needs >= 4 qubits, got {num_qubits}")
+    best: Tuple[int, int] | None = None
+    for rows in range(2, int(np.sqrt(num_qubits)) + 1):
+        if num_qubits % rows == 0:
+            best = (rows, num_qubits // rows)
+    if best is None:
+        raise ValueError(
+            f"cannot build a 2-D grid with a prime qubit count "
+            f"({num_qubits}); use {num_qubits - 1} or {num_qubits + 1}, "
+            f"or the 'line' family"
+        )
+    return grid_map(*best)
+
+
+def _build_heavy_hex(num_qubits: int, seed: int) -> CouplingMap:
+    """The largest heavy-hex lattice with at most ``num_qubits`` qubits.
+
+    Lattice sizes quantize (distance d = 1, 2, 3, ... gives 6, 16, 30,
+    48, ... qubits), so the returned map may be smaller than requested.
+    """
+    if num_qubits < 6:
+        raise ValueError(
+            f"the smallest heavy-hex lattice (distance 1) has 6 qubits; "
+            f"got a request for {num_qubits}"
+        )
+    distance = 1
+    while heavy_hex_qubits(distance + 1) <= num_qubits:
+        distance += 1
+    return heavy_hex_map(distance)
+
+
+def heavy_hex_qubits(distance: int) -> int:
+    """Qubit count of :func:`heavy_hex_map` at ``distance`` (6, 16, 30, ...)."""
+    # nx.hexagonal_lattice_graph(d, d) node count, in closed form.
+    return 2 * (distance + 1) * (distance + 1) - 2
+
+
+def _build_random(num_qubits: int, seed: int) -> CouplingMap:
+    return random_coupling_map(num_qubits, degree=3, seed=seed)
+
+
+@dataclass(frozen=True)
+class TopologyFamily:
+    """One named coupling-map family with a sized, seeded builder."""
+
+    name: str
+    builder: Callable[[int, int], CouplingMap]
+    description: str
+    min_qubits: int
+    exact_size: bool  # False: the lattice quantizes sizes (may return fewer)
+    seeded: bool = False  # True: the graph itself depends on the seed
+
+    def build(self, num_qubits: int, seed: int = 0) -> CouplingMap:
+        """A validated coupling map of (at most) ``num_qubits`` qubits."""
+        coupling = self.builder(num_qubits, seed)
+        return validate_coupling(coupling, context=f"topology '{self.name}'")
+
+
+#: Every topology family, keyed by name (the CLI's ``zoo --list`` source).
+TOPOLOGIES: Dict[str, TopologyFamily] = {
+    family.name: family
+    for family in (
+        TopologyFamily(
+            "line", _build_line,
+            "1-D nearest-neighbour chain", 2, exact_size=True,
+        ),
+        TopologyFamily(
+            "ring", _build_ring,
+            "closed 1-D cycle", 3, exact_size=True,
+        ),
+        TopologyFamily(
+            "ladder", _build_ladder,
+            "2 x n/2 double chain with rungs (even sizes)", 4,
+            exact_size=True,
+        ),
+        TopologyFamily(
+            "star", _build_star,
+            "hub qubit coupled to every spoke", 2, exact_size=True,
+        ),
+        TopologyFamily(
+            "grid", _build_grid,
+            "most-square 2-D lattice (composite sizes)", 4,
+            exact_size=True,
+        ),
+        TopologyFamily(
+            "heavy_hex", _build_heavy_hex,
+            "IBM-style heavy-hex lattice (6, 16, 30, 48, ... qubits)", 6,
+            exact_size=False,
+        ),
+        TopologyFamily(
+            "random", _build_random,
+            "seeded connected random graph, max degree 3", 2,
+            exact_size=True, seeded=True,
+        ),
+    )
+}
+
+
+def build_topology(name: str, num_qubits: int, seed: int = 0) -> CouplingMap:
+    """Build a validated coupling map from a named family."""
+    try:
+        family = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology family '{name}'; available: "
+            f"{sorted(TOPOLOGIES)}"
+        ) from None
+    return family.build(num_qubits, seed=seed)

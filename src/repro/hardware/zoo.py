@@ -1,0 +1,271 @@
+"""The device zoo: named, seeded device families on every topology.
+
+Builds on :mod:`~repro.hardware.topologies` to turn each coupling-map
+family into a full :class:`~repro.hardware.device.Device` family with
+three calibrated noise tiers:
+
+* ``clean``   — fresh calibration, little crosstalk (Q20-B-like),
+* ``typical`` — the middle of the road,
+* ``noisy``   — strong crosstalk and stale calibration (Q20-A-like).
+
+Seed conventions: a zoo device is fully determined by its
+``(family, num_qubits, tier, seed, drift_scale)`` tuple.  The user-facing
+``seed`` is folded together with the family name, size, and tier through
+SHA-256 into the calibration seed handed to
+:func:`~repro.hardware.device.make_device` (and, for seeded topologies
+such as ``random``, into the graph builder), so distinct family members
+never share calibration streams even at equal user seeds, and the same
+spec rebuilds the identical device in every process.
+
+Spec strings (CLI ``--device`` and :func:`device_from_spec`)::
+
+    zoo:<family>[:<num_qubits>[:<tier>[:<seed>]]]
+
+e.g. ``zoo:ring``, ``zoo:heavy_hex:16:noisy``, ``zoo:random:12:clean:7``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .calibration import GateDurations
+from .device import Device, NoiseProfile, make_device
+from .topologies import TOPOLOGIES, TopologyFamily
+
+
+@dataclass(frozen=True)
+class NoiseTier:
+    """Calibration ranges, drift, and noise-channel knobs of one tier."""
+
+    name: str
+    description: str
+    noise: NoiseProfile
+    one_qubit_fidelity: Tuple[float, float]
+    two_qubit_fidelity: Tuple[float, float]
+    readout_fidelity: Tuple[float, float]
+    t1_us: Tuple[float, float]
+    t2_us: Tuple[float, float]
+    fidelity_drift: float
+    relaxation_drift: float
+    durations: GateDurations = field(default_factory=GateDurations)
+
+
+#: The three calibrated noise tiers, bracketed by the two case-study QPUs.
+NOISE_TIERS: Dict[str, NoiseTier] = {
+    tier.name: tier
+    for tier in (
+        NoiseTier(
+            name="clean",
+            description="fresh calibration, weak crosstalk (Q20-B-like)",
+            noise=NoiseProfile(
+                crosstalk_two_two=0.004,
+                crosstalk_two_one=0.0012,
+                coherent_strength=0.05,
+                scramble_locality=0.6,
+                garbage_one_bias=0.35,
+                readout_asymmetry=2.0,
+            ),
+            one_qubit_fidelity=(0.9985, 0.9998),
+            two_qubit_fidelity=(0.965, 0.995),
+            readout_fidelity=(0.955, 0.992),
+            t1_us=(28.0, 60.0),
+            t2_us=(10.0, 35.0),
+            fidelity_drift=0.12,
+            relaxation_drift=0.5,
+            durations=GateDurations(one_qubit=40.0, two_qubit=120.0, readout=1000.0),
+        ),
+        NoiseTier(
+            name="typical",
+            description="mid-grade calibration and crosstalk",
+            noise=NoiseProfile(
+                crosstalk_two_two=0.008,
+                crosstalk_two_one=0.002,
+                coherent_strength=0.10,
+                scramble_locality=0.55,
+                garbage_one_bias=0.33,
+                readout_asymmetry=2.2,
+            ),
+            one_qubit_fidelity=(0.9975, 0.9997),
+            two_qubit_fidelity=(0.955, 0.993),
+            readout_fidelity=(0.942, 0.990),
+            t1_us=(22.0, 52.0),
+            t2_us=(8.0, 30.0),
+            fidelity_drift=0.20,
+            relaxation_drift=0.8,
+            durations=GateDurations(one_qubit=41.0, two_qubit=125.0, readout=1100.0),
+        ),
+        NoiseTier(
+            name="noisy",
+            description="stale calibration, strong crosstalk (Q20-A-like)",
+            noise=NoiseProfile(
+                crosstalk_two_two=0.012,
+                crosstalk_two_one=0.003,
+                coherent_strength=0.16,
+                scramble_locality=0.5,
+                garbage_one_bias=0.30,
+                readout_asymmetry=2.5,
+            ),
+            one_qubit_fidelity=(0.9965, 0.9996),
+            two_qubit_fidelity=(0.945, 0.992),
+            readout_fidelity=(0.930, 0.988),
+            t1_us=(18.0, 45.0),
+            t2_us=(6.0, 25.0),
+            fidelity_drift=0.30,
+            relaxation_drift=1.1,
+            durations=GateDurations(one_qubit=42.0, two_qubit=130.0, readout=1200.0),
+        ),
+    )
+}
+
+#: Default device size per topology family (chosen so fast tests stay fast
+#: while each family still shows its characteristic connectivity).
+DEFAULT_SIZES: Dict[str, int] = {
+    "line": 10,
+    "ring": 12,
+    "ladder": 12,
+    "star": 8,
+    "grid": 12,
+    "heavy_hex": 16,
+    "random": 12,
+}
+
+DEFAULT_TIER = "typical"
+
+
+def zoo_families() -> List[str]:
+    """Names of every zoo device family (one per topology family)."""
+    return sorted(TOPOLOGIES)
+
+
+def _calibration_seed(family: str, num_qubits: int, tier: str, seed: int) -> int:
+    """Process-stable seed folding the whole spec (SHA-256, not ``hash``)."""
+    text = f"repro-zoo:{family}:{num_qubits}:{tier}:{seed}"
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def make_zoo_device(
+    family: str,
+    num_qubits: Optional[int] = None,
+    tier: str = DEFAULT_TIER,
+    seed: int = 0,
+    drift_scale: float = 1.0,
+) -> Device:
+    """Build one deterministic member of a zoo device family.
+
+    Args:
+        family: topology family name (see :func:`zoo_families`).
+        num_qubits: target size (default: the family's
+            :data:`DEFAULT_SIZES` entry).  Quantized lattices (heavy-hex)
+            may return fewer qubits; the device reflects the actual count.
+        tier: noise tier name (:data:`NOISE_TIERS`).
+        seed: family-member index; every value gives an independent but
+            reproducible calibration (and, for ``random``, topology).
+        drift_scale: multiplies the tier's calibration-staleness knobs
+            (``0`` = perfectly fresh reported calibration, ``> 1`` =
+            staler than the tier default).
+
+    Returns:
+        A fully calibrated :class:`~repro.hardware.device.Device` named
+        ``zoo-<family><n>-<tier>-s<seed>``.
+    """
+    try:
+        topology: TopologyFamily = TOPOLOGIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown zoo family '{family}'; available: {zoo_families()}"
+        ) from None
+    try:
+        tier_spec = NOISE_TIERS[tier]
+    except KeyError:
+        raise ValueError(
+            f"unknown noise tier '{tier}'; available: {sorted(NOISE_TIERS)}"
+        ) from None
+    if drift_scale < 0:
+        raise ValueError(f"drift_scale must be >= 0, got {drift_scale}")
+    size = DEFAULT_SIZES[family] if num_qubits is None else num_qubits
+    if topology.seeded:
+        # Seeded topologies are exact-size, so the requested size is the
+        # actual one and can feed both the graph and calibration streams.
+        master = _calibration_seed(family, size, tier, seed)
+        coupling = topology.build(size, seed=master)
+    else:
+        # Quantized lattices may round the size down; fold the *actual*
+        # qubit count into the seed so e.g. heavy_hex:17 and heavy_hex:16
+        # (both the 16-qubit lattice, same name) are the same device.
+        coupling = topology.build(size)
+        master = _calibration_seed(family, coupling.num_qubits, tier, seed)
+    return make_device(
+        name=f"zoo-{family}{coupling.num_qubits}-{tier}-s{seed}",
+        coupling=coupling,
+        seed=master,
+        noise=tier_spec.noise,
+        fidelity_drift=tier_spec.fidelity_drift * drift_scale,
+        relaxation_drift=tier_spec.relaxation_drift * drift_scale,
+        one_qubit_fidelity=tier_spec.one_qubit_fidelity,
+        two_qubit_fidelity=tier_spec.two_qubit_fidelity,
+        readout_fidelity=tier_spec.readout_fidelity,
+        t1_us=tier_spec.t1_us,
+        t2_us=tier_spec.t2_us,
+        durations=tier_spec.durations,
+    )
+
+
+def device_from_spec(spec: str) -> Device:
+    """Parse a ``zoo:<family>[:<size>[:<tier>[:<seed>]]]`` device spec."""
+    parts = spec.split(":")
+    if parts and parts[0].lower() == "zoo":
+        parts = parts[1:]
+    if not parts or not parts[0]:
+        raise ValueError(
+            "empty zoo spec; expected zoo:<family>[:<size>[:<tier>[:<seed>]]], "
+            f"with <family> one of {zoo_families()}"
+        )
+    if len(parts) > 4:
+        raise ValueError(
+            f"malformed zoo spec {spec!r}: at most "
+            "zoo:<family>:<size>:<tier>:<seed>"
+        )
+    family = parts[0]
+    num_qubits = None
+    tier = DEFAULT_TIER
+    seed = 0
+    try:
+        if len(parts) > 1 and parts[1]:
+            num_qubits = int(parts[1])
+        if len(parts) > 3 and parts[3]:
+            seed = int(parts[3])
+    except ValueError:
+        raise ValueError(
+            f"malformed zoo spec {spec!r}: <size> and <seed> must be integers"
+        ) from None
+    if len(parts) > 2 and parts[2]:
+        tier = parts[2]
+    return make_zoo_device(family, num_qubits=num_qubits, tier=tier, seed=seed)
+
+
+def zoo_summary() -> str:
+    """One line per family: the ``python -m repro zoo --list`` payload."""
+    lines = [
+        f"{'family':<11} {'default':>8} {'sizes':<22} description",
+        "-" * 78,
+    ]
+    for name in zoo_families():
+        topology = TOPOLOGIES[name]
+        sizing = (
+            f"exact, >= {topology.min_qubits}"
+            if topology.exact_size
+            else f"quantized, >= {topology.min_qubits}"
+        )
+        if topology.seeded:
+            sizing += ", seeded"
+        lines.append(
+            f"{name:<11} {DEFAULT_SIZES[name]:>7}q {sizing:<22} "
+            f"{topology.description}"
+        )
+    lines.append("-" * 78)
+    lines.append(f"noise tiers: {', '.join(sorted(NOISE_TIERS))}")
+    lines.append("spec: zoo:<family>[:<size>[:<tier>[:<seed>]]]")
+    return "\n".join(lines)

@@ -105,7 +105,7 @@ class EstimatorReport:
     test_indices: np.ndarray = field(default_factory=lambda: np.array([]))
 
 
-def train_and_evaluate(
+def train_and_evaluate_model(
     X: np.ndarray,
     y: np.ndarray,
     device_name: str = "QPU",
@@ -114,11 +114,12 @@ def train_and_evaluate(
     seed: int = 0,
     param_grid: Optional[Dict[str, Sequence]] = None,
     max_workers: Optional[int] = 1,
-) -> EstimatorReport:
-    """Run the paper's full evaluation protocol for one QPU.
+) -> "tuple[EstimatorReport, HellingerEstimator]":
+    """:func:`train_and_evaluate` that also returns the fitted estimator.
 
-    80/20 split, grid search with ``n_splits``-fold CV on the training set,
-    final fit on the training set, Pearson scoring on the held-out test set.
+    The cross-device study scores this exact model on foreign devices, so
+    its transfer columns and the report's in-domain test score come from
+    one and the same forest.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -135,7 +136,7 @@ def train_and_evaluate(
     estimator.fit(X[train_idx], y[train_idx])
     test_pred = estimator.predict(X[test_idx])
     train_pred = estimator.predict(X[train_idx])
-    return EstimatorReport(
+    report = EstimatorReport(
         device_name=device_name,
         test_pearson=pearson_r(y[test_idx], test_pred),
         train_pearson=pearson_r(y[train_idx], train_pred),
@@ -146,3 +147,30 @@ def train_and_evaluate(
         y_test_pred=test_pred,
         test_indices=test_idx.copy(),
     )
+    return report, estimator
+
+
+def train_and_evaluate(
+    X: np.ndarray,
+    y: np.ndarray,
+    device_name: str = "QPU",
+    test_size: float = 0.2,
+    n_splits: int = 3,
+    seed: int = 0,
+    param_grid: Optional[Dict[str, Sequence]] = None,
+    max_workers: Optional[int] = 1,
+) -> EstimatorReport:
+    """Run the paper's full evaluation protocol for one QPU.
+
+    80/20 split, grid search with ``n_splits``-fold CV on the training set,
+    final fit on the training set, Pearson scoring on the held-out test set.
+    """
+    return train_and_evaluate_model(
+        X, y,
+        device_name=device_name,
+        test_size=test_size,
+        n_splits=n_splits,
+        seed=seed,
+        param_grid=param_grid,
+        max_workers=max_workers,
+    )[0]

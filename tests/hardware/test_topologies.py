@@ -1,0 +1,83 @@
+"""Unit tests for the topology-zoo constructors."""
+
+import pytest
+
+from repro.hardware.topologies import (
+    TOPOLOGIES,
+    build_topology,
+    heavy_hex_qubits,
+    ladder_map,
+    random_coupling_map,
+)
+
+
+def test_registry_has_at_least_five_families():
+    assert len(TOPOLOGIES) >= 5
+    for expected in ("line", "ring", "ladder", "star", "heavy_hex", "random"):
+        assert expected in TOPOLOGIES
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_every_family_builds_validated_maps(name):
+    family = TOPOLOGIES[name]
+    for size in (family.min_qubits, family.min_qubits + 6):
+        if name == "grid" and size == family.min_qubits + 6:
+            size += 2  # 10 = 2x5; min+6 would be prime
+        coupling = family.build(size, seed=1)
+        assert coupling.is_connected()
+        assert coupling.num_qubits >= 1
+        if family.exact_size:
+            assert coupling.num_qubits == size
+        else:
+            assert coupling.num_qubits <= size
+
+
+def test_ladder_structure():
+    cm = ladder_map(8)
+    # Two 4-chains plus 4 rungs.
+    assert cm.num_qubits == 8
+    assert len(cm.edges) == 3 + 3 + 4
+    assert cm.has_edge(0, 4) and cm.has_edge(3, 7)
+    assert cm.has_edge(0, 1) and cm.has_edge(4, 5)
+    assert max(cm.degree(q) for q in range(8)) == 3
+
+
+def test_random_map_is_seed_deterministic_and_bounded():
+    a = random_coupling_map(14, degree=3, seed=11)
+    b = random_coupling_map(14, degree=3, seed=11)
+    c = random_coupling_map(14, degree=3, seed=12)
+    assert a.edges == b.edges
+    assert a.edges != c.edges
+    assert a.is_connected()
+    assert max(a.degree(q) for q in range(14)) <= 3
+
+
+def test_random_map_higher_degree_bound_gives_denser_graphs():
+    sparse = random_coupling_map(16, degree=3, seed=0)
+    dense = random_coupling_map(16, degree=5, seed=0)
+    assert len(dense.edges) > len(sparse.edges)
+    assert max(dense.degree(q) for q in range(16)) <= 5
+
+
+def test_heavy_hex_qubits_matches_lattice():
+    from repro.hardware.coupling import heavy_hex_map
+
+    for distance in (1, 2, 3):
+        assert heavy_hex_qubits(distance) == heavy_hex_map(distance).num_qubits
+
+
+def test_heavy_hex_build_picks_largest_fit():
+    assert build_topology("heavy_hex", 6).num_qubits == 6
+    assert build_topology("heavy_hex", 15).num_qubits == 6
+    assert build_topology("heavy_hex", 16).num_qubits == 16
+    assert build_topology("heavy_hex", 29).num_qubits == 16
+    assert build_topology("heavy_hex", 30).num_qubits == 30
+
+
+def test_grid_build_prefers_square():
+    assert build_topology("grid", 12).num_qubits == 12
+    cm = build_topology("grid", 16)
+    # 4x4: every qubit has degree 2, 3, or 4; corners exactly 2.
+    degrees = sorted(cm.degree(q) for q in range(16))
+    assert degrees[:4] == [2, 2, 2, 2]
+    assert degrees[-4:] == [4, 4, 4, 4]

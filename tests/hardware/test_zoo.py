@@ -1,0 +1,132 @@
+"""Unit tests for the device zoo (families, tiers, seeds, specs)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.persistence import device_fingerprint
+from repro.hardware.zoo import (
+    DEFAULT_SIZES,
+    NOISE_TIERS,
+    device_from_spec,
+    make_zoo_device,
+    zoo_families,
+    zoo_summary,
+)
+
+
+def test_every_family_has_a_default_size():
+    assert set(DEFAULT_SIZES) == set(zoo_families())
+
+
+def test_devices_are_bit_reproducible():
+    a = make_zoo_device("heavy_hex", 16, tier="noisy", seed=3)
+    b = make_zoo_device("heavy_hex", 16, tier="noisy", seed=3)
+    assert device_fingerprint(a) == device_fingerprint(b)
+
+
+def test_seeds_give_independent_family_members():
+    a = make_zoo_device("ring", 8, seed=0)
+    b = make_zoo_device("ring", 8, seed=1)
+    assert a.coupling.edges == b.coupling.edges  # same topology...
+    assert a.true_calibration.two_qubit_fidelity != (
+        b.true_calibration.two_qubit_fidelity
+    )  # ...fresh calibration draw
+    assert a.name != b.name
+
+
+def test_random_family_reseeds_topology_too():
+    a = make_zoo_device("random", 12, seed=0)
+    b = make_zoo_device("random", 12, seed=1)
+    assert a.coupling.edges != b.coupling.edges
+
+
+def test_size_and_tier_fold_into_the_calibration_stream():
+    small = make_zoo_device("line", 6, seed=0)
+    clean = make_zoo_device("line", 6, tier="clean", seed=0)
+    assert small.true_calibration.one_qubit_fidelity != (
+        clean.true_calibration.one_qubit_fidelity
+    )
+
+
+def test_tier_ordering_clean_beats_noisy():
+    clean = make_zoo_device("grid", 12, tier="clean", seed=0)
+    noisy = make_zoo_device("grid", 12, tier="noisy", seed=0)
+    assert (
+        clean.true_calibration.mean_two_qubit_fidelity()
+        > noisy.true_calibration.mean_two_qubit_fidelity()
+    )
+    assert clean.noise.crosstalk_two_two < noisy.noise.crosstalk_two_two
+
+
+def test_drift_scale_zero_reports_truth():
+    fresh = make_zoo_device("ring", 8, seed=0, drift_scale=0.0)
+    one_q_true = fresh.true_calibration.one_qubit_fidelity
+    one_q_reported = fresh.reported_calibration.one_qubit_fidelity
+    assert np.allclose(
+        [one_q_true[q] for q in sorted(one_q_true)],
+        [one_q_reported[q] for q in sorted(one_q_reported)],
+    )
+
+
+def test_drift_scale_widens_staleness():
+    calm = make_zoo_device("ring", 8, seed=0, drift_scale=0.2)
+    wild = make_zoo_device("ring", 8, seed=0, drift_scale=3.0)
+
+    def staleness(device):
+        true_t1 = device.true_calibration.t1
+        reported_t1 = device.reported_calibration.t1
+        return float(np.mean([
+            abs(np.log(reported_t1[q] / true_t1[q])) for q in true_t1
+        ]))
+
+    assert staleness(wild) > staleness(calm)
+
+
+def test_spec_parsing_defaults_and_round_trip():
+    assert device_from_spec("zoo:ring").name == (
+        f"zoo-ring{DEFAULT_SIZES['ring']}-typical-s0"
+    )
+    full = device_from_spec("zoo:heavy_hex:16:noisy:7")
+    assert full.name == "zoo-heavy_hex16-noisy-s7"
+    assert device_fingerprint(full) == device_fingerprint(
+        make_zoo_device("heavy_hex", 16, tier="noisy", seed=7)
+    )
+
+
+def test_device_name_reflects_actual_size():
+    # A 20-qubit heavy-hex request quantizes down to 16.
+    device = make_zoo_device("heavy_hex", 20)
+    assert device.num_qubits == 16
+    assert "heavy_hex16" in device.name
+
+
+def test_quantized_sizes_collapse_to_one_device():
+    """Specs that quantize to the same lattice are the *same* device."""
+    assert device_fingerprint(make_zoo_device("heavy_hex", 17)) == (
+        device_fingerprint(make_zoo_device("heavy_hex", 16))
+    )
+
+
+def test_summary_enumerates_families_and_tiers():
+    text = zoo_summary()
+    for family in zoo_families():
+        assert family in text
+    for tier in NOISE_TIERS:
+        assert tier in text
+
+
+@pytest.mark.parametrize("family", zoo_families())
+def test_all_families_execute_a_circuit(family):
+    """Every zoo device runs a compiled GHZ end to end on the emulator."""
+    from repro.bench.algorithms import ghz
+    from repro.compiler import compile_circuit
+    from repro.simulation import execute_and_label
+
+    device = make_zoo_device(family, tier="clean", seed=0)
+    circuit = ghz(3)
+    result = compile_circuit(circuit, device, optimization_level=2, seed=0)
+    distance, execution = execute_and_label(
+        result.circuit, device, shots=200, seed=0
+    )
+    assert 0.0 <= distance <= 1.0
+    assert sum(execution.counts.values()) == 200

@@ -1,0 +1,21 @@
+"""Fixtures for the property tier (see :mod:`.harness` for the knobs)."""
+
+import pytest
+
+from .harness import ALL_FAMILIES, PROPERTY_CASES, PROPERTY_SEED, SMALL_SIZES
+
+assert set(SMALL_SIZES) == set(ALL_FAMILIES), "keep SMALL_SIZES in sync with the zoo"
+
+
+def pytest_report_header(config):
+    """Name the harness seed so any failure is replayable verbatim."""
+    return (
+        f"property tier: REPRO_PROPERTY_SEED={PROPERTY_SEED} "
+        f"REPRO_PROPERTY_CASES={PROPERTY_CASES}"
+    )
+
+
+@pytest.fixture(params=ALL_FAMILIES)
+def family(request) -> str:
+    """Parametrizes a test over every zoo topology family."""
+    return request.param

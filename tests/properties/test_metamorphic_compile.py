@@ -1,0 +1,156 @@
+"""Metamorphic compile properties, checked on every zoo topology family.
+
+Three relations pin the whole compile stack on arbitrary couplings:
+
+1. **Distribution preservation** — compiling at any optimization level
+   must not change the circuit's noiseless measurement distribution
+   (layout/routing permutations are undone by the measurement remapping).
+2. **State-permutation equivalence** — for unmeasured circuits compiled
+   with ``keep_final_rz=True``, the compiled state from ``|0...0>`` is
+   exactly the original state transported onto the ``final_layout``
+   wires (ancillas back in ``|0>``), up to a global phase.
+3. **Coupling legality** — every two-qubit gate of a compiled or routed
+   circuit acts on a coupling-map edge, and the recorded final layout is
+   a permutation.
+
+Plus the noise-monotonicity axiom of the expected-fidelity metric:
+degrading any calibration entry can never raise a circuit's score.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.compiler import compile_circuit
+from repro.compiler.passes.routing import route_circuit
+from repro.fom.metrics import esp, expected_fidelity
+from repro.hardware.calibration import Calibration
+from repro.simulation.statevector import ideal_distribution, simulate_statevector
+
+from .harness import case_seeds, small_device
+
+LEVELS = (0, 1, 2, 3)
+
+
+def _random_program(device, seed: int, measure: bool) -> "object":
+    rng = np.random.default_rng(seed)
+    width = int(rng.integers(2, min(4, device.num_qubits) + 1))
+    depth = int(rng.integers(2, 9))
+    return random_circuit(width, depth, seed=seed, measure=measure)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_compile_preserves_distribution(family, level):
+    device = small_device(family)
+    for seed in case_seeds(family, f"dist-l{level}"):
+        program = _random_program(device, seed, measure=True)
+        reference = ideal_distribution(program)
+        result = compile_circuit(
+            program, device, optimization_level=level, seed=seed
+        )
+        compiled = ideal_distribution(result.circuit)
+        for key in set(reference) | set(compiled):
+            assert math.isclose(
+                reference.get(key, 0.0), compiled.get(key, 0.0), abs_tol=1e-6
+            ), (family, level, seed, key)
+
+
+def test_compile_state_equivalence_up_to_final_layout(family):
+    """U_compiled |0...0> is U_program |0...0> on the final-layout wires."""
+    device = small_device(family)
+    for seed in case_seeds(family, "state"):
+        program = _random_program(device, seed, measure=False)
+        n = program.num_qubits
+        result = compile_circuit(
+            program, device, optimization_level=3, seed=seed,
+            keep_final_rz=True,
+        )
+        final = result.final_layout
+        assert sorted(final) == list(range(n))
+
+        psi_program = simulate_statevector(program).data
+        psi_compiled = simulate_statevector(result.circuit).data
+
+        # Index of the device basis state holding program state ``z``:
+        # bit p of z moves to physical wire final[p]; ancillas stay 0.
+        targets = np.zeros(1 << n, dtype=np.int64)
+        for p in range(n):
+            bit = (np.arange(1 << n) >> p) & 1
+            targets |= bit.astype(np.int64) << final[p]
+
+        transported = np.zeros_like(psi_compiled)
+        transported[targets] = psi_program
+        # Align global phase on the largest-amplitude component.
+        anchor = int(np.argmax(np.abs(transported)))
+        phase = psi_compiled[anchor] / transported[anchor]
+        assert abs(abs(phase) - 1.0) < 1e-6, (family, seed)
+        assert np.allclose(psi_compiled, transported * phase, atol=1e-6), (
+            family, seed,
+        )
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_compiled_gates_respect_coupling(family, level):
+    device = small_device(family)
+    for seed in case_seeds(family, f"legal-l{level}"):
+        program = _random_program(device, seed, measure=True)
+        result = compile_circuit(
+            program, device, optimization_level=level, seed=seed
+        )
+        for instruction in result.circuit.instructions:
+            if instruction.num_qubits == 2:
+                assert device.coupling.has_edge(*instruction.qubits), (
+                    family, level, seed, instruction,
+                )
+
+
+def test_router_respects_coupling_and_permutation(family):
+    """The raw router, without the rest of the pipeline, stays legal."""
+    device = small_device(family)
+    coupling = device.coupling
+    for seed in case_seeds(family, "route"):
+        program = random_circuit(
+            min(4, coupling.num_qubits), 6, seed=seed, measure=True
+        )
+        routed, final = route_circuit(program, coupling, seed=seed)
+        for instruction in routed.instructions:
+            if instruction.is_unitary and instruction.num_qubits == 2:
+                assert coupling.has_edge(*instruction.qubits), (family, seed)
+        assert sorted(final.values()) == list(range(coupling.num_qubits))
+
+
+def _degrade(calibration: Calibration, scale: float) -> Calibration:
+    """Scale every infidelity up by ``scale`` (T1/T2 left untouched)."""
+    def worse(value: float) -> float:
+        return max(1.0 - (1.0 - value) * scale, 0.5)
+
+    degraded = calibration.copy(timestamp=f"degraded-x{scale}")
+    for table in (
+        degraded.one_qubit_fidelity,
+        degraded.two_qubit_fidelity,
+        degraded.readout_fidelity,
+    ):
+        for key in table:
+            table[key] = worse(table[key])
+    return degraded
+
+
+def test_expected_fidelity_monotone_in_noise(family):
+    """Adding infidelity anywhere can only lower the predicted score."""
+    device = small_device(family)
+    for seed in case_seeds(family, "monotone"):
+        program = _random_program(device, seed, measure=True)
+        compiled = compile_circuit(
+            program, device, optimization_level=2, seed=seed
+        ).circuit
+        base_cal = device.reported_calibration
+        scores = [
+            expected_fidelity(compiled, device, calibration=cal)
+            for cal in (base_cal, _degrade(base_cal, 1.5), _degrade(base_cal, 3.0))
+        ]
+        assert scores[0] >= scores[1] >= scores[2], (family, seed, scores)
+        assert all(0.0 <= score <= 1.0 for score in scores)
+        # ESP inherits the bound: it multiplies a decay factor in [0, 1].
+        assert esp(compiled, device) <= expected_fidelity(compiled, device) + 1e-12

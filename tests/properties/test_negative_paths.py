@@ -1,0 +1,130 @@
+"""Negative-path coverage: invalid topologies fail loudly and helpfully.
+
+Every constructor-level rejection must carry an actionable message (what
+was wrong, what to do instead) — these errors are the zoo's user
+interface for typos and impossible requests.
+"""
+
+import pytest
+
+from repro.hardware.coupling import CouplingMap, ring_map
+from repro.hardware.topologies import (
+    TOPOLOGIES,
+    build_topology,
+    ladder_map,
+    random_coupling_map,
+    validate_coupling,
+)
+from repro.hardware.zoo import device_from_spec, make_zoo_device
+
+
+# ---------------------------------------------------------------------------
+# CouplingMap construction
+# ---------------------------------------------------------------------------
+
+def test_out_of_range_edge_names_valid_interval():
+    with pytest.raises(ValueError, match=r"out of range.*\[0, 3\]"):
+        CouplingMap(4, [(0, 7)])
+
+
+def test_self_loop_names_offending_qubit():
+    with pytest.raises(ValueError, match="self-loop on qubit 2.*distinct"):
+        CouplingMap(4, [(0, 1), (2, 2)])
+
+
+def test_duplicate_edge_rejected_both_orientations():
+    with pytest.raises(ValueError, match=r"duplicate edge \(1, 2\)"):
+        CouplingMap(4, [(1, 2), (1, 2)])
+    with pytest.raises(ValueError, match="duplicate edge"):
+        CouplingMap(4, [(1, 2), (2, 1)])
+
+
+def test_negative_qubit_count_rejected():
+    with pytest.raises(ValueError, match="num_qubits"):
+        CouplingMap(-1, [])
+
+
+def test_validate_coupling_rejects_disconnected():
+    disconnected = CouplingMap(4, [(0, 1), (2, 3)])
+    with pytest.raises(ValueError, match="disconnected.*2 components"):
+        validate_coupling(disconnected, context="test graph")
+
+
+def test_validate_coupling_rejects_empty():
+    with pytest.raises(ValueError, match="empty"):
+        validate_coupling(CouplingMap(0, []), context="test graph")
+
+
+# ---------------------------------------------------------------------------
+# Topology constructors
+# ---------------------------------------------------------------------------
+
+def test_ring_too_small_suggests_line():
+    with pytest.raises(ValueError, match="at least 3 qubits.*line_map"):
+        ring_map(2)
+
+
+def test_ladder_rejects_odd_and_tiny_sizes():
+    with pytest.raises(ValueError, match="even qubit count"):
+        ladder_map(7)
+    with pytest.raises(ValueError, match="even qubit count"):
+        ladder_map(2)
+
+
+def test_random_map_rejects_impossible_degree():
+    with pytest.raises(ValueError, match="degree bound must be >= 2"):
+        random_coupling_map(8, degree=1)
+    with pytest.raises(ValueError, match=">= 2 qubits"):
+        random_coupling_map(1)
+
+
+def test_grid_family_rejects_prime_sizes():
+    with pytest.raises(ValueError, match="prime qubit count"):
+        build_topology("grid", 13)
+
+
+def test_heavy_hex_below_smallest_lattice():
+    with pytest.raises(ValueError, match="smallest heavy-hex lattice"):
+        build_topology("heavy_hex", 5)
+
+
+def test_unknown_topology_lists_available():
+    with pytest.raises(ValueError, match="unknown topology family 'torus'"):
+        build_topology("torus", 8)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_too_small_requests_rejected_per_family(name):
+    family = TOPOLOGIES[name]
+    if family.min_qubits <= 1:
+        pytest.skip("family accepts any positive size")
+    with pytest.raises(ValueError):
+        family.build(family.min_qubits - 1)
+
+
+# ---------------------------------------------------------------------------
+# Zoo construction and spec parsing
+# ---------------------------------------------------------------------------
+
+def test_unknown_zoo_family_lists_available():
+    with pytest.raises(ValueError, match="unknown zoo family 'moebius'.*ring"):
+        make_zoo_device("moebius")
+
+
+def test_unknown_noise_tier_lists_available():
+    with pytest.raises(ValueError, match="unknown noise tier 'pristine'.*clean"):
+        make_zoo_device("ring", tier="pristine")
+
+
+def test_negative_drift_scale_rejected():
+    with pytest.raises(ValueError, match="drift_scale"):
+        make_zoo_device("ring", drift_scale=-0.5)
+
+
+def test_spec_rejects_garbage():
+    with pytest.raises(ValueError, match="empty zoo spec"):
+        device_from_spec("zoo:")
+    with pytest.raises(ValueError, match="must be integers"):
+        device_from_spec("zoo:ring:twelve")
+    with pytest.raises(ValueError, match="at most"):
+        device_from_spec("zoo:ring:12:noisy:1:extra")

@@ -9,9 +9,9 @@ import pytest
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
 
-def _run(name: str, timeout: int = 600) -> subprocess.CompletedProcess:
+def _run(name: str, *args: str, timeout: int = 600) -> subprocess.CompletedProcess:
     return subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / name)],
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
@@ -38,6 +38,24 @@ def test_device_comparison_runs():
     assert result.returncode == 0, result.stderr
     assert "Q20-A" in result.stdout
     assert "Q20-B" in result.stdout
+
+
+@pytest.mark.slow
+def test_cross_device_study_runs(tmp_path):
+    """The zoo transfer study must run end-to-end and resume from cache."""
+    cache = str(tmp_path / "xdev-cache")
+    result = _run("cross_device_study.py", "--quick", "--cache-dir", cache,
+                  timeout=900)
+    assert result.returncode == 0, result.stderr
+    assert "Cross-device transfer" in result.stdout
+    assert "Transfer gap" in result.stdout
+    # One train column + three zoo transfer columns.
+    for name in ("zoo-grid12", "zoo-ring12", "zoo-heavy_hex16", "zoo-random12"):
+        assert name in result.stdout
+    rerun = _run("cross_device_study.py", "--quick", "--cache-dir", cache,
+                 timeout=900)
+    assert rerun.returncode == 0, rerun.stderr
+    assert "Cross-device transfer" in rerun.stdout
 
 
 @pytest.mark.slow
