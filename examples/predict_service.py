@@ -1,0 +1,139 @@
+"""Serve the trained figure of merit: FomService end to end.
+
+The paper's estimator is meant to be *used* — score candidate circuits
+fast, with no calibration data.  This example is the serving workflow:
+
+1. build a labelled dataset on the emulated Q20-A QPU and train the
+   estimator once (a reduced suite, so the example stays quick),
+2. persist the model with ``save_model`` and write the benchmark
+   circuits out as QASM files,
+3. boot a :class:`~repro.predictor.service.FomService` from the saved
+   artifacts — model + device loaded once,
+4. batch-score the circuits (one ``predict`` call), stream them from a
+   generator in chunks, and print the paper's full metric panel,
+5. time the batched path against the seed-era per-circuit loop.
+
+Run:  python examples/predict_service.py [--quick] [--max-qubits N]
+          [--workdir DIR]
+
+The artifacts land in ``--workdir`` (default: a temporary directory), so
+afterwards the CLI serves the same model:
+
+    python -m repro predict <workdir>/circuits --device q20a \
+        --model <workdir>/model.npz --foms
+"""
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench import build_suite
+from repro.bench.suite import suite_to_qasm
+from repro.circuits.qasm import from_qasm
+from repro.compiler import clear_compile_cache, compile_circuit
+from repro.evaluation import save_model
+from repro.fom import feature_vector
+from repro.hardware import make_q20a
+from repro.predictor import FomService, HellingerEstimator, build_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-qubits", type=int, default=8)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smallest faithful run (used by the CI examples smoke job)",
+    )
+    parser.add_argument(
+        "--workdir", default=None,
+        help="where to put model.npz and circuits/*.qasm "
+             "(default: a temporary directory)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.max_qubits = min(args.max_qubits, 6)
+
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="repro_serve_"))
+    device = make_q20a()
+
+    # 1. Train once (the expensive part — exactly the Fig. 2 workflow).
+    suite = build_suite(max_qubits=args.max_qubits)
+    print(f"Training on {len(suite)} circuits (2-{args.max_qubits} qubits)...")
+    dataset = build_dataset(suite, device, shots=500 if args.quick else 2000,
+                            seed=0)
+    grid = {
+        "n_estimators": [25],
+        "max_depth": [None, 10],
+        "min_samples_leaf": [1],
+        "min_samples_split": [2],
+    }
+    estimator = HellingerEstimator(param_grid=grid, seed=0)
+    estimator.fit(dataset.X, dataset.y)
+    print(f"grid search best params: {estimator.best_params_}")
+
+    # 2. Persist the serving artifacts.
+    model_path = workdir / "model.npz"
+    save_model(estimator, model_path)
+    qasm_dir = workdir / "circuits"
+    qasm_paths = suite_to_qasm(suite, qasm_dir)
+    print(f"model -> {model_path}")
+    print(f"{len(qasm_paths)} circuits -> {qasm_dir}/*.qasm\n")
+
+    # 3. Boot the service: model + device loaded once, served many times.
+    service = FomService.load(model_path, device, optimization_level=3, seed=0)
+
+    # 4a. Batch scoring: one call, any number of circuits.
+    circuits = [from_qasm(path.read_text()) for path in qasm_paths]
+    predictions = service.predict(circuits)
+    print("Predicted Hellinger distance per circuit (best five):")
+    ranking = sorted(zip(predictions, qasm_paths))
+    for value, path in ranking[:5]:
+        print(f"  {path.stem:<20} d = {value:.3f}")
+
+    # 4b. Streaming: a generator source is consumed chunk by chunk, so a
+    # corpus larger than memory scores in bounded space.
+    def qasm_stream():
+        for path in qasm_paths:
+            yield from_qasm(path.read_text())
+
+    streamed = 0
+    for chunk in service.predict_stream(qasm_stream(), chunk_size=16):
+        streamed += len(chunk)
+    print(f"streamed {streamed} circuits in chunks of 16\n")
+
+    # 4c. The paper's full metric panel from one compile pass.
+    panel = service.score_established_foms(circuits[:4])
+    names = [path.stem for path in qasm_paths[:4]]
+    print(f"{'circuit':<20}" + "".join(f"{k:>20}" for k in panel))
+    for index, name in enumerate(names):
+        row = f"{name:<20}"
+        for key in panel:
+            row += f"{panel[key][index]:>20.4f}"
+        print(row)
+    print()
+
+    # 5. Throughput: batched service vs the seed-era per-circuit loop.
+    clear_compile_cache()
+    start = time.perf_counter()
+    service.predict(circuits)
+    batched_seconds = time.perf_counter() - start
+
+    clear_compile_cache()
+    start = time.perf_counter()
+    for index, circuit in enumerate(circuits):
+        compiled = compile_circuit(
+            circuit, device, optimization_level=3, seed=7919 * index
+        ).circuit
+        estimator.predict(feature_vector(compiled)[None, :])
+    loop_seconds = time.perf_counter() - start
+
+    rate = len(circuits) / batched_seconds
+    print(f"batched predict: {len(circuits)} circuits in "
+          f"{batched_seconds:.2f}s ({rate:.1f} circuits/s)")
+    print(f"per-circuit loop: {loop_seconds:.2f}s "
+          f"({loop_seconds / batched_seconds:.1f}x slower)")
+
+
+if __name__ == "__main__":
+    main()

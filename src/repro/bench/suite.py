@@ -154,6 +154,27 @@ def filter_by_depth(
     return kept
 
 
+def suite_to_qasm(suite: Sequence[BenchmarkCircuit], directory) -> List:
+    """Write every suite circuit as ``<name>.qasm`` under ``directory``.
+
+    The bridge between the suite builder and file-based surfaces like
+    ``python -m repro predict``: returns the written paths in suite
+    order.  The directory is created if needed.
+    """
+    from pathlib import Path
+
+    from ..circuits.qasm import to_qasm
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for entry in suite:
+        path = directory / f"{entry.name}.qasm"
+        path.write_text(to_qasm(entry.circuit))
+        paths.append(path)
+    return paths
+
+
 def suite_summary(suite: Sequence[BenchmarkCircuit]) -> str:
     """Human-readable table of the suite composition."""
     lines = [f"{'benchmark':<16} {'widths':<12} {'count':>5}"]

@@ -5,6 +5,8 @@ Subcommands:
 * ``compile``  — compile a QASM file for a device, print stats + QASM.
 * ``execute``  — compile + run on the noisy emulator, print counts.
 * ``features`` — print the 30-dim feature vector of a compiled circuit.
+* ``predict``  — batch-score QASM files with a trained estimator
+  (the :class:`~repro.predictor.service.FomService` frontend).
 * ``study``    — run the correlation study and print Table I / Fig. 3.
 * ``devices``  — list the built-in devices and their calibration summary.
 * ``zoo``      — list or inspect the parameterized device-zoo families.
@@ -17,36 +19,49 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from .circuits.qasm import from_qasm, to_qasm
 from .compiler import compile_circuit
 from .evaluation import StudyConfig, format_fig3, format_table_i, run_study
 from .fom import FEATURE_NAMES, esp, expected_fidelity, feature_dict
-from .hardware import Device, device_from_spec, make_q20a, make_q20b, zoo_summary
+from .hardware import BUILTIN_DEVICES, Device, resolve_device, zoo_summary
 from .simulation import execute_and_label
-
-_DEVICES = {"q20a": make_q20a, "q20b": make_q20b}
 
 
 def _load_device(name: str) -> Device:
-    if name.lower().startswith("zoo:"):
-        try:
-            return device_from_spec(name)
-        except ValueError as exc:
-            raise SystemExit(str(exc))
     try:
-        return _DEVICES[name.lower()]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown device '{name}'; available: {sorted(_DEVICES)} "
-            f"or a zoo spec (see `python -m repro zoo --list`)"
-        )
+        return resolve_device(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _load_circuit(path: str):
     with open(path) as handle:
         return from_qasm(handle.read())
+
+
+def _collect_qasm_paths(sources: Sequence[str]) -> List[Path]:
+    """QASM files from a mix of file and directory arguments.
+
+    Directories contribute their ``*.qasm`` entries (sorted); explicit
+    files are taken as-is.  Missing paths and empty directories are
+    errors — a batch scorer silently scoring nothing helps nobody.
+    """
+    paths: List[Path] = []
+    for source in sources:
+        path = Path(source)
+        if path.is_dir():
+            found = sorted(path.glob("*.qasm"))
+            if not found:
+                raise SystemExit(f"no .qasm files in directory {path}")
+            paths.extend(found)
+        elif path.is_file():
+            paths.append(path)
+        else:
+            raise SystemExit(f"no such file or directory: {path}")
+    return paths
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -104,6 +119,50 @@ def _cmd_features(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .evaluation.persistence import PersistenceError
+    from .fom.metrics import FOM_ORDER, PROPOSED_LABEL
+    from .predictor.service import FomService
+
+    device = _load_device(args.device)
+    paths = _collect_qasm_paths(args.qasm)
+    try:
+        service = FomService.load(
+            args.model, device,
+            optimization_level=args.level, seed=args.seed,
+            chunk_size=args.chunk_size,
+        )
+    except (PersistenceError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    circuits = (_load_circuit(str(path)) for path in paths)
+    if args.foms:
+        panel = service.score_established_foms(
+            circuits, max_workers=args.max_workers
+        )
+        columns = FOM_ORDER + [PROPOSED_LABEL]
+        header = f"{'circuit':<24}" + "".join(f"{name:>20}" for name in columns)
+        print(f"# device: {device.name}  level: {args.level}  model: {args.model}")
+        print(header)
+        for index, path in enumerate(paths):
+            row = f"{path.stem:<24}"
+            for name in columns:
+                row += f"{panel[name][index]:>20.4f}"
+            print(row)
+    else:
+        print(f"# device: {device.name}  level: {args.level}  model: {args.model}")
+        print(f"{'circuit':<24} {'predicted_hellinger':>20}")
+        position = 0
+        # Stream: predictions print as each chunk lands, so a large corpus
+        # shows progress (and never lives in memory all at once).
+        for chunk in service.predict_stream(
+            circuits, max_workers=args.max_workers
+        ):
+            for value in chunk:
+                print(f"{paths[position].stem:<24} {value:>20.4f}")
+                position += 1
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     if args.full:
         config = StudyConfig(shots=2000, seed=args.seed)
@@ -136,7 +195,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_devices(args: argparse.Namespace) -> int:
-    for name, factory in sorted(_DEVICES.items()):
+    for name, factory in sorted(BUILTIN_DEVICES.items()):
         device = factory()
         cal = device.reported_calibration
         print(
@@ -200,6 +259,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_feat.add_argument("qasm")
     common(p_feat)
     p_feat.set_defaults(func=_cmd_features)
+
+    p_pred = sub.add_parser(
+        "predict",
+        help="batch-score QASM files with a trained estimator",
+        description=(
+            "Load a persisted estimator (.npz from save_model / "
+            "train_fom_estimator.py) and a device once, then compile, "
+            "featurize, and score every given QASM file (or every *.qasm "
+            "in given directories) in batches.  With --foms, print the "
+            "paper's full metric panel instead of predictions only."
+        ),
+    )
+    p_pred.add_argument(
+        "qasm", nargs="+",
+        help="QASM files and/or directories containing *.qasm",
+    )
+    common(p_pred)
+    p_pred.add_argument(
+        "--model", required=True,
+        help="path to a trained estimator (.npz written by save_model)",
+    )
+    p_pred.add_argument(
+        "--foms", action="store_true",
+        help="also print the four established figures of merit",
+    )
+    p_pred.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker threads for the batched stages",
+    )
+    p_pred.add_argument(
+        "--chunk-size", type=int, default=128,
+        help="circuits scored per streamed chunk (memory ceiling)",
+    )
+    p_pred.set_defaults(func=_cmd_predict)
 
     p_study = sub.add_parser("study", help="run the correlation study")
     p_study.add_argument("--full", action="store_true")

@@ -134,11 +134,8 @@ class LineLayout(Pass):
         return apply_layout(circuit, layout, self.coupling.num_qubits)
 
     def _bfs_path(self) -> List[int]:
-        import networkx as nx
-
-        graph = self.coupling.graph
         start = min(
-            graph.nodes,
+            range(self.coupling.num_qubits),
             key=lambda q: (self.coupling.degree(q), q),
         )
-        return list(nx.bfs_tree(graph, start))
+        return self.coupling.bfs_order(start)

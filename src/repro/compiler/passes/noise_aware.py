@@ -17,8 +17,10 @@ the figures of merit the paper studies.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -38,21 +40,44 @@ def effective_distance_matrix(
     Edge weight is ``1 - log(f_edge)`` (a unit hop plus the negative log
     fidelity), so the metric degenerates to plain hop distance on a perfect
     device and stretches low-fidelity links on a real one.
-    """
-    import networkx as nx
 
-    graph = nx.Graph()
-    graph.add_nodes_from(range(coupling.num_qubits))
+    The all-pairs sweep is a faithful port of networkx's Dijkstra (same
+    heap discipline, same insertion-ordered neighbour expansion), so the
+    float path sums — and with them any tie-sensitive routing decision
+    downstream — are bit-identical to the networkx-backed original.
+    """
+    num_qubits = coupling.num_qubits
+    adjacency: List[Dict[int, float]] = [{} for _ in range(num_qubits)]
     for a, b in coupling.edges:
         fidelity = calibration.edge_fidelity(a, b)
         weight = 1.0 - math.log(max(fidelity, 1e-6))
-        graph.add_edge(a, b, weight=weight)
-    dist = np.full((coupling.num_qubits, coupling.num_qubits), np.inf)
-    for source, lengths in nx.all_pairs_dijkstra_path_length(
-        graph, weight="weight"
-    ):
-        for target, length in lengths.items():
+        adjacency[a][b] = weight
+        adjacency[b][a] = weight
+    dist = np.full((num_qubits, num_qubits), np.inf)
+    for source in range(num_qubits):
+        for target, length in _dijkstra_lengths(adjacency, source).items():
             dist[source, target] = length
+    return dist
+
+
+def _dijkstra_lengths(
+    adjacency: "List[Dict[int, float]]", source: int
+) -> Dict[int, float]:
+    """Shortest weighted path lengths from ``source`` (networkx port)."""
+    dist: Dict[int, float] = {}
+    seen: Dict[int, float] = {source: 0}
+    counter = itertools.count()
+    fringe: List[Tuple[float, int, int]] = [(0, next(counter), source)]
+    while fringe:
+        d, _, node = heapq.heappop(fringe)
+        if node in dist:
+            continue
+        dist[node] = d
+        for nbr, weight in adjacency[node].items():
+            nbr_dist = d + weight
+            if nbr not in dist and (nbr not in seen or nbr_dist < seen[nbr]):
+                seen[nbr] = nbr_dist
+                heapq.heappush(fringe, (nbr_dist, next(counter), nbr))
     return dist
 
 

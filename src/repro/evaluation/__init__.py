@@ -1,5 +1,6 @@
 """Paper experiments: correlation study, feature importance, reporting."""
 
+from .artifacts import ARTIFACT_KINDS, ArtifactStore
 from .importance import (
     grouped_importances,
     importance_table,
@@ -34,6 +35,8 @@ from .study import (
 )
 
 __all__ = [
+    "ARTIFACT_KINDS",
+    "ArtifactStore",
     "CrossDeviceResult",
     "FOM_ORDER",
     "PROPOSED_LABEL",

@@ -1,0 +1,190 @@
+"""The unified artifact store: one cache layout for every pipeline stage.
+
+Before the serving-stack refactor the repo had grown three ad-hoc cache
+schemes — per-device dataset checkpoints and estimator-report checkpoints
+(PR 3's ``run_study(cache_dir=...)``) and the cross-device study's
+``transfer-estimator_*.npz`` model checkpoint (PR 4).  Each hand-rolled
+the same moves: derive a fingerprint of the inputs, build a file name,
+try to load, treat *any* problem as a miss, rebuild, save.
+
+:class:`ArtifactStore` centralizes those moves behind a content-addressed
+``get``/``put`` pair.  Entries are addressed by ``(kind, name,
+fingerprint)``: ``kind`` selects the serializer (see :data:`ARTIFACT_KINDS`),
+``name`` is a human-readable label (typically the device name), and
+``fingerprint`` is the caller's content hash of every input that
+influenced the artifact (see
+:meth:`repro.evaluation.study.StudyConfig.dataset_fingerprint` and
+friends).  The on-disk layout is **identical** to the pre-refactor cache
+files — ``dataset_<name>_<fp>.json``, ``report_<name>_<fp>.json``,
+``transfer-estimator_<name>_<fp>.npz`` in one flat directory — so cache
+directories written before this refactor keep hitting, byte for byte.
+
+Failure policy (unchanged from the schemes it replaces): a missing,
+truncated, corrupted, foreign-format, wrong-version, or stale-fingerprint
+entry makes :meth:`ArtifactStore.get` return ``None`` — the caller
+rebuilds and overwrites.  A cache must never kill a long study.
+``run_study``, ``run_cross_device_study``, ``build_device_datasets``, and
+:class:`~repro.predictor.service.FomService` model loading all sit on
+this store.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Iterator, NamedTuple, Optional, Tuple
+
+from ..predictor.estimator import HellingerEstimator
+from .persistence import (
+    PersistenceError,
+    load_dataset_cache,
+    load_model,
+    load_report_cache,
+    save_dataset_cache,
+    save_model,
+    save_report_cache,
+)
+
+def _save_estimator(model, path: Path, fingerprint: str) -> Path:
+    # Staleness of model checkpoints is enforced through the fingerprint
+    # embedded in the file name (the .npz format predates fingerprint
+    # metadata and must stay loadable by plain ``load_model``).
+    return save_model(model, path)
+
+
+def _load_estimator(path: Path, fingerprint: str):
+    model = load_model(path)
+    if not isinstance(model, HellingerEstimator):
+        raise PersistenceError(
+            f"{path} holds a {type(model).__name__}, not a HellingerEstimator"
+        )
+    return model
+
+
+class ArtifactKind(NamedTuple):
+    """Serialization recipe for one artifact kind."""
+
+    pattern: str                       # file name: pattern.format(name=, fingerprint=)
+    save: Callable[..., Path]          # save(obj, path, fingerprint)
+    load: Callable[..., object]        # load(path, fingerprint) -> obj or raise
+
+
+#: The artifact kinds the pipelines persist, keyed by kind id.  File-name
+#: patterns are frozen: they are the pre-refactor cache names.
+ARTIFACT_KINDS: Dict[str, ArtifactKind] = {
+    "dataset": ArtifactKind(
+        "dataset_{name}_{fingerprint}.json",
+        save_dataset_cache,
+        load_dataset_cache,
+    ),
+    "report": ArtifactKind(
+        "report_{name}_{fingerprint}.json",
+        save_report_cache,
+        load_report_cache,
+    ),
+    "estimator": ArtifactKind(
+        "transfer-estimator_{name}_{fingerprint}.npz",
+        _save_estimator,
+        _load_estimator,
+    ),
+}
+
+
+class ArtifactStore:
+    """Content-addressed, fingerprint-keyed artifact cache in a directory.
+
+    >>> store = ArtifactStore("cache-dir")
+    >>> store.put("dataset", dataset, "Q20-A", fingerprint)
+    >>> store.get("dataset", "Q20-A", fingerprint)   # -> dataset or None
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+
+    @classmethod
+    def coerce(
+        cls, store: "ArtifactStore | str | Path | None"
+    ) -> "Optional[ArtifactStore]":
+        """Accept a store, a directory path, or ``None`` (no caching)."""
+        if store is None or isinstance(store, cls):
+            return store
+        return cls(store)
+
+    def path(self, kind: str, name: str, fingerprint: str) -> Path:
+        """The entry's file path (exists or not)."""
+        return self.root / self._kind(kind).pattern.format(
+            name=name, fingerprint=fingerprint
+        )
+
+    def get(self, kind: str, name: str, fingerprint: str):
+        """The stored artifact, or ``None`` on any kind of miss.
+
+        Missing, unreadable, corrupted, truncated, foreign-format,
+        wrong-version, and stale-fingerprint entries all count as misses:
+        the caller rebuilds (and normally :meth:`put`s the fresh value
+        over the bad entry).
+        """
+        recipe = self._kind(kind)
+        try:
+            return recipe.load(self.path(kind, name, fingerprint), fingerprint)
+        except PersistenceError:
+            return None
+
+    def put(self, kind: str, artifact, name: str, fingerprint: str) -> Path:
+        """Write (or overwrite) an entry; returns its path."""
+        recipe = self._kind(kind)
+        return recipe.save(artifact, self.path(kind, name, fingerprint), fingerprint)
+
+    def fetch(
+        self,
+        kind: str,
+        name: str,
+        fingerprint: str,
+        build: Callable[[], object],
+        on_hit: Optional[Callable[[], None]] = None,
+    ):
+        """``get`` with rebuild-on-miss: the artifact, built at most once.
+
+        On a hit, ``on_hit`` fires (progress reporting) and the cached
+        value is returned; on a miss, ``build()`` runs and its result is
+        stored before being returned.
+        """
+        artifact = self.get(kind, name, fingerprint)
+        if artifact is not None:
+            if on_hit is not None:
+                on_hit()
+            return artifact
+        artifact = build()
+        self.put(kind, artifact, name, fingerprint)
+        return artifact
+
+    def entries(self, kind: Optional[str] = None) -> Iterator[Tuple[str, Path]]:
+        """Yield ``(kind, path)`` for every entry currently in the store."""
+        if not self.root.is_dir():
+            return
+        kinds = [kind] if kind is not None else list(ARTIFACT_KINDS)
+        for kind_id in kinds:
+            recipe = self._kind(kind_id)
+            prefix, _, suffix = recipe.pattern.partition("{name}")
+            tail = suffix.replace("{fingerprint}", "*")
+            for path in sorted(self.root.glob(f"{prefix}*{tail}")):
+                yield kind_id, path
+
+    @staticmethod
+    def _kind(kind: str) -> ArtifactKind:
+        try:
+            return ARTIFACT_KINDS[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown artifact kind {kind!r}; "
+                f"expected one of {sorted(ARTIFACT_KINDS)}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "ArtifactKind",
+    "ArtifactStore",
+]

@@ -13,7 +13,9 @@ Three layers, all file-based and dependency-free:
 * **Stage caches** (JSON): per-device labelled datasets and estimator
   reports keyed by a fingerprint of everything that influences them, so
   ``run_study(cache_dir=...)`` skips compile/execute/train stages whose
-  inputs are unchanged (:func:`save_dataset_cache` & friends).
+  inputs are unchanged (:func:`save_dataset_cache` & friends).  These
+  are the serialization primitives; the pipelines reach them through the
+  unified :class:`~repro.evaluation.artifacts.ArtifactStore`.
 
 Corrupted or foreign files raise :class:`PersistenceError` from the model
 loaders; the stage-cache readers raise it too, and ``run_study`` treats

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..bench.suite import DEPTH_LIMIT, build_suite
+from ..fom.metrics import FOM_ORDER, PROPOSED_LABEL
 from ..hardware.device import Device
 from ..hardware.iqm import make_q20_pair
 from ..ml.metrics import pearson_r
@@ -33,21 +34,9 @@ from ..predictor.estimator import (
     train_and_evaluate,
     train_and_evaluate_model,
 )
-from .persistence import (
-    PersistenceError,
-    config_fingerprint,
-    device_fingerprint,
-    load_dataset_cache,
-    load_model,
-    load_report_cache,
-    save_dataset_cache,
-    save_model,
-    save_report_cache,
-)
+from .artifacts import ArtifactStore
+from .persistence import config_fingerprint, device_fingerprint
 
-#: Table I row labels, in paper order.
-FOM_ORDER = ["Number of gates", "Circuit depth", "Expected fidelity", "ESP"]
-PROPOSED_LABEL = "Proposed approach"
 
 
 @dataclass
@@ -139,18 +128,19 @@ def run_study(
     configuration; a reduced :class:`StudyConfig` gives quick smoke runs.
 
     With ``cache_dir`` (argument or ``config.cache_dir``), the expensive
-    stages are checkpointed per device: the labelled dataset (compile +
-    simulate + execute) and the trained-estimator report are written to
-    the directory keyed by a fingerprint of their inputs, and reruns with
-    unchanged inputs skip those stages.  Stale or corrupted cache files
-    are treated as misses and rebuilt.
+    stages are checkpointed per device through an
+    :class:`~repro.evaluation.artifacts.ArtifactStore`: the labelled
+    dataset (compile + simulate + execute) and the trained-estimator
+    report are stored keyed by a fingerprint of their inputs, and reruns
+    with unchanged inputs skip those stages.  Stale or corrupted cache
+    entries are treated as misses and rebuilt.
     """
     config = config or StudyConfig()
-    cache = Path(cache_dir or config.cache_dir) if (cache_dir or config.cache_dir) else None
+    store = ArtifactStore.coerce(cache_dir or config.cache_dir)
     if devices is None:
         devices = list(make_q20_pair())
 
-    datasets = build_device_datasets(devices, config, cache)
+    datasets = build_device_datasets(devices, config, store)
 
     correlations: Dict[str, Dict[str, float]] = {
         fom: {} for fom in FOM_ORDER + [PROPOSED_LABEL]
@@ -179,19 +169,9 @@ def run_study(
     all_test_pred: List[np.ndarray] = []
     for device in devices:
         data = datasets[device.name]
-        report = None
-        if cache is not None:
-            try:
-                report = load_report_cache(
-                    _report_cache_path(cache, config, device),
-                    config.report_fingerprint(device),
-                )
-                if config.progress:
-                    print(f"[{device.name}] estimator loaded from cache", flush=True)
-            except PersistenceError:
-                report = None
-        if report is None:
-            report = train_and_evaluate(
+
+        def train(data=data, device=device):
+            return train_and_evaluate(
                 data.X, data.y,
                 device_name=device.name,
                 test_size=config.test_size,
@@ -200,12 +180,18 @@ def run_study(
                 param_grid=config.param_grid,
                 max_workers=config.max_workers,
             )
-            if cache is not None:
-                save_report_cache(
-                    report,
-                    _report_cache_path(cache, config, device),
-                    config.report_fingerprint(device),
-                )
+
+        def announce_hit(device=device):
+            if config.progress:
+                print(f"[{device.name}] estimator loaded from cache", flush=True)
+
+        if store is not None:
+            report = store.fetch(
+                "report", device.name, config.report_fingerprint(device),
+                train, on_hit=announce_hit,
+            )
+        else:
+            report = train()
         reports[device.name] = report
         correlations[PROPOSED_LABEL][device.name] = abs(report.test_pearson)
         all_test_y.append(report.y_test)
@@ -227,7 +213,7 @@ def run_study(
 def build_device_datasets(
     devices: Sequence[Device],
     config: StudyConfig,
-    cache: Optional[Path] = None,
+    cache: "ArtifactStore | str | Path | None" = None,
 ) -> Dict[str, CircuitDataset]:
     """Labelled datasets for every device, cache-aware and width-capped.
 
@@ -236,23 +222,24 @@ def build_device_datasets(
     device width (``min(config.max_qubits, device.num_qubits)``) so small
     zoo devices get the widest suite they can hold; the noiseless
     reference distributions are shared across all devices through one
-    ``ideal_cache``.  With ``cache`` set, per-device datasets are loaded
-    from / saved to fingerprint-keyed checkpoint files.
+    ``ideal_cache``.  ``cache`` — an
+    :class:`~repro.evaluation.artifacts.ArtifactStore` or a directory
+    path — checkpoints per-device datasets keyed by their input
+    fingerprints.
     """
+    store = ArtifactStore.coerce(cache)
     datasets: Dict[str, CircuitDataset] = {}
     missing: List[Device] = []
     for device in devices:
-        if cache is not None:
-            try:
-                datasets[device.name] = load_dataset_cache(
-                    _dataset_cache_path(cache, config, device),
-                    config.dataset_fingerprint(device),
-                )
+        if store is not None:
+            cached = store.get(
+                "dataset", device.name, config.dataset_fingerprint(device)
+            )
+            if cached is not None:
+                datasets[device.name] = cached
                 if config.progress:
                     print(f"[{device.name}] dataset loaded from cache", flush=True)
                 continue
-            except PersistenceError:
-                pass
         missing.append(device)
 
     if missing:
@@ -282,10 +269,9 @@ def build_device_datasets(
                 progress=config.progress,
                 max_workers=config.max_workers,
             )
-            if cache is not None:
-                save_dataset_cache(
-                    datasets[device.name],
-                    _dataset_cache_path(cache, config, device),
+            if store is not None:
+                store.put(
+                    "dataset", datasets[device.name], device.name,
                     config.dataset_fingerprint(device),
                 )
     return datasets
@@ -365,7 +351,7 @@ def run_cross_device_study(
     reused when their input fingerprints are unchanged.
     """
     config = config or StudyConfig()
-    cache = Path(cache_dir or config.cache_dir) if (cache_dir or config.cache_dir) else None
+    store = ArtifactStore.coerce(cache_dir or config.cache_dir)
     eval_devices = list(eval_devices)
     if not eval_devices:
         raise ValueError("run_cross_device_study needs at least one eval device")
@@ -374,7 +360,7 @@ def run_cross_device_study(
         raise ValueError(f"duplicate device names in cross-device study: {names}")
 
     devices = [train_device] + eval_devices
-    datasets = build_device_datasets(devices, config, cache)
+    datasets = build_device_datasets(devices, config, store)
     train_data = datasets[train_device.name]
 
     # In-domain protocol (80/20 + CV grid search) on the train device.
@@ -384,17 +370,10 @@ def run_cross_device_study(
     # halves are cached; a miss on either recomputes the (deterministic)
     # pair so they can never drift apart.
     report = estimator = None
-    if cache is not None:
-        try:
-            report = load_report_cache(
-                _report_cache_path(cache, config, train_device),
-                config.report_fingerprint(train_device),
-            )
-            estimator = load_model(_model_cache_path(cache, config, train_device))
-            if not isinstance(estimator, HellingerEstimator):
-                report = estimator = None
-        except PersistenceError:
-            report = estimator = None
+    if store is not None:
+        fingerprint = config.report_fingerprint(train_device)
+        report = store.get("report", train_device.name, fingerprint)
+        estimator = store.get("estimator", train_device.name, fingerprint)
     if report is None or estimator is None:
         report, estimator = train_and_evaluate_model(
             train_data.X, train_data.y,
@@ -405,13 +384,10 @@ def run_cross_device_study(
             param_grid=config.param_grid,
             max_workers=config.max_workers,
         )
-        if cache is not None:
-            save_report_cache(
-                report,
-                _report_cache_path(cache, config, train_device),
-                config.report_fingerprint(train_device),
-            )
-            save_model(estimator, _model_cache_path(cache, config, train_device))
+        if store is not None:
+            fingerprint = config.report_fingerprint(train_device)
+            store.put("report", report, train_device.name, fingerprint)
+            store.put("estimator", estimator, train_device.name, fingerprint)
 
     heldout_names = {
         train_data.entries[int(i)].name for i in report.test_indices
@@ -454,25 +430,6 @@ def run_cross_device_study(
         datasets=datasets,
         transfer_support=transfer_support,
         transfer_fallback=transfer_fallback,
-    )
-
-
-def _dataset_cache_path(cache: Path, config: StudyConfig, device: Device) -> Path:
-    return cache / (
-        f"dataset_{device.name}_{config.dataset_fingerprint(device)}.json"
-    )
-
-
-def _report_cache_path(cache: Path, config: StudyConfig, device: Device) -> Path:
-    return cache / (
-        f"report_{device.name}_{config.report_fingerprint(device)}.json"
-    )
-
-
-def _model_cache_path(cache: Path, config: StudyConfig, device: Device) -> Path:
-    """Train-split estimator checkpoint (fingerprint keyed in the name)."""
-    return cache / (
-        f"transfer-estimator_{device.name}_{config.report_fingerprint(device)}.npz"
     )
 
 

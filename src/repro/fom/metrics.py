@@ -201,3 +201,8 @@ ESTABLISHED_FOMS = {
     "Expected fidelity": (expected_fidelity, True),
     "ESP": (esp, True),
 }
+
+#: Table I row labels, in paper order — the one source every surface
+#: (study tables, FomService panels, the predict CLI) draws from.
+FOM_ORDER = list(ESTABLISHED_FOMS)
+PROPOSED_LABEL = "Proposed approach"

@@ -37,7 +37,35 @@ from .zoo import (
     zoo_summary,
 )
 
+#: The built-in (paper) devices by CLI name.
+BUILTIN_DEVICES = {"q20a": make_q20a, "q20b": make_q20b}
+
+
+def resolve_device(spec: "Device | str") -> Device:
+    """A :class:`Device` from a device object or any device spec string.
+
+    Accepts a ready :class:`Device` (returned as-is), a built-in name
+    (``q20a``, ``q20b``), or a zoo spec like ``zoo:heavy_hex:16:noisy:1``
+    (see :func:`device_from_spec`).  This is the one resolution rule every
+    device-taking surface (CLI, :class:`~repro.predictor.service.FomService`)
+    shares.
+    """
+    if isinstance(spec, Device):
+        return spec
+    name = spec.lower()
+    if name.startswith("zoo:"):
+        return device_from_spec(spec)
+    if name in BUILTIN_DEVICES:
+        return BUILTIN_DEVICES[name]()
+    raise ValueError(
+        f"unknown device '{spec}'; available: {sorted(BUILTIN_DEVICES)} "
+        f"or a zoo spec (see `python -m repro zoo --list`)"
+    )
+
+
 __all__ = [
+    "BUILTIN_DEVICES",
+    "resolve_device",
     "Calibration",
     "CouplingMap",
     "DEFAULT_SIZES",

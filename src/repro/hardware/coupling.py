@@ -1,11 +1,22 @@
-"""Qubit connectivity graphs (coupling maps) and distance queries."""
+"""Qubit connectivity graphs (coupling maps) and distance queries.
+
+Dependency note: the graph structure is a plain adjacency-dict per qubit
+(insertion-ordered, exactly like the ``networkx.Graph`` adjacency this
+module used before the serving-stack refactor).  The shortest-path query
+is a faithful port of networkx's bidirectional BFS — same frontier
+alternation, same neighbour iteration order, hence the *same* path among
+equal-length candidates — so compiled circuits are bit-identical to the
+networkx era (pinned by the compiler golden-digest tests, and
+cross-checked against networkx itself in ``tests/hardware`` when the
+test-only extra is installed).
+"""
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
-import networkx as nx
 import numpy as np
 
 Edge = Tuple[int, int]
@@ -41,8 +52,9 @@ class CouplingMap:
         if num_qubits < 0:
             raise ValueError(f"num_qubits must be >= 0, got {num_qubits}")
         self.num_qubits = num_qubits
-        self.graph = nx.Graph()
-        self.graph.add_nodes_from(range(num_qubits))
+        # Insertion-ordered adjacency dicts: iteration order matches the
+        # order edges were supplied, which BFS/path tie-breaking relies on.
+        self._adj: List[Dict[int, None]] = [{} for _ in range(num_qubits)]
         for a, b in edges:
             if not (0 <= a < num_qubits and 0 <= b < num_qubits):
                 raise ValueError(
@@ -54,12 +66,14 @@ class CouplingMap:
                     f"self-loop on qubit {a}: couplers connect two distinct "
                     f"qubits; drop the ({a}, {a}) entry"
                 )
-            if self.graph.has_edge(a, b):
+            a, b = int(a), int(b)
+            if b in self._adj[a]:
                 raise ValueError(
                     f"duplicate edge ({a}, {b}): each coupler must be listed "
                     f"once (edges are undirected, so ({b}, {a}) counts too)"
                 )
-            self.graph.add_edge(int(a), int(b))
+            self._adj[a][b] = None
+            self._adj[b][a] = None
         self._distance: np.ndarray | None = None
         self._routing_tables: RoutingTables | None = None
         self._fingerprint: int | None = None
@@ -67,30 +81,87 @@ class CouplingMap:
     @property
     def edges(self) -> List[Edge]:
         """Sorted list of (low, high) edges."""
-        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+        return sorted(
+            (q, nbr)
+            for q in range(self.num_qubits)
+            for nbr in self._adj[q]
+            if q < nbr
+        )
 
     @property
     def edge_set(self) -> FrozenSet[Edge]:
-        return frozenset(tuple(sorted(e)) for e in self.graph.edges)
+        return frozenset(
+            (q, nbr)
+            for q in range(self.num_qubits)
+            for nbr in self._adj[q]
+            if q < nbr
+        )
 
     def has_edge(self, a: int, b: int) -> bool:
-        return self.graph.has_edge(a, b)
+        return 0 <= a < self.num_qubits and b in self._adj[a]
 
     def neighbors(self, qubit: int) -> List[int]:
-        return sorted(self.graph.neighbors(qubit))
+        return sorted(self._adj[qubit])
 
     def degree(self, qubit: int) -> int:
-        return self.graph.degree(qubit)
+        return len(self._adj[qubit])
 
     def is_connected(self) -> bool:
-        return self.num_qubits == 0 or nx.is_connected(self.graph)
+        return self.num_qubits == 0 or len(self._bfs_reach(0)) == self.num_qubits
+
+    def _bfs_reach(self, start: int) -> Dict[int, int]:
+        """BFS levels from ``start`` (insertion-ordered adjacency)."""
+        levels = {start: 0}
+        queue = deque([start])
+        adj = self._adj
+        while queue:
+            node = queue.popleft()
+            next_level = levels[node] + 1
+            for nbr in adj[node]:
+                if nbr not in levels:
+                    levels[nbr] = next_level
+                    queue.append(nbr)
+        return levels
+
+    def bfs_order(self, start: int) -> List[int]:
+        """Qubits in BFS discovery order from ``start``.
+
+        Neighbour expansion follows adjacency insertion order — identical
+        to ``list(nx.bfs_tree(graph, start))`` on the equivalent graph
+        (the contract :class:`~repro.compiler.passes.layout.LineLayout`
+        relies on).  Unreachable qubits are omitted.
+        """
+        order = [start]
+        seen = {start}
+        queue = deque([start])
+        adj = self._adj
+        while queue:
+            node = queue.popleft()
+            for nbr in adj[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    order.append(nbr)
+                    queue.append(nbr)
+        return order
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components, each in BFS order from its lowest qubit."""
+        seen: set = set()
+        components: List[List[int]] = []
+        for start in range(self.num_qubits):
+            if start in seen:
+                continue
+            component = self.bfs_order(start)
+            seen.update(component)
+            components.append(component)
+        return components
 
     def distance_matrix(self) -> np.ndarray:
         """All-pairs shortest-path distances (``inf`` if disconnected)."""
         if self._distance is None:
             dist = np.full((self.num_qubits, self.num_qubits), np.inf)
-            for source, lengths in nx.all_pairs_shortest_path_length(self.graph):
-                for target, length in lengths.items():
+            for source in range(self.num_qubits):
+                for target, length in self._bfs_reach(source).items():
                     dist[source, target] = length
             self._distance = dist
         return self._distance
@@ -99,7 +170,7 @@ class CouplingMap:
         """Cached :class:`RoutingTables` (distance/adjacency/neighbours)."""
         if self._routing_tables is None:
             adjacency = np.zeros((self.num_qubits, self.num_qubits), dtype=bool)
-            for a, b in self.graph.edges:
+            for a, b in self.edges:
                 adjacency[a, b] = adjacency[b, a] = True
             self._routing_tables = RoutingTables(
                 distance=self.distance_matrix(),
@@ -123,22 +194,92 @@ class CouplingMap:
         return int(value)
 
     def shortest_path(self, a: int, b: int) -> List[int]:
-        return nx.shortest_path(self.graph, a, b)
+        """One shortest path from ``a`` to ``b`` (bidirectional BFS).
+
+        Port of networkx's ``bidirectional_shortest_path``: the two
+        frontiers alternate (smaller side expands), neighbours are
+        scanned in adjacency insertion order, and the first meeting node
+        wins — so among equal-length paths this returns exactly the one
+        the networkx implementation would.  Routing determinism (and the
+        golden compile digests) depend on that tie-break.
+        """
+        if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+            raise ValueError(
+                f"shortest_path endpoints ({a}, {b}) must be qubits of a "
+                f"{self.num_qubits}-qubit coupling map"
+            )
+        if a == b:
+            return [a]
+        adj = self._adj
+        pred: Dict[int, int | None] = {a: None}
+        succ: Dict[int, int | None] = {b: None}
+        forward_fringe = [a]
+        reverse_fringe = [b]
+        meet = None
+        while forward_fringe and reverse_fringe and meet is None:
+            if len(forward_fringe) <= len(reverse_fringe):
+                this_level, forward_fringe = forward_fringe, []
+                for node in this_level:
+                    for nbr in adj[node]:
+                        if nbr not in pred:
+                            forward_fringe.append(nbr)
+                            pred[nbr] = node
+                        if nbr in succ:
+                            meet = nbr
+                            break
+                    if meet is not None:
+                        break
+            else:
+                this_level, reverse_fringe = reverse_fringe, []
+                for node in this_level:
+                    for nbr in adj[node]:
+                        if nbr not in succ:
+                            succ[nbr] = node
+                            reverse_fringe.append(nbr)
+                        if nbr in pred:
+                            meet = nbr
+                            break
+                    if meet is not None:
+                        break
+        if meet is None:
+            raise ValueError(f"no path between qubits {a} and {b}")
+        path: List[int] = []
+        cursor: int | None = meet
+        while cursor is not None:
+            path.append(cursor)
+            cursor = pred[cursor]
+        path.reverse()
+        cursor = succ[path[-1]]
+        while cursor is not None:
+            path.append(cursor)
+            cursor = succ[cursor]
+        return path
 
     def adjacent_edges(self, edge: Edge) -> List[Edge]:
         """Edges sharing at least one endpoint with ``edge`` (crosstalk pairs)."""
         a, b = edge
         out = set()
         for q in (a, b):
-            for nbr in self.graph.neighbors(q):
+            for nbr in self._adj[q]:
                 candidate = tuple(sorted((q, nbr)))
                 if candidate != tuple(sorted(edge)):
                     out.add(candidate)
         return sorted(out)
 
     def subgraph_is_connected(self, qubits: Sequence[int]) -> bool:
-        sub = self.graph.subgraph(qubits)
-        return len(qubits) == 0 or nx.is_connected(sub)
+        allowed = set(qubits)
+        if not allowed:
+            return True
+        start = next(iter(qubits))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for nbr in self._adj[node]:
+                if nbr in allowed and nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+        return len(seen) == len(allowed)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CouplingMap(qubits={self.num_qubits}, edges={len(self.edges)})"
@@ -193,11 +334,48 @@ def full_map(num_qubits: int) -> CouplingMap:
     return CouplingMap(num_qubits, edges)
 
 
+def hexagonal_lattice(m: int, n: int) -> Tuple[List[Tuple[int, int]], List[Tuple]]:
+    """Node and edge sets of an ``m x n`` hexagonal lattice.
+
+    Reproduces the (non-periodic) node/edge sets of
+    ``networkx.hexagonal_lattice_graph(m, n)``: nodes are ``(column,
+    row)`` positions on a brick-wall embedding with the two degree-1
+    corner nodes removed (cross-checked against networkx in the hardware
+    tests).  Nodes are returned sorted; edges sorted by endpoint.
+    """
+    if m <= 0 or n <= 0:
+        return [], []
+    rows = 2 * m + 2
+    removed = {(0, rows - 1), (n, (rows - 1) * (n % 2))}
+    nodes = sorted(
+        (i, j)
+        for i in range(n + 1)
+        for j in range(rows)
+        if (i, j) not in removed
+    )
+    present = set(nodes)
+    column_edges = (
+        ((i, j), (i, j + 1)) for i in range(n + 1) for j in range(rows - 1)
+    )
+    row_edges = (
+        ((i, j), (i + 1, j))
+        for i in range(n)
+        for j in range(rows)
+        if i % 2 == j % 2
+    )
+    edges = sorted(
+        (a, b)
+        for a, b in (*column_edges, *row_edges)
+        if a in present and b in present
+    )
+    return nodes, edges
+
+
 def heavy_hex_map(distance: int = 3) -> CouplingMap:
     """A small heavy-hex lattice (IBM style), for topology comparisons."""
-    graph = nx.hexagonal_lattice_graph(distance, distance)
-    mapping = {node: index for index, node in enumerate(sorted(graph.nodes))}
-    edges = [(mapping[a], mapping[b]) for a, b in graph.edges]
+    nodes, lattice_edges = hexagonal_lattice(distance, distance)
+    mapping = {node: index for index, node in enumerate(nodes)}
+    edges = [(mapping[a], mapping[b]) for a, b in lattice_edges]
     return CouplingMap(len(mapping), edges)
 
 

@@ -61,10 +61,8 @@ def validate_coupling(coupling: CouplingMap, context: str = "topology") -> Coupl
 
 
 def _component_summary(coupling: CouplingMap) -> str:
-    import networkx as nx
-
     sizes = sorted(
-        (len(c) for c in nx.connected_components(coupling.graph)), reverse=True
+        (len(c) for c in coupling.connected_components()), reverse=True
     )
     return f"{len(sizes)} components of sizes {sizes}"
 

@@ -1,4 +1,4 @@
-"""The proposed figure of merit: datasets, estimator, PST extension."""
+"""The proposed figure of merit: datasets, estimator, serving, PST extension."""
 
 from .dataset import CircuitDataset, DatasetEntry, build_dataset
 from .estimator import (
@@ -8,12 +8,15 @@ from .estimator import (
     train_and_evaluate,
 )
 from .pst import mirror_circuit, pst, pst_label
+from .service import DEFAULT_CHUNK_SIZE, FomService
 
 __all__ = [
     "CircuitDataset",
+    "DEFAULT_CHUNK_SIZE",
     "DEFAULT_PARAM_GRID",
     "DatasetEntry",
     "EstimatorReport",
+    "FomService",
     "HellingerEstimator",
     "build_dataset",
     "mirror_circuit",

@@ -1,0 +1,334 @@
+"""The high-throughput figure-of-merit inference service.
+
+The paper's headline claim is that the trained estimator is *usable* as a
+fast figure of merit: hand it compiled circuits, get predicted Hellinger
+distances, no calibration data required.  After PRs 1-4 made simulation,
+compilation, and training fast, this module adds the missing end-to-end
+entry point: :class:`FomService` loads a persisted estimator (the PR 3
+``.npz`` model format) and a device **once**, then scores arbitrarily many
+circuits per call through the batched substrates —
+:func:`~repro.compiler.compile.compile_batch` for compilation, the
+single-pass :func:`~repro.fom.features.feature_matrix` for featurization,
+and one forest ``predict`` per chunk.
+
+Inputs stream in chunks (:attr:`FomService.chunk_size`), so datasets
+larger than memory can be scored from a generator; predictions are
+**invariant to the chunk size** — per-circuit compile seeds are assigned
+by global input position, not chunk position.
+
+``python -m repro predict`` and ``examples/predict_service.py`` are the
+command-line / scripted frontends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..compiler.compile import SEED_STRIDE, CompilationResult, compile_batch
+from ..fom.features import feature_matrix
+from ..fom.metrics import FOM_ORDER, PROPOSED_LABEL, esp, expected_fidelity_batch
+from ..hardware import Device, resolve_device
+
+#: Default number of circuits compiled/featurized/predicted per chunk.
+DEFAULT_CHUNK_SIZE = 128
+
+
+class FomService:
+    """Serve Hellinger-distance predictions for batches of circuits.
+
+    Loads its two heavyweight inputs once — a fitted estimator (anything
+    with a ``predict(X)`` over 30-dim feature rows, typically a
+    :class:`~repro.predictor.estimator.HellingerEstimator`) and a target
+    :class:`~repro.hardware.device.Device` — and then answers
+    :meth:`predict` / :meth:`score_established_foms` calls with batched
+    compile -> featurize -> predict sweeps.
+
+    Args:
+        estimator: fitted model mapping ``(M, 30)`` features to distances.
+        device: a :class:`Device`, a built-in name (``q20a``/``q20b``),
+            or a zoo spec string (``zoo:heavy_hex:16:noisy:1``).
+        optimization_level: default compilation level for served circuits.
+        seed: base seed of the per-circuit compile-seed streams
+            (``seed + 7919 * position``, the dataset convention).
+        num_trials: level-3 layout/routing trials per circuit.
+        chunk_size: circuits per streamed chunk (memory ceiling).
+    """
+
+    def __init__(
+        self,
+        estimator,
+        device: "Device | str",
+        *,
+        optimization_level: int = 3,
+        seed: int = 0,
+        num_trials: int = 4,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        if not hasattr(estimator, "predict"):
+            raise TypeError(
+                f"estimator must expose predict(X); got {type(estimator).__name__}"
+            )
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.estimator = estimator
+        self.device = resolve_device(device)
+        self.optimization_level = optimization_level
+        self.seed = seed
+        self.num_trials = num_trials
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    # Construction from persisted artifacts
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, model_path, device: "Device | str", **kwargs) -> "FomService":
+        """Boot a service from a ``save_model`` ``.npz`` file.
+
+        Raises :class:`~repro.evaluation.persistence.PersistenceError`
+        on missing/corrupt/foreign model files.
+        """
+        from ..evaluation.persistence import load_model
+
+        return cls(load_model(model_path), device, **kwargs)
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        device: "Device | str",
+        *,
+        name: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        **kwargs,
+    ) -> "FomService":
+        """Boot a service from an estimator checkpoint in an artifact store.
+
+        ``store`` is an :class:`~repro.evaluation.artifacts.ArtifactStore`
+        or a cache directory path (the one ``run_cross_device_study``
+        writes its train-split estimator into).  ``name`` /
+        ``fingerprint`` narrow the candidates when the store holds more
+        than one estimator; ambiguity is an error rather than a guess.
+        """
+        from ..evaluation.artifacts import ArtifactStore
+
+        store = ArtifactStore.coerce(store)
+        candidates: List[Tuple[str, str]] = []
+        for _, path in store.entries("estimator"):
+            stem = path.name[len("transfer-estimator_"):-len(".npz")]
+            entry_name, _, entry_fingerprint = stem.rpartition("_")
+            if name is not None and entry_name != name:
+                continue
+            if fingerprint is not None and entry_fingerprint != fingerprint:
+                continue
+            candidates.append((entry_name, entry_fingerprint))
+        if not candidates:
+            raise ValueError(
+                f"no estimator artifact matching name={name!r} "
+                f"fingerprint={fingerprint!r} in {store.root}"
+            )
+        if len(candidates) > 1:
+            raise ValueError(
+                "ambiguous estimator artifacts "
+                f"{sorted(candidates)} in {store.root}; "
+                "pass name=/fingerprint= to pick one"
+            )
+        estimator = store.get("estimator", *candidates[0])
+        if estimator is None:
+            raise ValueError(
+                f"estimator artifact {candidates[0]} in {store.root} "
+                "is corrupted or of the wrong kind"
+            )
+        return cls(estimator, device, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def predict(
+        self,
+        circuits: Iterable[QuantumCircuit],
+        *,
+        optimization_level: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Predicted Hellinger distances, one per input circuit.
+
+        The pipeline per chunk is ``compile_batch`` -> batched featurize
+        -> one forest ``predict``.  ``circuits`` may be any iterable —
+        including a generator over a corpus that does not fit in memory;
+        only ``chunk_size`` circuits are materialized at a time.  Results
+        are identical for every ``chunk_size`` and ``max_workers``.
+        """
+        parts = [
+            predictions
+            for predictions, _ in self._serve(
+                circuits, optimization_level, max_workers, chunk_size,
+                want_foms=False,
+            )
+        ]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def predict_stream(
+        self,
+        circuits: Iterable[QuantumCircuit],
+        *,
+        optimization_level: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[np.ndarray]:
+        """Like :meth:`predict`, but yield per-chunk prediction arrays.
+
+        For callers that also cannot hold the *output* (or want results
+        flowing before the corpus is exhausted).
+        """
+        for predictions, _ in self._serve(
+            circuits, optimization_level, max_workers, chunk_size,
+            want_foms=False,
+        ):
+            yield predictions
+
+    def score_established_foms(
+        self,
+        circuits: Iterable[QuantumCircuit],
+        *,
+        optimization_level: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """The paper's full metric panel in one call.
+
+        One compile pass feeds everything: the four established figures
+        of merit of Table I (gate count, depth, expected fidelity, ESP —
+        computed on the *compiled* circuit against the device's reported
+        calibration) plus the proposed estimator's predictions under the
+        :data:`PROPOSED_LABEL` key.  Each value is one array, in input
+        order.
+        """
+        panel: Dict[str, List[np.ndarray]] = {}
+        for predictions, foms in self._serve(
+            circuits, optimization_level, max_workers, chunk_size,
+            want_foms=True,
+        ):
+            for fom_name, values in foms.items():
+                panel.setdefault(fom_name, []).append(values)
+            panel.setdefault(PROPOSED_LABEL, []).append(predictions)
+        if not panel:
+            return {
+                name: np.empty(0) for name in (*FOM_ORDER, PROPOSED_LABEL)
+            }
+        return {name: np.concatenate(parts) for name, parts in panel.items()}
+
+    def compile_only(
+        self,
+        circuits: Iterable[QuantumCircuit],
+        *,
+        optimization_level: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[CompilationResult]:
+        """The service's compilation stage alone (seed streams included)."""
+        circuits = list(circuits)
+        return self._compile_chunk(
+            circuits, 0,
+            self.optimization_level if optimization_level is None
+            else optimization_level,
+            max_workers,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _compile_chunk(
+        self,
+        chunk: List[QuantumCircuit],
+        offset: int,
+        optimization_level: int,
+        max_workers: Optional[int],
+    ) -> List[CompilationResult]:
+        return compile_batch(
+            chunk,
+            self.device,
+            optimization_level=optimization_level,
+            # Seeds follow the global input position, so chunking cannot
+            # change which compilation a circuit gets.
+            seeds=[
+                self.seed + SEED_STRIDE * (offset + index)
+                for index in range(len(chunk))
+            ],
+            num_trials=self.num_trials,
+            max_workers=max_workers,
+        )
+
+    def _serve(
+        self,
+        circuits: Iterable[QuantumCircuit],
+        optimization_level: Optional[int],
+        max_workers: Optional[int],
+        chunk_size: Optional[int],
+        want_foms: bool,
+    ) -> Iterator[Tuple[np.ndarray, Dict[str, np.ndarray]]]:
+        level = (
+            self.optimization_level
+            if optimization_level is None
+            else optimization_level
+        )
+        size = self.chunk_size if chunk_size is None else chunk_size
+        if size < 1:
+            raise ValueError("chunk_size must be positive")
+        # Featurization is GIL-bound pure Python: like compile_batch, the
+        # default (None) stays sequential — an explicit worker count opts
+        # both stages into a pool.
+        feature_workers = 1 if max_workers is None else max_workers
+        offset = 0
+        for chunk in _chunked(circuits, size):
+            results = self._compile_chunk(chunk, offset, level, max_workers)
+            offset += len(chunk)
+            compiled = [result.circuit for result in results]
+            features = feature_matrix(compiled, max_workers=feature_workers)
+            predictions = np.asarray(self.estimator.predict(features), dtype=float)
+            foms: Dict[str, np.ndarray] = {}
+            if want_foms:
+                # Specialized computations (batched fidelity) under the
+                # shared Table-I labels, in FOM_ORDER.
+                gates_label, depth_label, fidelity_label, esp_label = FOM_ORDER
+                foms[gates_label] = np.array(
+                    [float(circuit.size()) for circuit in compiled]
+                )
+                foms[depth_label] = np.array(
+                    [float(circuit.depth()) for circuit in compiled]
+                )
+                foms[fidelity_label] = expected_fidelity_batch(
+                    compiled, self.device
+                )
+                foms[esp_label] = np.array(
+                    [esp(circuit, self.device) for circuit in compiled]
+                )
+            yield predictions, foms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FomService(device={self.device.name!r}, "
+            f"level={self.optimization_level}, chunk_size={self.chunk_size})"
+        )
+
+
+def _chunked(
+    circuits: Iterable[QuantumCircuit], size: int
+) -> Iterator[List[QuantumCircuit]]:
+    """Materialize an iterable ``size`` circuits at a time."""
+    chunk: List[QuantumCircuit] = []
+    for circuit in circuits:
+        chunk.append(circuit)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "FomService", "PROPOSED_LABEL"]

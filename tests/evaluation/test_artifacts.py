@@ -1,0 +1,248 @@
+"""The unified artifact store: round-trips, invalidation, silent rebuild.
+
+Also pins backward compatibility: cache directories written by the
+pre-refactor ad-hoc schemes (``save_dataset_cache`` / ``save_report_cache``
+/ ``save_model`` at the original file names) must keep hitting through
+the store, with bit-identical contents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.artifacts import ARTIFACT_KINDS, ArtifactStore
+from repro.evaluation.persistence import (
+    save_dataset_cache,
+    save_model,
+    save_report_cache,
+)
+from repro.ml.forest import RandomForestRegressor
+from repro.predictor.dataset import CircuitDataset, DatasetEntry
+from repro.predictor.estimator import EstimatorReport, HellingerEstimator
+
+
+def make_dataset(device_name="Q20-A", entries=3):
+    dataset = CircuitDataset(device_name=device_name)
+    rng = np.random.default_rng(0)
+    for index in range(entries):
+        dataset.entries.append(
+            DatasetEntry(
+                name=f"ghz_{index + 2}",
+                algorithm="ghz",
+                num_qubits=index + 2,
+                features=rng.uniform(size=30),
+                label=float(rng.uniform()),
+                fom_values={"Number of gates": float(index + 4)},
+                compiled_depth=10 + index,
+                compiled_two_qubit_gates=index + 1,
+                success_probability=0.9,
+            )
+        )
+    return dataset
+
+
+def make_report(device_name="Q20-A"):
+    rng = np.random.default_rng(1)
+    return EstimatorReport(
+        device_name=device_name,
+        test_pearson=0.9,
+        train_pearson=0.95,
+        cv_score=0.85,
+        best_params={"n_estimators": 8},
+        feature_importances=rng.uniform(size=30),
+        y_test=rng.uniform(size=4),
+        y_test_pred=rng.uniform(size=4),
+        test_indices=np.array([1, 3, 5, 7]),
+    )
+
+
+def make_estimator():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(size=(40, 30))
+    y = rng.uniform(size=40)
+    estimator = HellingerEstimator(
+        param_grid={
+            "n_estimators": [4],
+            "max_depth": [3],
+            "min_samples_leaf": [1],
+            "min_samples_split": [2],
+        },
+        seed=0,
+    )
+    estimator.fit(X, y)
+    return estimator, X
+
+
+def assert_datasets_equal(a, b):
+    assert a.device_name == b.device_name
+    assert len(a) == len(b)
+    for left, right in zip(a.entries, b.entries):
+        assert left.name == right.name
+        assert np.array_equal(left.features, right.features)
+        assert left.label == right.label
+        assert left.fom_values == right.fom_values
+
+
+def test_dataset_roundtrip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    dataset = make_dataset()
+    path = store.put("dataset", dataset, "Q20-A", "f" * 16)
+    assert path.name == f"dataset_Q20-A_{'f' * 16}.json"
+    assert_datasets_equal(store.get("dataset", "Q20-A", "f" * 16), dataset)
+
+
+def test_report_roundtrip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    report = make_report()
+    store.put("report", report, "Q20-A", "ab")
+    loaded = store.get("report", "Q20-A", "ab")
+    assert loaded.test_pearson == report.test_pearson
+    assert np.array_equal(loaded.feature_importances, report.feature_importances)
+    assert np.array_equal(loaded.test_indices, report.test_indices)
+
+
+def test_estimator_roundtrip_predicts_identically(tmp_path):
+    store = ArtifactStore(tmp_path)
+    estimator, X = make_estimator()
+    store.put("estimator", estimator, "Q20-A", "cd")
+    loaded = store.get("estimator", "Q20-A", "cd")
+    assert isinstance(loaded, HellingerEstimator)
+    assert np.array_equal(loaded.predict(X), estimator.predict(X))
+
+
+def test_fingerprint_mismatch_is_a_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("dataset", make_dataset(), "Q20-A", "old-fingerprint")
+    assert store.get("dataset", "Q20-A", "new-fingerprint") is None
+
+
+def test_missing_entry_is_a_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    for kind in ARTIFACT_KINDS:
+        assert store.get(kind, "Q20-A", "nope") is None
+
+
+def test_corrupt_truncated_and_foreign_entries_rebuild_silently(tmp_path):
+    store = ArtifactStore(tmp_path)
+    dataset = make_dataset()
+    fingerprint = "a1b2"
+    path = store.put("dataset", dataset, "Q20-A", fingerprint)
+
+    path.write_text("{ corrupted json")
+    assert store.get("dataset", "Q20-A", fingerprint) is None
+
+    full = store.put("dataset", dataset, "Q20-A", fingerprint)
+    full.write_text(full.read_text()[: len(full.read_text()) // 2])  # truncated
+    assert store.get("dataset", "Q20-A", fingerprint) is None
+
+    path.write_text('{"format": "another-tool-entirely"}')
+    assert store.get("dataset", "Q20-A", fingerprint) is None
+
+    # A foreign artifact of the wrong *kind* at the right path.
+    report_bytes = store.put("report", make_report(), "X", "y").read_bytes()
+    path.write_bytes(report_bytes)
+    assert store.get("dataset", "Q20-A", fingerprint) is None
+
+    # Rebuild-and-put over the bad entry restores service.
+    store.put("dataset", dataset, "Q20-A", fingerprint)
+    assert_datasets_equal(store.get("dataset", "Q20-A", fingerprint), dataset)
+
+
+def test_estimator_entry_of_wrong_model_kind_is_a_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    rng = np.random.default_rng(3)
+    forest = RandomForestRegressor(n_estimators=3, random_state=0)
+    forest.fit(rng.uniform(size=(20, 5)), rng.uniform(size=20))
+    save_model(forest, store.path("estimator", "Q20-A", "ef"))
+    assert store.get("estimator", "Q20-A", "ef") is None
+
+
+def test_fetch_builds_once_and_reports_hits(tmp_path):
+    store = ArtifactStore(tmp_path)
+    dataset = make_dataset()
+    calls = {"build": 0, "hit": 0}
+
+    def build():
+        calls["build"] += 1
+        return dataset
+
+    def on_hit():
+        calls["hit"] += 1
+
+    first = store.fetch("dataset", "Q20-A", "fp", build, on_hit=on_hit)
+    second = store.fetch("dataset", "Q20-A", "fp", build, on_hit=on_hit)
+    assert calls == {"build": 1, "hit": 1}
+    assert_datasets_equal(first, second)
+
+
+def test_unknown_kind_rejected(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(ValueError, match="unknown artifact kind"):
+        store.get("weights", "x", "y")
+    with pytest.raises(ValueError, match="unknown artifact kind"):
+        store.put("weights", object(), "x", "y")
+
+
+def test_coerce_accepts_paths_stores_and_none(tmp_path):
+    assert ArtifactStore.coerce(None) is None
+    store = ArtifactStore.coerce(str(tmp_path))
+    assert isinstance(store, ArtifactStore)
+    assert ArtifactStore.coerce(store) is store
+
+
+def test_entries_enumeration(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert list(store.entries()) == []
+    store.put("dataset", make_dataset(), "Q20-A", "f1")
+    store.put("report", make_report(), "Q20-A", "f2")
+    estimator, _ = make_estimator()
+    store.put("estimator", estimator, "Q20-A", "f2")
+    kinds = [kind for kind, _ in store.entries()]
+    assert sorted(kinds) == ["dataset", "estimator", "report"]
+    assert [kind for kind, _ in store.entries("report")] == ["report"]
+
+
+# ----------------------------------------------------------------------
+# Backward compatibility with the pre-refactor ad-hoc cache schemes.
+
+
+def test_pre_refactor_cache_files_keep_hitting(tmp_path):
+    """Entries written with the old per-scheme helpers at the old file
+    names must be found — bit-identical — through the store."""
+    dataset = make_dataset()
+    report = make_report()
+    estimator, X = make_estimator()
+    fp_data, fp_report = "0123456789abcdef", "fedcba9876543210"
+
+    # The exact calls (and file names) run_study/run_cross_device_study
+    # made before the ArtifactStore existed.
+    save_dataset_cache(
+        dataset, tmp_path / f"dataset_Q20-A_{fp_data}.json", fp_data
+    )
+    save_report_cache(
+        report, tmp_path / f"report_Q20-A_{fp_report}.json", fp_report
+    )
+    save_model(
+        estimator, tmp_path / f"transfer-estimator_Q20-A_{fp_report}.npz"
+    )
+
+    store = ArtifactStore(tmp_path)
+    assert_datasets_equal(store.get("dataset", "Q20-A", fp_data), dataset)
+    loaded_report = store.get("report", "Q20-A", fp_report)
+    assert np.array_equal(
+        loaded_report.feature_importances, report.feature_importances
+    )
+    loaded_estimator = store.get("estimator", "Q20-A", fp_report)
+    assert np.array_equal(loaded_estimator.predict(X), estimator.predict(X))
+
+
+def test_store_writes_the_pre_refactor_file_names(tmp_path):
+    """The store's layout IS the old layout (old readers keep working)."""
+    store = ArtifactStore(tmp_path)
+    assert (
+        store.path("dataset", "Q20-B", "aa").name == "dataset_Q20-B_aa.json"
+    )
+    assert store.path("report", "Q20-B", "bb").name == "report_Q20-B_bb.json"
+    assert (
+        store.path("estimator", "Q20-B", "cc").name
+        == "transfer-estimator_Q20-B_cc.npz"
+    )

@@ -1,0 +1,331 @@
+"""FROZEN reference copy of ``repro/fom/features.py`` as of PR 4.
+
+Do not edit (beyond these header lines and absolute imports): the golden
+feature tests compare the vectorized single-pass extractor against this
+verbatim snapshot of the original multi-pass implementation, the same
+pattern ``tests/ml/reference_impl.py`` uses for the tree rewrite.  It
+requires ``networkx`` — import this module only behind
+``pytest.importorskip("networkx")``.
+
+The 30-dimensional, depth-independent circuit feature vector (Section IV-B).
+
+The proposed figure of merit trains on a fixed-size vectorized circuit
+representation that requires *no calibration data*.  Following the paper
+(which builds on the MQT Predictor encoding [40] and the SupermarQ feature
+suite [41]), the vector contains:
+
+* the hardware-agnostic established metrics (gate counts, circuit depth),
+* **liveness** — how actively qubits are utilized,
+* **parallelism** — operational concurrency per layer,
+* **directed program communication** — the ratio between actual and maximal
+  average node degree of the circuit's *directed* interaction graph,
+* **gate ratios** — the circuit's operational density,
+* interaction-graph statistics and other structural features.
+
+Every feature is a plain float, its size independent of circuit depth.
+:data:`FEATURE_NAMES` fixes the ordering; :data:`FEATURE_GROUPS` maps each
+feature to one of the seven categories of the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag
+
+#: Feature ordering of the vector (length 30).
+FEATURE_NAMES: List[str] = [
+    # Gate counts (5)
+    "total_gates",
+    "one_qubit_gates",
+    "two_qubit_gates",
+    "measurement_count",
+    "gates_per_qubit",
+    # Circuit depth (3)
+    "depth",
+    "depth_per_qubit",
+    "weighted_depth",
+    # Gate ratios (4)
+    "two_qubit_ratio",
+    "one_qubit_ratio",
+    "gate_density",
+    "two_qubit_density",
+    # Liveness (5)
+    "liveness",
+    "liveness_std",
+    "liveness_min",
+    "idle_streak_max",
+    "idle_streak_mean",
+    # Parallelism (5)
+    "parallelism",
+    "mean_layer_occupancy",
+    "max_layer_occupancy",
+    "parallel_two_qubit_fraction",
+    "max_simultaneous_two_qubit",
+    # Directed program communication (5)
+    "directed_communication",
+    "undirected_communication",
+    "interaction_degree_max",
+    "interaction_degree_mean",
+    "interaction_clustering",
+    # Other (3)
+    "active_qubits",
+    "entanglement_ratio",
+    "critical_two_qubit_fraction",
+]
+
+#: Fig. 3 category of every feature.
+FEATURE_GROUPS: Dict[str, str] = {
+    "total_gates": "Gate counts",
+    "one_qubit_gates": "Gate counts",
+    "two_qubit_gates": "Gate counts",
+    "measurement_count": "Gate counts",
+    "gates_per_qubit": "Gate counts",
+    "depth": "Circuit depth",
+    "depth_per_qubit": "Circuit depth",
+    "weighted_depth": "Circuit depth",
+    "two_qubit_ratio": "Gate ratios",
+    "one_qubit_ratio": "Gate ratios",
+    "gate_density": "Gate ratios",
+    "two_qubit_density": "Gate ratios",
+    "liveness": "Liveness",
+    "liveness_std": "Liveness",
+    "liveness_min": "Liveness",
+    "idle_streak_max": "Liveness",
+    "idle_streak_mean": "Liveness",
+    "parallelism": "Parallelism",
+    "mean_layer_occupancy": "Parallelism",
+    "max_layer_occupancy": "Parallelism",
+    "parallel_two_qubit_fraction": "Parallelism",
+    "max_simultaneous_two_qubit": "Parallelism",
+    "directed_communication": "Dir. prog. comm.",
+    "undirected_communication": "Dir. prog. comm.",
+    "interaction_degree_max": "Dir. prog. comm.",
+    "interaction_degree_mean": "Dir. prog. comm.",
+    "interaction_clustering": "Dir. prog. comm.",
+    "active_qubits": "Other features",
+    "entanglement_ratio": "Other features",
+    "critical_two_qubit_fraction": "Other features",
+}
+
+#: Category display order of Fig. 3.
+GROUP_ORDER = [
+    "Liveness",
+    "Gate ratios",
+    "Dir. prog. comm.",
+    "Parallelism",
+    "Gate counts",
+    "Circuit depth",
+    "Other features",
+]
+
+NUM_FEATURES = len(FEATURE_NAMES)
+
+
+def feature_vector(circuit: QuantumCircuit) -> np.ndarray:
+    """Compute the 30-dim feature vector of a (compiled) circuit."""
+    values = feature_dict(circuit)
+    return np.array([values[name] for name in FEATURE_NAMES], dtype=float)
+
+
+def feature_dict(circuit: QuantumCircuit) -> Dict[str, float]:
+    """Compute all features as a name -> value dict."""
+    active = circuit.active_qubits()
+    n_active = max(len(active), 1)
+    total = circuit.size()
+    one_q = sum(
+        1 for ins in circuit.instructions if ins.is_unitary and ins.num_qubits == 1
+    )
+    two_q = circuit.num_nonlocal_gates()
+    measures = sum(1 for ins in circuit.instructions if ins.name == "measure")
+    depth = circuit.depth()
+
+    dag = CircuitDag(circuit)
+    layers = dag.layers(include_directives=False)
+    n_layers = max(len(layers), 1)
+
+    liveness_stats = _liveness(circuit, layers, active)
+    parallel_stats = _parallelism(layers, n_active, total)
+    comm_stats = _communication(circuit, n_active)
+    critical_fraction = _critical_two_qubit_fraction(dag)
+
+    features: Dict[str, float] = {
+        "total_gates": float(total),
+        "one_qubit_gates": float(one_q),
+        "two_qubit_gates": float(two_q),
+        "measurement_count": float(measures),
+        "gates_per_qubit": total / n_active,
+        "depth": float(depth),
+        "depth_per_qubit": depth / n_active,
+        "weighted_depth": _weighted_depth(layers),
+        "two_qubit_ratio": two_q / max(total, 1),
+        "one_qubit_ratio": one_q / max(total, 1),
+        "gate_density": total / (n_layers * n_active),
+        "two_qubit_density": two_q / (n_layers * n_active),
+        "active_qubits": float(len(active)),
+        "entanglement_ratio": _entanglement_ratio(circuit, active),
+        "critical_two_qubit_fraction": critical_fraction,
+    }
+    features.update(liveness_stats)
+    features.update(parallel_stats)
+    features.update(comm_stats)
+    return features
+
+
+def _liveness(
+    circuit: QuantumCircuit, layers, active
+) -> Dict[str, float]:
+    """SupermarQ liveness: per-qubit fraction of layers in which it is busy."""
+    n_layers = len(layers)
+    if n_layers == 0 or not active:
+        return {
+            "liveness": 0.0,
+            "liveness_std": 0.0,
+            "liveness_min": 0.0,
+            "idle_streak_max": 0.0,
+            "idle_streak_mean": 0.0,
+        }
+    busy = {q: np.zeros(n_layers, dtype=bool) for q in active}
+    for index, layer in enumerate(layers):
+        for instruction in layer:
+            for q in instruction.qubits:
+                if q in busy:
+                    busy[q][index] = True
+    fractions = np.array([b.mean() for b in busy.values()])
+    streak_max = []
+    for b in busy.values():
+        longest = 0
+        current = 0
+        for flag in b:
+            current = 0 if flag else current + 1
+            longest = max(longest, current)
+        streak_max.append(longest / n_layers)
+    streaks = np.array(streak_max)
+    return {
+        "liveness": float(fractions.mean()),
+        "liveness_std": float(fractions.std()),
+        "liveness_min": float(fractions.min()),
+        "idle_streak_max": float(streaks.max()),
+        "idle_streak_mean": float(streaks.mean()),
+    }
+
+
+def _parallelism(layers, n_active: int, total: int) -> Dict[str, float]:
+    """SupermarQ parallelism plus layer-occupancy statistics."""
+    n_layers = len(layers)
+    if n_layers == 0:
+        return {
+            "parallelism": 0.0,
+            "mean_layer_occupancy": 0.0,
+            "max_layer_occupancy": 0.0,
+            "parallel_two_qubit_fraction": 0.0,
+            "max_simultaneous_two_qubit": 0.0,
+        }
+    if n_active > 1:
+        parallelism = (total / n_layers - 1.0) / (n_active - 1.0)
+        parallelism = float(np.clip(parallelism, 0.0, 1.0))
+    else:
+        parallelism = 0.0
+    occupancy = []
+    two_q_counts = []
+    parallel_two_q = 0
+    total_two_q = 0
+    for layer in layers:
+        qubits_busy = sum(len(ins.qubits) for ins in layer)
+        occupancy.append(qubits_busy / n_active)
+        layer_two_q = sum(1 for ins in layer if ins.num_qubits >= 2)
+        two_q_counts.append(layer_two_q)
+        total_two_q += layer_two_q
+        if layer_two_q >= 2:
+            parallel_two_q += layer_two_q
+    max_pairs = max(n_active // 2, 1)
+    return {
+        "parallelism": parallelism,
+        "mean_layer_occupancy": float(np.mean(occupancy)),
+        "max_layer_occupancy": float(np.max(occupancy)),
+        "parallel_two_qubit_fraction": (
+            parallel_two_q / total_two_q if total_two_q else 0.0
+        ),
+        "max_simultaneous_two_qubit": float(max(two_q_counts)) / max_pairs,
+    }
+
+
+def _communication(circuit: QuantumCircuit, n_active: int) -> Dict[str, float]:
+    """Directed/undirected program communication and interaction-graph stats."""
+    directed_edges = set()
+    undirected_edges = set()
+    for instruction in circuit.instructions:
+        if instruction.is_unitary and instruction.num_qubits == 2:
+            a, b = instruction.qubits
+            directed_edges.add((a, b))
+            undirected_edges.add(tuple(sorted((a, b))))
+    if n_active <= 1:
+        return {
+            "directed_communication": 0.0,
+            "undirected_communication": 0.0,
+            "interaction_degree_max": 0.0,
+            "interaction_degree_mean": 0.0,
+            "interaction_clustering": 0.0,
+        }
+    max_directed = n_active * (n_active - 1)
+    max_undirected = max_directed / 2
+    graph = nx.Graph()
+    graph.add_edges_from(undirected_edges)
+    degrees = [d for _, d in graph.degree()] or [0]
+    clustering = (
+        float(np.mean(list(nx.clustering(graph).values())))
+        if graph.number_of_nodes() > 0
+        else 0.0
+    )
+    return {
+        "directed_communication": len(directed_edges) / max_directed,
+        "undirected_communication": len(undirected_edges) / max_undirected,
+        "interaction_degree_max": max(degrees) / (n_active - 1),
+        "interaction_degree_mean": float(np.mean(degrees)) / (n_active - 1),
+        "interaction_clustering": clustering,
+    }
+
+
+def _weighted_depth(layers) -> float:
+    """Depth where a layer containing a two-qubit gate costs 3 time units.
+
+    A calibration-free proxy for circuit duration (two-qubit gates take
+    roughly three times as long as single-qubit pulses).
+    """
+    cost = 0.0
+    for layer in layers:
+        cost += 3.0 if any(ins.num_qubits >= 2 for ins in layer) else 1.0
+    return cost
+
+
+def _entanglement_ratio(circuit: QuantumCircuit, active) -> float:
+    """Fraction of active qubits touched by at least one two-qubit gate."""
+    if not active:
+        return 0.0
+    entangled = set()
+    for instruction in circuit.instructions:
+        if instruction.is_unitary and instruction.num_qubits >= 2:
+            entangled.update(instruction.qubits)
+    return len(entangled & set(active)) / len(active)
+
+
+def _critical_two_qubit_fraction(dag: CircuitDag) -> float:
+    """Fraction of operations on the critical path that are two-qubit gates."""
+    path = dag.critical_path()
+    if not path:
+        return 0.0
+    two_q = sum(
+        1 for index in path
+        if dag.nodes[index].instruction.num_qubits >= 2
+        and dag.nodes[index].instruction.is_unitary
+    )
+    return two_q / len(path)
+
+
+def feature_matrix(circuits) -> np.ndarray:
+    """Stack feature vectors of many circuits into an ``(M, 30)`` matrix."""
+    return np.vstack([feature_vector(c) for c in circuits])

@@ -1,0 +1,188 @@
+"""Golden tests: the single-pass extractor against the frozen reference.
+
+``tests/fom/reference_features.py`` is a verbatim copy of the multi-pass,
+networkx-based implementation (the pattern ``tests/ml/reference_impl.py``
+established for the tree rewrite).  The vectorized extractor must agree to
+<= 1e-12 on every feature for suite circuits, random circuits across
+2-16 qubits, compiled circuits, and directive-heavy edge cases — and it
+must do so in a **single traversal** of the instruction list.
+
+The reference needs ``networkx`` (a test-only extra since this PR), so the
+whole module skips when it is unavailable.
+"""
+
+import numpy as np
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.bench.suite import build_suite  # noqa: E402
+from repro.circuits.circuit import QuantumCircuit  # noqa: E402
+from repro.circuits.random import random_circuit  # noqa: E402
+from repro.fom.features import (  # noqa: E402
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    feature_dict,
+    feature_matrix,
+    feature_vector,
+)
+
+from . import reference_features as reference  # noqa: E402
+
+TOLERANCE = 1e-12
+
+
+def assert_features_match(circuit, tag):
+    ours = feature_vector(circuit)
+    golden = reference.feature_vector(circuit)
+    for index, name in enumerate(FEATURE_NAMES):
+        assert ours[index] == pytest.approx(golden[index], abs=TOLERANCE), (
+            f"{tag}: feature {name!r} diverged "
+            f"({ours[index]!r} != {golden[index]!r})"
+        )
+
+
+def test_reference_is_the_old_interface():
+    assert reference.FEATURE_NAMES == FEATURE_NAMES
+    assert reference.NUM_FEATURES == NUM_FEATURES == 30
+
+
+def test_golden_suite_circuits():
+    """Every benchmark family, 2-8 qubits (the full sweep runs in slow)."""
+    for entry in build_suite(min_qubits=2, max_qubits=8):
+        assert_features_match(entry.circuit, entry.name)
+
+
+@pytest.mark.slow
+def test_golden_full_suite():
+    """The paper's full 2-20-qubit suite (acceptance-criterion sweep)."""
+    for entry in build_suite(min_qubits=2, max_qubits=20):
+        assert_features_match(entry.circuit, entry.name)
+
+
+def test_golden_random_circuits_2_to_16_qubits():
+    for num_qubits in range(2, 17):
+        for seed in range(4):
+            circuit = random_circuit(
+                num_qubits,
+                3 * num_qubits,
+                seed=seed,
+                measure=(seed % 2 == 0),
+            )
+            assert_features_match(circuit, f"random_{num_qubits}_{seed}")
+
+
+def test_golden_compiled_circuits():
+    """Compiled circuits: the vectors the dataset/serving paths consume."""
+    from repro.compiler import compile_circuit
+    from repro.hardware import make_q20a
+
+    device = make_q20a()
+    for seed, level in ((0, 1), (1, 2), (2, 3)):
+        raw = random_circuit(8, 16, seed=seed, measure=True)
+        compiled = compile_circuit(
+            raw, device, optimization_level=level, seed=seed
+        ).circuit
+        assert_features_match(compiled, f"compiled_l{level}_s{seed}")
+
+
+def test_golden_directive_edge_cases():
+    cases = {}
+    cases["empty"] = QuantumCircuit(2)
+    cases["one_qubit"] = QuantumCircuit(1)
+    barrier_only = QuantumCircuit(3)
+    barrier_only.barrier()
+    cases["barrier_only"] = barrier_only
+    measure_only = QuantumCircuit(2, 2)
+    measure_only.measure(0, 0).measure(1, 1)
+    cases["measure_only"] = measure_only
+    mixed = QuantumCircuit(4, 4)
+    mixed.h(0).barrier().cx(0, 1).barrier(0, 1)
+    mixed.measure(0, 0)
+    mixed.h(2).cx(2, 3).measure(2, 2)
+    mixed.cx(1, 3)          # a gate *after* a measurement on qubit 1's chain
+    cases["mixed_directives"] = mixed
+    ties = QuantumCircuit(4)
+    ties.cx(0, 1).cx(2, 3).cx(1, 2).cx(0, 3).h(1).cx(1, 2)
+    cases["chain_ties"] = ties
+    for tag, circuit in cases.items():
+        assert_features_match(circuit, tag)
+
+
+def test_feature_extraction_is_single_traversal():
+    """Regression for the multi-pass era: one iteration over the list.
+
+    The old implementation walked the instruction list once per feature
+    group (size/depth/active_qubits plus a DAG build plus per-helper
+    sweeps).  A counting sequence pins the rewrite: ``feature_vector``
+    may iterate ``circuit.instructions`` exactly once, and must not build
+    a ``CircuitDag`` at all.
+    """
+
+    class CountingInstructions(list):
+        iterations = 0
+
+        def __iter__(self):
+            type(self).iterations = self.iterations + 1
+            return super().__iter__()
+
+    circuit = random_circuit(5, 25, seed=3, measure=True)
+    circuit.barrier()
+    circuit.instructions = CountingInstructions(circuit.instructions)
+
+    import repro.circuits.dag as dag_module
+
+    original_init = dag_module.CircuitDag.__init__
+
+    def forbidden(self, *args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("feature extraction built a CircuitDag")
+
+    dag_module.CircuitDag.__init__ = forbidden
+    try:
+        feature_vector(circuit)
+    finally:
+        dag_module.CircuitDag.__init__ = original_init
+    assert CountingInstructions.iterations == 1
+
+
+def test_interaction_stats_match_networkx():
+    """Cross-check the adjacency-array graph stats against networkx."""
+    for seed in range(5):
+        circuit = random_circuit(8, 30, seed=seed)
+        values = feature_dict(circuit)
+        undirected = set()
+        for instruction in circuit.instructions:
+            if instruction.is_unitary and instruction.num_qubits == 2:
+                undirected.add(tuple(sorted(instruction.qubits)))
+        graph = nx.Graph()
+        graph.add_edges_from(undirected)
+        n_active = max(len(circuit.active_qubits()), 1)
+        degrees = [d for _, d in graph.degree()] or [0]
+        assert values["interaction_degree_max"] == pytest.approx(
+            max(degrees) / (n_active - 1), abs=TOLERANCE
+        )
+        assert values["interaction_degree_mean"] == pytest.approx(
+            float(np.mean(degrees)) / (n_active - 1), abs=TOLERANCE
+        )
+        expected_clustering = (
+            float(np.mean(list(nx.clustering(graph).values())))
+            if graph.number_of_nodes()
+            else 0.0
+        )
+        assert values["interaction_clustering"] == pytest.approx(
+            expected_clustering, abs=TOLERANCE
+        )
+
+
+def test_feature_matrix_worker_invariance():
+    circuits = [
+        random_circuit(4, 12, seed=seed, measure=True) for seed in range(6)
+    ]
+    base = feature_matrix(circuits)
+    assert base.shape == (6, NUM_FEATURES)
+    for workers in (2, 4, None):
+        assert np.array_equal(feature_matrix(circuits, max_workers=workers), base)
+
+
+def test_feature_matrix_empty_input():
+    assert feature_matrix([]).shape == (0, NUM_FEATURES)

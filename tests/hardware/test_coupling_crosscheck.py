@@ -1,0 +1,137 @@
+"""Cross-checks of the dependency-free graph kernels against networkx.
+
+``CouplingMap`` stopped depending on networkx when the serving stack was
+refactored; these tests pin the ported algorithms — bidirectional
+shortest path (including its tie-break between equal-length paths), BFS
+discovery order, the all-pairs distance matrix, connectivity, the
+weighted Dijkstra sweep of noise-aware routing, and the heavy-hex
+lattice generator — against the networkx originals.  networkx is a
+test-only extra now, so the module skips when it is missing.
+"""
+
+import itertools
+import math
+import random
+
+import numpy as np
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.compiler.passes.noise_aware import _dijkstra_lengths  # noqa: E402
+from repro.hardware.coupling import (  # noqa: E402
+    CouplingMap,
+    hexagonal_lattice,
+)
+
+
+def random_graph(rng, max_qubits=12):
+    num_qubits = rng.randint(2, max_qubits)
+    possible = list(itertools.combinations(range(num_qubits), 2))
+    rng.shuffle(possible)
+    edges = possible[: rng.randint(1, len(possible))]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_qubits))
+    for a, b in edges:
+        graph.add_edge(a, b)
+    return CouplingMap(num_qubits, edges), graph
+
+
+def test_shortest_path_matches_networkx_tiebreaks():
+    """Equal-length paths must resolve exactly as networkx resolves them.
+
+    Routing (and with it the golden compile digests) depends on *which*
+    shortest path comes back, not just its length.
+    """
+    rng = random.Random(0)
+    for _ in range(60):
+        coupling, graph = random_graph(rng)
+        for a in range(coupling.num_qubits):
+            for b in range(coupling.num_qubits):
+                try:
+                    expected = nx.shortest_path(graph, a, b)
+                except nx.NetworkXNoPath:
+                    with pytest.raises(ValueError, match="no path"):
+                        coupling.shortest_path(a, b)
+                    continue
+                assert coupling.shortest_path(a, b) == expected
+
+
+def test_distance_matrix_and_connectivity_match_networkx():
+    rng = random.Random(1)
+    for _ in range(60):
+        coupling, graph = random_graph(rng)
+        n = coupling.num_qubits
+        expected = np.full((n, n), np.inf)
+        for source, lengths in nx.all_pairs_shortest_path_length(graph):
+            for target, length in lengths.items():
+                expected[source, target] = length
+        assert np.array_equal(coupling.distance_matrix(), expected)
+        assert coupling.is_connected() == nx.is_connected(graph)
+
+
+def test_bfs_order_matches_networkx_bfs_tree():
+    """``LineLayout`` consumes this exact discovery order."""
+    rng = random.Random(2)
+    for _ in range(40):
+        coupling, graph = random_graph(rng)
+        for start in range(coupling.num_qubits):
+            assert coupling.bfs_order(start) == list(nx.bfs_tree(graph, start))
+
+
+def test_subgraph_connectivity_matches_networkx():
+    rng = random.Random(3)
+    for _ in range(40):
+        coupling, graph = random_graph(rng)
+        qubits = rng.sample(
+            range(coupling.num_qubits),
+            rng.randint(1, coupling.num_qubits),
+        )
+        expected = nx.is_connected(graph.subgraph(qubits))
+        assert coupling.subgraph_is_connected(qubits) == expected
+
+
+def test_dijkstra_lengths_bit_identical_to_networkx():
+    """Float path sums must match networkx to the last bit.
+
+    Equal-cost paths can differ in their *float* sums by an ulp depending
+    on relaxation order; noise-aware routing consumes these distances, so
+    the port replicates networkx's heap discipline exactly.
+    """
+    rng = random.Random(4)
+    for _ in range(40):
+        num_qubits = rng.randint(2, 12)
+        possible = list(itertools.combinations(range(num_qubits), 2))
+        rng.shuffle(possible)
+        edges = sorted(possible[: rng.randint(1, len(possible))])
+        adjacency = [{} for _ in range(num_qubits)]
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_qubits))
+        for a, b in edges:
+            weight = 1.0 - math.log(max(rng.uniform(0.8, 0.999), 1e-6))
+            adjacency[a][b] = weight
+            adjacency[b][a] = weight
+            graph.add_edge(a, b, weight=weight)
+        for source in range(num_qubits):
+            mine = _dijkstra_lengths(adjacency, source)
+            theirs = nx.single_source_dijkstra_path_length(
+                graph, source, weight="weight"
+            )
+            assert set(mine) == set(theirs)
+            for target in mine:
+                assert mine[target] == theirs[target]
+
+
+@pytest.mark.parametrize("distance", [1, 2, 3, 4, 5])
+def test_hexagonal_lattice_matches_networkx(distance):
+    graph = nx.hexagonal_lattice_graph(distance, distance)
+    nodes, edges = hexagonal_lattice(distance, distance)
+    assert nodes == sorted(graph.nodes)
+    assert {frozenset(edge) for edge in edges} == {
+        frozenset(edge) for edge in graph.edges
+    }
+
+
+def test_hexagonal_lattice_empty():
+    assert hexagonal_lattice(0, 3) == ([], [])
+    assert hexagonal_lattice(3, 0) == ([], [])

@@ -1,0 +1,197 @@
+"""FomService: the batched end-to-end inference entry point."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.compiler.compile import SEED_STRIDE, compile_circuit
+from repro.evaluation.artifacts import ArtifactStore
+from repro.evaluation.persistence import save_model
+from repro.fom import esp, expected_fidelity, feature_vector
+from repro.fom.metrics import circuit_depth, gate_count
+from repro.hardware import make_q20a
+from repro.ml.forest import RandomForestRegressor
+from repro.predictor.estimator import HellingerEstimator
+from repro.predictor.service import PROPOSED_LABEL, FomService
+
+TINY_GRID = {
+    "n_estimators": [4],
+    "max_depth": [3],
+    "min_samples_leaf": [1],
+    "min_samples_split": [2],
+}
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(60, 30))
+    y = rng.uniform(size=60)
+    return HellingerEstimator(param_grid=TINY_GRID, seed=0).fit(X, y)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_q20a()
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    return [
+        random_circuit(3 + (seed % 3), 6, seed=seed, measure=True)
+        for seed in range(7)
+    ]
+
+
+@pytest.fixture(scope="module")
+def service(estimator, device):
+    return FomService(estimator, device, optimization_level=2, seed=0)
+
+
+def manual_predictions(estimator, device, circuits, level=2, seed=0):
+    """The seed-era per-circuit loop the batched service must reproduce."""
+    out = []
+    for index, circuit in enumerate(circuits):
+        compiled = compile_circuit(
+            circuit, device,
+            optimization_level=level, seed=seed + SEED_STRIDE * index,
+        ).circuit
+        out.append(
+            float(estimator.predict(feature_vector(compiled)[None, :])[0])
+        )
+    return np.array(out)
+
+
+def test_predict_matches_per_circuit_loop(service, estimator, device, circuits):
+    batched = service.predict(circuits)
+    assert batched.shape == (len(circuits),)
+    assert np.array_equal(
+        batched, manual_predictions(estimator, device, circuits)
+    )
+
+
+def test_predict_invariant_to_chunk_size(service, circuits):
+    base = service.predict(circuits)
+    for chunk_size in (1, 2, 3, len(circuits), 1000):
+        assert np.array_equal(
+            service.predict(circuits, chunk_size=chunk_size), base
+        )
+
+
+def test_predict_invariant_to_workers(service, circuits):
+    base = service.predict(circuits)
+    for workers in (1, 2, 4):
+        assert np.array_equal(
+            service.predict(circuits, max_workers=workers), base
+        )
+
+
+def test_predict_accepts_generators(service, circuits):
+    base = service.predict(circuits)
+    assert np.array_equal(
+        service.predict(iter(circuits), chunk_size=2), base
+    )
+
+
+def test_predict_stream_chunks(service, circuits):
+    chunks = list(service.predict_stream(circuits, chunk_size=3))
+    assert [len(chunk) for chunk in chunks] == [3, 3, 1]
+    assert np.array_equal(np.concatenate(chunks), service.predict(circuits))
+
+
+def test_predict_empty_input(service):
+    assert service.predict([]).shape == (0,)
+    panel = service.score_established_foms([])
+    assert PROPOSED_LABEL in panel
+    assert all(values.shape == (0,) for values in panel.values())
+
+
+def test_optimization_level_override(service, estimator, device, circuits):
+    level3 = service.predict(circuits, optimization_level=3)
+    assert np.array_equal(
+        level3, manual_predictions(estimator, device, circuits, level=3)
+    )
+
+
+def test_score_established_foms_panel(service, device, circuits):
+    panel = service.score_established_foms(circuits, chunk_size=3)
+    assert set(panel) == {
+        "Number of gates", "Circuit depth", "Expected fidelity", "ESP",
+        PROPOSED_LABEL,
+    }
+    compiled = [result.circuit for result in service.compile_only(circuits)]
+    for index, circuit in enumerate(compiled):
+        assert panel["Number of gates"][index] == float(gate_count(circuit))
+        assert panel["Circuit depth"][index] == float(circuit_depth(circuit))
+        assert panel["Expected fidelity"][index] == pytest.approx(
+            expected_fidelity(circuit, device), abs=1e-12
+        )
+        assert panel["ESP"][index] == pytest.approx(
+            esp(circuit, device), abs=1e-12
+        )
+    assert np.array_equal(panel[PROPOSED_LABEL], service.predict(circuits))
+
+
+def test_load_from_npz(tmp_path, estimator, device, circuits):
+    path = tmp_path / "model.npz"
+    save_model(estimator, path)
+    service = FomService.load(path, device, optimization_level=2, seed=0)
+    reference = FomService(estimator, device, optimization_level=2, seed=0)
+    assert np.array_equal(
+        service.predict(circuits), reference.predict(circuits)
+    )
+
+
+def test_from_store(tmp_path, estimator, device, circuits):
+    store = ArtifactStore(tmp_path)
+    store.put("estimator", estimator, "Q20-A", "fp1")
+    service = FomService.from_store(
+        store, device, optimization_level=2, seed=0
+    )
+    reference = FomService(estimator, device, optimization_level=2, seed=0)
+    assert np.array_equal(
+        service.predict(circuits), reference.predict(circuits)
+    )
+    # A directory path works too.
+    FomService.from_store(str(tmp_path), device)
+
+
+def test_from_store_ambiguity_and_misses(tmp_path, estimator, device):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(ValueError, match="no estimator artifact"):
+        FomService.from_store(store, device)
+    store.put("estimator", estimator, "Q20-A", "fp1")
+    store.put("estimator", estimator, "Q20-B", "fp2")
+    with pytest.raises(ValueError, match="ambiguous"):
+        FomService.from_store(store, device)
+    FomService.from_store(store, device, name="Q20-B")
+    FomService.from_store(store, device, fingerprint="fp1")
+    with pytest.raises(ValueError, match="no estimator artifact"):
+        FomService.from_store(store, device, name="Q99")
+
+
+def test_device_spec_strings(estimator):
+    assert FomService(estimator, "q20a").device.name == "Q20-A"
+    zoo = FomService(estimator, "zoo:ring:6:typical:1")
+    assert zoo.device.num_qubits == 6
+    with pytest.raises(ValueError, match="unknown device"):
+        FomService(estimator, "not-a-device")
+
+
+def test_plain_forest_estimators_work(device, circuits):
+    """Any .predict(X) model serves — e.g. a bare random forest."""
+    rng = np.random.default_rng(1)
+    forest = RandomForestRegressor(n_estimators=3, random_state=0)
+    forest.fit(rng.uniform(size=(30, 30)), rng.uniform(size=30))
+    service = FomService(forest, device, optimization_level=1)
+    assert service.predict(circuits[:3]).shape == (3,)
+
+
+def test_invalid_arguments(estimator, device):
+    with pytest.raises(TypeError, match="predict"):
+        FomService(object(), device)
+    with pytest.raises(ValueError, match="chunk_size"):
+        FomService(estimator, device, chunk_size=0)
+    service = FomService(estimator, device)
+    with pytest.raises(ValueError, match="chunk_size"):
+        service.predict([], chunk_size=0)

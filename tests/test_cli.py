@@ -103,3 +103,91 @@ def test_execute_on_zoo_device(qasm_file, capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "hellinger distance" in out
+
+
+# ----------------------------------------------------------------------
+# predict: the FomService frontend.
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    import numpy as np
+
+    from repro.evaluation import save_model
+    from repro.predictor import HellingerEstimator
+
+    rng = np.random.default_rng(0)
+    estimator = HellingerEstimator(
+        param_grid={
+            "n_estimators": [4],
+            "max_depth": [3],
+            "min_samples_leaf": [1],
+            "min_samples_split": [2],
+        },
+        seed=0,
+    ).fit(rng.uniform(size=(40, 30)), rng.uniform(size=40))
+    path = tmp_path / "model.npz"
+    save_model(estimator, path)
+    return str(path)
+
+
+@pytest.fixture
+def qasm_dir(tmp_path):
+    from repro.circuits.random import random_circuit
+
+    directory = tmp_path / "circuits"
+    directory.mkdir()
+    for seed in range(3):
+        qc = random_circuit(3, 6, seed=seed, measure=True)
+        (directory / f"rand_{seed}.qasm").write_text(to_qasm(qc))
+    return directory
+
+
+def test_predict_command_on_files(model_file, qasm_file, capsys):
+    assert main([
+        "predict", qasm_file, "--model", model_file,
+        "--device", "q20a", "--level", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "predicted_hellinger" in out
+    assert "ghz" in out
+    # Header comment + column header + one row.
+    assert len(out.strip().splitlines()) == 3
+
+
+def test_predict_command_on_directory(model_file, qasm_dir, capsys):
+    assert main([
+        "predict", str(qasm_dir), "--model", model_file, "--level", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    for seed in range(3):
+        assert f"rand_{seed}" in out
+
+
+def test_predict_command_foms_panel(model_file, qasm_dir, capsys):
+    assert main([
+        "predict", str(qasm_dir), "--model", model_file,
+        "--level", "1", "--foms",
+    ]) == 0
+    out = capsys.readouterr().out
+    for column in ("Number of gates", "Circuit depth", "Expected fidelity",
+                   "ESP", "Proposed approach"):
+        assert column in out
+
+
+def test_predict_command_rejects_bad_inputs(model_file, qasm_dir, tmp_path, qasm_file):
+    with pytest.raises(SystemExit, match="no such file or directory"):
+        main(["predict", "missing.qasm", "--model", model_file])
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(SystemExit, match="no .qasm files"):
+        main(["predict", str(empty), "--model", model_file])
+    not_model = tmp_path / "junk.npz"
+    not_model.write_text("not a model")
+    with pytest.raises(SystemExit, match="not a repro model file"):
+        main(["predict", qasm_file, "--model", str(not_model)])
+
+
+def test_predict_command_rejects_bad_chunk_size(model_file, qasm_file):
+    with pytest.raises(SystemExit, match="chunk_size must be positive"):
+        main(["predict", qasm_file, "--model", model_file, "--chunk-size", "0"])

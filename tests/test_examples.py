@@ -64,3 +64,26 @@ def test_train_fom_estimator_runs():
     assert result.returncode == 0, result.stderr
     assert "held-out test Pearson" in result.stdout
     assert "Feature importance" in result.stdout
+
+
+@pytest.mark.slow
+def test_predict_service_runs(tmp_path):
+    """The serving example, then the predict CLI against its artifacts."""
+    workdir = tmp_path / "serve"
+    result = _run("predict_service.py", "--quick", "--workdir", str(workdir),
+                  timeout=900)
+    assert result.returncode == 0, result.stderr
+    assert "Predicted Hellinger distance" in result.stdout
+    assert "streamed" in result.stdout
+    assert "batched predict" in result.stdout
+    # The CLI serves the artifacts the example left behind.
+    cli = subprocess.run(
+        [sys.executable, "-m", "repro", "predict", str(workdir / "circuits"),
+         "--device", "q20a", "--model", str(workdir / "model.npz")],
+        capture_output=True, text=True, timeout=600,
+        cwd=str(EXAMPLES_DIR.parent),
+        env={**__import__("os").environ,
+             "PYTHONPATH": str(EXAMPLES_DIR.parent / "src")},
+    )
+    assert cli.returncode == 0, cli.stderr
+    assert "predicted_hellinger" in cli.stdout
