@@ -101,10 +101,14 @@ def ideal_distributions(
 
     cache = cache if cache is not None else {}
     missing = [entry for entry in suite if entry.name not in cache]
+    # Statevector simulation is numpy-heavy (releases the GIL), so the
+    # thread pool is the right mode — pinned explicitly because the
+    # per-item lambda would not survive pickling anyway.
     fresh = parallel_map(
         lambda entry: ideal_distribution(entry.circuit, dtype=dtype),
         missing,
         max_workers=max_workers,
+        mode="thread",
         on_result=on_result,
     )
     for entry, dist in zip(missing, fresh):
@@ -118,6 +122,7 @@ def compile_suite(
     optimization_level: int = 3,
     seed: int = 0,
     max_workers: Optional[int] = None,
+    workers_mode: Optional[str] = None,
     on_result=None,
 ):
     """Compile every suite circuit for ``device`` through the batch API.
@@ -138,6 +143,7 @@ def compile_suite(
         optimization_level=optimization_level,
         seeds=[seed + index for index in range(len(suite))],
         max_workers=max_workers,
+        workers_mode=workers_mode,
         on_result=on_result,
     )
 

@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from .gates import NON_UNITARY, get_spec
 
 
@@ -67,6 +69,13 @@ class Instruction:
             self.params,
             self.clbits,
         )
+
+    def __reduce__(self):
+        # Rebuild through __init__ so the precomputed ``_hash`` is
+        # recomputed in the destination interpreter: ``hash(str)`` is
+        # salted per process, so a hash pickled from another process
+        # would break equal-objects-equal-hash there.
+        return (Instruction, (self.name, self.qubits, self.params, self.clbits))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         parts = [self.name, str(list(self.qubits))]
@@ -348,6 +357,96 @@ class QuantumCircuit:
             metadata=dict(self.metadata),
         )
 
+    def to_arrays(self) -> Dict[str, object]:
+        """Flat-array encoding of the circuit (cheap pickling support).
+
+        Mirrors the flat-node idiom of
+        :meth:`repro.ml.tree.DecisionTreeRegressor.to_arrays`: the
+        instruction list flattens into a gate-name vocabulary plus
+        parallel code/count/value arrays, so shipping a circuit to a
+        worker process costs a handful of numpy buffers instead of one
+        Python object per instruction.  Feed the result to
+        :meth:`from_arrays` to reconstruct an identical circuit.
+        """
+        vocab: Dict[str, int] = {}
+        codes: List[int] = []
+        q_counts: List[int] = []
+        p_counts: List[int] = []
+        c_counts: List[int] = []
+        q_flat: List[int] = []
+        p_flat: List[float] = []
+        c_flat: List[int] = []
+        for instruction in self.instructions:
+            codes.append(vocab.setdefault(instruction.name, len(vocab)))
+            q_counts.append(len(instruction.qubits))
+            q_flat.extend(instruction.qubits)
+            p_counts.append(len(instruction.params))
+            p_flat.extend(instruction.params)
+            c_counts.append(len(instruction.clbits))
+            c_flat.extend(instruction.clbits)
+        return {
+            "num_qubits": self.num_qubits,
+            "num_clbits": self.num_clbits,
+            "name": self.name,
+            "global_phase": self.global_phase,
+            "metadata": dict(self.metadata),
+            "gate_names": tuple(vocab),
+            "codes": np.asarray(codes, dtype=np.int32),
+            "qubit_counts": np.asarray(q_counts, dtype=np.int32),
+            "qubits": np.asarray(q_flat, dtype=np.int32),
+            "param_counts": np.asarray(p_counts, dtype=np.int32),
+            "params": np.asarray(p_flat, dtype=np.float64),
+            "clbit_counts": np.asarray(c_counts, dtype=np.int32),
+            "clbits": np.asarray(c_flat, dtype=np.int32),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, object]) -> "QuantumCircuit":
+        """Rebuild a circuit from :meth:`to_arrays` output.
+
+        The rebuilt instructions are bit-identical to the originals
+        (names, integer indices, and float64 parameters all round-trip
+        exactly); validation is skipped because the encoder only emits
+        circuits that already passed it.
+        """
+        gate_names = arrays["gate_names"]
+        codes = np.asarray(arrays["codes"]).tolist()
+        q_counts = np.asarray(arrays["qubit_counts"]).tolist()
+        p_counts = np.asarray(arrays["param_counts"]).tolist()
+        c_counts = np.asarray(arrays["clbit_counts"]).tolist()
+        q_flat = np.asarray(arrays["qubits"]).tolist()
+        p_flat = np.asarray(arrays["params"]).tolist()
+        c_flat = np.asarray(arrays["clbits"]).tolist()
+        instructions: List[Instruction] = []
+        qi = pi = ci = 0
+        for code, nq, npar, nc in zip(codes, q_counts, p_counts, c_counts):
+            instructions.append(
+                Instruction(
+                    gate_names[code],
+                    tuple(q_flat[qi:qi + nq]),
+                    tuple(p_flat[pi:pi + npar]),
+                    tuple(c_flat[ci:ci + nc]),
+                )
+            )
+            qi += nq
+            pi += npar
+            ci += nc
+        return cls(
+            num_qubits=int(arrays["num_qubits"]),
+            num_clbits=int(arrays["num_clbits"]),
+            name=str(arrays["name"]),
+            global_phase=float(arrays["global_phase"]),
+            instructions=instructions,
+            metadata=dict(arrays["metadata"]),
+        )
+
+    def __reduce__(self):
+        # Pickle through the flat-array encoding: process-pool payloads
+        # (and anything else that pickles circuits) ship numpy buffers
+        # instead of per-instruction objects, and instruction hashes are
+        # recomputed under the destination interpreter's hash salt.
+        return (_rebuild_circuit, (type(self), self.to_arrays()))
+
     def inverse(self) -> "QuantumCircuit":
         """The adjoint circuit (fails on measure; barriers are preserved)."""
         inv = QuantumCircuit(
@@ -521,6 +620,11 @@ class QuantumCircuit:
         from .text_drawer import draw_circuit
 
         return draw_circuit(self)
+
+
+def _rebuild_circuit(cls, arrays) -> "QuantumCircuit":
+    """Pickle target for :meth:`QuantumCircuit.__reduce__`."""
+    return cls.from_arrays(arrays)
 
 
 def circuit_from_instructions(

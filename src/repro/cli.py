@@ -137,7 +137,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     circuits = (_load_circuit(str(path)) for path in paths)
     if args.foms:
         panel = service.score_established_foms(
-            circuits, max_workers=args.max_workers
+            circuits, max_workers=args.max_workers,
+            workers_mode=args.workers_mode,
         )
         columns = FOM_ORDER + [PROPOSED_LABEL]
         header = f"{'circuit':<24}" + "".join(f"{name:>20}" for name in columns)
@@ -155,7 +156,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         # Stream: predictions print as each chunk lands, so a large corpus
         # shows progress (and never lives in memory all at once).
         for chunk in service.predict_stream(
-            circuits, max_workers=args.max_workers
+            circuits, max_workers=args.max_workers,
+            workers_mode=args.workers_mode,
         ):
             for value in chunk:
                 print(f"{paths[position].stem:<24} {value:>20.4f}")
@@ -180,6 +182,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         )
     config.cache_dir = args.cache_dir
     config.max_workers = args.max_workers
+    config.workers_mode = args.workers_mode
     result = run_study(config=config)
     print(format_table_i(result))
     print()
@@ -286,7 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_pred.add_argument(
         "--max-workers", type=int, default=None,
-        help="worker threads for the batched stages",
+        help="worker-pool size for the batched stages (default: one per CPU)",
+    )
+    p_pred.add_argument(
+        "--workers-mode", choices=("thread", "process"), default=None,
+        help=(
+            "pool flavor for the GIL-bound stages (compile, featurize); "
+            "default: REPRO_WORKERS_MODE env var, else process"
+        ),
     )
     p_pred.add_argument(
         "--chunk-size", type=int, default=128,
@@ -305,7 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_study.add_argument(
         "--max-workers", type=int, default=None,
-        help="worker threads for batched stages (default: one per CPU)",
+        help="worker-pool size for batched stages (default: one per CPU)",
+    )
+    p_study.add_argument(
+        "--workers-mode", choices=("thread", "process"), default=None,
+        help=(
+            "pool flavor for the GIL-bound stages (compile, grid search, "
+            "forest fit); default: REPRO_WORKERS_MODE env var, else process"
+        ),
     )
     p_study.set_defaults(func=_cmd_study)
 

@@ -27,7 +27,10 @@ and candidates are scored with one vectorized
 :func:`~repro.fom.metrics.expected_fidelity_batch` sweep over the
 calibration arrays.  :func:`compile_batch` compiles many circuits through
 a worker pool with deterministic per-circuit seed streams, mirroring
-:meth:`repro.simulation.executor.QPUExecutor.run_batch`.
+:meth:`repro.simulation.executor.QPUExecutor.run_batch` — and because
+compilation is pure Python (GIL-bound), the batch defaults to a *process*
+pool (:mod:`repro.parallel`), which scales with cores where threads
+cannot.
 """
 
 from __future__ import annotations
@@ -235,6 +238,57 @@ def compile_circuit(
     )
 
 
+#: Per-batch invariants installed in each pool worker by
+#: :func:`_init_compile_worker` (``None`` outside a worker).
+_WORKER_STATE: Optional[dict] = None
+
+
+def _init_compile_worker(
+    device: Device, optimization_level: int, keep_final_rz: bool, num_trials: int
+) -> None:
+    """Pool initializer: ship the batch invariants once per worker.
+
+    The device pickles with its routing tables precomputed (see
+    :meth:`~repro.hardware.coupling.CouplingMap.__getstate__`), so workers
+    skip the O(n^2) BFS rebuild.  Each spawned worker starts with its own
+    empty :class:`~repro.compiler.cache.CompileCache`; cached pass results
+    are immutable snapshots, so per-worker caches stay coherent without
+    any cross-process merging.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = {
+        "device": device,
+        "optimization_level": optimization_level,
+        "keep_final_rz": keep_final_rz,
+        "num_trials": num_trials,
+    }
+
+
+def _compile_in_worker(task: Tuple[QuantumCircuit, int]) -> Tuple:
+    """Compile one ``(circuit, seed)`` task against the worker state.
+
+    Returns the result *without* the device: shipping the device back on
+    every item would dominate the payload, and the parent re-attaches its
+    own instance when decoding.
+    """
+    circuit, task_seed = task
+    state = _WORKER_STATE
+    result = compile_circuit(
+        circuit,
+        state["device"],
+        optimization_level=state["optimization_level"],
+        seed=task_seed,
+        keep_final_rz=state["keep_final_rz"],
+        num_trials=state["num_trials"],
+    )
+    return (
+        result.circuit,
+        result.initial_layout,
+        result.final_layout,
+        result.properties,
+    )
+
+
 def compile_batch(
     circuits: Sequence[QuantumCircuit],
     device: Device,
@@ -244,22 +298,28 @@ def compile_batch(
     keep_final_rz: bool = False,
     num_trials: int = 4,
     max_workers: Optional[int] = None,
+    workers_mode: Optional[str] = None,
     on_result: Optional[Callable[[int, CompilationResult], None]] = None,
 ) -> List[CompilationResult]:
     """Compile many circuits, in parallel, with per-circuit seed streams.
 
     Circuit ``i`` is compiled exactly as ``compile_circuit(circuits[i],
     device, optimization_level, seed=seeds[i], ...)`` would — results come
-    back in input order and are identical for every worker count, because
-    each circuit's stochastic pass decisions depend only on its own seed.
-    Workers share the process-wide pass cache, so identical sub-problems
-    (repeated suite circuits, shared trial prefixes) are solved once.
+    back in input order and are bit-identical for every worker count *and*
+    execution mode, because each circuit's stochastic pass decisions
+    depend only on its own seed (pinned by the golden-digest and property
+    tests).
 
-    Unlike :meth:`run_batch` (numpy-heavy, releases the GIL), compilation
-    is pure Python and GIL-serialized, so the default is a sequential
-    pass — thread workers add contention without parallel speedup.  Pass
-    ``max_workers`` explicitly to opt into a pool anyway (e.g. to overlap
-    ``on_result`` I/O with compilation).
+    Compilation is pure Python, so threads cannot speed it up — the GIL
+    serializes them.  The default mode is therefore ``"process"``: the
+    batch fans out over spawned worker processes, each with its own
+    :class:`~repro.compiler.cache.CompileCache` (cache entries are
+    immutable snapshots, so per-worker caches need no merging; the
+    parent's cache is not warmed by pooled compiles).  Circuits,
+    :class:`~repro.hardware.coupling.RoutingTables` and results cross the
+    process boundary through cheap flat-array encodings.  Batches smaller
+    than :data:`~repro.parallel.PROCESS_MIN_ITEMS` (or a resolved worker
+    count of 1) run in-process, where the shared cache still applies.
 
     Args:
         circuits: program circuits to compile.
@@ -270,21 +330,62 @@ def compile_batch(
         seeds: optional explicit per-circuit seeds (overrides ``seed``).
         keep_final_rz: forwarded to :func:`compile_circuit`.
         num_trials: level-3 trial count per circuit.
-        max_workers: worker-pool size (default: 1, i.e. sequential —
-            see above).
-        on_result: optional ``callback(index, result)`` fired as each
-            circuit finishes (from worker threads, completion order).
+        max_workers: worker-pool size (``None``: one worker per CPU, the
+            repo-wide :func:`~repro.parallel.resolve_workers` rule).
+        workers_mode: ``"process"``/``"thread"`` (``None``: the
+            ``REPRO_WORKERS_MODE`` environment override if set, else
+            ``"process"``).
+        on_result: optional ``callback(index, result)`` fired in the
+            parent as each circuit finishes (completion order); see
+            :mod:`repro.parallel` for the exception contract.
 
     Returns:
         One :class:`CompilationResult` per circuit, in input order.
     """
-    from ..simulation.executor import parallel_map
+    from ..parallel import (
+        PROCESS_MIN_ITEMS,
+        parallel_map,
+        resolve_mode,
+        resolve_workers,
+    )
 
     n = len(circuits)
     if seeds is None:
         seeds = [seed + SEED_STRIDE * i for i in range(n)]
     elif len(seeds) != n:
         raise ValueError("seeds must match circuits in length")
+
+    workers = resolve_workers(max_workers, n)
+    mode = resolve_mode(workers_mode, default="process")
+
+    if mode == "process" and workers > 1 and n >= PROCESS_MIN_ITEMS:
+        device.routing_tables  # precompute once so workers inherit them
+        decoded: Dict[int, CompilationResult] = {}
+
+        def _decode(index: int, payload: Tuple) -> None:
+            compiled, initial_layout, final_layout, properties = payload
+            result = CompilationResult(
+                circuit=compiled,
+                initial_layout=initial_layout,
+                final_layout=final_layout,
+                device=device,
+                optimization_level=optimization_level,
+                properties=properties,
+            )
+            decoded[index] = result
+            if on_result is not None:
+                on_result(index, result)
+
+        parallel_map(
+            _compile_in_worker,
+            [(circuit, s) for circuit, s in zip(circuits, seeds)],
+            max_workers=workers,
+            mode="process",
+            on_result=_decode,
+            initializer=_init_compile_worker,
+            initargs=(device, optimization_level, keep_final_rz, num_trials),
+        )
+        return [decoded[index] for index in range(n)]
 
     def job(index: int) -> CompilationResult:
         return compile_circuit(
@@ -297,9 +398,7 @@ def compile_batch(
         )
 
     return parallel_map(
-        job, range(n),
-        max_workers=1 if max_workers is None else max_workers,
-        on_result=on_result,
+        job, range(n), max_workers=workers, on_result=on_result, mode="thread"
     )
 
 

@@ -58,6 +58,10 @@ class StudyConfig:
     #: Worker-pool size for batched compile/simulate/execute stages and
     #: the grid-search/forest training tasks (``None``: one per CPU).
     max_workers: Optional[int] = None
+    #: Execution mode for the GIL-bound pooled stages (compile, grid
+    #: search, forest fit): ``"process"``/``"thread"``; ``None`` defers to
+    #: the ``REPRO_WORKERS_MODE`` environment override, else process.
+    workers_mode: Optional[str] = None
     #: Directory for stage caches: when set, per-device datasets (the
     #: compile/simulate/execute product) and trained-estimator reports
     #: are stored there and reused on reruns whose inputs are unchanged,
@@ -179,6 +183,7 @@ def run_study(
                 seed=config.seed,
                 param_grid=config.param_grid,
                 max_workers=config.max_workers,
+                workers_mode=config.workers_mode,
             )
 
         def announce_hit(device=device):
@@ -268,6 +273,7 @@ def build_device_datasets(
                 ideal_cache=ideal_cache,
                 progress=config.progress,
                 max_workers=config.max_workers,
+                workers_mode=config.workers_mode,
             )
             if store is not None:
                 store.put(

@@ -40,6 +40,41 @@ class RoutingTables:
     adjacency: np.ndarray
     neighbors: Tuple[Tuple[int, ...], ...]
 
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flat-array encoding (cheap pickling for process pools).
+
+        Same idiom as :meth:`repro.ml.tree.DecisionTreeRegressor.to_arrays`:
+        the ragged ``neighbors`` tuple flattens into count/value arrays so
+        a worker process receives a few numpy buffers instead of nested
+        Python tuples.  Feed to :meth:`from_arrays` to reconstruct.
+        """
+        counts = np.asarray([len(row) for row in self.neighbors], dtype=np.int32)
+        flat = np.asarray(
+            [nbr for row in self.neighbors for nbr in row], dtype=np.int32
+        )
+        return {
+            "distance": self.distance,
+            "adjacency": self.adjacency,
+            "neighbor_counts": counts,
+            "neighbors": flat,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "RoutingTables":
+        """Rebuild tables from :meth:`to_arrays` output (bit-identical)."""
+        counts = np.asarray(arrays["neighbor_counts"]).tolist()
+        flat = np.asarray(arrays["neighbors"]).tolist()
+        neighbors: List[Tuple[int, ...]] = []
+        cursor = 0
+        for count in counts:
+            neighbors.append(tuple(flat[cursor:cursor + count]))
+            cursor += count
+        return cls(
+            distance=np.asarray(arrays["distance"], dtype=np.float64),
+            adjacency=np.asarray(arrays["adjacency"], dtype=bool),
+            neighbors=tuple(neighbors),
+        )
+
 
 class CouplingMap:
     """Undirected connectivity graph between physical qubits.
@@ -280,6 +315,35 @@ class CouplingMap:
                     seen.add(nbr)
                     queue.append(nbr)
         return len(seen) == len(allowed)
+
+    def __getstate__(self):
+        # Pickling must preserve per-node neighbour *insertion order* —
+        # BFS and shortest-path tie-breaking (hence compiled-circuit
+        # bit-identity across process workers) depend on it, so the
+        # sorted ``edges`` property must never be used to reconstruct.
+        # Precomputed routing tables ship as flat arrays so workers skip
+        # the O(n^2) BFS rebuild.
+        tables = self._routing_tables
+        return {
+            "num_qubits": self.num_qubits,
+            "adjacency": tuple(tuple(nbrs) for nbrs in self._adj),
+            "routing_tables": None if tables is None else tables.to_arrays(),
+        }
+
+    def __setstate__(self, state):
+        self.num_qubits = state["num_qubits"]
+        self._adj = [dict.fromkeys(nbrs) for nbrs in state["adjacency"]]
+        tables = state["routing_tables"]
+        self._routing_tables = (
+            None if tables is None else RoutingTables.from_arrays(tables)
+        )
+        self._distance = (
+            None if self._routing_tables is None
+            else self._routing_tables.distance
+        )
+        # ``hash()`` is salted per interpreter; recompute lazily instead
+        # of shipping a fingerprint that is wrong in the receiving process.
+        self._fingerprint = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CouplingMap(qubits={self.num_qubits}, edges={len(self.edges)})"

@@ -8,8 +8,11 @@ quantity plotted in the paper's Fig. 3).
 Training is parallel (PR 3): the per-tree seeds and bootstrap rows are
 drawn up front from the master RNG in the original interleaved order, so
 every tree is an independent deterministic task and the fitted model is
-bit-identical for every ``max_workers`` value — and to the sequential
-pre-vectorization implementation (pinned by the golden tests).
+bit-identical for every ``max_workers`` value *and* execution mode — and
+to the sequential pre-vectorization implementation (pinned by the golden
+tests).  Tree fitting is pure Python (GIL-bound), so pooled fits default
+to a process pool (PR 6): each worker receives ``(X, y)`` once through
+the pool initializer and fitted trees return as flat numpy arrays.
 """
 
 from __future__ import annotations
@@ -18,8 +21,33 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..parallel import parallel_map
+from ..parallel import (
+    PROCESS_MIN_ITEMS,
+    parallel_map,
+    resolve_mode,
+    resolve_workers,
+)
 from .tree import DecisionTreeRegressor
+
+
+#: Per-batch invariants installed in each pool worker by
+#: :func:`_init_fit_worker` (``None`` outside a worker).
+_FIT_STATE: Optional[tuple] = None
+
+
+def _init_fit_worker(X: np.ndarray, y: np.ndarray, tree_params: dict) -> None:
+    """Pool initializer: ship the training matrix once per worker."""
+    global _FIT_STATE
+    _FIT_STATE = (X, y, tree_params)
+
+
+def _fit_tree_in_worker(draw: Tuple[int, np.ndarray]) -> DecisionTreeRegressor:
+    """Fit one bootstrap draw against the worker's training matrix."""
+    seed, rows = draw
+    X, y, tree_params = _FIT_STATE
+    return DecisionTreeRegressor(random_state=seed, **tree_params).fit(
+        X[rows], y[rows]
+    )
 
 
 def bootstrap_draws(
@@ -59,10 +87,13 @@ class RandomForestRegressor:
             scikit-learn's regressor default.
         bootstrap: sample training rows with replacement per tree.
         random_state: master seed; per-tree seeds derive from it.
-        max_workers: worker threads for tree fitting (``1`` = sequential,
+        max_workers: pool size for tree fitting (``1`` = sequential,
             ``None`` = one per CPU).  Fitted models are identical for
             every value; the default stays sequential so nested uses
             (e.g. inside a parallel grid search) do not oversubscribe.
+        workers_mode: ``"process"``/``"thread"`` for pooled fits
+            (``None``: the ``REPRO_WORKERS_MODE`` environment override if
+            set, else ``"process"`` — tree fitting is GIL-bound).
     """
 
     def __init__(
@@ -75,6 +106,7 @@ class RandomForestRegressor:
         bootstrap: bool = True,
         random_state: Optional[int] = None,
         max_workers: Optional[int] = 1,
+        workers_mode: Optional[str] = None,
     ):
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -84,6 +116,7 @@ class RandomForestRegressor:
         self.bootstrap = bootstrap
         self.random_state = random_state
         self.max_workers = max_workers
+        self.workers_mode = workers_mode
         self.estimators_: List[DecisionTreeRegressor] = []
         self.feature_importances_: Optional[np.ndarray] = None
 
@@ -97,6 +130,7 @@ class RandomForestRegressor:
             "bootstrap": self.bootstrap,
             "random_state": self.random_state,
             "max_workers": self.max_workers,
+            "workers_mode": self.workers_mode,
         }
 
     def set_params(self, **params) -> "RandomForestRegressor":
@@ -130,13 +164,32 @@ class RandomForestRegressor:
             self.random_state, self.n_estimators, len(X), self.bootstrap
         )
 
-        def fit_one(draw: Tuple[int, np.ndarray]) -> DecisionTreeRegressor:
-            seed, rows = draw
-            return self.tree_template(seed).fit(X[rows], y[rows])
+        workers = resolve_workers(self.max_workers, len(draws))
+        mode = resolve_mode(self.workers_mode, default="process")
+        if mode == "process" and workers > 1 and len(draws) >= PROCESS_MIN_ITEMS:
+            tree_params = {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+            }
+            self.estimators_ = parallel_map(
+                _fit_tree_in_worker,
+                draws,
+                max_workers=workers,
+                mode="process",
+                initializer=_init_fit_worker,
+                initargs=(X, y, tree_params),
+            )
+        else:
 
-        self.estimators_ = parallel_map(
-            fit_one, draws, max_workers=self.max_workers
-        )
+            def fit_one(draw: Tuple[int, np.ndarray]) -> DecisionTreeRegressor:
+                seed, rows = draw
+                return self.tree_template(seed).fit(X[rows], y[rows])
+
+            self.estimators_ = parallel_map(
+                fit_one, draws, max_workers=workers, mode="thread"
+            )
         self._finalize_importances(X.shape[1])
         return self
 

@@ -27,11 +27,69 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..parallel import parallel_map
+from ..parallel import (
+    PROCESS_MIN_ITEMS,
+    parallel_map,
+    resolve_mode,
+    resolve_workers,
+)
 from .forest import RandomForestRegressor, bootstrap_draws
 from .metrics import pearson_r
 
 Scorer = Callable[[np.ndarray, np.ndarray], float]
+
+#: Per-batch invariants installed in pool workers by the initializers
+#: below (``None`` outside a worker).  Fitting is GIL-bound pure Python,
+#: so pooled cross-validation and grid search default to process mode;
+#: each worker receives the training data and candidate models once, and
+#: tasks are plain index tuples.  Process mode therefore requires the
+#: estimator and scorer to be picklable (every estimator and scorer in
+#: this repo is).
+_CV_STATE: Optional[tuple] = None
+_GRID_STATE: Optional[tuple] = None
+_FOREST_GRID_STATE: Optional[tuple] = None
+
+
+def _init_cv_worker(model, X, y, splits, scorer) -> None:
+    global _CV_STATE
+    _CV_STATE = (model, X, y, splits, scorer)
+
+
+def _run_fold_in_worker(fold_index: int) -> float:
+    model, X, y, splits, scorer = _CV_STATE
+    train_idx, test_idx = splits[fold_index]
+    fold_model = model.clone()
+    fold_model.fit(X[train_idx], y[train_idx])
+    return scorer(y[test_idx], fold_model.predict(X[test_idx]))
+
+
+def _init_grid_worker(models, X, y, splits, scorer) -> None:
+    global _GRID_STATE
+    _GRID_STATE = (models, X, y, splits, scorer)
+
+
+def _run_grid_task_in_worker(task: Tuple[int, int]) -> float:
+    index, fold_index = task
+    models, X, y, splits, scorer = _GRID_STATE
+    train_idx, test_idx = splits[fold_index]
+    fold_model = models[index].clone()
+    fold_model.fit(X[train_idx], y[train_idx])
+    return scorer(y[test_idx], fold_model.predict(X[test_idx]))
+
+
+def _init_forest_grid_worker(groups, splits, X, y, n_by_index, scorer) -> None:
+    global _FOREST_GRID_STATE
+    _FOREST_GRID_STATE = (groups, splits, X, y, n_by_index, scorer)
+
+
+def _run_forest_grid_task_in_worker(
+    task: Tuple[int, int],
+) -> List[Tuple[int, float]]:
+    fold_index, group_pos = task
+    groups, splits, X, y, n_by_index, scorer = _FOREST_GRID_STATE
+    return _score_forest_group(
+        groups[group_pos], splits[fold_index], X, y, n_by_index, scorer
+    )
 
 
 def train_test_split(
@@ -87,16 +145,32 @@ def cross_val_score(
     seed: int = 0,
     scorer: Scorer = pearson_r,
     max_workers: Optional[int] = 1,
+    workers_mode: Optional[str] = None,
 ) -> np.ndarray:
     """Per-fold validation scores of a cloneable model.
 
     Folds are independent deterministic tasks; ``max_workers`` fans them
     out without changing any score (``1`` = sequential, ``None`` = one
-    worker per CPU).
+    worker per CPU).  Pooled runs default to ``workers_mode="process"``
+    (fitting is GIL-bound); each worker receives the data once through
+    the pool initializer.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float)
     splits = list(KFold(n_splits, seed).split(len(X)))
+    workers = resolve_workers(max_workers, len(splits))
+    mode = resolve_mode(workers_mode, default="process")
+
+    if mode == "process" and workers > 1 and len(splits) >= PROCESS_MIN_ITEMS:
+        scores = parallel_map(
+            _run_fold_in_worker,
+            range(len(splits)),
+            max_workers=workers,
+            mode="process",
+            initializer=_init_cv_worker,
+            initargs=(model, X, y, splits, scorer),
+        )
+        return np.array(scores)
 
     def run_fold(split: Tuple[np.ndarray, np.ndarray]) -> float:
         train_idx, test_idx = split
@@ -105,7 +179,9 @@ def cross_val_score(
         predictions = fold_model.predict(X[test_idx])
         return scorer(y[test_idx], predictions)
 
-    return np.array(parallel_map(run_fold, splits, max_workers=max_workers))
+    return np.array(
+        parallel_map(run_fold, splits, max_workers=workers, mode="thread")
+    )
 
 
 @dataclass
@@ -126,6 +202,7 @@ def grid_search(
     seed: int = 0,
     scorer: Scorer = pearson_r,
     max_workers: Optional[int] = 1,
+    workers_mode: Optional[str] = None,
 ) -> GridSearchResult:
     """Exhaustive grid search scored by mean cross-validation score.
 
@@ -136,9 +213,13 @@ def grid_search(
         n_splits: cross-validation folds (the paper uses three).
         seed: split seed.
         scorer: score function, larger is better (default: Pearson r).
-        max_workers: worker threads over independent (candidate, fold)
-            tasks (``1`` = sequential, ``None`` = one per CPU); scores are
-            identical for every value.
+        max_workers: pool size over independent (candidate, fold) tasks
+            (``1`` = sequential, ``None`` = one per CPU); scores are
+            identical for every value and mode.
+        workers_mode: ``"process"``/``"thread"`` for pooled runs
+            (``None``: the ``REPRO_WORKERS_MODE`` environment override if
+            set, else ``"process"`` — fitting is GIL-bound).  Process
+            mode requires picklable estimators and scorers.
     """
     names = sorted(param_grid)
     combos = list(itertools.product(*(param_grid[name] for name in names)))
@@ -154,22 +235,41 @@ def grid_search(
 
     if all(isinstance(c, RandomForestRegressor) for _, c in candidates):
         fold_scores = _forest_grid_fold_scores(
-            candidates, X, y, splits, scorer, max_workers
+            candidates, X, y, splits, scorer, max_workers, workers_mode
         )
     else:
         tasks = [
-            (index, split)
+            (index, fold_index)
             for index in range(len(candidates))
-            for split in splits
+            for fold_index in range(len(splits))
         ]
+        workers = resolve_workers(max_workers, len(tasks))
+        mode = resolve_mode(workers_mode, default="process")
 
-        def run_task(task) -> float:
-            index, (train_idx, test_idx) = task
-            fold_model = candidates[index][1].clone()
-            fold_model.fit(X[train_idx], y[train_idx])
-            return scorer(y[test_idx], fold_model.predict(X[test_idx]))
+        if mode == "process" and workers > 1 and len(tasks) >= PROCESS_MIN_ITEMS:
+            flat = parallel_map(
+                _run_grid_task_in_worker,
+                tasks,
+                max_workers=workers,
+                mode="process",
+                initializer=_init_grid_worker,
+                initargs=(
+                    [candidate for _, candidate in candidates],
+                    X, y, splits, scorer,
+                ),
+            )
+        else:
 
-        flat = parallel_map(run_task, tasks, max_workers=max_workers)
+            def run_task(task) -> float:
+                index, fold_index = task
+                train_idx, test_idx = splits[fold_index]
+                fold_model = candidates[index][1].clone()
+                fold_model.fit(X[train_idx], y[train_idx])
+                return scorer(y[test_idx], fold_model.predict(X[test_idx]))
+
+            flat = parallel_map(
+                run_task, tasks, max_workers=workers, mode="thread"
+            )
         fold_scores = [
             flat[i * len(splits):(i + 1) * len(splits)]
             for i in range(len(candidates))
@@ -193,6 +293,60 @@ def grid_search(
 # Forest-specific grid evaluation (work sharing across candidates).
 
 
+def _score_forest_group(
+    group: dict,
+    split: Tuple[np.ndarray, np.ndarray],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_by_index: Dict[int, int],
+    scorer: Scorer,
+) -> List[Tuple[int, float]]:
+    """Score one (fold, candidate-group) task; pure function of its args."""
+    train_idx, test_idx = split
+    X_train, y_train = X[train_idx], y[train_idx]
+    X_test, y_test = X[test_idx], y[test_idx]
+    template: RandomForestRegressor = group["forest"]
+    draws = bootstrap_draws(
+        template.random_state, group["max_n"], len(X_train),
+        template.bootstrap,
+    )
+
+    # Fit the depth-uncapped sequence first so capped variants can
+    # reuse every tree whose natural depth stays below the cap.
+    depth_values = sorted(
+        group["depths"], key=lambda d: (d is not None, d)
+    )
+    uncapped: List = []
+    scored: List[Tuple[int, float]] = []
+    for depth in depth_values:
+        trees = []
+        for tree_pos, (tree_seed, rows) in enumerate(draws):
+            reuse = (
+                depth is not None
+                and tree_pos < len(uncapped)
+                and uncapped[tree_pos].depth() < depth
+            )
+            if reuse:
+                tree = uncapped[tree_pos]
+            else:
+                tree = template.tree_template(tree_seed)
+                tree.max_depth = depth
+                tree.fit(X_train[rows], y_train[rows])
+            trees.append(tree)
+        if depth is None:
+            uncapped = trees
+        # One prediction per tree, shared by every n_estimators
+        # variant: mean over a prefix of the stacked matrix is
+        # bit-identical to the prefix forest's predict().
+        tree_preds = np.stack(
+            [tree.predict(X_test) for tree in trees]
+        )
+        for index in group["depths"][depth]:
+            prediction = tree_preds[:n_by_index[index]].mean(axis=0)
+            scored.append((index, scorer(y_test, prediction)))
+    return scored
+
+
 def _forest_grid_fold_scores(
     candidates: List[Tuple[Dict[str, object], RandomForestRegressor]],
     X: np.ndarray,
@@ -200,13 +354,16 @@ def _forest_grid_fold_scores(
     splits: List[Tuple[np.ndarray, np.ndarray]],
     scorer: Scorer,
     max_workers: Optional[int],
+    workers_mode: Optional[str] = None,
 ) -> List[List[float]]:
     """Per-candidate per-fold CV scores with cross-candidate sharing.
 
     Candidates are grouped by everything except ``n_estimators`` and
-    ``max_depth``; each (fold, group) is an independent task that fits the
-    depth-uncapped tree sequence once and derives capped/shorter variants
-    from it (see module docstring for why this is bit-exact).
+    ``max_depth`` (and the ``max_workers``/``workers_mode`` execution
+    knobs, which never change scores); each (fold, group) is an
+    independent task that fits the depth-uncapped tree sequence once and
+    derives capped/shorter variants from it (see module docstring for why
+    this is bit-exact).
     """
     # group key -> {depth values} and the largest tree count needed.
     groups: Dict[tuple, dict] = {}
@@ -214,7 +371,9 @@ def _forest_grid_fold_scores(
         params = forest.get_params()
         key = tuple(sorted(
             (name, value) for name, value in params.items()
-            if name not in ("n_estimators", "max_depth", "max_workers")
+            if name not in (
+                "n_estimators", "max_depth", "max_workers", "workers_mode"
+            )
         ))
         group = groups.setdefault(
             key, {"forest": forest, "depths": {}, "max_n": 0}
@@ -222,66 +381,45 @@ def _forest_grid_fold_scores(
         group["depths"].setdefault(params["max_depth"], []).append(index)
         group["max_n"] = max(group["max_n"], params["n_estimators"])
 
+    group_list = list(groups.values())
+    n_by_index = {
+        index: forest.n_estimators
+        for index, (_, forest) in enumerate(candidates)
+    }
     tasks = [
-        (fold_index, group)
+        (fold_index, group_pos)
         for fold_index in range(len(splits))
-        for group in groups.values()
+        for group_pos in range(len(group_list))
     ]
+    workers = resolve_workers(max_workers, len(tasks))
+    mode = resolve_mode(workers_mode, default="process")
 
-    def run_task(task) -> List[Tuple[int, float]]:
-        fold_index, group = task
-        train_idx, test_idx = splits[fold_index]
-        X_train, y_train = X[train_idx], y[train_idx]
-        X_test, y_test = X[test_idx], y[test_idx]
-        template: RandomForestRegressor = group["forest"]
-        draws = bootstrap_draws(
-            template.random_state, group["max_n"], len(X_train),
-            template.bootstrap,
+    if mode == "process" and workers > 1 and len(tasks) >= PROCESS_MIN_ITEMS:
+        task_results = parallel_map(
+            _run_forest_grid_task_in_worker,
+            tasks,
+            max_workers=workers,
+            mode="process",
+            initializer=_init_forest_grid_worker,
+            initargs=(group_list, splits, X, y, n_by_index, scorer),
         )
+    else:
 
-        # Fit the depth-uncapped sequence first so capped variants can
-        # reuse every tree whose natural depth stays below the cap.
-        depth_values = sorted(
-            group["depths"], key=lambda d: (d is not None, d)
-        )
-        uncapped: List = []
-        scored: List[Tuple[int, float]] = []
-        for depth in depth_values:
-            trees = []
-            for tree_pos, (tree_seed, rows) in enumerate(draws):
-                reuse = (
-                    depth is not None
-                    and tree_pos < len(uncapped)
-                    and uncapped[tree_pos].depth() < depth
-                )
-                if reuse:
-                    tree = uncapped[tree_pos]
-                else:
-                    tree = template.tree_template(tree_seed)
-                    tree.max_depth = depth
-                    tree.fit(X_train[rows], y_train[rows])
-                trees.append(tree)
-            if depth is None:
-                uncapped = trees
-            # One prediction per tree, shared by every n_estimators
-            # variant: mean over a prefix of the stacked matrix is
-            # bit-identical to the prefix forest's predict().
-            tree_preds = np.stack(
-                [tree.predict(X_test) for tree in trees]
+        def run_task(task) -> List[Tuple[int, float]]:
+            fold_index, group_pos = task
+            return _score_forest_group(
+                group_list[group_pos], splits[fold_index],
+                X, y, n_by_index, scorer,
             )
-            for index in group["depths"][depth]:
-                n_trees = candidates[index][1].n_estimators
-                prediction = tree_preds[:n_trees].mean(axis=0)
-                scored.append((index, scorer(y_test, prediction)))
-        return scored
+
+        task_results = parallel_map(
+            run_task, tasks, max_workers=workers, mode="thread"
+        )
 
     fold_scores: List[List[Optional[float]]] = [
         [None] * len(splits) for _ in candidates
     ]
-    for task, scored in zip(
-        tasks, parallel_map(run_task, tasks, max_workers=max_workers)
-    ):
-        fold_index = task[0]
+    for (fold_index, _), scored in zip(tasks, task_results):
         for index, score in scored:
             fold_scores[index][fold_index] = score
     return fold_scores

@@ -1,28 +1,86 @@
 """Shared worker-pool infrastructure for the batched stages.
 
-Every batched stage in the repo (compilation, noiseless simulation, noisy
-execution, and — since PR 3 — forest training and grid search) funnels
-through :func:`parallel_map`, so worker-count invariance is enforced in one
-place: results are always returned in input order, a single worker degrades
-to a plain loop, and per-item work is required to be deterministic.
+Every batched stage in the repo (compilation, feature extraction,
+noiseless simulation, noisy execution, forest training, and grid search)
+funnels through :func:`parallel_map`, so worker-count invariance is
+enforced in one place: results are always returned in input order, a
+single worker degrades to a plain loop, and per-item work is required to
+be deterministic.
+
+Two execution modes are supported:
+
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Right for stages whose inner loops release the GIL (numpy-heavy
+  simulation and noisy execution).
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  over the ``spawn`` start method.  Right for the GIL-bound pure-Python
+  stages (compilation, feature extraction, tree fitting).  ``fn``,
+  ``initializer`` and every item/result must be picklable; per-process
+  module state (e.g. the compile cache) starts fresh in each worker.
+
+The mode is an explicit argument everywhere; batched entry points accept
+``workers_mode=None`` meaning "the :envvar:`REPRO_WORKERS_MODE`
+environment override if set, else this entry point's documented default"
+(see :func:`resolve_mode`).
+
+**Worker-default rule.**  ``max_workers=None`` always means one worker
+per CPU (:func:`resolve_workers`); entry points that want a sequential
+default say ``max_workers=1`` explicitly in their signature instead of
+remapping ``None``.
+
+**Callback/exception contract.**  ``on_result(index, result)`` fires in
+the parent process/thread as each item completes (completion order, not
+input order).  An exception raised *inside a callback* never corrupts
+result ordering or hangs the pool: the batch drains fully, every
+remaining item still completes and fires its callback, and the first
+callback exception is re-raised once the pool has drained.  An exception
+raised *by fn itself* takes precedence over callback exceptions, and the
+one belonging to the lowest input index is the one propagated; pooled
+modes drain the remaining items first (their callbacks still fire),
+while the sequential path stops at the first failing item.
 
 Historically these helpers lived in ``repro.simulation.executor``; they
-moved here so the ML layer can reuse them without importing the simulator.
-The old import path still works (the executor re-exports both names).
+moved here so the ML layer can reuse them without importing the
+simulator.  The old import path still works (the executor re-exports the
+names).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+#: Environment variable overriding the default execution mode of every
+#: batched entry point that is called with ``workers_mode=None``.
+WORKERS_MODE_ENV = "REPRO_WORKERS_MODE"
+
+#: The recognised execution modes.
+WORKER_MODES = ("thread", "process")
+
+#: Below this many items a requested process pool degrades to the plain
+#: in-process loop: spawning interpreters costs more than the work buys.
+#: Three keeps the paper's 3-fold cross-validation poolable while 1-2
+#: item batches stay in-process.  (Results are bit-identical either way;
+#: this is purely a perf guard.)
+PROCESS_MIN_ITEMS = 3
+
 
 def resolve_workers(max_workers: Optional[int], num_items: int) -> int:
-    """Worker count for a batch: explicit value, else one per CPU."""
+    """Worker count for a batch: explicit value, else one per CPU.
+
+    This is the single worker-default rule for the whole repo: ``None``
+    maps to ``os.cpu_count()`` at every batched entry point, then the
+    count is capped by the number of items (never below 1).
+    """
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     if max_workers < 1:
@@ -30,40 +88,108 @@ def resolve_workers(max_workers: Optional[int], num_items: int) -> int:
     return max(1, min(max_workers, num_items))
 
 
+def resolve_mode(mode: Optional[str], default: str = "thread") -> str:
+    """Execution mode for a batch.
+
+    Precedence: an explicit ``mode`` argument, else the
+    :envvar:`REPRO_WORKERS_MODE` environment override, else the calling
+    entry point's ``default``.  Raises :class:`ValueError` for anything
+    outside :data:`WORKER_MODES`.
+    """
+    if mode is None:
+        mode = os.environ.get(WORKERS_MODE_ENV) or default
+    if mode not in WORKER_MODES:
+        raise ValueError(
+            f"workers mode must be one of {WORKER_MODES}, got {mode!r}"
+        )
+    return mode
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Sequence[_T],
     max_workers: Optional[int] = None,
     on_result: Optional[Callable[[int, _R], None]] = None,
+    mode: Optional[str] = "thread",
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> List[_R]:
-    """Order-preserving map over a thread pool.
+    """Order-preserving map over a thread or process pool.
 
-    Falls back to a plain loop for a single worker or a single item, so
-    results (and exceptions) are identical across worker counts — the
-    per-item work must itself be deterministic.
+    Falls back to a plain in-process loop for a single worker, a single
+    item, or a process-mode batch smaller than
+    :data:`PROCESS_MIN_ITEMS`, so results are identical across worker
+    counts and modes — the per-item work must itself be deterministic.
+    In the degenerate case any ``initializer`` runs once in the parent.
 
-    ``on_result(index, result)`` fires as each item finishes (from worker
-    threads, in completion order), giving batch callers per-item liveness
+    ``on_result(index, result)`` fires in the parent as each item
+    completes (completion order), giving batch callers per-item liveness
     without waiting for the pool to drain.  Callbacks never affect the
-    returned list, which is always in input order.
+    returned list, which is always in input order; see the module
+    docstring for the full callback/exception contract.
+
+    In ``"process"`` mode ``fn`` must be a picklable module-level
+    callable and items/results must pickle; ``initializer(*initargs)``
+    runs once per worker process (use it to ship large shared state once
+    instead of per item).
     """
+    items = list(items)
     workers = resolve_workers(max_workers, len(items))
-    if workers <= 1 or len(items) <= 1:
+    mode = resolve_mode(mode)
+    pooled = workers > 1 and len(items) > 1
+    if mode == "process" and len(items) < PROCESS_MIN_ITEMS:
+        pooled = False
+    if not pooled:
+        if initializer is not None:
+            initializer(*initargs)
         results = []
+        callback_error: Optional[BaseException] = None
         for index, item in enumerate(items):
             result = fn(item)
-            if on_result is not None:
-                on_result(index, result)
             results.append(result)
+            if on_result is not None:
+                try:
+                    on_result(index, result)
+                except BaseException as exc:
+                    if callback_error is None:
+                        callback_error = exc
+        if callback_error is not None:
+            raise callback_error
         return results
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        if on_result is None:
-            return list(pool.map(fn, items))
 
-        def job(indexed: Tuple[int, _T]) -> _R:
-            index, item = indexed
-            result = fn(item)
-            on_result(index, result)
-            return result
-
-        return list(pool.map(job, enumerate(items)))
+    if mode == "process":
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=initializer,
+            initargs=initargs,
+        )
+    else:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
+    results = [None] * len(items)  # type: ignore[list-item]
+    fn_errors: dict = {}
+    callback_error = None
+    with pool:
+        futures = {
+            pool.submit(fn, item): index for index, item in enumerate(items)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                results[index] = future.result()
+            except BaseException as exc:
+                fn_errors[index] = exc
+                continue
+            if on_result is not None:
+                try:
+                    on_result(index, results[index])
+                except BaseException as exc:
+                    if callback_error is None:
+                        callback_error = exc
+    if fn_errors:
+        raise fn_errors[min(fn_errors)]
+    if callback_error is not None:
+        raise callback_error
+    return results

@@ -72,6 +72,7 @@ def build_dataset(
     sim_dtype=np.complex64,
     progress: bool = False,
     max_workers: Optional[int] = None,
+    workers_mode: Optional[str] = None,
 ) -> CircuitDataset:
     """Compile, execute, and label every suite circuit on ``device``.
 
@@ -80,16 +81,19 @@ def build_dataset(
     name) shares the expensive noiseless simulations across devices — valid
     because compilation preserves the measured distribution.
 
-    The pipeline is batched: compilation goes through
-    :func:`~repro.compiler.compile.compile_batch` (sequential by default —
-    pure Python, GIL-serialized), and the numpy-heavy noiseless simulation
-    and noisy execution run as worker-pool passes (``max_workers``,
-    default one per CPU) via :func:`ideal_distributions` and
-    :meth:`QPUExecutor.run_batch`.  Per-circuit seeds are fixed functions
-    of ``seed`` and the suite index, so results are bit-identical for
-    every worker count.  With ``progress=True`` each batched stage reports
-    per-circuit liveness as results land (completion order), instead of
-    after the stage drains.
+    Every stage is batched and parallel (``max_workers``, default one
+    worker per CPU): compilation fans out over
+    :func:`~repro.compiler.compile.compile_batch` — a *process* pool by
+    default, because compilation is GIL-bound pure Python — while the
+    numpy-heavy noiseless simulation and noisy execution (which release
+    the GIL) run as thread-pool passes via :func:`ideal_distributions`
+    and :meth:`QPUExecutor.run_batch`.  ``workers_mode`` overrides the
+    compile stage's mode (``None``: the ``REPRO_WORKERS_MODE``
+    environment override if set, else ``"process"``).  Per-circuit seeds
+    are fixed functions of ``seed`` and the suite index, so results are
+    bit-identical for every worker count and mode.  With
+    ``progress=True`` each batched stage reports per-circuit liveness as
+    results land (completion order), instead of after the stage drains.
     """
     executor = QPUExecutor(device)
     dataset = CircuitDataset(device_name=device.name)
@@ -113,14 +117,16 @@ def build_dataset(
             flush=True,
         )
 
-    # Compilation is GIL-serialized pure Python: compile_batch's default
-    # sequential pass is the fast path, and liveness still streams through
-    # on_result; max_workers only fans out the numpy stages below.
+    # Compilation is GIL-bound pure Python, so this stage scales with
+    # cores only through a process pool; liveness streams through
+    # on_result either way (fired in the parent, completion order).
     compiled_results = compile_batch(
         [entry.circuit for _, entry in candidates],
         device,
         optimization_level=optimization_level,
         seeds=[seed + index for index, _ in candidates],
+        max_workers=max_workers,
+        workers_mode=workers_mode,
         on_result=compile_progress if progress else None,
     )
     survivors = []

@@ -154,6 +154,7 @@ class FomService:
         *,
         optimization_level: Optional[int] = None,
         max_workers: Optional[int] = None,
+        workers_mode: Optional[str] = None,
         chunk_size: Optional[int] = None,
     ) -> np.ndarray:
         """Predicted Hellinger distances, one per input circuit.
@@ -162,13 +163,15 @@ class FomService:
         -> one forest ``predict``.  ``circuits`` may be any iterable —
         including a generator over a corpus that does not fit in memory;
         only ``chunk_size`` circuits are materialized at a time.  Results
-        are identical for every ``chunk_size`` and ``max_workers``.
+        are identical for every ``chunk_size``, ``max_workers``, and
+        ``workers_mode`` (``None`` workers = one per CPU; the GIL-bound
+        compile and featurize stages default to a process pool).
         """
         parts = [
             predictions
             for predictions, _ in self._serve(
-                circuits, optimization_level, max_workers, chunk_size,
-                want_foms=False,
+                circuits, optimization_level, max_workers, workers_mode,
+                chunk_size, want_foms=False,
             )
         ]
         return np.concatenate(parts) if parts else np.empty(0)
@@ -179,6 +182,7 @@ class FomService:
         *,
         optimization_level: Optional[int] = None,
         max_workers: Optional[int] = None,
+        workers_mode: Optional[str] = None,
         chunk_size: Optional[int] = None,
     ) -> Iterator[np.ndarray]:
         """Like :meth:`predict`, but yield per-chunk prediction arrays.
@@ -187,8 +191,8 @@ class FomService:
         flowing before the corpus is exhausted).
         """
         for predictions, _ in self._serve(
-            circuits, optimization_level, max_workers, chunk_size,
-            want_foms=False,
+            circuits, optimization_level, max_workers, workers_mode,
+            chunk_size, want_foms=False,
         ):
             yield predictions
 
@@ -198,6 +202,7 @@ class FomService:
         *,
         optimization_level: Optional[int] = None,
         max_workers: Optional[int] = None,
+        workers_mode: Optional[str] = None,
         chunk_size: Optional[int] = None,
     ) -> Dict[str, np.ndarray]:
         """The paper's full metric panel in one call.
@@ -211,8 +216,8 @@ class FomService:
         """
         panel: Dict[str, List[np.ndarray]] = {}
         for predictions, foms in self._serve(
-            circuits, optimization_level, max_workers, chunk_size,
-            want_foms=True,
+            circuits, optimization_level, max_workers, workers_mode,
+            chunk_size, want_foms=True,
         ):
             for fom_name, values in foms.items():
                 panel.setdefault(fom_name, []).append(values)
@@ -229,6 +234,7 @@ class FomService:
         *,
         optimization_level: Optional[int] = None,
         max_workers: Optional[int] = None,
+        workers_mode: Optional[str] = None,
     ) -> List[CompilationResult]:
         """The service's compilation stage alone (seed streams included)."""
         circuits = list(circuits)
@@ -236,7 +242,7 @@ class FomService:
             circuits, 0,
             self.optimization_level if optimization_level is None
             else optimization_level,
-            max_workers,
+            max_workers, workers_mode,
         )
 
     # ------------------------------------------------------------------
@@ -249,6 +255,7 @@ class FomService:
         offset: int,
         optimization_level: int,
         max_workers: Optional[int],
+        workers_mode: Optional[str],
     ) -> List[CompilationResult]:
         return compile_batch(
             chunk,
@@ -262,6 +269,7 @@ class FomService:
             ],
             num_trials=self.num_trials,
             max_workers=max_workers,
+            workers_mode=workers_mode,
         )
 
     def _serve(
@@ -269,6 +277,7 @@ class FomService:
         circuits: Iterable[QuantumCircuit],
         optimization_level: Optional[int],
         max_workers: Optional[int],
+        workers_mode: Optional[str],
         chunk_size: Optional[int],
         want_foms: bool,
     ) -> Iterator[Tuple[np.ndarray, Dict[str, np.ndarray]]]:
@@ -280,16 +289,20 @@ class FomService:
         size = self.chunk_size if chunk_size is None else chunk_size
         if size < 1:
             raise ValueError("chunk_size must be positive")
-        # Featurization is GIL-bound pure Python: like compile_batch, the
-        # default (None) stays sequential — an explicit worker count opts
-        # both stages into a pool.
-        feature_workers = 1 if max_workers is None else max_workers
+        # Compilation and featurization are GIL-bound pure Python, so
+        # both stages fan out over process pools by default; one
+        # max_workers/workers_mode pair governs the whole pipeline
+        # (``None`` workers = one per CPU, the repo-wide rule).
         offset = 0
         for chunk in _chunked(circuits, size):
-            results = self._compile_chunk(chunk, offset, level, max_workers)
+            results = self._compile_chunk(
+                chunk, offset, level, max_workers, workers_mode
+            )
             offset += len(chunk)
             compiled = [result.circuit for result in results]
-            features = feature_matrix(compiled, max_workers=feature_workers)
+            features = feature_matrix(
+                compiled, max_workers=max_workers, workers_mode=workers_mode
+            )
             predictions = np.asarray(self.estimator.predict(features), dtype=float)
             foms: Dict[str, np.ndarray] = {}
             if want_foms:

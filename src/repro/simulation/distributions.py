@@ -49,8 +49,13 @@ def hellinger_distance(p: Distribution, q: Distribution) -> float:
 
     ``d(P, Q) = (1/sqrt(2)) * sqrt( sum_i (sqrt(p_i) - sqrt(q_i))^2 )``
     lies in ``[0, 1]``: 0 for identical distributions, 1 for disjoint support.
+
+    The accumulation runs in sorted-key order: float addition is not
+    associative, and set iteration order follows the per-interpreter
+    string-hash salt, so an unsorted sum differs in the last ulp between
+    interpreters (enough to decohere downstream model training).
     """
-    keys = set(p) | set(q)
+    keys = sorted(set(p) | set(q))
     acc = 0.0
     for key in keys:
         acc += (math.sqrt(p.get(key, 0.0)) - math.sqrt(q.get(key, 0.0))) ** 2
@@ -64,14 +69,22 @@ def hellinger_fidelity(p: Distribution, q: Distribution) -> float:
 
 
 def total_variation_distance(p: Distribution, q: Distribution) -> float:
-    """Total variation distance ``0.5 * sum |p_i - q_i|`` in ``[0, 1]``."""
-    keys = set(p) | set(q)
+    """Total variation distance ``0.5 * sum |p_i - q_i|`` in ``[0, 1]``.
+
+    Summed in sorted-key order for hash-salt invariance (see
+    :func:`hellinger_distance`).
+    """
+    keys = sorted(set(p) | set(q))
     return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
 
 
 def bhattacharyya_coefficient(p: Distribution, q: Distribution) -> float:
-    """Overlap ``sum sqrt(p_i q_i)`` in ``[0, 1]``."""
-    keys = set(p) & set(q)
+    """Overlap ``sum sqrt(p_i q_i)`` in ``[0, 1]``.
+
+    Summed in sorted-key order for hash-salt invariance (see
+    :func:`hellinger_distance`).
+    """
+    keys = sorted(set(p) & set(q))
     return sum(math.sqrt(p[k] * q[k]) for k in keys)
 
 

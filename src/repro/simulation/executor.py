@@ -235,12 +235,17 @@ class QPUExecutor:
                 (``None`` entries are simulated on the worker).
             seeds: optional explicit per-circuit seeds (overrides ``seed``).
             max_workers: worker-pool size (default: one per CPU).
-            on_result: optional ``callback(index, result)`` fired as each
-                circuit finishes (from worker threads, completion order) —
+            on_result: optional ``callback(index, result)`` fired in the
+                parent as each circuit finishes (completion order) —
                 per-circuit liveness for progress reporting.
 
         Returns:
             One :class:`ExecutionResult` per circuit, in input order.
+
+        Execution is numpy-heavy and releases the GIL, so the pool is a
+        thread pool (pinned explicitly; the GIL-bound compile/featurize
+        stages are the ones that use process pools — see
+        :mod:`repro.parallel`).
         """
         n = len(circuits)
         if seeds is None:
@@ -261,7 +266,8 @@ class QPUExecutor:
             )
 
         return parallel_map(
-            job, range(n), max_workers=max_workers, on_result=on_result
+            job, range(n),
+            max_workers=max_workers, on_result=on_result, mode="thread",
         )
 
     # ------------------------------------------------------------------

@@ -50,7 +50,9 @@ def render_comparison(
     label_a, label_b = labels or ("ideal", "measured")
     keys = sorted(
         set(ideal) | set(measured),
-        key=lambda k: -(ideal.get(k, 0.0) + measured.get(k, 0.0)),
+        # Secondary key: ties would otherwise surface in hash-salted set
+        # order, making the rendered row order vary between interpreters.
+        key=lambda k: (-(ideal.get(k, 0.0) + measured.get(k, 0.0)), k),
     )
     shown = keys[:max_rows]
     peak = max(

@@ -257,3 +257,42 @@ def test_global_phase_affects_statevector():
     qc = QuantumCircuit(1, global_phase=math.pi)
     state = simulate_statevector(qc)
     assert np.allclose(state.data, [-1.0, 0.0])
+
+
+def test_to_arrays_round_trip():
+    """The flat-array encoding (the process-pool wire format) must carry
+    every structural detail of a circuit."""
+    qc = QuantumCircuit(3, 3, name="wire", global_phase=0.25)
+    qc.metadata["origin"] = "test"
+    qc.h(0).cx(0, 1).rz(0.5, 2)
+    qc.measure(0, 0)
+    qc.measure(2, 2)
+    rebuilt = QuantumCircuit.from_arrays(qc.to_arrays())
+    assert rebuilt.num_qubits == qc.num_qubits
+    assert rebuilt.num_clbits == qc.num_clbits
+    assert rebuilt.name == qc.name
+    assert rebuilt.global_phase == qc.global_phase
+    assert rebuilt.metadata == qc.metadata
+    assert rebuilt.instructions == qc.instructions
+
+
+def test_pickle_round_trip_preserves_instruction_hashing():
+    """Unpickled instructions must be usable as dict/set keys alongside
+    the originals (the precomputed hash cannot ship across processes
+    because string hashing is salted per interpreter)."""
+    import pickle
+
+    from repro.circuits.random import random_circuit
+
+    qc = random_circuit(5, 20, seed=3, measure=True)
+    clone = pickle.loads(pickle.dumps(qc))
+    assert clone.instructions == qc.instructions
+    assert clone.global_phase == qc.global_phase
+    assert clone.name == qc.name
+    for original, copy in zip(qc.instructions, clone.instructions):
+        assert hash(original) == hash(copy)
+    # Duplicates collapse to the same key: lookup must hit for every
+    # unpickled instruction and point at an equal original.
+    lookup = {ins: i for i, ins in enumerate(qc.instructions)}
+    for ins in clone.instructions:
+        assert qc.instructions[lookup[ins]] == ins

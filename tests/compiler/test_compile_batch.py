@@ -97,6 +97,47 @@ def test_batch_on_result_callback_sees_every_circuit(device, circuits):
         assert by_index[index] is result
 
 
+def test_process_pool_compile_is_byte_identical_to_sequential(device, circuits):
+    """Golden digest (PR 6): the spawn-based process pool must reproduce
+    the sequential compile byte-for-byte, QASM text included."""
+    from repro.circuits.qasm import to_qasm
+
+    sequential = compile_batch(
+        circuits, device, optimization_level=3, seed=0,
+        max_workers=1, workers_mode="thread",
+    )
+    golden = [to_qasm(result.circuit) for result in sequential]
+    for workers, mode in ((4, "process"), (2, "thread")):
+        again = compile_batch(
+            circuits, device, optimization_level=3, seed=0,
+            max_workers=workers, workers_mode=mode,
+        )
+        assert [to_qasm(r.circuit) for r in again] == golden, (workers, mode)
+        assert _digests(again) == _digests(sequential), (workers, mode)
+        for ref, other in zip(sequential, again):
+            assert other.initial_layout == ref.initial_layout
+            assert other.final_layout == ref.final_layout
+            assert dict(other.properties) == dict(ref.properties)
+
+
+def test_process_pool_results_reattach_parent_device(device, circuits):
+    """Worker processes strip the device from shipped results; the parent
+    must hand back results carrying its own device object."""
+    results = compile_batch(
+        circuits, device, optimization_level=1, seed=0,
+        max_workers=4, workers_mode="process",
+    )
+    assert all(result.device is device for result in results)
+    assert all(result.optimization_level == 1 for result in results)
+
+
+def test_empty_batch_returns_empty_list(device):
+    assert compile_batch([], device) == []
+    assert compile_batch(
+        [], device, max_workers=4, workers_mode="process"
+    ) == []
+
+
 def test_expected_fidelity_batch_is_bit_identical(device, circuits):
     compiled = [
         compile_circuit(c, device, optimization_level=2, seed=9).circuit

@@ -84,6 +84,12 @@ def test_compute_improvements_formula(result):
         assert improvements[column] == pytest.approx(expected)
 
 
+def test_build_device_datasets_empty_mapping():
+    from repro.evaluation.study import build_device_datasets
+
+    assert build_device_datasets({}, SMALL_CONFIG, cache=None) == {}
+
+
 def test_study_deterministic():
     a = run_study(config=SMALL_CONFIG)
     b = run_study(config=SMALL_CONFIG)

@@ -154,6 +154,21 @@ def test_feature_matrix_shape():
     assert np.all(np.isfinite(X))
 
 
+def test_feature_matrix_empty_input_keeps_width():
+    assert feature_matrix([]).shape == (0, 30)
+    assert feature_matrix([], max_workers=4, workers_mode="process").shape == (0, 30)
+
+
+def test_feature_matrix_mode_invariant():
+    circuits = [random_circuit(4, 12, seed=s, measure=True) for s in range(5)]
+    reference = feature_matrix(circuits, max_workers=1)
+    for workers, mode in ((2, "thread"), (4, "process")):
+        assert np.array_equal(
+            feature_matrix(circuits, max_workers=workers, workers_mode=mode),
+            reference,
+        ), (workers, mode)
+
+
 def test_ratios_bounded():
     qc = random_circuit(6, 20, seed=5, measure=True)
     d = feature_dict(qc)

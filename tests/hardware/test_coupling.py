@@ -109,3 +109,43 @@ def test_disconnected_distance_raises():
     assert not cm.is_connected()
     with pytest.raises(ValueError, match="disconnected"):
         cm.distance(0, 3)
+
+
+def test_pickle_preserves_neighbor_insertion_order():
+    """Adjacency iteration order is load-bearing (BFS and shortest-path
+    tie-breaking follow it), so pickling must not normalise it."""
+    import pickle
+
+    edges = [(4, 2), (0, 4), (3, 0), (2, 0), (1, 3), (4, 1)]
+    cm = CouplingMap(5, edges)
+    clone = pickle.loads(pickle.dumps(cm))
+    assert clone.edges == cm.edges
+    for qubit in range(5):
+        assert clone.neighbors(qubit) == cm.neighbors(qubit)
+    for start in range(5):
+        assert clone.bfs_order(start) == cm.bfs_order(start)
+    for a in range(5):
+        for b in range(5):
+            assert clone.shortest_path(a, b) == cm.shortest_path(a, b)
+    assert clone.fingerprint() == cm.fingerprint()
+
+
+def test_pickle_carries_routing_tables():
+    cm = grid_map(3, 3)
+    tables = cm.routing_tables()
+    import pickle
+
+    clone = pickle.loads(pickle.dumps(cm))
+    cloned_tables = clone.routing_tables()
+    assert np.array_equal(cloned_tables.distance, tables.distance)
+    assert np.array_equal(cloned_tables.adjacency, tables.adjacency)
+
+
+def test_routing_tables_array_round_trip():
+    from repro.hardware.coupling import RoutingTables
+
+    tables = heavy_hex_map(3).routing_tables()
+    rebuilt = RoutingTables.from_arrays(tables.to_arrays())
+    assert np.array_equal(rebuilt.distance, tables.distance)
+    assert np.array_equal(rebuilt.adjacency, tables.adjacency)
+    assert rebuilt.neighbors == tables.neighbors

@@ -1,8 +1,9 @@
-"""Worker-count invariance on a non-grid zoo device.
+"""Worker-count and worker-mode invariance on a non-grid zoo device.
 
 The batched stages advertise bit-identical results for every
-``max_workers``; the guarantee has only ever been regression-tested on
-the 4x5 grid devices.  This suite pins it on a ring (and the zoo's
+``max_workers`` *and* execution mode (thread pool vs spawn-based
+process pool, PR 6); the guarantee has only ever been regression-tested
+on the 4x5 grid devices.  This suite pins it on a ring (and the zoo's
 seeded random graph for the executor), where routing inserts different
 SWAP patterns and the per-circuit seed streams cover different shapes.
 """
@@ -21,6 +22,14 @@ from .harness import PROPERTY_SEED, small_device
 
 WORKER_COUNTS = (1, 2, 4)
 
+# The (workers, mode) grid every pooled stage must be invariant over.
+# The sequential thread row doubles as the reference.
+WORKER_MATRIX = tuple(
+    (workers, mode)
+    for mode in ("thread", "process")
+    for workers in WORKER_COUNTS
+)
+
 
 @pytest.fixture(scope="module")
 def ring_device():
@@ -34,25 +43,27 @@ def tiny_suite():
     )
 
 
-def _dataset(suite, device, max_workers):
+def _dataset(suite, device, max_workers, workers_mode="thread"):
     return build_dataset(
         suite, device,
         optimization_level=3, shots=250, seed=PROPERTY_SEED,
-        max_workers=max_workers,
+        max_workers=max_workers, workers_mode=workers_mode,
     )
 
 
-def test_build_dataset_worker_count_invariant(ring_device, tiny_suite):
+def test_build_dataset_worker_count_and_mode_invariant(ring_device, tiny_suite):
     reference = _dataset(tiny_suite, ring_device, max_workers=1)
     assert len(reference) == len(tiny_suite)
-    for workers in WORKER_COUNTS[1:]:
-        other = _dataset(tiny_suite, ring_device, max_workers=workers)
-        assert np.array_equal(reference.X, other.X), workers
-        assert np.array_equal(reference.y, other.y), workers
+    for workers, mode in WORKER_MATRIX[1:]:
+        other = _dataset(
+            tiny_suite, ring_device, max_workers=workers, workers_mode=mode
+        )
+        assert np.array_equal(reference.X, other.X), (workers, mode)
+        assert np.array_equal(reference.y, other.y), (workers, mode)
         for fom in ("Number of gates", "Circuit depth", "Expected fidelity", "ESP"):
             assert np.array_equal(
                 reference.fom_column(fom), other.fom_column(fom)
-            ), (workers, fom)
+            ), (workers, mode, fom)
         for a, b in zip(reference.entries, other.entries):
             assert a.name == b.name
             assert a.success_probability == b.success_probability
@@ -80,7 +91,7 @@ def test_run_batch_worker_count_invariant(tiny_suite):
             assert ref_execution.counts == other_execution.counts, workers
 
 
-def test_grid_search_worker_count_invariant(ring_device, tiny_suite):
+def test_grid_search_worker_count_and_mode_invariant(ring_device, tiny_suite):
     data = _dataset(tiny_suite, ring_device, max_workers=2)
     grid = {
         "n_estimators": [10, 20],
@@ -92,14 +103,35 @@ def test_grid_search_worker_count_invariant(ring_device, tiny_suite):
         grid_search(
             RandomForestRegressor(random_state=0, max_features="sqrt"),
             grid, data.X, data.y,
-            n_splits=3, seed=PROPERTY_SEED, max_workers=workers,
+            n_splits=3, seed=PROPERTY_SEED,
+            max_workers=workers, workers_mode=mode,
         )
-        for workers in WORKER_COUNTS
+        for workers, mode in WORKER_MATRIX
     ]
     reference = outcomes[0]
-    for other in outcomes[1:]:
-        assert other.best_params == reference.best_params
-        assert other.best_score == reference.best_score
+    for (workers, mode), other in zip(WORKER_MATRIX[1:], outcomes[1:]):
+        assert other.best_params == reference.best_params, (workers, mode)
+        assert other.best_score == reference.best_score, (workers, mode)
         assert [score for _, score in other.results] == [
             score for _, score in reference.results
-        ]
+        ], (workers, mode)
+
+
+def test_forest_fit_mode_invariant(ring_device, tiny_suite):
+    """A process-pool forest fit must be bit-identical to the sequential
+    fit: same predictions, same importances, to the last ulp."""
+    data = _dataset(tiny_suite, ring_device, max_workers=2)
+    reference = RandomForestRegressor(
+        n_estimators=8, random_state=PROPERTY_SEED, max_workers=1
+    ).fit(data.X, data.y)
+    for workers, mode in WORKER_MATRIX[1:]:
+        other = RandomForestRegressor(
+            n_estimators=8, random_state=PROPERTY_SEED,
+            max_workers=workers, workers_mode=mode,
+        ).fit(data.X, data.y)
+        assert np.array_equal(
+            reference.predict(data.X), other.predict(data.X)
+        ), (workers, mode)
+        assert np.array_equal(
+            reference.feature_importances_, other.feature_importances_
+        ), (workers, mode)

@@ -1,6 +1,7 @@
 """Unit tests for distribution utilities and the Hellinger distance."""
 
 import math
+import os
 
 import numpy as np
 import pytest
@@ -162,3 +163,48 @@ def test_marginalize():
     out = marginalize(p, [1])
     assert out["0"] == pytest.approx(0.5)
     assert out["1"] == pytest.approx(0.5)
+
+
+def test_distribution_metrics_are_hash_salt_invariant():
+    """The distance metrics must not depend on PYTHONHASHSEED.
+
+    Float addition is not associative, and set iteration order follows
+    the per-interpreter string-hash salt — an unsorted accumulation over
+    ``set(p) | set(q)`` gives label values that differ in the last ulp
+    between interpreters, which forest training amplifies into visibly
+    different models (the run_study divergence this pins was one part in
+    ~1e16 on a single Hellinger label).  Regression: compute each metric
+    over a wide support in freshly salted subprocesses and demand exact
+    byte equality.
+    """
+    import subprocess
+    import sys
+
+    script = (
+        "import random\n"
+        "from repro.simulation.distributions import ("
+        "bhattacharyya_coefficient, hellinger_distance, "
+        "total_variation_distance)\n"
+        "rng = random.Random(7)\n"
+        "keys = [format(i, '08b') for i in range(256)]\n"
+        "p = {k: rng.random() for k in keys}\n"
+        "q = {k: rng.random() for k in rng.sample(keys, 200)}\n"
+        "total_p = sum(p.values()); total_q = sum(q.values())\n"
+        "p = {k: v / total_p for k, v in p.items()}\n"
+        "q = {k: v / total_q for k, v in q.items()}\n"
+        "print(repr(hellinger_distance(p, q)))\n"
+        "print(repr(total_variation_distance(p, q)))\n"
+        "print(repr(bhattacharyya_coefficient(p, q)))\n"
+    )
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    outputs = set()
+    for salt in ("0", "1", "4", "1234567"):
+        env = dict(os.environ, PYTHONHASHSEED=salt, PYTHONPATH=src_dir)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outputs.add(result.stdout)
+    assert len(outputs) == 1, outputs
