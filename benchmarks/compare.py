@@ -7,9 +7,13 @@ more than the threshold (default 30%).
 Both files may be either full pytest-benchmark exports (``{"benchmarks":
 [{"name": ..., "stats": {"mean": ...}}, ...]}``) or the simplified mapping
 this script writes with ``--update`` (``{"benchmark_name": mean_seconds}``).
-Benchmarks present on only one side are reported but never fail the gate,
-so adding or retiring benchmarks does not require touching the baseline in
-the same commit.
+New benchmarks (present only in the fresh run) are reported but never fail
+the gate, so adding a benchmark does not require touching the baseline in
+the same commit.  A benchmark present in the baseline but **missing** from
+the fresh run FAILS the gate: a deleted or silently-skipped bench must not
+be able to hide a regression.  Retiring a bench on purpose means removing
+its baseline entry in the same commit (or passing ``--allow-missing`` for
+a one-off run on a machine that skips it).
 
 The baseline records wall-clock means and is therefore machine-class
 specific: regenerate it (``--update``) whenever the CI runner class
@@ -52,15 +56,23 @@ def compare(
     fresh: Dict[str, float],
     threshold: float = DEFAULT_THRESHOLD,
 ):
-    """Classify each benchmark; returns ``(regressions, report_lines)``.
+    """Classify each benchmark; returns ``(regressions, missing, lines)``.
 
-    A benchmark regresses when ``fresh > baseline * (1 + threshold)``.
+    A benchmark regresses when ``fresh > baseline * (1 + threshold)``;
+    ``missing`` lists baseline benchmarks absent from the fresh run (the
+    caller decides whether those fail the gate — ``main`` does unless
+    ``--allow-missing``).
     """
     regressions = []
+    missing = []
     lines = []
     for name in sorted(set(baseline) | set(fresh)):
         if name not in fresh:
-            lines.append(f"  [gone]   {name} (baseline {baseline[name]:.4f}s)")
+            missing.append(name)
+            lines.append(
+                f"  [MISSING] {name} (baseline {baseline[name]:.4f}s, "
+                "absent from fresh run)"
+            )
             continue
         if name not in baseline:
             lines.append(f"  [new]    {name} ({fresh[name]:.4f}s)")
@@ -77,7 +89,7 @@ def compare(
             f"  [{status:<6}] {name}: {base:.4f}s -> {now:.4f}s "
             f"({ratio:.2f}x)"
         )
-    return regressions, lines
+    return regressions, missing, lines
 
 
 def main(argv=None) -> int:
@@ -92,6 +104,12 @@ def main(argv=None) -> int:
         "--update", action="store_true",
         help="rewrite the baseline from the fresh results and exit 0",
     )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="do not fail when a baseline benchmark is absent from the "
+             "fresh run (one-off escape hatch; the gate fails by default "
+             "so deleted benches cannot hide regressions)",
+    )
     args = parser.parse_args(argv)
 
     fresh = load_means(args.fresh)
@@ -103,18 +121,34 @@ def main(argv=None) -> int:
         return 0
 
     baseline = load_means(args.baseline)
-    regressions, lines = compare(baseline, fresh, args.threshold)
+    regressions, missing, lines = compare(baseline, fresh, args.threshold)
     print(
         f"perf comparison vs {args.baseline} "
         f"(threshold: +{args.threshold:.0%}):"
     )
     for line in lines:
         print(line)
+    failed = False
     if regressions:
         print(
             f"FAIL: {len(regressions)} benchmark(s) regressed by more than "
             f"{args.threshold:.0%}: {', '.join(regressions)}"
         )
+        failed = True
+    if missing:
+        if args.allow_missing:
+            print(
+                f"WARNING: {len(missing)} baseline benchmark(s) missing "
+                f"from the fresh run (allowed): {', '.join(missing)}"
+            )
+        else:
+            print(
+                f"FAIL: {len(missing)} baseline benchmark(s) missing from "
+                f"the fresh run: {', '.join(missing)} — retire them from "
+                "the baseline on purpose or pass --allow-missing"
+            )
+            failed = True
+    if failed:
         return 1
     print("OK: no benchmark regressed beyond the threshold")
     return 0

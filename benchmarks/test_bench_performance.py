@@ -7,6 +7,7 @@ study (650+ compile/execute/label passes).
 """
 
 import os
+import threading
 import time
 
 import numpy as np
@@ -17,6 +18,7 @@ from repro.bench.suite import build_suite, compile_suite
 from repro.circuits.random import random_circuit
 from repro.compiler import clear_compile_cache, compile_circuit
 from repro.compiler.compile import compile_batch
+from repro.evaluation.persistence import save_model
 from repro.fom import feature_matrix, feature_vector
 from repro.hardware import make_q20a, make_zoo_device
 from repro.ml import RandomForestRegressor, grid_search
@@ -224,6 +226,86 @@ def test_perf_predict_batch(benchmark, device):
     benchmark.pedantic(
         lambda: service.predict(circuits), rounds=3, iterations=1
     )
+
+
+def test_perf_serving_qps(benchmark, tmp_path):
+    """Sustained many-client load through the serving daemon.
+
+    The full network path: 6 concurrent clients x 5 keep-alive requests
+    of 4 circuits each (the 120-circuit serving suite) against an
+    in-process daemon — HTTP framing, dynamic batching (5ms deadline),
+    and the warm FomService pipeline.  The benchmark mean is the
+    wall-clock of one whole load run; ``extra_info`` records the derived
+    QPS and client-observed p50/p99 request latency, so the smoke-bench
+    artifact doubles as the serving tail-latency report.
+    """
+    from repro.circuits.qasm import to_qasm
+    from repro.serving import ModelRegistry, ServerConfig, ServingClient
+    from repro.serving.server import DaemonThread, ServingDaemon
+
+    model_path = tmp_path / "model.npz"
+    save_model(_tiny_estimator(), model_path)
+    registry = ModelRegistry()
+    registry.add_model_file(
+        model_path, make_q20a(), optimization_level=3, seed=0
+    )
+    daemon = ServingDaemon(registry, ServerConfig(
+        port=0, max_batch=64, batch_deadline=0.005, queue_limit=4096,
+    ))
+    qasm = [to_qasm(entry.circuit) for entry in _serving_suite()]
+    n_clients, requests_per_client, request_size = 6, 5, 4
+    chunks = [
+        qasm[start:start + request_size]
+        for start in range(0, n_clients * requests_per_client * request_size,
+                           request_size)
+    ]
+    latencies = []
+    wall = {}
+
+    def run_load(host, port):
+        latencies.clear()
+        errors = []
+        started_load = time.perf_counter()
+
+        def drive(client_index):
+            with ServingClient(host, port) as client:
+                for request_index in range(requests_per_client):
+                    chunk = chunks[
+                        client_index * requests_per_client + request_index
+                    ]
+                    started = time.perf_counter()
+                    try:
+                        client.predict(chunk)
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+                    latencies.append(time.perf_counter() - started)
+
+        threads = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall["s"] = time.perf_counter() - started_load
+        assert not errors, errors
+
+    with DaemonThread(daemon) as (host, port):
+        run_load(host, port)  # warm the compile pass cache: steady state
+        benchmark.pedantic(
+            run_load, args=(host, port), rounds=3, iterations=1
+        )
+
+    total_requests = n_clients * requests_per_client
+    ordered = sorted(latencies)
+    benchmark.extra_info["qps"] = total_requests / wall["s"]
+    benchmark.extra_info["requests"] = total_requests
+    benchmark.extra_info["p50_s"] = ordered[len(ordered) // 2]
+    benchmark.extra_info["p99_s"] = ordered[
+        min(len(ordered) - 1, int(0.99 * len(ordered)))
+    ]
 
 
 def test_perf_forest_fit(benchmark):

@@ -1,0 +1,216 @@
+"""Serving-daemon smoke check: boot, drive, verify, drain, leave nothing.
+
+This is the CI ``serving-smoke`` job's driver (and runnable locally).
+Against the artifacts ``predict_service.py --workdir DIR`` leaves
+behind, it:
+
+1. starts ``python -m repro serve`` as a real subprocess on a free port,
+2. drives it with :class:`~repro.serving.client.ServingClient` —
+   ``healthz``, several **concurrent** ``predict`` requests (so dynamic
+   batching actually coalesces), a ``foms`` panel, and ``stats``,
+3. asserts every daemon response is **bit-identical** to a direct
+   :class:`~repro.predictor.service.FomService` call on the same inputs
+   (float64 values survive the JSON round-trip exactly),
+4. sends SIGTERM while a request is in flight and asserts the response
+   still arrives (graceful drain), the process exits 0, and
+5. verifies nothing is left behind: the port is closed and no stray
+   process still references the workdir.
+
+Exit code 0 = all of the above held.
+
+Run:  python examples/predict_service.py --quick --workdir /tmp/serve
+      python examples/serving_smoke.py --workdir /tmp/serve
+"""
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.circuits.qasm import from_qasm
+from repro.predictor import FomService
+from repro.serving import ServingClient
+
+FOM_LABELS = (
+    "Number of gates", "Circuit depth", "Expected fidelity", "ESP",
+    "Proposed approach",
+)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def processes_referencing(needle: str, ignore: set) -> list:
+    """PIDs whose command line mentions ``needle`` (orphan detector)."""
+    found = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit() or int(entry.name) in ignore:
+            continue
+        try:
+            cmdline = (entry / "cmdline").read_bytes().replace(b"\0", b" ")
+        except OSError:
+            continue
+        if needle.encode() in cmdline:
+            found.append((int(entry.name), cmdline.decode(errors="replace")))
+    return found
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", required=True,
+        help="directory predict_service.py wrote model.npz + circuits/ into",
+    )
+    parser.add_argument("--device", default="q20a")
+    parser.add_argument("--level", type=int, default=3)
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir)
+    model_path = workdir / "model.npz"
+    qasm_paths = sorted((workdir / "circuits").glob("*.qasm"))
+    if not model_path.is_file() or not qasm_paths:
+        fail(f"no serving artifacts under {workdir}; "
+             "run predict_service.py --workdir first")
+    qasm = [path.read_text() for path in qasm_paths]
+    # Three concurrent requests out of the corpus (distinct sizes, so the
+    # coalesced batch interleaves unequal requests).
+    requests = [qasm[0:3], qasm[3:5], qasm[5:11]]
+
+    print(f"[smoke] starting daemon for {model_path}")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--model", str(model_path), "--device", args.device,
+         "--level", str(args.level), "--port", "0",
+         "--batch-deadline-ms", "150", "--max-batch", "64"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        line = daemon.stdout.readline()
+        if "listening on http://" not in line:
+            fail(f"daemon failed to announce itself: {line!r}")
+        port = int(line.split("listening on http://")[1]
+                   .split(" ")[0].rsplit(":", 1)[1])
+        print(f"[smoke] daemon up on port {port}")
+        client = ServingClient(port=port)
+
+        status, health = client.healthz()
+        if status != 200 or health["status"] != "serving":
+            fail(f"healthz: {status} {health}")
+        print(f"[smoke] healthz OK ({health['models']})")
+
+        # Concurrent predict requests: the 150ms deadline lets them
+        # coalesce into one dynamic batch.
+        responses = [None] * len(requests)
+        errors = []
+
+        def drive(index: int) -> None:
+            worker_client = ServingClient(port=port)
+            try:
+                responses[index] = worker_client.predict(requests[index])
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append((index, exc))
+            finally:
+                worker_client.close()
+
+        threads = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        if errors:
+            fail(f"concurrent predict failed: {errors}")
+
+        # Bit-identity: the daemon's answers must equal a direct
+        # FomService call on the same per-request inputs.
+        service = FomService.load(
+            model_path, args.device, optimization_level=args.level, seed=0
+        )
+        for index, request in enumerate(requests):
+            direct = service.predict(
+                [from_qasm(text) for text in request]
+            ).tolist()
+            served = responses[index]["predictions"]
+            if served != direct:
+                fail(f"request {index} not bit-identical:\n"
+                     f"  served: {served}\n  direct: {direct}")
+        print(f"[smoke] {len(requests)} concurrent requests bit-identical "
+              "to direct FomService calls")
+
+        panel = client.foms(qasm[:3])["foms"]
+        direct_panel = service.score_established_foms(
+            [from_qasm(text) for text in qasm[:3]]
+        )
+        for label in FOM_LABELS:
+            if panel[label] != direct_panel[label].tolist():
+                fail(f"foms[{label!r}] mismatch: {panel[label]} "
+                     f"vs {direct_panel[label].tolist()}")
+        print("[smoke] foms panel bit-identical")
+
+        stats = client.stats()
+        if stats["batches"]["total"] < 1:
+            fail(f"no batches recorded: {stats}")
+        sizes = stats["batches"]["size_histogram"]
+        print(f"[smoke] stats OK: {stats['batches']['requests_total']} "
+              f"requests over {stats['batches']['total']} batches "
+              f"(sizes {sizes}), stages "
+              f"{ {k: round(v, 3) for k, v in stats['latency']['stages_s'].items()} }")
+        client.close()
+
+        # Graceful drain: submit a request, SIGTERM while it waits out
+        # the 150ms batch deadline, and the response must still arrive.
+        drain_result = {}
+
+        def drain_request() -> None:
+            drain_client = ServingClient(port=port)
+            try:
+                drain_result["response"] = drain_client.predict(qasm[:2])
+            except Exception as exc:  # noqa: BLE001 - reported below
+                drain_result["error"] = exc
+            finally:
+                drain_client.close()
+
+        drain_thread = threading.Thread(target=drain_request)
+        drain_thread.start()
+        time.sleep(0.05)  # inside the 150ms deadline window
+        daemon.send_signal(signal.SIGTERM)
+        drain_thread.join(timeout=600)
+        if "error" in drain_result:
+            fail(f"in-flight request dropped during drain: "
+                 f"{drain_result['error']}")
+        direct = service.predict([from_qasm(text) for text in qasm[:2]])
+        if drain_result["response"]["predictions"] != direct.tolist():
+            fail("drained response not bit-identical")
+        print("[smoke] SIGTERM drain answered the in-flight request")
+
+        returncode = daemon.wait(timeout=120)
+        if returncode != 0:
+            fail(f"daemon exited {returncode} after SIGTERM")
+        print("[smoke] daemon exited 0")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+
+    # Nothing left behind: port closed, no process still references the
+    # model path.
+    with socket.socket() as probe:
+        if probe.connect_ex(("127.0.0.1", port)) == 0:
+            fail(f"port {port} still accepting connections after shutdown")
+    orphans = processes_referencing(str(model_path), ignore={os.getpid()})
+    if orphans:
+        fail(f"orphaned processes still reference {model_path}: {orphans}")
+    print("[smoke] no orphans, port closed — serving smoke PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,9 @@ Subcommands:
 * ``features`` — print the 30-dim feature vector of a compiled circuit.
 * ``predict``  — batch-score QASM files with a trained estimator
   (the :class:`~repro.predictor.service.FomService` frontend).
+* ``serve``    — run the long-lived serving daemon (dynamic request
+  batching over a model registry; see :mod:`repro.serving`).
+* ``client``   — talk to a running daemon (healthz/stats/predict/foms).
 * ``study``    — run the correlation study and print Table I / Fig. 3.
 * ``devices``  — list the built-in devices and their calibration summary.
 * ``zoo``      — list or inspect the parameterized device-zoo families.
@@ -165,6 +168,109 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .evaluation.persistence import PersistenceError
+    from .serving import ModelRegistry, ServerConfig, ServingDaemon
+
+    device = _load_device(args.device)
+    registry = ModelRegistry()
+    service_kwargs = dict(
+        optimization_level=args.level, seed=args.seed,
+        num_trials=args.num_trials,
+    )
+    try:
+        if args.model is not None:
+            registry.add_model_file(args.model, device, **service_kwargs)
+        else:
+            registry.add_store(
+                args.store, device,
+                name=args.name, fingerprint=args.fingerprint,
+                **service_kwargs,
+            )
+    except (PersistenceError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        batch_deadline=args.batch_deadline_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        max_workers=args.max_workers,
+        workers_mode=args.workers_mode,
+    )
+    try:
+        daemon = ServingDaemon(registry, config)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    asyncio.run(daemon.serve_forever())
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .serving import ServingClient, ServingError
+
+    client = ServingClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.action == "healthz":
+            status, payload = client.healthz()
+            print(json.dumps(payload, indent=2))
+            return 0 if status == 200 else 1
+        if args.action == "stats":
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        # predict / foms: batch-score QASM files through the daemon.
+        if not args.qasm:
+            raise SystemExit(f"client {args.action} needs QASM files/dirs")
+        paths = _collect_qasm_paths(args.qasm)
+        qasm = [path.read_text() for path in paths]
+        if args.action == "foms":
+            response = client.foms(
+                qasm, model=args.model, fingerprint=args.fingerprint,
+                optimization_level=args.level,
+            )
+            if args.json:
+                print(json.dumps(response, indent=2))
+                return 0
+            panel = response["foms"]
+            columns = list(panel)
+            print(f"# model: {response['model']}@{response['fingerprint']}  "
+                  f"level: {response['optimization_level']}")
+            print(f"{'circuit':<24}"
+                  + "".join(f"{name:>20}" for name in columns))
+            for index, path in enumerate(paths):
+                row = f"{path.stem:<24}"
+                for name in columns:
+                    row += f"{panel[name][index]:>20.4f}"
+                print(row)
+            return 0
+        response = client.predict(
+            qasm, model=args.model, fingerprint=args.fingerprint,
+            optimization_level=args.level,
+        )
+        if args.json:
+            print(json.dumps(response, indent=2))
+            return 0
+        print(f"# model: {response['model']}@{response['fingerprint']}  "
+              f"level: {response['optimization_level']}")
+        print(f"{'circuit':<24} {'predicted_hellinger':>20}")
+        for path, value in zip(paths, response["predictions"]):
+            print(f"{path.stem:<24} {value:>20.4f}")
+        return 0
+    except ServingError as exc:
+        raise SystemExit(str(exc))
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach daemon at http://{args.host}:{args.port}: {exc}"
+        )
+    finally:
+        client.close()
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     if args.full:
         config = StudyConfig(shots=2000, seed=args.seed)
@@ -303,6 +409,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="circuits scored per streamed chunk (memory ceiling)",
     )
     p_pred.set_defaults(func=_cmd_predict)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived serving daemon",
+        description=(
+            "Start an asyncio HTTP daemon that loads a model registry once "
+            "(a save_model .npz via --model, or every estimator artifact in "
+            "an ArtifactStore directory via --store) and coalesces "
+            "concurrent predict requests into dynamic batches.  Endpoints: "
+            "POST /predict, POST /foms, GET /healthz, GET /stats.  SIGTERM "
+            "drains in-flight batches and exits 0."
+        ),
+    )
+    source = p_serve.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--model", help="path to a trained estimator (.npz from save_model)"
+    )
+    source.add_argument(
+        "--store",
+        help="ArtifactStore directory; registers every estimator artifact",
+    )
+    p_serve.add_argument(
+        "--name", default=None,
+        help="with --store: register only artifacts with this name",
+    )
+    p_serve.add_argument(
+        "--fingerprint", default=None,
+        help="with --store: register only artifacts with this fingerprint",
+    )
+    common(p_serve)
+    p_serve.add_argument("--num-trials", type=int, default=4)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8377,
+        help="TCP port (0 picks a free one; printed on startup)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="circuits per dynamic batch (size trigger)",
+    )
+    p_serve.add_argument(
+        "--batch-deadline-ms", type=float, default=10.0,
+        help="max milliseconds a partial batch waits for more requests",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=1024,
+        help="circuits queued before new requests get 503 (backpressure)",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=60.0,
+        help="seconds before a queued request is answered 504",
+    )
+    p_serve.add_argument(
+        "--max-workers", type=int, default=1,
+        help="pipeline workers per batch (1 = predictable latency; raise "
+             "on multi-core boxes)",
+    )
+    p_serve.add_argument(
+        "--workers-mode", choices=("thread", "process"), default="thread",
+        help="pool flavor for the per-batch pipeline (default: thread — "
+             "per-batch process spawns cost more than small batches win)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="talk to a running serving daemon",
+        description=(
+            "Drive a daemon started with `repro serve`: check health, dump "
+            "stats, or batch-score QASM files through POST /predict / "
+            "POST /foms."
+        ),
+    )
+    p_client.add_argument(
+        "action", choices=("healthz", "stats", "predict", "foms"),
+    )
+    p_client.add_argument(
+        "qasm", nargs="*",
+        help="QASM files and/or directories (predict/foms only)",
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=8377)
+    p_client.add_argument(
+        "--model", default=None, help="registered model name to score with"
+    )
+    p_client.add_argument(
+        "--fingerprint", default=None,
+        help="registered model fingerprint to score with",
+    )
+    p_client.add_argument(
+        "--level", type=int, default=None, choices=range(4),
+        help="optimization level override (default: the model's)",
+    )
+    p_client.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="client-side socket timeout in seconds",
+    )
+    p_client.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON response instead of the table",
+    )
+    p_client.set_defaults(func=_cmd_client)
 
     p_study = sub.add_parser("study", help="run the correlation study")
     p_study.add_argument("--full", action="store_true")

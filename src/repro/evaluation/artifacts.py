@@ -31,7 +31,7 @@ this store.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, Iterator, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from ..predictor.estimator import HellingerEstimator
 from .persistence import (
@@ -87,6 +87,15 @@ ARTIFACT_KINDS: Dict[str, ArtifactKind] = {
         _load_estimator,
     ),
 }
+
+
+class ArtifactRef(NamedTuple):
+    """Address of one stored artifact: the ``get``/``put`` key plus its path."""
+
+    kind: str
+    name: str
+    fingerprint: str
+    path: Path
 
 
 class ArtifactStore:
@@ -159,6 +168,16 @@ class ArtifactStore:
 
     def entries(self, kind: Optional[str] = None) -> Iterator[Tuple[str, Path]]:
         """Yield ``(kind, path)`` for every entry currently in the store."""
+        for ref in self.refs(kind):
+            yield ref.kind, ref.path
+
+    def refs(self, kind: Optional[str] = None) -> Iterator[ArtifactRef]:
+        """Yield an :class:`ArtifactRef` for every entry in the store.
+
+        The ``(name, fingerprint)`` address is parsed back out of the
+        frozen file-name patterns (the fingerprint is the last ``_``-token
+        of the stem; names may themselves contain underscores).
+        """
         if not self.root.is_dir():
             return
         kinds = [kind] if kind is not None else list(ARTIFACT_KINDS)
@@ -166,8 +185,34 @@ class ArtifactStore:
             recipe = self._kind(kind_id)
             prefix, _, suffix = recipe.pattern.partition("{name}")
             tail = suffix.replace("{fingerprint}", "*")
+            extension = tail[tail.rindex("*") + 1:]
             for path in sorted(self.root.glob(f"{prefix}*{tail}")):
-                yield kind_id, path
+                stem = path.name[len(prefix):len(path.name) - len(extension)]
+                name, _, fingerprint = stem.rpartition("_")
+                if not name or not fingerprint:
+                    continue  # foreign file that happens to match the glob
+                yield ArtifactRef(kind_id, name, fingerprint, path)
+
+    def find(
+        self,
+        kind: str,
+        *,
+        name: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> "List[ArtifactRef]":
+        """Entries of ``kind`` matching the given name and/or fingerprint.
+
+        This is the registry-lookup primitive the serving daemon boots
+        from: ``find("estimator", fingerprint=...)`` addresses one exact
+        trained model regardless of its human-readable name.  Filters
+        that are ``None`` match everything.
+        """
+        return [
+            ref
+            for ref in self.refs(kind)
+            if (name is None or ref.name == name)
+            and (fingerprint is None or ref.fingerprint == fingerprint)
+        ]
 
     @staticmethod
     def _kind(kind: str) -> ArtifactKind:
@@ -186,5 +231,6 @@ class ArtifactStore:
 __all__ = [
     "ARTIFACT_KINDS",
     "ArtifactKind",
+    "ArtifactRef",
     "ArtifactStore",
 ]

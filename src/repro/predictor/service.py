@@ -22,6 +22,7 @@ command-line / scripted frontends.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -116,15 +117,7 @@ class FomService:
         from ..evaluation.artifacts import ArtifactStore
 
         store = ArtifactStore.coerce(store)
-        candidates: List[Tuple[str, str]] = []
-        for _, path in store.entries("estimator"):
-            stem = path.name[len("transfer-estimator_"):-len(".npz")]
-            entry_name, _, entry_fingerprint = stem.rpartition("_")
-            if name is not None and entry_name != name:
-                continue
-            if fingerprint is not None and entry_fingerprint != fingerprint:
-                continue
-            candidates.append((entry_name, entry_fingerprint))
+        candidates = store.find("estimator", name=name, fingerprint=fingerprint)
         if not candidates:
             raise ValueError(
                 f"no estimator artifact matching name={name!r} "
@@ -133,14 +126,15 @@ class FomService:
         if len(candidates) > 1:
             raise ValueError(
                 "ambiguous estimator artifacts "
-                f"{sorted(candidates)} in {store.root}; "
-                "pass name=/fingerprint= to pick one"
+                f"{sorted((ref.name, ref.fingerprint) for ref in candidates)} "
+                f"in {store.root}; pass name=/fingerprint= to pick one"
             )
-        estimator = store.get("estimator", *candidates[0])
+        ref = candidates[0]
+        estimator = store.get("estimator", ref.name, ref.fingerprint)
         if estimator is None:
             raise ValueError(
-                f"estimator artifact {candidates[0]} in {store.root} "
-                "is corrupted or of the wrong kind"
+                f"estimator artifact {(ref.name, ref.fingerprint)} in "
+                f"{store.root} is corrupted or of the wrong kind"
             )
         return cls(estimator, device, **kwargs)
 
@@ -228,6 +222,86 @@ class FomService:
             }
         return {name: np.concatenate(parts) for name, parts in panel.items()}
 
+    def predict_at(
+        self,
+        circuits: "List[QuantumCircuit]",
+        *,
+        positions: "List[int]",
+        optimization_level: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        workers_mode: Optional[str] = None,
+        want_foms: bool = False,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """One batched pipeline pass with explicit per-circuit seed positions.
+
+        This is the serving daemon's coalescing primitive: a dynamic
+        batch that merges several concurrent requests must give each
+        circuit the compile seed of its position *within its own
+        request* — not its position in the merged batch — so that the
+        response is bit-identical to the same request served alone.
+        ``predict_at(circuits, positions=range(len(circuits)))`` is
+        exactly ``predict(circuits)``; per-circuit work is independent
+        (compilation seeds, feature rows, forest rows), so any
+        concatenation of requests served through one ``predict_at`` call
+        splits back into the solo answers.
+
+        With ``want_foms`` the established Table-I panel is computed from
+        the same compile pass and returned as the second element (empty
+        dict otherwise).  ``timings`` (when given) accumulates per-stage
+        wall-clock seconds under ``"compile_s"``, ``"featurize_s"``, and
+        ``"predict_s"`` — the daemon's ``/stats`` feed.
+        """
+        circuits = list(circuits)
+        positions = [int(position) for position in positions]
+        if len(positions) != len(circuits):
+            raise ValueError(
+                f"positions ({len(positions)}) must match "
+                f"circuits ({len(circuits)})"
+            )
+        if any(position < 0 for position in positions):
+            raise ValueError("positions must be non-negative")
+        level = (
+            self.optimization_level
+            if optimization_level is None
+            else optimization_level
+        )
+        started = time.perf_counter()
+        results = compile_batch(
+            circuits,
+            self.device,
+            optimization_level=level,
+            seeds=[self.seed + SEED_STRIDE * position for position in positions],
+            num_trials=self.num_trials,
+            max_workers=max_workers,
+            workers_mode=workers_mode,
+        )
+        compiled = [result.circuit for result in results]
+        compiled_at = time.perf_counter()
+        features = feature_matrix(
+            compiled, max_workers=max_workers, workers_mode=workers_mode
+        )
+        featurized_at = time.perf_counter()
+        if circuits:
+            predictions = np.asarray(
+                self.estimator.predict(features), dtype=float
+            )
+        else:
+            predictions = np.empty(0)
+        predicted_at = time.perf_counter()
+        foms = self._established_panel(compiled) if want_foms else {}
+        if timings is not None:
+            timings["compile_s"] = (
+                timings.get("compile_s", 0.0) + (compiled_at - started)
+            )
+            timings["featurize_s"] = (
+                timings.get("featurize_s", 0.0) + (featurized_at - compiled_at)
+            )
+            timings["predict_s"] = (
+                timings.get("predict_s", 0.0) + (predicted_at - featurized_at)
+            )
+        return predictions, foms
+
     def compile_only(
         self,
         circuits: Iterable[QuantumCircuit],
@@ -295,33 +369,38 @@ class FomService:
         # (``None`` workers = one per CPU, the repo-wide rule).
         offset = 0
         for chunk in _chunked(circuits, size):
-            results = self._compile_chunk(
-                chunk, offset, level, max_workers, workers_mode
+            yield self.predict_at(
+                chunk,
+                positions=range(offset, offset + len(chunk)),
+                optimization_level=level,
+                max_workers=max_workers,
+                workers_mode=workers_mode,
+                want_foms=want_foms,
             )
             offset += len(chunk)
-            compiled = [result.circuit for result in results]
-            features = feature_matrix(
-                compiled, max_workers=max_workers, workers_mode=workers_mode
-            )
-            predictions = np.asarray(self.estimator.predict(features), dtype=float)
-            foms: Dict[str, np.ndarray] = {}
-            if want_foms:
-                # Specialized computations (batched fidelity) under the
-                # shared Table-I labels, in FOM_ORDER.
-                gates_label, depth_label, fidelity_label, esp_label = FOM_ORDER
-                foms[gates_label] = np.array(
-                    [float(circuit.size()) for circuit in compiled]
-                )
-                foms[depth_label] = np.array(
-                    [float(circuit.depth()) for circuit in compiled]
-                )
-                foms[fidelity_label] = expected_fidelity_batch(
-                    compiled, self.device
-                )
-                foms[esp_label] = np.array(
-                    [esp(circuit, self.device) for circuit in compiled]
-                )
-            yield predictions, foms
+
+    def _established_panel(
+        self, compiled: "List[QuantumCircuit]"
+    ) -> Dict[str, np.ndarray]:
+        """The four established Table-I figures of merit, in FOM_ORDER.
+
+        Specialized computations (batched fidelity) under the shared
+        Table-I labels, evaluated on already-compiled circuits against
+        the device's reported calibration.
+        """
+        gates_label, depth_label, fidelity_label, esp_label = FOM_ORDER
+        return {
+            gates_label: np.array(
+                [float(circuit.size()) for circuit in compiled]
+            ),
+            depth_label: np.array(
+                [float(circuit.depth()) for circuit in compiled]
+            ),
+            fidelity_label: expected_fidelity_batch(compiled, self.device),
+            esp_label: np.array(
+                [esp(circuit, self.device) for circuit in compiled]
+            ),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,43 @@
+"""The long-lived serving stack: registry, dynamic batcher, daemon, client.
+
+:class:`~repro.predictor.service.FomService` batches one caller's
+iterable; production traffic is many concurrent small requests.  This
+package puts a network front end on that machinery:
+
+* :mod:`repro.serving.registry` — :class:`ModelRegistry`, the daemon's
+  set of (device, estimator) pairs, loaded **once** from model files or
+  an :class:`~repro.evaluation.artifacts.ArtifactStore` and addressed by
+  name and/or fingerprint.
+* :mod:`repro.serving.batcher` — :class:`DynamicBatcher`, which
+  coalesces concurrent requests into size- or deadline-triggered batches
+  with a bounded queue (backpressure) and an orderly drain.
+* :mod:`repro.serving.server` — :class:`ServingDaemon`, a stdlib-only
+  asyncio HTTP daemon exposing ``/predict``, ``/foms``, ``/healthz``,
+  and ``/stats``, with per-request timeouts and graceful SIGTERM
+  shutdown.
+* :mod:`repro.serving.client` — :class:`ServingClient`, the matching
+  stdlib HTTP client (also the ``python -m repro client`` backend).
+
+Coalescing is *bit-exact*: a request's circuits keep the compile seeds
+of their positions within that request (via
+:meth:`~repro.predictor.service.FomService.predict_at`), so a response
+is identical whether the request shared a dynamic batch with a thousand
+others or was served alone.
+"""
+
+from .batcher import BacklogFull, BatcherClosed, DynamicBatcher
+from .client import ServingClient, ServingError
+from .registry import ModelEntry, ModelRegistry
+from .server import ServerConfig, ServingDaemon
+
+__all__ = [
+    "BacklogFull",
+    "BatcherClosed",
+    "DynamicBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "ServerConfig",
+    "ServingClient",
+    "ServingDaemon",
+    "ServingError",
+]

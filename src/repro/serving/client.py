@@ -1,0 +1,190 @@
+"""The matching stdlib HTTP client for the serving daemon.
+
+:class:`ServingClient` wraps :mod:`http.client` with JSON encoding, a
+persistent keep-alive connection (re-established transparently after the
+server closes it), and typed errors — usable from scripts, the
+``python -m repro client`` command, tests, and the many-client load
+bench.  One client instance serves one thread; a load generator makes
+one per worker thread.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..circuits.qasm import to_qasm
+
+__all__ = ["ServingClient", "ServingError"]
+
+
+class ServingError(RuntimeError):
+    """A non-2xx response from the daemon; carries status + server payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+
+
+def _as_qasm(circuits) -> List[str]:
+    """Accept QASM strings or QuantumCircuit objects (or a mix)."""
+    rendered = []
+    for circuit in circuits:
+        rendered.append(
+            circuit if isinstance(circuit, str) else to_qasm(circuit)
+        )
+    if not rendered:
+        raise ValueError("no circuits to score")
+    return rendered
+
+
+class ServingClient:
+    """A keep-alive JSON client for one daemon endpoint.
+
+    Args:
+        host/port: where the daemon listens.
+        timeout: socket timeout per request — should exceed the daemon's
+            ``request_timeout`` so the server, not the client, decides
+            when a queued request is abandoned.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8377, timeout: float = 120.0
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round-trip; returns ``(status, decoded JSON body)``.
+
+        A dead keep-alive connection (server restarted, connection
+        closed between requests) is re-established once; errors on the
+        retry propagate.
+        """
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException, ConnectionError, socket.timeout,
+                OSError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        if response.will_close:
+            self.close()
+        try:
+            decoded = json.loads(raw.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            decoded = {"error": f"non-JSON response: {raw[:200]!r}"}
+        if not isinstance(decoded, dict):
+            decoded = {"value": decoded}
+        return response.status, decoded
+
+    def _checked(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, decoded = self.request(method, path, payload)
+        if status != 200:
+            raise ServingError(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """``(status, payload)`` — 200 serving, 503 draining (not raised)."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked("GET", "/stats")
+
+    def predict(
+        self,
+        circuits,
+        *,
+        model: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        optimization_level: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Score circuits (QASM strings or QuantumCircuits); raises
+        :class:`ServingError` on any non-200 (backpressure, draining,
+        timeout, bad input)."""
+        return self._checked(
+            "POST", "/predict",
+            self._payload(circuits, model, fingerprint, optimization_level),
+        )
+
+    def foms(
+        self,
+        circuits,
+        *,
+        model: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        optimization_level: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """The full Table-I panel for the given circuits."""
+        return self._checked(
+            "POST", "/foms",
+            self._payload(circuits, model, fingerprint, optimization_level),
+        )
+
+    @staticmethod
+    def _payload(
+        circuits,
+        model: Optional[str],
+        fingerprint: Optional[str],
+        optimization_level: Optional[int],
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"circuits": _as_qasm(circuits)}
+        if model is not None:
+            payload["model"] = model
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        if optimization_level is not None:
+            payload["optimization_level"] = optimization_level
+        return payload
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ServingClient(http://{self.host}:{self.port})"

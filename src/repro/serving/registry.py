@@ -1,0 +1,186 @@
+"""The daemon's model registry: (device, estimator) pairs, loaded once.
+
+A serving process must not pay model-deserialization or device-building
+costs per request.  :class:`ModelRegistry` front-loads all of it: each
+:class:`ModelEntry` owns a fully-booted
+:class:`~repro.predictor.service.FomService` (estimator + resolved
+device), addressed by a human-readable ``name`` and a content
+``fingerprint``.
+
+Two loaders cover the repo's two artifact shapes:
+
+* :meth:`ModelRegistry.add_model_file` — a ``save_model`` ``.npz`` path.
+  The fingerprint is the SHA-256 of the file bytes (first 12 hex chars),
+  so two registries booted from the same file agree on the address.
+* :meth:`ModelRegistry.add_store` — every estimator artifact in an
+  :class:`~repro.evaluation.artifacts.ArtifactStore` (optionally
+  filtered by name/fingerprint), reusing the store's own fingerprints.
+
+Lookup (:meth:`resolve`) mirrors ``FomService.from_store``: ``None``
+filters match everything, and ambiguity is an error rather than a guess
+— a daemon silently serving the wrong model helps nobody.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional
+
+from ..predictor.service import FomService
+
+__all__ = ["ModelEntry", "ModelRegistry"]
+
+
+def _file_fingerprint(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()[:12]
+
+
+class ModelEntry(NamedTuple):
+    """One registered model: its address plus the booted service."""
+
+    name: str
+    fingerprint: str
+    service: FomService
+
+    @property
+    def key(self) -> "tuple[str, str]":
+        return (self.name, self.fingerprint)
+
+    def describe(self) -> Dict[str, str]:
+        """The JSON-facing summary (``/healthz``, ``repro client``)."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "device": self.service.device.name,
+            "optimization_level": str(self.service.optimization_level),
+        }
+
+
+class ModelRegistry:
+    """An ordered set of :class:`ModelEntry`, unique per (name, fingerprint)."""
+
+    def __init__(self):
+        self._entries: "Dict[tuple[str, str], ModelEntry]" = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[ModelEntry]:
+        return list(self._entries.values())
+
+    def _add(self, entry: ModelEntry) -> ModelEntry:
+        if entry.key in self._entries:
+            raise ValueError(
+                f"model {entry.key} is already registered"
+            )
+        self._entries[entry.key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Loaders
+    # ------------------------------------------------------------------
+
+    def add_model_file(
+        self,
+        path: "str | Path",
+        device,
+        *,
+        name: Optional[str] = None,
+        **service_kwargs,
+    ) -> ModelEntry:
+        """Register a ``save_model`` ``.npz`` file (fingerprint = file hash).
+
+        ``service_kwargs`` (``optimization_level``, ``seed``,
+        ``num_trials``, ...) are forwarded to :class:`FomService`.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise ValueError(f"no model file at {path}")
+        service = FomService.load(path, device, **service_kwargs)
+        return self._add(
+            ModelEntry(name or path.stem, _file_fingerprint(path), service)
+        )
+
+    def add_store(
+        self,
+        store,
+        device,
+        *,
+        name: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        **service_kwargs,
+    ) -> List[ModelEntry]:
+        """Register every matching estimator artifact in a store.
+
+        ``store`` is an :class:`~repro.evaluation.artifacts.ArtifactStore`
+        or a cache-directory path; ``name``/``fingerprint`` narrow which
+        artifacts load (``None`` = all).  Registering zero models is an
+        error — a daemon with an empty registry cannot serve anything.
+        """
+        from ..evaluation.artifacts import ArtifactStore
+
+        store = ArtifactStore.coerce(store)
+        refs = store.find("estimator", name=name, fingerprint=fingerprint)
+        if not refs:
+            raise ValueError(
+                f"no estimator artifact matching name={name!r} "
+                f"fingerprint={fingerprint!r} in {store.root}"
+            )
+        loaded = []
+        for ref in refs:
+            estimator = store.get("estimator", ref.name, ref.fingerprint)
+            if estimator is None:
+                raise ValueError(
+                    f"estimator artifact {(ref.name, ref.fingerprint)} in "
+                    f"{store.root} is corrupted or of the wrong kind"
+                )
+            loaded.append(
+                self._add(
+                    ModelEntry(
+                        ref.name,
+                        ref.fingerprint,
+                        FomService(estimator, device, **service_kwargs),
+                    )
+                )
+            )
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self,
+        name: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> ModelEntry:
+        """The unique entry matching the filters.
+
+        ``None`` filters match everything, so a single-model registry
+        resolves with no arguments.  No match or more than one match is
+        a :class:`ValueError` (the daemon answers 400).
+        """
+        matches = [
+            entry
+            for entry in self._entries.values()
+            if (name is None or entry.name == name)
+            and (fingerprint is None or entry.fingerprint == fingerprint)
+        ]
+        if not matches:
+            raise ValueError(
+                f"no registered model matching name={name!r} "
+                f"fingerprint={fingerprint!r}; serving "
+                f"{sorted(entry.key for entry in self._entries.values())}"
+            )
+        if len(matches) > 1:
+            raise ValueError(
+                "ambiguous model reference: "
+                f"{sorted(entry.key for entry in matches)} all match "
+                f"name={name!r} fingerprint={fingerprint!r}"
+            )
+        return matches[0]

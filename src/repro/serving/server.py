@@ -1,0 +1,573 @@
+"""The serving daemon: a stdlib-only asyncio HTTP front end.
+
+:class:`ServingDaemon` owns a :class:`~repro.serving.registry.ModelRegistry`
+(loaded once) and a :class:`~repro.serving.batcher.DynamicBatcher`, and
+speaks a deliberately small slice of HTTP/1.1 over asyncio streams — no
+third-party web framework, per the repo's numpy-only runtime rule.
+
+Endpoints (all JSON):
+
+* ``POST /predict`` — ``{"circuits": [qasm, ...], "model"?, "fingerprint"?,
+  "optimization_level"?}`` → ``{"predictions": [...], "model":,
+  "fingerprint":}``.  Concurrent requests coalesce into dynamic batches;
+  responses are bit-identical to a direct
+  :meth:`~repro.predictor.service.FomService.predict` call on the same
+  inputs (request-local compile-seed positions).
+* ``POST /foms`` — same request shape → the paper's full Table-I panel
+  (four established figures of merit + the proposed estimator) under
+  ``"foms"``.
+* ``GET /healthz`` — 200 ``{"status": "serving", ...}`` while accepting
+  work, 503 ``{"status": "draining"}`` once shutdown has begun.
+* ``GET /stats`` — queue depth, batch-size histogram, per-stage latency
+  totals, request-latency percentiles, response counters.
+
+Operational behavior:
+
+* **Backpressure** — a bounded queue; when full, new work is rejected
+  with 503 instead of queueing unbounded latency.
+* **Per-request timeout** — a request that waits longer than
+  ``request_timeout`` gets 504; the batch it joined still completes for
+  everyone else.
+* **Graceful shutdown** — on SIGTERM/SIGINT the daemon stops accepting
+  (503), drains every in-flight and queued batch (each queued request
+  is answered exactly once), closes the listener, and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..circuits.qasm import from_qasm
+from ..fom.metrics import PROPOSED_LABEL
+from .batcher import BacklogFull, BatcherClosed, DynamicBatcher
+from .registry import ModelRegistry
+
+__all__ = ["DaemonThread", "ServerConfig", "ServingDaemon"]
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADERS = 100
+
+
+@dataclass
+class ServerConfig:
+    """Network + batching knobs of one daemon."""
+
+    host: str = "127.0.0.1"
+    port: int = 8377                  # 0 = pick a free port (tests)
+    max_batch: int = 64               # circuits per dynamic batch (size trigger)
+    batch_deadline: float = 0.010     # seconds before a partial batch flushes
+    queue_limit: int = 1024           # circuits waiting before 503
+    request_timeout: float = 60.0     # seconds before a request gets 504
+    max_body_bytes: int = 64 * 1024 * 1024
+    max_workers: int = 1              # pipeline workers per batch
+    workers_mode: Optional[str] = "thread"
+    latency_window: int = 2048        # request-latency samples kept for /stats
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing; the connection is answered 400 and closed."""
+
+
+class ServingDaemon:
+    """A long-lived predict server over a model registry.
+
+    Construct with a loaded registry, then either ``await start()`` /
+    ``await stop()`` from an event loop (tests), use
+    :class:`DaemonThread` from synchronous code, or call
+    :meth:`serve_forever` as the process main (the CLI path — installs
+    SIGTERM/SIGINT handlers for graceful drain).
+    """
+
+    def __init__(
+        self, registry: ModelRegistry, config: Optional[ServerConfig] = None
+    ):
+        if len(registry) == 0:
+            raise ValueError("cannot serve an empty model registry")
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self._batcher = DynamicBatcher(
+            self._run_batch,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.batch_deadline,
+            max_queue=self.config.queue_limit,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set[asyncio.StreamWriter]" = set()
+        self._handler_tasks: "set[asyncio.Task]" = set()
+        self._draining = False
+        self._active_requests = 0
+        self._idle: Optional[asyncio.Event] = None   # created on the loop
+        self._started_at: Optional[float] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        # Counters (event-loop-only mutation).
+        self._requests: Dict[str, int] = {}
+        self._responses: Dict[int, int] = {}
+        self._latencies: "deque[float]" = deque(
+            maxlen=self.config.latency_window
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the batcher; sets ``host``/``port``."""
+        if self._server is not None:
+            return
+        self._idle = asyncio.Event()
+        self._idle.set()
+        await self._batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._started_at = asyncio.get_running_loop().time()
+
+    def begin_drain(self) -> None:
+        """Stop accepting new work (503) while queued requests finish."""
+        self._draining = True
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain the batcher, close listener + connections.
+
+        Every request queued before the call is answered exactly once;
+        requests arriving after it get 503.
+        """
+        self.begin_drain()
+        await self._batcher.close()
+        # Let in-flight handlers write their (already computed) responses
+        # before tearing connections down — a drained request that never
+        # reaches the wire is still a dropped request.
+        if self._idle is not None:
+            await self._idle.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        # Reap handler tasks (idle keep-alive readers wake on the close
+        # above) so loop teardown never cancels a live task mid-read.
+        pending = [
+            task for task in self._handler_tasks if not task.done()
+        ]
+        if pending:
+            done, still_pending = await asyncio.wait(pending, timeout=5)
+            for task in still_pending:  # pragma: no cover - defensive
+                task.cancel()
+            if still_pending:  # pragma: no cover - defensive
+                await asyncio.wait(still_pending, timeout=5)
+
+    async def serve_forever(self) -> None:
+        """Run as the process main: start, announce, drain on SIGTERM/SIGINT."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        stop_signal = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_signal.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        models = ", ".join(
+            f"{entry.name}@{entry.fingerprint}"
+            for entry in self.registry.entries()
+        )
+        print(
+            f"repro-serve listening on http://{self.host}:{self.port} "
+            f"(pid {os.getpid()}; models: {models})",
+            flush=True,
+        )
+        await stop_signal.wait()
+        print("repro-serve draining (SIGTERM/SIGINT received)", flush=True)
+        await self.stop()
+        print("repro-serve drained; exiting", flush=True)
+
+    # ------------------------------------------------------------------
+    # The batch runner (worker thread)
+    # ------------------------------------------------------------------
+
+    def _run_batch(
+        self,
+        key: Tuple[str, str, int, bool],
+        payloads: List[List],
+        timings: Dict[str, float],
+    ) -> List[Dict[str, Any]]:
+        """Run one coalesced batch through the FomService pipeline.
+
+        ``key`` pins (model name, fingerprint, optimization level,
+        panel?), so every payload in the batch is computed identically.
+        Positions restart at 0 for each payload: that is what makes the
+        merged batch bit-identical to serving each request alone.
+        """
+        name, fingerprint, level, want_foms = key
+        entry = self.registry.resolve(name, fingerprint)
+        circuits: List = []
+        positions: List[int] = []
+        for payload in payloads:
+            circuits.extend(payload)
+            positions.extend(range(len(payload)))
+        predictions, foms = entry.service.predict_at(
+            circuits,
+            positions=positions,
+            optimization_level=level,
+            max_workers=self.config.max_workers,
+            workers_mode=self.config.workers_mode,
+            want_foms=want_foms,
+            timings=timings,
+        )
+        results: List[Dict[str, Any]] = []
+        offset = 0
+        for payload in payloads:
+            count = len(payload)
+            result: Dict[str, Any] = {
+                "predictions": predictions[offset:offset + count].tolist(),
+            }
+            if want_foms:
+                result["foms"] = {
+                    label: values[offset:offset + count].tolist()
+                    for label, values in foms.items()
+                }
+            results.append(result)
+            offset += count
+        return results
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    await self._write_response(
+                        writer, 400, {"error": str(exc)}, close=True
+                    )
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                self._active_requests += 1
+                if self._idle is not None:
+                    self._idle.clear()
+                try:
+                    status, payload = await self._route(method, target, body)
+                    keep_alive = (
+                        headers.get("connection", "").lower() != "close"
+                    )
+                    await self._write_response(
+                        writer, status, payload, close=not keep_alive
+                    )
+                finally:
+                    self._active_requests -= 1
+                    if self._active_requests == 0 and self._idle is not None:
+                        self._idle.set()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:  # pragma: no cover - teardown path
+            pass  # loop teardown; the connection is closed below
+        finally:
+            if task is not None:
+                self._handler_tasks.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """One HTTP/1.1 request, or ``None`` on a clean EOF between requests."""
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise _BadRequest("request line too long") from None
+        if not line:
+            return None
+        line = line.strip().decode("latin-1", "replace")
+        if len(line) > _MAX_REQUEST_LINE:
+            raise _BadRequest("request line too long")
+        parts = line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(f"malformed request line: {line[:80]!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1", "replace").partition(":")
+            if not sep:
+                raise _BadRequest(f"malformed header: {raw[:80]!r}")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _BadRequest("too many headers")
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _BadRequest("bad content-length") from None
+            if length < 0 or length > self.config.max_body_bytes:
+                raise _BadRequest(
+                    f"body too large ({length} > "
+                    f"{self.config.max_body_bytes} bytes)"
+                )
+            body = await reader.readexactly(length)
+        elif headers.get("transfer-encoding"):
+            raise _BadRequest("chunked transfer encoding is not supported")
+        return method, target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        close: bool,
+    ) -> None:
+        self._responses[status] = self._responses.get(status, 0) + 1
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 503: "Service Unavailable",
+            504: "Gateway Timeout",
+        }.get(status, "Error")
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = target.split("?", 1)[0]
+        self._requests[path] = self._requests.get(path, 0) + 1
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return self._healthz()
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "stats is GET-only"}
+            return 200, self._stats()
+        if path in ("/predict", "/foms"):
+            if method != "POST":
+                return 405, {"error": f"{path} is POST-only"}
+            return await self._predict(body, want_foms=(path == "/foms"))
+        return 404, {
+            "error": f"unknown path {path!r}; "
+            "endpoints: /predict /foms /healthz /stats"
+        }
+
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        status = "draining" if self._draining else "serving"
+        return (503 if self._draining else 200), {
+            "status": status,
+            "models": [entry.describe() for entry in self.registry.entries()],
+            "batch": {
+                "max_batch": self.config.max_batch,
+                "deadline_ms": self.config.batch_deadline * 1000.0,
+                "queue_limit": self.config.queue_limit,
+                "request_timeout_s": self.config.request_timeout,
+            },
+        }
+
+    def _stats(self) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        batch = self._batcher.snapshot()
+        ordered = sorted(self._latencies)
+
+        def percentile(fraction: float) -> Optional[float]:
+            if not ordered:
+                return None
+            return ordered[
+                min(len(ordered) - 1, int(fraction * len(ordered)))
+            ]
+
+        return {
+            "uptime_s": (
+                loop.time() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "draining": self._draining,
+            "requests": dict(self._requests),
+            "responses": {
+                str(status): count
+                for status, count in sorted(self._responses.items())
+            },
+            "queue": {
+                "depth": batch.queue_depth,
+                "requests_waiting": batch.requests_waiting,
+                "in_flight": batch.in_flight,
+                "limit": self.config.queue_limit,
+                "rejected_total": batch.rejected_total,
+            },
+            "batches": {
+                "total": batch.batches_total,
+                "requests_total": batch.requests_total,
+                "size_histogram": {
+                    str(size): count
+                    for size, count in sorted(
+                        batch.batch_size_histogram.items()
+                    )
+                },
+            },
+            "latency": {
+                "request_p50_s": percentile(0.50),
+                "request_p99_s": percentile(0.99),
+                "request_max_s": ordered[-1] if ordered else None,
+                "samples": len(ordered),
+                "queue_wait_s_total": batch.queue_wait_s_total,
+                "queue_wait_s_max": batch.queue_wait_s_max,
+                "stages_s": batch.stage_s,
+            },
+        }
+
+    async def _predict(
+        self, body: bytes, want_foms: bool
+    ) -> Tuple[int, Dict[str, Any]]:
+        if self._draining:
+            return 503, {"error": "draining; not accepting new work"}
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"request body is not valid JSON: {exc}"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        qasm_list = payload.get("circuits")
+        if (
+            not isinstance(qasm_list, list)
+            or not qasm_list
+            or not all(isinstance(entry, str) for entry in qasm_list)
+        ):
+            return 400, {
+                "error": "'circuits' must be a non-empty list of QASM strings"
+            }
+        level = payload.get("optimization_level")
+        if level is not None and (
+            not isinstance(level, int) or not 0 <= level <= 3
+        ):
+            return 400, {"error": "'optimization_level' must be 0..3"}
+        try:
+            entry = self.registry.resolve(
+                payload.get("model"), payload.get("fingerprint")
+            )
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            circuits = [from_qasm(qasm) for qasm in qasm_list]
+        except Exception as exc:  # noqa: BLE001 - any parse failure is a 400
+            return 400, {"error": f"bad QASM: {exc}"}
+        effective_level = (
+            entry.service.optimization_level if level is None else level
+        )
+        key = (entry.name, entry.fingerprint, effective_level, want_foms)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            result = await asyncio.wait_for(
+                self._batcher.submit(key, circuits, weight=len(circuits)),
+                timeout=self.config.request_timeout,
+            )
+        except BacklogFull as exc:
+            return 503, {"error": str(exc)}
+        except BatcherClosed:
+            return 503, {"error": "draining; not accepting new work"}
+        except asyncio.TimeoutError:
+            return 504, {
+                "error": f"request timed out after "
+                f"{self.config.request_timeout}s in the batch queue"
+            }
+        self._latencies.append(loop.time() - started)
+        response: Dict[str, Any] = {
+            "model": entry.name,
+            "fingerprint": entry.fingerprint,
+            "optimization_level": effective_level,
+            "count": len(circuits),
+        }
+        if want_foms:
+            response["foms"] = {
+                **result["foms"],
+                PROPOSED_LABEL: result["predictions"],
+            }
+        else:
+            response["predictions"] = result["predictions"]
+        return 200, response
+
+
+class DaemonThread:
+    """Run a :class:`ServingDaemon` on a background event loop.
+
+    For synchronous callers — tests, benchmarks, the smoke example:
+
+    >>> with DaemonThread(daemon) as (host, port):
+    ...     client = ServingClient(host, port)
+
+    ``stop()`` performs the same graceful drain as SIGTERM.
+    """
+
+    def __init__(self, daemon: ServingDaemon):
+        self.daemon = daemon
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+        self._loop.close()
+
+    def start(self) -> Tuple[str, int]:
+        self._thread.start()
+        self.call(self.daemon.start())
+        assert self.daemon.host is not None and self.daemon.port is not None
+        return self.daemon.host, self.daemon.port
+
+    def call(self, coroutine, timeout: float = 120.0):
+        """Run a coroutine on the daemon's loop; return its result."""
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop
+        ).result(timeout=timeout)
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self.call(self.daemon.stop())
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -45,27 +45,65 @@ def test_load_means_rejects_garbage(tmp_path):
 
 
 def test_compare_within_threshold_passes():
-    regressions, _ = compare_mod.compare(
+    regressions, missing, _ = compare_mod.compare(
         {"a": 1.0, "b": 2.0}, {"a": 1.29, "b": 1.5}, threshold=0.30
     )
     assert regressions == []
+    assert missing == []
 
 
 def test_compare_flags_regression_beyond_threshold():
-    regressions, lines = compare_mod.compare(
+    regressions, missing, lines = compare_mod.compare(
         {"a": 1.0, "b": 2.0}, {"a": 1.31, "b": 2.0}, threshold=0.30
     )
     assert regressions == ["a"]
+    assert missing == []
     assert any("SLOWER" in line for line in lines)
 
 
-def test_compare_ignores_added_and_removed_benchmarks():
-    regressions, lines = compare_mod.compare(
-        {"gone": 1.0, "kept": 1.0}, {"kept": 1.0, "new": 9.9}, threshold=0.30
+def test_compare_ignores_added_benchmarks():
+    regressions, missing, lines = compare_mod.compare(
+        {"kept": 1.0}, {"kept": 1.0, "new": 9.9}, threshold=0.30
     )
     assert regressions == []
+    assert missing == []
     assert any("[new]" in line for line in lines)
-    assert any("[gone]" in line for line in lines)
+
+
+def test_compare_reports_missing_benchmarks():
+    """A baseline bench absent from the fresh run is surfaced as missing —
+    a deleted/skipped bench must not silently pass the gate."""
+    regressions, missing, lines = compare_mod.compare(
+        {"gone": 1.0, "kept": 1.0}, {"kept": 1.0}, threshold=0.30
+    )
+    assert regressions == []
+    assert missing == ["gone"]
+    assert any("[MISSING]" in line for line in lines)
+
+
+def test_main_fails_on_missing_benchmark(tmp_path, capsys):
+    baseline = _write(tmp_path, "baseline.json", {"a": 1.0, "b": 1.0})
+    fresh = _write(tmp_path, "fresh.json", {"a": 1.0})
+    assert compare_mod.main([str(baseline), str(fresh)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "missing" in out
+    # The escape hatch turns the failure into a warning.
+    assert compare_mod.main(
+        [str(baseline), str(fresh), "--allow-missing"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "WARNING" in out
+
+
+def test_main_fails_on_both_missing_and_regressed(tmp_path, capsys):
+    baseline = _write(tmp_path, "baseline.json", {"a": 1.0, "b": 1.0})
+    fresh = _write(tmp_path, "fresh.json", {"a": 9.0})
+    assert compare_mod.main([str(baseline), str(fresh)]) == 1
+    # --allow-missing must not excuse the genuine regression.
+    assert compare_mod.main(
+        [str(baseline), str(fresh), "--allow-missing"]
+    ) == 1
 
 
 def test_main_exit_codes(tmp_path, capsys):

@@ -132,6 +132,65 @@ def test_score_established_foms_panel(service, device, circuits):
     assert np.array_equal(panel[PROPOSED_LABEL], service.predict(circuits))
 
 
+def test_predict_at_identity_positions_match_predict(service, circuits):
+    predictions, foms = service.predict_at(
+        circuits, positions=range(len(circuits))
+    )
+    assert np.array_equal(predictions, service.predict(circuits))
+    assert foms == {}
+
+
+def test_predict_at_request_local_positions_split_bit_identically(
+    service, circuits
+):
+    """The daemon's coalescing contract: concatenated requests with
+    request-local positions split back into the solo answers."""
+    requests = [circuits[0:3], circuits[3:5], circuits[5:7]]
+    merged = [circuit for request in requests for circuit in request]
+    positions = [
+        position for request in requests for position in range(len(request))
+    ]
+    batched, _ = service.predict_at(merged, positions=positions)
+    offset = 0
+    for request in requests:
+        solo = service.predict(request)
+        assert np.array_equal(batched[offset:offset + len(request)], solo)
+        offset += len(request)
+
+
+def test_predict_at_foms_panel_and_timings(service, circuits):
+    timings = {}
+    predictions, foms = service.predict_at(
+        circuits[:3], positions=range(3), want_foms=True, timings=timings
+    )
+    panel = service.score_established_foms(circuits[:3])
+    for label, values in foms.items():
+        assert np.array_equal(values, panel[label])
+    assert PROPOSED_LABEL not in foms  # the panel's estimator row is separate
+    assert np.array_equal(predictions, panel[PROPOSED_LABEL])
+    assert set(timings) == {"compile_s", "featurize_s", "predict_s"}
+    assert all(seconds >= 0.0 for seconds in timings.values())
+
+
+def test_predict_at_level_override(service, circuits):
+    level3, _ = service.predict_at(
+        circuits[:3], positions=range(3), optimization_level=3
+    )
+    assert np.array_equal(
+        level3, service.predict(circuits[:3], optimization_level=3)
+    )
+
+
+def test_predict_at_validates_positions(service, circuits):
+    with pytest.raises(ValueError, match="positions"):
+        service.predict_at(circuits[:2], positions=[0])
+    with pytest.raises(ValueError, match="non-negative"):
+        service.predict_at(circuits[:2], positions=[0, -1])
+    predictions, foms = service.predict_at([], positions=[])
+    assert predictions.shape == (0,)
+    assert foms == {}
+
+
 def test_load_from_npz(tmp_path, estimator, device, circuits):
     path = tmp_path / "model.npz"
     save_model(estimator, path)

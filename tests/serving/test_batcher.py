@@ -1,0 +1,298 @@
+"""DynamicBatcher semantics: triggers, lanes, backpressure, drain.
+
+These tests drive the batcher with synthetic runners (no FomService), so
+they pin the *concurrency* contract in isolation: which requests share a
+batch, when batches fire, and that every future resolves exactly once.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving.batcher import BacklogFull, BatcherClosed, DynamicBatcher
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def echo_runner(batches=None):
+    """A runner returning (key, payload) per request, logging batches."""
+
+    def runner(key, payloads, timings):
+        if batches is not None:
+            batches.append((key, list(payloads)))
+        return [(key, payload) for payload in payloads]
+
+    return runner
+
+
+def test_size_trigger_coalesces_exactly_max_batch():
+    batches = []
+
+    async def main():
+        batcher = DynamicBatcher(
+            echo_runner(batches), max_batch=4, max_delay=30.0
+        )
+        await batcher.start()
+        results = await asyncio.gather(
+            *(batcher.submit("lane", index) for index in range(4))
+        )
+        await batcher.close()
+        return results
+
+    results = run(main())
+    # One batch of four — the 30s deadline never fired, size did.
+    assert [payloads for _, payloads in batches] == [[0, 1, 2, 3]]
+    assert results == [("lane", index) for index in range(4)]
+
+
+def test_deadline_trigger_flushes_partial_batch():
+    batches = []
+
+    async def main():
+        batcher = DynamicBatcher(
+            echo_runner(batches), max_batch=100, max_delay=0.02
+        )
+        await batcher.start()
+        results = await asyncio.gather(
+            *(batcher.submit("lane", index) for index in range(3))
+        )
+        await batcher.close()
+        return results
+
+    results = run(main())
+    # Far below max_batch, so only the deadline could have dispatched.
+    assert [payloads for _, payloads in batches] == [[0, 1, 2]]
+    assert results == [("lane", index) for index in range(3)]
+
+
+def test_trigger_choice_does_not_change_results():
+    """Size- and deadline-triggered runs answer identically (only batch
+    composition differs) — the daemon's latency/throughput knob must
+    never be a correctness knob."""
+
+    async def main(max_batch, max_delay):
+        batcher = DynamicBatcher(
+            echo_runner(), max_batch=max_batch, max_delay=max_delay
+        )
+        await batcher.start()
+        results = await asyncio.gather(
+            *(batcher.submit("lane", index) for index in range(6))
+        )
+        await batcher.close()
+        return results
+
+    by_size = run(main(max_batch=2, max_delay=30.0))
+    by_deadline = run(main(max_batch=100, max_delay=0.01))
+    assert by_size == by_deadline
+
+
+def test_lanes_never_share_a_batch():
+    batches = []
+
+    async def main():
+        batcher = DynamicBatcher(
+            echo_runner(batches), max_batch=100, max_delay=0.01
+        )
+        await batcher.start()
+        await asyncio.gather(
+            batcher.submit("a", 1),
+            batcher.submit("b", 2),
+            batcher.submit("a", 3),
+        )
+        await batcher.close()
+
+    run(main())
+    assert sorted(batches) == [("a", [1, 3]), ("b", [2])]
+
+
+def test_weight_counts_circuits_not_requests():
+    batches = []
+
+    async def main():
+        batcher = DynamicBatcher(
+            echo_runner(batches), max_batch=4, max_delay=30.0
+        )
+        await batcher.start()
+        await asyncio.gather(
+            batcher.submit("lane", "two", weight=2),
+            batcher.submit("lane", "one", weight=1),
+            batcher.submit("lane", "uno", weight=1),
+        )
+        await batcher.close()
+
+    run(main())
+    assert [payloads for _, payloads in batches] == [["two", "one", "uno"]]
+
+
+def test_oversized_request_dispatches_alone():
+    batches = []
+
+    async def main():
+        batcher = DynamicBatcher(
+            echo_runner(batches), max_batch=2, max_delay=30.0
+        )
+        await batcher.start()
+        result = await batcher.submit("lane", "big", weight=5)
+        await batcher.close()
+        return result
+
+    assert run(main()) == ("lane", "big")
+    assert [payloads for _, payloads in batches] == [["big"]]
+
+
+def test_backlog_full_rejects_without_touching_queued_work():
+    async def main():
+        batcher = DynamicBatcher(
+            echo_runner(), max_batch=100, max_delay=30.0, max_queue=2
+        )
+        await batcher.start()
+        queued = [
+            asyncio.create_task(batcher.submit("lane", index))
+            for index in range(2)
+        ]
+        await asyncio.sleep(0)  # let both enqueue
+        with pytest.raises(BacklogFull):
+            await batcher.submit("lane", 99)
+        await batcher.close()  # drains the two queued requests
+        return await asyncio.gather(*queued), batcher.snapshot()
+
+    results, stats = run(main())
+    assert results == [("lane", 0), ("lane", 1)]
+    assert stats.rejected_total == 1
+    assert stats.requests_total == 2
+
+
+def test_submit_after_close_raises_closed():
+    async def main():
+        batcher = DynamicBatcher(echo_runner())
+        await batcher.start()
+        await batcher.close()
+        with pytest.raises(BatcherClosed):
+            await batcher.submit("lane", 1)
+        return batcher.snapshot()
+
+    assert run(main()).rejected_total == 1
+
+
+def test_drain_answers_every_queued_request_exactly_once():
+    """close() waives the deadline: everything queued runs, nothing is
+    dropped or duplicated, across multiple lanes."""
+    batches = []
+
+    async def main():
+        batcher = DynamicBatcher(
+            echo_runner(batches), max_batch=100, max_delay=30.0
+        )
+        await batcher.start()
+        tasks = [
+            asyncio.create_task(batcher.submit(index % 3, index))
+            for index in range(9)
+        ]
+        await asyncio.sleep(0)  # everything enqueues, deadline far away
+        await batcher.close()
+        return await asyncio.gather(*tasks)
+
+    results = run(main())
+    assert results == [(index % 3, index) for index in range(9)]
+    served = [payload for _, payloads in batches for payload in payloads]
+    assert sorted(served) == list(range(9))  # exactly once each
+
+
+def test_runner_exception_propagates_to_every_request():
+    def broken(key, payloads, timings):
+        raise RuntimeError("pipeline exploded")
+
+    async def main():
+        batcher = DynamicBatcher(broken, max_batch=2, max_delay=30.0)
+        await batcher.start()
+        results = await asyncio.gather(
+            batcher.submit("lane", 1),
+            batcher.submit("lane", 2),
+            return_exceptions=True,
+        )
+        await batcher.close()
+        return results
+
+    results = run(main())
+    assert all(isinstance(result, RuntimeError) for result in results)
+
+
+def test_wrong_result_count_is_an_error_not_a_misdelivery():
+    def short(key, payloads, timings):
+        return payloads[:-1]
+
+    async def main():
+        batcher = DynamicBatcher(short, max_batch=2, max_delay=30.0)
+        await batcher.start()
+        results = await asyncio.gather(
+            batcher.submit("lane", 1),
+            batcher.submit("lane", 2),
+            return_exceptions=True,
+        )
+        await batcher.close()
+        return results
+
+    results = run(main())
+    assert all(isinstance(result, RuntimeError) for result in results)
+    assert all("2 requests" in str(result) for result in results)
+
+
+def test_cancelled_awaiter_does_not_break_the_batch():
+    """A per-request timeout cancels one awaiter; everyone else in the
+    batch still gets their answer."""
+
+    async def main():
+        batcher = DynamicBatcher(echo_runner(), max_batch=100, max_delay=0.05)
+        await batcher.start()
+        doomed = asyncio.create_task(
+            asyncio.wait_for(batcher.submit("lane", "slow"), timeout=0.001)
+        )
+        survivor = asyncio.create_task(batcher.submit("lane", "ok"))
+        results = await asyncio.gather(doomed, survivor, return_exceptions=True)
+        await batcher.close()
+        return results
+
+    doomed_result, survivor_result = run(main())
+    assert isinstance(doomed_result, asyncio.TimeoutError)
+    assert survivor_result == ("lane", "ok")
+
+
+def test_snapshot_counters_and_stage_timings():
+    def timed(key, payloads, timings):
+        timings["stage_s"] = timings.get("stage_s", 0.0) + 0.5
+        return list(payloads)
+
+    async def main():
+        batcher = DynamicBatcher(timed, max_batch=2, max_delay=30.0)
+        await batcher.start()
+        await asyncio.gather(*(batcher.submit("lane", i) for i in range(4)))
+        await batcher.close()
+        return batcher.snapshot()
+
+    stats = run(main())
+    assert stats.batches_total == 2
+    assert stats.requests_total == 4
+    assert stats.batch_size_histogram == {2: 2}
+    assert stats.queue_depth == 0
+    assert stats.in_flight == 0
+    assert stats.queue_wait_s_total >= 0.0
+    assert stats.stage_s == {"stage_s": 1.0}
+
+
+def test_constructor_and_submit_validation():
+    with pytest.raises(ValueError, match="max_batch"):
+        DynamicBatcher(echo_runner(), max_batch=0)
+    with pytest.raises(ValueError, match="max_delay"):
+        DynamicBatcher(echo_runner(), max_delay=-1.0)
+    with pytest.raises(ValueError, match="max_queue"):
+        DynamicBatcher(echo_runner(), max_queue=0)
+
+    async def main():
+        batcher = DynamicBatcher(echo_runner())
+        with pytest.raises(ValueError, match="weight"):
+            await batcher.submit("lane", 1, weight=0)
+        await batcher.close()
+
+    run(main())

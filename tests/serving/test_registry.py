@@ -1,0 +1,112 @@
+"""ModelRegistry: loading, fingerprinting, and lookup semantics."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.evaluation.artifacts import ArtifactStore
+from repro.evaluation.persistence import save_model
+from repro.predictor.estimator import HellingerEstimator
+from repro.serving.registry import ModelRegistry
+
+TINY_GRID = {
+    "n_estimators": [4],
+    "max_depth": [3],
+    "min_samples_leaf": [1],
+    "min_samples_split": [2],
+}
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    rng = np.random.default_rng(0)
+    return HellingerEstimator(param_grid=TINY_GRID, seed=0).fit(
+        rng.uniform(size=(60, 30)), rng.uniform(size=60)
+    )
+
+
+@pytest.fixture(scope="module")
+def model_path(estimator, tmp_path_factory):
+    path = tmp_path_factory.mktemp("registry") / "model.npz"
+    save_model(estimator, path)
+    return path
+
+
+def test_add_model_file_fingerprint_is_content_hash(model_path):
+    registry = ModelRegistry()
+    entry = registry.add_model_file(model_path, "q20a", seed=0)
+    expected = hashlib.sha256(model_path.read_bytes()).hexdigest()[:12]
+    assert entry.name == "model"
+    assert entry.fingerprint == expected
+    assert entry.key == ("model", expected)
+    assert len(registry) == 1
+    # Two registries booted from the same file agree on the address.
+    other = ModelRegistry().add_model_file(model_path, "q20a", name="m2")
+    assert other.fingerprint == expected
+
+
+def test_add_model_file_rejects_missing_and_duplicate(model_path, tmp_path):
+    registry = ModelRegistry()
+    with pytest.raises(ValueError, match="no model file"):
+        registry.add_model_file(tmp_path / "nope.npz", "q20a")
+    registry.add_model_file(model_path, "q20a")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.add_model_file(model_path, "q20a")
+    # A different name is a different address for the same bytes.
+    registry.add_model_file(model_path, "q20a", name="alias")
+    assert len(registry) == 2
+
+
+def test_add_store_loads_matching_artifacts(estimator, tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("estimator", estimator, "Q20-A", "fp1")
+    store.put("estimator", estimator, "Q20-B", "fp2")
+    registry = ModelRegistry()
+    loaded = registry.add_store(store, "q20a", optimization_level=2, seed=0)
+    assert sorted(entry.key for entry in loaded) == [
+        ("Q20-A", "fp1"), ("Q20-B", "fp2"),
+    ]
+    # Filters narrow the load; a path works as the store argument.
+    only_b = ModelRegistry().add_store(str(tmp_path), "q20a", name="Q20-B")
+    assert [entry.key for entry in only_b] == [("Q20-B", "fp2")]
+    only_fp1 = ModelRegistry().add_store(store, "q20a", fingerprint="fp1")
+    assert [entry.key for entry in only_fp1] == [("Q20-A", "fp1")]
+
+
+def test_add_store_zero_matches_is_an_error(estimator, tmp_path):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(ValueError, match="no estimator artifact"):
+        ModelRegistry().add_store(store, "q20a")
+    store.put("estimator", estimator, "Q20-A", "fp1")
+    with pytest.raises(ValueError, match="no estimator artifact"):
+        ModelRegistry().add_store(store, "q20a", name="Q99")
+
+
+def test_resolve_filters_and_ambiguity(model_path):
+    registry = ModelRegistry()
+    first = registry.add_model_file(model_path, "q20a", name="alpha")
+    second = registry.add_model_file(model_path, "q20a", name="beta")
+    assert registry.resolve("alpha") is first
+    assert registry.resolve("beta", second.fingerprint) is second
+    with pytest.raises(ValueError, match="ambiguous"):
+        registry.resolve()  # both share the fingerprint
+    with pytest.raises(ValueError, match="no registered model"):
+        registry.resolve("gamma")
+    # A single-model registry resolves with no filters at all.
+    solo = ModelRegistry()
+    entry = solo.add_model_file(model_path, "q20a")
+    assert solo.resolve() is entry
+
+
+def test_describe_is_json_ready(model_path):
+    registry = ModelRegistry()
+    entry = registry.add_model_file(
+        model_path, "q20a", optimization_level=3, seed=0
+    )
+    description = entry.describe()
+    assert description["name"] == "model"
+    assert description["fingerprint"] == entry.fingerprint
+    assert description["device"] == "Q20-A"
+    assert description["optimization_level"] == "3"
+    assert all(isinstance(value, str) for value in description.values())

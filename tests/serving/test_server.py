@@ -1,0 +1,288 @@
+"""ServingDaemon end-to-end over real sockets (DaemonThread + ServingClient).
+
+The contract under test is the ISSUE's acceptance bar: daemon responses
+are **bit-identical** to direct :class:`FomService` calls, concurrency
+and batch-trigger choice never change values, backpressure sheds load
+with 503, and shutdown drains queued work without dropping or
+duplicating a response.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.circuits.qasm import to_qasm
+from repro.circuits.random import random_circuit
+from repro.evaluation.persistence import save_model
+from repro.predictor.estimator import HellingerEstimator
+from repro.predictor.service import PROPOSED_LABEL, FomService
+from repro.serving import (
+    ModelRegistry,
+    ServerConfig,
+    ServingClient,
+    ServingError,
+    ServingDaemon,
+)
+from repro.serving.server import DaemonThread
+
+TINY_GRID = {
+    "n_estimators": [4],
+    "max_depth": [3],
+    "min_samples_leaf": [1],
+    "min_samples_split": [2],
+}
+DEVICE = "q20a"
+LEVEL = 2
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    rng = np.random.default_rng(0)
+    estimator = HellingerEstimator(param_grid=TINY_GRID, seed=0).fit(
+        rng.uniform(size=(60, 30)), rng.uniform(size=60)
+    )
+    path = tmp_path_factory.mktemp("serving") / "model.npz"
+    save_model(estimator, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def direct(model_path):
+    """The reference answer: a FomService on the same model + device."""
+    return FomService(
+        FomService.load(model_path, DEVICE).estimator,
+        DEVICE, optimization_level=LEVEL, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    return [
+        random_circuit(3 + (seed % 3), 6, seed=seed, measure=True)
+        for seed in range(9)
+    ]
+
+
+def make_daemon(model_path, **config_kwargs):
+    registry = ModelRegistry()
+    registry.add_model_file(
+        model_path, DEVICE, optimization_level=LEVEL, seed=0
+    )
+    config_kwargs.setdefault("port", 0)
+    return ServingDaemon(registry, ServerConfig(**config_kwargs))
+
+
+@pytest.fixture(scope="module")
+def daemon(model_path):
+    """A long-lived daemon with a deadline long enough to coalesce."""
+    thread = DaemonThread(make_daemon(model_path, batch_deadline=0.10))
+    host, port = thread.start()
+    yield thread.daemon
+    thread.stop()
+
+
+@pytest.fixture()
+def client(daemon):
+    with ServingClient(daemon.host, daemon.port) as connected:
+        yield connected
+
+
+def test_healthz_reports_models_and_knobs(daemon, client):
+    status, payload = client.healthz()
+    assert status == 200
+    assert payload["status"] == "serving"
+    (model,) = payload["models"]
+    assert model["device"] == "Q20-A"
+    assert payload["batch"]["max_batch"] == daemon.config.max_batch
+
+
+def test_concurrent_clients_bit_identical_to_solo_calls(
+    daemon, direct, circuits
+):
+    """N concurrent clients, unequal request sizes, one coalesced batch —
+    every response equals the 1-client (direct FomService) answer."""
+    requests = [circuits[0:3], circuits[3:5], circuits[5:9], circuits[1:2]]
+    responses = [None] * len(requests)
+    errors = []
+
+    def drive(index):
+        with ServingClient(daemon.host, daemon.port) as worker:
+            try:
+                responses[index] = worker.predict(requests[index])
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                errors.append((index, exc))
+
+    threads = [
+        threading.Thread(target=drive, args=(index,))
+        for index in range(len(requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    assert not errors
+    for index, request in enumerate(requests):
+        assert responses[index]["predictions"] == (
+            direct.predict(request).tolist()
+        )
+        assert responses[index]["count"] == len(request)
+
+
+def test_size_and_deadline_triggers_answer_identically(
+    model_path, direct, circuits
+):
+    """max_batch=1 (pure size trigger) and a long deadline (pure deadline
+    trigger) give byte-equal responses for the same request."""
+    request = circuits[:4]
+    expected = direct.predict(request).tolist()
+    for config in (
+        {"max_batch": 1, "batch_deadline": 30.0},
+        {"max_batch": 1024, "batch_deadline": 0.005},
+    ):
+        with DaemonThread(make_daemon(model_path, **config)) as (host, port):
+            with ServingClient(host, port) as client:
+                assert client.predict(request)["predictions"] == expected
+
+
+def test_foms_panel_matches_direct_service(client, direct, circuits):
+    panel = client.foms(circuits[:3])["foms"]
+    reference = direct.score_established_foms(circuits[:3])
+    assert set(panel) == set(reference)
+    for label, values in reference.items():
+        assert panel[label] == values.tolist()
+    assert panel[PROPOSED_LABEL] == direct.predict(circuits[:3]).tolist()
+
+
+def test_optimization_level_override_per_request(client, direct, circuits):
+    served = client.predict(circuits[:3], optimization_level=0)
+    assert served["optimization_level"] == 0
+    assert served["predictions"] == (
+        direct.predict(circuits[:3], optimization_level=0).tolist()
+    )
+
+
+def test_backpressure_returns_503(model_path, circuits):
+    """A request heavier than the queue bound is shed with 503, and the
+    daemon keeps serving afterwards."""
+    with DaemonThread(
+        make_daemon(model_path, queue_limit=2, batch_deadline=0.005)
+    ) as (host, port):
+        with ServingClient(host, port) as client:
+            with pytest.raises(ServingError) as excinfo:
+                client.predict(circuits[:5])
+            assert excinfo.value.status == 503
+            # Within bounds still works.
+            assert len(client.predict(circuits[:2])["predictions"]) == 2
+            assert client.stats()["queue"]["rejected_total"] == 1
+
+
+def test_request_timeout_returns_504(model_path, circuits):
+    """A request that can never dispatch before its timeout gets 504."""
+    with DaemonThread(
+        make_daemon(
+            model_path,
+            max_batch=1024,
+            batch_deadline=30.0,     # deadline far beyond the timeout
+            request_timeout=0.05,
+        )
+    ) as (host, port):
+        with ServingClient(host, port) as client:
+            with pytest.raises(ServingError) as excinfo:
+                client.predict(circuits[:1])
+            assert excinfo.value.status == 504
+
+
+def test_shutdown_drains_queued_request(model_path, direct, circuits):
+    """stop() while a request waits out the batch deadline: the response
+    still arrives (bit-identical), then the port stops answering."""
+    thread = DaemonThread(make_daemon(model_path, batch_deadline=0.25))
+    host, port = thread.start()
+    result = {}
+
+    def drive():
+        with ServingClient(host, port) as client:
+            try:
+                result["response"] = client.predict(circuits[:2])
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                result["error"] = exc
+
+    driver = threading.Thread(target=drive)
+    driver.start()
+    import time
+    time.sleep(0.05)  # inside the 250ms deadline window
+    thread.stop()
+    driver.join(timeout=600)
+    assert "error" not in result, result.get("error")
+    assert result["response"]["predictions"] == (
+        direct.predict(circuits[:2]).tolist()
+    )
+    # Fully down: a fresh request cannot connect.
+    with pytest.raises((ConnectionError, OSError)):
+        with ServingClient(host, port, timeout=2) as client:
+            client.predict(circuits[:1])
+
+
+def test_draining_daemon_rejects_new_work(model_path, circuits):
+    thread = DaemonThread(make_daemon(model_path))
+    host, port = thread.start()
+    try:
+        thread.daemon.begin_drain()
+        with ServingClient(host, port) as client:
+            status, payload = client.healthz()
+            assert status == 503
+            assert payload["status"] == "draining"
+            with pytest.raises(ServingError) as excinfo:
+                client.predict(circuits[:1])
+            assert excinfo.value.status == 503
+    finally:
+        thread.stop()
+
+
+def test_bad_requests_are_400s(client, circuits):
+    qasm = to_qasm(circuits[0])
+    cases = [
+        ("POST", "/predict", None),                        # no body
+        ("POST", "/predict", {"circuits": []}),            # empty list
+        ("POST", "/predict", {"circuits": "not-a-list"}),
+        ("POST", "/predict", {"circuits": [qasm], "optimization_level": 9}),
+        ("POST", "/predict", {"circuits": [qasm], "model": "nope"}),
+        ("POST", "/predict", {"circuits": ["qreg q[2]; bogus q[0];"]}),
+    ]
+    for method, path, payload in cases:
+        status, body = client.request(method, path, payload)
+        assert status == 400, (payload, body)
+        assert "error" in body
+
+
+def test_routing_errors(client):
+    status, body = client.request("GET", "/nowhere")
+    assert status == 404
+    assert "/predict" in body["error"]
+    status, _ = client.request("POST", "/healthz")
+    assert status == 405
+    status, _ = client.request("GET", "/predict")
+    assert status == 405
+
+
+def test_stats_shape_and_counters(client, circuits):
+    client.predict(circuits[:2])
+    stats = client.stats()
+    assert stats["uptime_s"] > 0
+    assert stats["draining"] is False
+    assert stats["requests"]["/predict"] >= 1
+    assert stats["responses"]["200"] >= 1
+    assert stats["queue"]["depth"] == 0
+    assert stats["batches"]["total"] >= 1
+    assert stats["batches"]["requests_total"] >= 1
+    assert stats["latency"]["samples"] >= 1
+    assert stats["latency"]["request_p50_s"] > 0
+    assert stats["latency"]["request_p99_s"] >= stats["latency"]["request_p50_s"]
+    assert set(stats["latency"]["stages_s"]) == {
+        "compile_s", "featurize_s", "predict_s",
+    }
+
+
+def test_empty_registry_is_rejected():
+    with pytest.raises(ValueError, match="empty model registry"):
+        ServingDaemon(ModelRegistry())
