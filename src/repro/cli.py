@@ -3,6 +3,8 @@
 Subcommands:
 
 * ``compile``  — compile a QASM file for a device, print stats + QASM.
+* ``compile-search`` — predictor-guided beam-search compilation
+  (:mod:`repro.compiler.search`), leaderboard-warmed.
 * ``execute``  — compile + run on the noisy emulator, print counts.
 * ``features`` — print the 30-dim feature vector of a compiled circuit.
 * ``predict``  — batch-score QASM files with a trained estimator
@@ -13,6 +15,7 @@ Subcommands:
 * ``study``    — run the correlation study and print Table I / Fig. 3.
 * ``devices``  — list the built-in devices and their calibration summary.
 * ``zoo``      — list or inspect the parameterized device-zoo families.
+* ``docs-cli`` — emit the generated CLI reference page (docs/cli.md).
 
 Every ``--device`` option accepts the built-in names (``q20a``, ``q20b``)
 or a zoo spec like ``zoo:heavy_hex:16:noisy:1`` (see ``zoo --list``).
@@ -29,7 +32,14 @@ from .circuits.qasm import from_qasm, to_qasm
 from .compiler import compile_circuit
 from .evaluation import StudyConfig, format_fig3, format_table_i, run_study
 from .fom import FEATURE_NAMES, esp, expected_fidelity, feature_dict
-from .hardware import BUILTIN_DEVICES, Device, resolve_device, zoo_summary
+from .hardware import (
+    BUILTIN_DEVICES,
+    ZOO_SPEC_GRAMMAR,
+    ZOO_SPEC_HELP,
+    Device,
+    resolve_device,
+    zoo_summary,
+)
 from .simulation import execute_and_label
 
 
@@ -90,6 +100,57 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile_search(args: argparse.Namespace) -> int:
+    from .compiler import compile_search, reset_search_stats, search_stats
+    from .evaluation.persistence import PersistenceError, load_model
+
+    device = _load_device(args.device)
+    paths = _collect_qasm_paths(args.qasm)
+    try:
+        estimator = load_model(args.model)
+    except PersistenceError as exc:
+        raise SystemExit(str(exc))
+    circuits = [_load_circuit(str(path)) for path in paths]
+    reset_search_stats()
+    kwargs = {}
+    if args.beam_width is not None:
+        kwargs["beam_width"] = args.beam_width
+    if args.generations is not None:
+        kwargs["generations"] = args.generations
+    results = compile_search(
+        circuits, device, estimator,
+        seed=args.seed, store=args.store,
+        max_workers=args.max_workers, workers_mode=args.workers_mode,
+        **kwargs,
+    )
+    print(
+        f"# device: {device.name}  model: {args.model}", file=sys.stderr
+    )
+    print(
+        f"{'circuit':<24} {'source':<12} {'gates':>6} {'depth':>6} "
+        f"{'predicted':>10} {'fidelity':>10}  config"
+    )
+    for path, result in zip(paths, results):
+        info = result.properties["search"]
+        config = info["config"]
+        knobs = " ".join(f"{key}={config[key]}" for key in sorted(config))
+        print(
+            f"{path.stem:<24} {info['source']:<12} "
+            f"{result.circuit.size():>6} {result.circuit.depth():>6} "
+            f"{info['predicted_distance']:>10.4f} "
+            f"{info['expected_fidelity']:>10.4f}  {knobs}"
+        )
+    stats = search_stats()
+    print(
+        "# " + "  ".join(f"{key}={stats[key]}" for key in sorted(stats)),
+        file=sys.stderr,
+    )
+    if args.emit_qasm:
+        for result in results:
+            print(to_qasm(result.circuit), end="")
+    return 0
+
+
 def _cmd_execute(args: argparse.Namespace) -> int:
     device = _load_device(args.device)
     circuit = _load_circuit(args.qasm)
@@ -129,11 +190,15 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
     device = _load_device(args.device)
     paths = _collect_qasm_paths(args.qasm)
+    level = "search" if args.search else args.level
     try:
         service = FomService.load(
             args.model, device,
-            optimization_level=args.level, seed=args.seed,
+            optimization_level=level, seed=args.seed,
             chunk_size=args.chunk_size,
+            search_store=args.search_store,
+            beam_width=args.beam_width,
+            generations=args.generations,
         )
     except (PersistenceError, ValueError) as exc:
         raise SystemExit(str(exc))
@@ -145,7 +210,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         )
         columns = FOM_ORDER + [PROPOSED_LABEL]
         header = f"{'circuit':<24}" + "".join(f"{name:>20}" for name in columns)
-        print(f"# device: {device.name}  level: {args.level}  model: {args.model}")
+        print(f"# device: {device.name}  level: {level}  model: {args.model}")
         print(header)
         for index, path in enumerate(paths):
             row = f"{path.stem:<24}"
@@ -153,7 +218,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                 row += f"{panel[name][index]:>20.4f}"
             print(row)
     else:
-        print(f"# device: {device.name}  level: {args.level}  model: {args.model}")
+        print(f"# device: {device.name}  level: {level}  model: {args.model}")
         print(f"{'circuit':<24} {'predicted_hellinger':>20}")
         position = 0
         # Stream: predictions print as each chunk lands, so a large corpus
@@ -289,7 +354,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
     config.cache_dir = args.cache_dir
     config.max_workers = args.max_workers
     config.workers_mode = args.workers_mode
-    result = run_study(config=config)
+    devices = (
+        [_load_device(spec) for spec in args.devices]
+        if args.devices else None
+    )
+    result = run_study(devices=devices, config=config)
     print(format_table_i(result))
     print()
     print(
@@ -336,6 +405,75 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
     return 0
 
 
+def render_cli_docs() -> str:
+    """The generated CLI reference page (the ``docs/cli.md`` payload).
+
+    Every subcommand's ``--help``, rendered at a pinned 80-column width
+    (argparse reads ``COLUMNS``), so the page is byte-stable across
+    terminals — the property the docs-sync check in CI relies on.
+    """
+    import os
+
+    previous = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "80"
+    try:
+        parser = build_parser()
+        lines = [
+            "<!-- Generated by `python -m repro docs-cli > docs/cli.md`.",
+            "     Do not edit by hand: CI diffs this page against the live",
+            "     --help output (`python -m repro docs-cli --check docs/cli.md`). -->",
+            "",
+            "# CLI reference",
+            "",
+            "Every command runs as `python -m repro <command>`.  This page is",
+            "generated from the argparse tree; the per-command sections below",
+            "are the exact `--help` texts.",
+            "",
+            "## repro",
+            "",
+            "```text",
+            parser.format_help().rstrip("\n"),
+            "```",
+        ]
+        for action in parser._actions:
+            if not isinstance(action, argparse._SubParsersAction):
+                continue
+            for name, subparser in action.choices.items():
+                lines += [
+                    "",
+                    f"## repro {name}",
+                    "",
+                    "```text",
+                    subparser.format_help().rstrip("\n"),
+                    "```",
+                ]
+        return "\n".join(lines) + "\n"
+    finally:
+        if previous is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = previous
+
+
+def _cmd_docs_cli(args: argparse.Namespace) -> int:
+    page = render_cli_docs()
+    if args.check is not None:
+        path = Path(args.check)
+        try:
+            committed = path.read_text()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {path}: {exc}")
+        if committed != page:
+            raise SystemExit(
+                f"{path} is out of sync with the live --help output; "
+                "regenerate it with `python -m repro docs-cli > docs/cli.md`"
+            )
+        print(f"{path} is in sync")
+        return 0
+    print(page, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -343,18 +481,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
-        p.add_argument(
-            "--device", default="q20a",
-            help="q20a, q20b, or a zoo spec like zoo:ring:12:noisy:1",
-        )
-        p.add_argument("--level", type=int, default=3, choices=range(4))
+    def common(p, level: bool = True):
+        p.add_argument("--device", default="q20a", help=ZOO_SPEC_HELP)
+        if level:
+            p.add_argument("--level", type=int, default=3, choices=range(4))
         p.add_argument("--seed", type=int, default=0)
 
     p_compile = sub.add_parser("compile", help="compile a QASM file")
     p_compile.add_argument("qasm")
     common(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
+
+    p_search = sub.add_parser(
+        "compile-search",
+        help="predictor-guided beam-search compilation",
+        description=(
+            "Compile QASM files with the beam search over pass "
+            "configurations (optimization_level='search'): candidates are "
+            "ranked by a trained estimator's predicted Hellinger distance, "
+            "and only the surviving front is re-scored exactly — never "
+            "worse than stock level 3 by construction.  With --store, "
+            "winning configurations persist to a leaderboard and later "
+            "runs warm-start from the incumbent."
+        ),
+    )
+    p_search.add_argument(
+        "qasm", nargs="+",
+        help="QASM files and/or directories containing *.qasm",
+    )
+    common(p_search, level=False)
+    p_search.add_argument(
+        "--model", required=True,
+        help="path to a trained estimator (.npz written by save_model)",
+    )
+    p_search.add_argument(
+        "--beam-width", type=int, default=None,
+        help="configurations surviving each generation (default: 4)",
+    )
+    p_search.add_argument(
+        "--generations", type=int, default=None,
+        help="neighbor-expansion rounds after the stock seeds (default: 2)",
+    )
+    p_search.add_argument(
+        "--store", default=None,
+        help="leaderboard directory: warm-start from incumbents, persist "
+             "winners (default: search cold, keep nothing)",
+    )
+    p_search.add_argument(
+        "--emit-qasm", action="store_true",
+        help="print the compiled QASM of every circuit after the table",
+    )
+    p_search.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker-pool size for the batched search (default: one per CPU)",
+    )
+    p_search.add_argument(
+        "--workers-mode", choices=("thread", "process"), default=None,
+        help="pool flavor; default: REPRO_WORKERS_MODE env var, else process",
+    )
+    p_search.set_defaults(func=_cmd_compile_search)
 
     p_exec = sub.add_parser("execute", help="compile + noisy execution")
     p_exec.add_argument("qasm")
@@ -407,6 +592,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument(
         "--chunk-size", type=int, default=128,
         help="circuits scored per streamed chunk (memory ceiling)",
+    )
+    p_pred.add_argument(
+        "--search", action="store_true",
+        help="compile with the predictor-guided beam search instead of "
+             "--level (the model doubles as the search cost model)",
+    )
+    p_pred.add_argument(
+        "--search-store", default=None,
+        help="with --search: leaderboard directory for warm starts",
+    )
+    p_pred.add_argument(
+        "--beam-width", type=int, default=None,
+        help="with --search: beam width (default: 4)",
+    )
+    p_pred.add_argument(
+        "--generations", type=int, default=None,
+        help="with --search: expansion generations (default: 2)",
     )
     p_pred.set_defaults(func=_cmd_predict)
 
@@ -518,6 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--shots", type=int, default=1000)
     p_study.add_argument("--seed", type=int, default=0)
     p_study.add_argument(
+        "--devices", nargs="+", default=None, metavar="DEVICE",
+        help="study these devices instead of the paper's Q20 pair; "
+             f"each is {ZOO_SPEC_HELP}",
+    )
+    p_study.add_argument(
         "--cache-dir", default=None,
         help="checkpoint datasets/models here; reruns skip unchanged stages",
     )
@@ -541,10 +748,9 @@ def build_parser() -> argparse.ArgumentParser:
         "zoo", help="list or inspect device-zoo families",
         description=(
             "With --list (or no spec): enumerate every topology family, "
-            "its sizing rules, and the noise tiers.  With a spec "
-            "(zoo:<family>[:<size>[:<tier>[:<seed>]]], the zoo: prefix "
-            "optional here): print that device's topology and calibration "
-            "summary."
+            f"its sizing rules, and the noise tiers.  With a spec "
+            f"({ZOO_SPEC_GRAMMAR}, the zoo: prefix optional here): print "
+            "that device's topology and calibration summary."
         ),
     )
     p_zoo.add_argument("spec", nargs="?", default=None,
@@ -552,6 +758,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_zoo.add_argument("--list", action="store_true",
                        help="enumerate families and tiers")
     p_zoo.set_defaults(func=_cmd_zoo)
+
+    p_docs = sub.add_parser(
+        "docs-cli",
+        help="emit the generated CLI reference (docs/cli.md)",
+        description=(
+            "Render every subcommand's --help as one markdown page at a "
+            "pinned 80-column width.  Regenerate the committed page with "
+            "`python -m repro docs-cli > docs/cli.md`; --check exits "
+            "nonzero if that page has drifted from the live help (the CI "
+            "docs job)."
+        ),
+    )
+    p_docs.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="compare PATH against the rendered page instead of printing",
+    )
+    p_docs.set_defaults(func=_cmd_docs_cli)
     return parser
 
 

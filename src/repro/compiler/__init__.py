@@ -26,6 +26,18 @@ from .passes.noise_aware import (
 from .passes.routing import PathRouting, SabreRouting, route_circuit
 from .passes.scheduling import ASAPSchedule, Schedule, TimedInstruction, schedule_asap
 from .passes.synthesis import NativeSynthesis, VirtualRZ
+from .search import (
+    LeaderboardSession,
+    PassConfig,
+    compile_search,
+    leaderboard_fingerprint,
+    leaderboard_name,
+    model_fingerprint,
+    reset_search_stats,
+    search_circuit,
+    search_stats,
+    stock_configs,
+)
 from .unitary_math import (
     matrices_equal_up_to_phase,
     normalize_angle,
@@ -41,12 +53,14 @@ __all__ = [
     "Decompose",
     "GreedySubgraphLayout",
     "LineLayout",
+    "LeaderboardSession",
     "Merge1QRuns",
     "NativeSynthesis",
     "NoiseAwareLayout",
     "NoiseAwareRouting",
     "OptimizationLoop",
     "Pass",
+    "PassConfig",
     "PassManager",
     "PathRouting",
     "PropertySet",
@@ -63,14 +77,22 @@ __all__ = [
     "compile_cache_stats",
     "compile_circuit",
     "compile_noise_aware",
+    "compile_search",
     "configure_compile_cache",
     "get_compile_cache",
     "effective_distance_matrix",
     "decompose_circuit",
+    "leaderboard_fingerprint",
+    "leaderboard_name",
     "matrices_equal_up_to_phase",
+    "model_fingerprint",
     "normalize_angle",
+    "reset_search_stats",
     "route_circuit",
     "schedule_asap",
+    "search_circuit",
+    "search_stats",
+    "stock_configs",
     "u_params",
     "zyz_decompose",
 ]

@@ -172,29 +172,51 @@ def _build_pipeline(
 def compile_circuit(
     circuit: QuantumCircuit,
     device: Device,
-    optimization_level: int = 3,
+    optimization_level: "int | str" = 3,
     seed: int = 0,
     keep_final_rz: bool = False,
     num_trials: int = 4,
+    estimator=None,
+    search_opts: Optional[dict] = None,
 ) -> CompilationResult:
     """Compile ``circuit`` for ``device``.
 
     Args:
         circuit: program circuit (measurements must be terminal).
         device: compilation and execution target.
-        optimization_level: 0-3, see module docstring.
+        optimization_level: 0-3 (see module docstring), or ``"search"``
+            for the predictor-guided beam search of
+            :mod:`repro.compiler.search` (requires ``estimator``).
         seed: seed for all stochastic pass decisions.
         keep_final_rz: keep trailing virtual-RZ gates so the compiled body is
             exactly unitarily equivalent (useful for verification; hardware
             execution does not need them).
-        num_trials: number of layout/routing trials at level 3.
+        num_trials: number of layout/routing trials at level 3 (these
+            also seed the ``"search"`` beam).
+        estimator: fitted FoM estimator — the ``"search"`` cost model.
+        search_opts: extra :func:`~repro.compiler.search.search_circuit`
+            keywords (``beam_width``, ``generations``, ``incumbent``).
 
     Returns:
         A :class:`CompilationResult` whose circuit uses only the device's
         native gates on coupled qubit pairs.
     """
-    if not 0 <= optimization_level <= 3:
-        raise ValueError("optimization_level must be in 0..3")
+    if optimization_level == "search":
+        from .search import search_circuit
+
+        if estimator is None:
+            raise ValueError(
+                "optimization_level='search' needs an estimator cost model"
+            )
+        return search_circuit(
+            circuit, device, estimator,
+            seed=seed, keep_final_rz=keep_final_rz, num_trials=num_trials,
+            **(search_opts or {}),
+        )
+    if not (
+        isinstance(optimization_level, int) and 0 <= optimization_level <= 3
+    ):
+        raise ValueError("optimization_level must be in 0..3 or 'search'")
     if circuit.num_qubits > device.num_qubits:
         raise ValueError(
             f"circuit needs {circuit.num_qubits} qubits, device "
@@ -292,7 +314,7 @@ def _compile_in_worker(task: Tuple[QuantumCircuit, int]) -> Tuple:
 def compile_batch(
     circuits: Sequence[QuantumCircuit],
     device: Device,
-    optimization_level: int = 3,
+    optimization_level: "int | str" = 3,
     seed: int = 0,
     seeds: Optional[Sequence[int]] = None,
     keep_final_rz: bool = False,
@@ -300,6 +322,8 @@ def compile_batch(
     max_workers: Optional[int] = None,
     workers_mode: Optional[str] = None,
     on_result: Optional[Callable[[int, CompilationResult], None]] = None,
+    estimator=None,
+    search_opts: Optional[dict] = None,
 ) -> List[CompilationResult]:
     """Compile many circuits, in parallel, with per-circuit seed streams.
 
@@ -338,6 +362,13 @@ def compile_batch(
         on_result: optional ``callback(index, result)`` fired in the
             parent as each circuit finishes (completion order); see
             :mod:`repro.parallel` for the exception contract.
+        estimator: with ``optimization_level="search"``: the fitted FoM
+            estimator steering the beam (required there, ignored
+            otherwise).
+        search_opts: with ``"search"``: extra
+            :func:`~repro.compiler.search.compile_search` keywords
+            (``beam_width``, ``generations``, ``store``, ``warm_start``,
+            ``record``, ``session``).
 
     Returns:
         One :class:`CompilationResult` per circuit, in input order.
@@ -348,6 +379,21 @@ def compile_batch(
         resolve_mode,
         resolve_workers,
     )
+
+    if optimization_level == "search":
+        from .search import compile_search
+
+        if estimator is None:
+            raise ValueError(
+                "optimization_level='search' needs an estimator cost model"
+            )
+        return compile_search(
+            circuits, device, estimator,
+            seed=seed, seeds=seeds, keep_final_rz=keep_final_rz,
+            num_trials=num_trials, max_workers=max_workers,
+            workers_mode=workers_mode, on_result=on_result,
+            **(search_opts or {}),
+        )
 
     n = len(circuits)
     if seeds is None:

@@ -51,6 +51,7 @@ class SabreRouting(Pass):
         seed: int = 0,
         lookahead: bool = True,
         swap_gate: str = "swap",
+        lookahead_size: int = _LOOKAHEAD_SIZE,
     ):
         self.coupling = coupling
         self.seed = seed
@@ -58,6 +59,7 @@ class SabreRouting(Pass):
         if swap_gate not in ("swap", "cx"):
             raise ValueError("swap_gate must be 'swap' or 'cx'")
         self.swap_gate = swap_gate
+        self.lookahead_size = int(lookahead_size)
 
     def cache_key(self) -> Optional[Hashable]:
         return (
@@ -66,6 +68,7 @@ class SabreRouting(Pass):
             self.seed,
             self.lookahead,
             self.swap_gate,
+            self.lookahead_size,
         )
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
@@ -75,6 +78,7 @@ class SabreRouting(Pass):
             seed=self.seed,
             lookahead=self.lookahead,
             swap_gate=self.swap_gate,
+            lookahead_size=self.lookahead_size,
         )
         initial = properties.get("initial_layout")
         if initial is not None:
@@ -96,6 +100,7 @@ def route_circuit(
     lookahead: bool = True,
     swap_gate: str = "swap",
     tables: Optional[RoutingTables] = None,
+    lookahead_size: int = _LOOKAHEAD_SIZE,
 ) -> Tuple[QuantumCircuit, Dict[int, int]]:
     """Route ``circuit`` onto ``coupling``.
 
@@ -104,6 +109,9 @@ def route_circuit(
     after all inserted SWAPs.  Measurements are emitted on the physical qubit
     currently holding the measured virtual wire, so counts keep their
     program-level meaning.
+
+    ``lookahead_size`` bounds how many upcoming two-qubit gates feed the
+    lookahead cost term; ``0`` (or ``lookahead=False``) disables it.
     """
     if circuit.num_qubits > coupling.num_qubits:
         raise ValueError("circuit wider than coupling map")
@@ -191,7 +199,11 @@ def route_circuit(
             dag.nodes[i].instruction for i in front
             if dag.nodes[i].instruction.num_qubits == 2
         ]
-        lookahead_gates = _collect_lookahead(dag, front, done) if lookahead else []
+        lookahead_gates = (
+            _collect_lookahead(dag, front, done, size=lookahead_size)
+            if lookahead and lookahead_size > 0
+            else []
+        )
 
         candidates = _candidate_swaps(front_gates, tau, neighbors)
         if not candidates:
@@ -254,13 +266,16 @@ def _candidate_swaps(
 
 
 def _collect_lookahead(
-    dag: CircuitDag, front: Sequence[int], done: Set[int]
+    dag: CircuitDag,
+    front: Sequence[int],
+    done: Set[int],
+    size: int = _LOOKAHEAD_SIZE,
 ) -> List[Instruction]:
-    """The next ``_LOOKAHEAD_SIZE`` two-qubit gates beyond the front layer."""
+    """The next ``size`` two-qubit gates beyond the front layer."""
     seen: Set[int] = set(front)
     queue = deque(front)
     collected: List[Instruction] = []
-    while queue and len(collected) < _LOOKAHEAD_SIZE:
+    while queue and len(collected) < size:
         index = queue.popleft()
         for succ in sorted(dag.nodes[index].successors):
             if succ in seen or succ in done:

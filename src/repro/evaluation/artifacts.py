@@ -37,9 +37,11 @@ from ..predictor.estimator import HellingerEstimator
 from .persistence import (
     PersistenceError,
     load_dataset_cache,
+    load_leaderboard_cache,
     load_model,
     load_report_cache,
     save_dataset_cache,
+    save_leaderboard_cache,
     save_model,
     save_report_cache,
 )
@@ -85,6 +87,14 @@ ARTIFACT_KINDS: Dict[str, ArtifactKind] = {
         "transfer-estimator_{name}_{fingerprint}.npz",
         _save_estimator,
         _load_estimator,
+    ),
+    # Compilation-search winners per (device-family, width-bucket); the
+    # committed copies live under benchmarks/leaderboards/ (see
+    # repro.compiler.search and docs/search.md).
+    "leaderboard": ArtifactKind(
+        "leaderboard_{name}_{fingerprint}.json",
+        save_leaderboard_cache,
+        load_leaderboard_cache,
     ),
 }
 

@@ -449,3 +449,80 @@ def load_report_cache(path: str | Path, fingerprint: str) -> EstimatorReport:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise PersistenceError(f"corrupted report cache {path}: {exc}") from exc
+
+
+#: Format tag + version of committed compilation-search leaderboard rows.
+LEADERBOARD_FORMAT = "repro-leaderboard"
+LEADERBOARD_VERSION = 1
+
+#: The pass-configuration keys every leaderboard entry must carry
+#: (mirrors :class:`repro.compiler.search.PassConfig`; validated
+#: structurally here to keep evaluation free of compiler imports).
+_LEADERBOARD_CONFIG_KEYS = (
+    "layout",
+    "layout_seed_offset",
+    "routing_seed_offset",
+    "lookahead_size",
+    "opt_iterations",
+)
+
+
+def save_leaderboard_cache(
+    entry: Dict, path: str | Path, fingerprint: str
+) -> Path:
+    """Write one (device-family, width-bucket) leaderboard row.
+
+    Canonical JSON — sorted keys, fixed indentation, trailing newline, no
+    timestamps — so re-running the same search over the same estimator
+    regenerates the committed file *byte for byte*.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(entry)
+    payload["format"] = LEADERBOARD_FORMAT
+    payload["version"] = LEADERBOARD_VERSION
+    payload["fingerprint"] = fingerprint
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_leaderboard_cache(path: str | Path, fingerprint: str) -> Dict:
+    """Load a leaderboard row; raises :class:`PersistenceError` when stale.
+
+    Missing, unreadable, foreign-format, wrong-version, structurally
+    invalid, and stale-fingerprint entries all raise — through the
+    :class:`~repro.evaluation.artifacts.ArtifactStore` that is a silent
+    miss, and the compiler searches fresh.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no leaderboard entry at {path}")
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise PersistenceError(
+            f"unreadable leaderboard entry {path}: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or data.get("format") != LEADERBOARD_FORMAT:
+        raise PersistenceError(f"{path} is not a leaderboard entry")
+    if data.get("version") != LEADERBOARD_VERSION:
+        raise PersistenceError(
+            f"{path} has unsupported leaderboard version "
+            f"{data.get('version')!r}"
+        )
+    if data.get("fingerprint") != fingerprint:
+        raise PersistenceError(
+            f"{path} was built from different inputs "
+            f"(fingerprint {data.get('fingerprint')!r} != {fingerprint!r})"
+        )
+    config = data.get("config")
+    if not isinstance(config, dict) or any(
+        key not in config for key in _LEADERBOARD_CONFIG_KEYS
+    ):
+        raise PersistenceError(
+            f"corrupted leaderboard entry {path}: incomplete pass config"
+        )
+    return data

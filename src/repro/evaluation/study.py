@@ -47,7 +47,17 @@ class StudyConfig:
     min_qubits: int = 2
     max_qubits: int = 20
     qubit_step: int = 1
-    optimization_level: int = 3
+    #: 0-3 for the fixed pipelines, or ``"search"`` for the
+    #: predictor-guided compiler (requires ``search_estimator``).
+    optimization_level: "int | str" = 3
+    #: Cost model for ``optimization_level="search"``: an estimator with
+    #: a ``predict`` method (typically a trained
+    #: :class:`~repro.predictor.estimator.HellingerEstimator`).
+    search_estimator: Optional[object] = None
+    #: Extra keyword arguments for
+    #: :func:`~repro.compiler.search.compile_search` (``beam_width``,
+    #: ``generations``, ``store``, ...) when the level is ``"search"``.
+    search_opts: Optional[Dict] = None
     shots: int = 2000
     seed: int = 0
     depth_limit: int = DEPTH_LIMIT
@@ -78,7 +88,7 @@ class StudyConfig:
         but then covers the name only.
         """
         key = device if isinstance(device, str) else device_fingerprint(device)
-        return config_fingerprint({
+        payload = {
             "device": key,
             "algorithms": list(self.algorithms) if self.algorithms else None,
             "min_qubits": self.min_qubits,
@@ -88,7 +98,24 @@ class StudyConfig:
             "shots": self.shots,
             "seed": self.seed,
             "depth_limit": self.depth_limit,
-        })
+        }
+        if self.optimization_level == "search":
+            # The search key only exists when search is active, so every
+            # pre-existing level-0..3 fingerprint stays byte-stable.
+            from ..compiler.search import model_fingerprint
+
+            payload["search"] = {
+                "estimator": (
+                    model_fingerprint(self.search_estimator)
+                    if self.search_estimator is not None else None
+                ),
+                "opts": {
+                    knob: value
+                    for knob, value in sorted((self.search_opts or {}).items())
+                    if isinstance(value, (int, float, str, bool, type(None)))
+                },
+            }
+        return config_fingerprint(payload)
 
     def report_fingerprint(self, device) -> str:
         """Hash of the dataset inputs plus every training knob."""
@@ -274,6 +301,8 @@ def build_device_datasets(
                 progress=config.progress,
                 max_workers=config.max_workers,
                 workers_mode=config.workers_mode,
+                estimator=config.search_estimator,
+                search_opts=config.search_opts,
             )
             if store is not None:
                 store.put(

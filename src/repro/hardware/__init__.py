@@ -30,6 +30,8 @@ from .topologies import (
 from .zoo import (
     DEFAULT_SIZES,
     NOISE_TIERS,
+    ZOO_SPEC_GRAMMAR,
+    ZOO_SPEC_HELP,
     NoiseTier,
     device_from_spec,
     make_zoo_device,
@@ -77,6 +79,8 @@ __all__ = [
     "NoiseTier",
     "TOPOLOGIES",
     "TopologyFamily",
+    "ZOO_SPEC_GRAMMAR",
+    "ZOO_SPEC_HELP",
     "build_topology",
     "device_from_spec",
     "drift_calibration",

@@ -34,6 +34,17 @@ from .calibration import GateDurations
 from .device import Device, NoiseProfile, make_device
 from .topologies import TOPOLOGIES, TopologyFamily
 
+#: The spec grammar, as one string every user-facing surface quotes.
+#: :func:`device_from_spec`, the CLI parsers, and ``zoo --list`` all
+#: render this constant, so the grammar cannot drift between help texts.
+ZOO_SPEC_GRAMMAR = "zoo:<family>[:<size>[:<tier>[:<seed>]]]"
+
+#: Ready-made ``--device`` help line for CLI parsers.
+ZOO_SPEC_HELP = (
+    f"q20a, q20b, or a zoo spec {ZOO_SPEC_GRAMMAR} "
+    "like zoo:ring:12:noisy:1 (see `zoo --list`)"
+)
+
 
 @dataclass(frozen=True)
 class NoiseTier:
@@ -220,13 +231,12 @@ def device_from_spec(spec: str) -> Device:
         parts = parts[1:]
     if not parts or not parts[0]:
         raise ValueError(
-            "empty zoo spec; expected zoo:<family>[:<size>[:<tier>[:<seed>]]], "
+            f"empty zoo spec; expected {ZOO_SPEC_GRAMMAR}, "
             f"with <family> one of {zoo_families()}"
         )
     if len(parts) > 4:
         raise ValueError(
-            f"malformed zoo spec {spec!r}: at most "
-            "zoo:<family>:<size>:<tier>:<seed>"
+            f"malformed zoo spec {spec!r}: at most {ZOO_SPEC_GRAMMAR}"
         )
     family = parts[0]
     num_qubits = None
@@ -267,5 +277,5 @@ def zoo_summary() -> str:
         )
     lines.append("-" * 78)
     lines.append(f"noise tiers: {', '.join(sorted(NOISE_TIERS))}")
-    lines.append("spec: zoo:<family>[:<size>[:<tier>[:<seed>]]]")
+    lines.append(f"spec: {ZOO_SPEC_GRAMMAR}")
     return "\n".join(lines)

@@ -64,7 +64,7 @@ class CircuitDataset:
 def build_dataset(
     suite: Sequence[BenchmarkCircuit],
     device: Device,
-    optimization_level: int = 3,
+    optimization_level: "int | str" = 3,
     shots: int = 2000,
     seed: int = 0,
     depth_limit: int = DEPTH_LIMIT,
@@ -73,6 +73,8 @@ def build_dataset(
     progress: bool = False,
     max_workers: Optional[int] = None,
     workers_mode: Optional[str] = None,
+    estimator=None,
+    search_opts: Optional[Dict] = None,
 ) -> CircuitDataset:
     """Compile, execute, and label every suite circuit on ``device``.
 
@@ -94,6 +96,12 @@ def build_dataset(
     bit-identical for every worker count and mode.  With
     ``progress=True`` each batched stage reports per-circuit liveness as
     results land (completion order), instead of after the stage drains.
+
+    ``optimization_level="search"`` labels the dataset with the
+    predictor-guided compiler instead of stock level 3: ``estimator`` is
+    the cost model and ``search_opts`` tunes the search (see
+    :func:`~repro.compiler.search.compile_search`); both are forwarded to
+    ``compile_batch`` untouched.
     """
     executor = QPUExecutor(device)
     dataset = CircuitDataset(device_name=device.name)
@@ -128,6 +136,8 @@ def build_dataset(
         max_workers=max_workers,
         workers_mode=workers_mode,
         on_result=compile_progress if progress else None,
+        estimator=estimator,
+        search_opts=search_opts,
     )
     survivors = []
     for (index, entry), result in zip(candidates, compiled_results):

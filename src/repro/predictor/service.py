@@ -51,11 +51,19 @@ class FomService:
         estimator: fitted model mapping ``(M, 30)`` features to distances.
         device: a :class:`Device`, a built-in name (``q20a``/``q20b``),
             or a zoo spec string (``zoo:heavy_hex:16:noisy:1``).
-        optimization_level: default compilation level for served circuits.
+        optimization_level: default compilation level for served circuits
+            — 0-3, or ``"search"`` for the predictor-guided beam search
+            (:mod:`repro.compiler.search`) with the service's own
+            estimator as the cost model.
         seed: base seed of the per-circuit compile-seed streams
             (``seed + 7919 * position``, the dataset convention).
         num_trials: level-3 layout/routing trials per circuit.
         chunk_size: circuits per streamed chunk (memory ceiling).
+        search_store: leaderboard directory /
+            :class:`~repro.evaluation.artifacts.ArtifactStore` consulted
+            by ``"search"`` compiles (``None``: search without one).
+        beam_width: ``"search"`` beam width.
+        generations: ``"search"`` expansion generations.
     """
 
     def __init__(
@@ -63,11 +71,16 @@ class FomService:
         estimator,
         device: "Device | str",
         *,
-        optimization_level: int = 3,
+        optimization_level: "int | str" = 3,
         seed: int = 0,
         num_trials: int = 4,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        search_store=None,
+        beam_width: Optional[int] = None,
+        generations: Optional[int] = None,
     ):
+        from ..compiler.search import DEFAULT_BEAM_WIDTH, DEFAULT_GENERATIONS
+
         if not hasattr(estimator, "predict"):
             raise TypeError(
                 f"estimator must expose predict(X); got {type(estimator).__name__}"
@@ -80,6 +93,13 @@ class FomService:
         self.seed = seed
         self.num_trials = num_trials
         self.chunk_size = chunk_size
+        self.search_store = search_store
+        self.beam_width = (
+            DEFAULT_BEAM_WIDTH if beam_width is None else beam_width
+        )
+        self.generations = (
+            DEFAULT_GENERATIONS if generations is None else generations
+        )
 
     # ------------------------------------------------------------------
     # Construction from persisted artifacts
@@ -232,6 +252,7 @@ class FomService:
         workers_mode: Optional[str] = None,
         want_foms: bool = False,
         timings: Optional[Dict[str, float]] = None,
+        search_session=None,
     ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
         """One batched pipeline pass with explicit per-circuit seed positions.
 
@@ -251,6 +272,11 @@ class FomService:
         dict otherwise).  ``timings`` (when given) accumulates per-stage
         wall-clock seconds under ``"compile_s"``, ``"featurize_s"``, and
         ``"predict_s"`` — the daemon's ``/stats`` feed.
+
+        At ``optimization_level="search"``, ``search_session`` (a
+        :class:`~repro.compiler.search.LeaderboardSession`) shares one
+        leaderboard snapshot across several calls; without one the call
+        opens and flushes its own.
         """
         circuits = list(circuits)
         positions = [int(position) for position in positions]
@@ -266,6 +292,9 @@ class FomService:
             if optimization_level is None
             else optimization_level
         )
+        own_session = level == "search" and search_session is None
+        if own_session:
+            search_session = self._search_session()
         started = time.perf_counter()
         results = compile_batch(
             circuits,
@@ -275,7 +304,10 @@ class FomService:
             num_trials=self.num_trials,
             max_workers=max_workers,
             workers_mode=workers_mode,
+            **self._compile_extras(level, search_session),
         )
+        if own_session:
+            search_session.flush()
         compiled = [result.circuit for result in results]
         compiled_at = time.perf_counter()
         features = feature_matrix(
@@ -306,30 +338,69 @@ class FomService:
         self,
         circuits: Iterable[QuantumCircuit],
         *,
-        optimization_level: Optional[int] = None,
+        optimization_level: "Optional[int | str]" = None,
         max_workers: Optional[int] = None,
         workers_mode: Optional[str] = None,
     ) -> List[CompilationResult]:
         """The service's compilation stage alone (seed streams included)."""
         circuits = list(circuits)
-        return self._compile_chunk(
-            circuits, 0,
-            self.optimization_level if optimization_level is None
-            else optimization_level,
-            max_workers, workers_mode,
+        level = (
+            self.optimization_level
+            if optimization_level is None
+            else optimization_level
         )
+        session = self._search_session() if level == "search" else None
+        results = self._compile_chunk(
+            circuits, 0, level, max_workers, workers_mode, session
+        )
+        if session is not None:
+            session.flush()
+        return results
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
+    def _search_session(self):
+        """A per-call leaderboard view: snapshot reads, deferred writes.
+
+        One session spans every chunk of a :meth:`predict` /
+        :meth:`score_established_foms` call, so results stay invariant
+        to ``chunk_size``: lookups always see the store as it was at
+        call start, and freshly searched winners land only when the call
+        completes.
+        """
+        from ..compiler.search import LeaderboardSession
+
+        return LeaderboardSession.for_search(
+            self.search_store,
+            self.estimator,
+            beam_width=self.beam_width,
+            generations=self.generations,
+            num_trials=self.num_trials,
+        )
+
+    def _compile_extras(self, level, session) -> Dict:
+        """compile_batch keywords that only the ``"search"`` level needs."""
+        if level != "search":
+            return {}
+        return {
+            "estimator": self.estimator,
+            "search_opts": {
+                "beam_width": self.beam_width,
+                "generations": self.generations,
+                "session": session,
+            },
+        }
+
     def _compile_chunk(
         self,
         chunk: List[QuantumCircuit],
         offset: int,
-        optimization_level: int,
+        optimization_level: "int | str",
         max_workers: Optional[int],
         workers_mode: Optional[str],
+        search_session=None,
     ) -> List[CompilationResult]:
         return compile_batch(
             chunk,
@@ -344,6 +415,7 @@ class FomService:
             num_trials=self.num_trials,
             max_workers=max_workers,
             workers_mode=workers_mode,
+            **self._compile_extras(optimization_level, search_session),
         )
 
     def _serve(
@@ -367,17 +439,26 @@ class FomService:
         # both stages fan out over process pools by default; one
         # max_workers/workers_mode pair governs the whole pipeline
         # (``None`` workers = one per CPU, the repo-wide rule).
+        # "search" compiles share one leaderboard session across every
+        # chunk (snapshot reads, writes deferred to the end), keeping
+        # predictions chunk-size invariant.
+        session = self._search_session() if level == "search" else None
         offset = 0
-        for chunk in _chunked(circuits, size):
-            yield self.predict_at(
-                chunk,
-                positions=range(offset, offset + len(chunk)),
-                optimization_level=level,
-                max_workers=max_workers,
-                workers_mode=workers_mode,
-                want_foms=want_foms,
-            )
-            offset += len(chunk)
+        try:
+            for chunk in _chunked(circuits, size):
+                yield self.predict_at(
+                    chunk,
+                    positions=range(offset, offset + len(chunk)),
+                    optimization_level=level,
+                    max_workers=max_workers,
+                    workers_mode=workers_mode,
+                    want_foms=want_foms,
+                    search_session=session,
+                )
+                offset += len(chunk)
+        finally:
+            if session is not None:
+                session.flush()
 
     def _established_panel(
         self, compiled: "List[QuantumCircuit]"

@@ -95,3 +95,59 @@ def test_study_deterministic():
     b = run_study(config=SMALL_CONFIG)
     for fom in FOM_ORDER:
         assert a.correlations[fom] == b.correlations[fom]
+
+
+# ----------------------------------------------------------------------
+# optimization_level="search": predictor-guided study compilation.
+
+
+def _search_estimator():
+    from repro.ml.forest import RandomForestRegressor
+
+    rng = np.random.default_rng(0)
+    forest = RandomForestRegressor(
+        n_estimators=5, random_state=0, max_features="sqrt"
+    )
+    forest.fit(rng.uniform(size=(40, 30)), rng.uniform(size=40))
+    return forest
+
+
+def test_search_fingerprint_only_when_active():
+    base = StudyConfig(max_qubits=4, algorithms=["ghz"], shots=200)
+    # Search fields on an int-level config must not move the fingerprint:
+    # every pre-search cache entry stays addressable.
+    decoy = StudyConfig(
+        max_qubits=4, algorithms=["ghz"], shots=200,
+        search_estimator=_search_estimator(),
+        search_opts={"beam_width": 9},
+    )
+    assert base.dataset_fingerprint("Q20-A") == decoy.dataset_fingerprint("Q20-A")
+    active = StudyConfig(
+        max_qubits=4, algorithms=["ghz"], shots=200,
+        optimization_level="search", search_estimator=_search_estimator(),
+        search_opts={"beam_width": 2, "generations": 1},
+    )
+    fingerprint = active.dataset_fingerprint("Q20-A")
+    assert fingerprint != base.dataset_fingerprint("Q20-A")
+    # ... and the search knobs are part of the key.
+    other = StudyConfig(
+        max_qubits=4, algorithms=["ghz"], shots=200,
+        optimization_level="search", search_estimator=_search_estimator(),
+        search_opts={"beam_width": 3, "generations": 1},
+    )
+    assert other.dataset_fingerprint("Q20-A") != fingerprint
+
+
+def test_build_device_datasets_search_level():
+    from repro.evaluation.study import build_device_datasets
+    from repro.hardware.iqm import make_q20a
+
+    config = StudyConfig(
+        max_qubits=4, algorithms=["ghz", "bv"], shots=200,
+        optimization_level="search", search_estimator=_search_estimator(),
+        search_opts={"beam_width": 2, "generations": 1},
+        workers_mode="thread",
+    )
+    datasets = build_device_datasets([make_q20a()], config)
+    data = datasets["Q20-A"]
+    assert len(data) > 0

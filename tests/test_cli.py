@@ -191,3 +191,106 @@ def test_predict_command_rejects_bad_inputs(model_file, qasm_dir, tmp_path, qasm
 def test_predict_command_rejects_bad_chunk_size(model_file, qasm_file):
     with pytest.raises(SystemExit, match="chunk_size must be positive"):
         main(["predict", qasm_file, "--model", model_file, "--chunk-size", "0"])
+
+
+# ----------------------------------------------------------------------
+# compile-search and predict --search: the beam-search frontends.
+
+
+def test_compile_search_command(model_file, qasm_dir, tmp_path, capsys):
+    store = tmp_path / "leaderboard"
+    assert main([
+        "compile-search", str(qasm_dir), "--model", model_file,
+        "--beam-width", "2", "--generations", "1",
+        "--store", str(store), "--workers-mode", "thread",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "predicted" in captured.out
+    assert "search" in captured.out
+    assert "searches=" in captured.err
+    assert list(store.glob("leaderboard_*.json"))
+    # Warm rerun reports incumbents.
+    assert main([
+        "compile-search", str(qasm_dir), "--model", model_file,
+        "--beam-width", "2", "--generations", "1",
+        "--store", str(store), "--workers-mode", "thread",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "leaderboard" in captured.out
+    assert "warm_starts=3" in captured.err
+
+
+def test_compile_search_emit_qasm(model_file, qasm_file, capsys):
+    assert main([
+        "compile-search", qasm_file, "--model", model_file,
+        "--beam-width", "2", "--generations", "0",
+        "--workers-mode", "thread", "--emit-qasm",
+    ]) == 0
+    assert "OPENQASM 2.0;" in capsys.readouterr().out
+
+
+def test_predict_command_search(model_file, qasm_dir, tmp_path, capsys):
+    store = tmp_path / "leaderboard"
+    assert main([
+        "predict", str(qasm_dir), "--model", model_file, "--search",
+        "--search-store", str(store), "--beam-width", "2",
+        "--generations", "1", "--workers-mode", "thread",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "level: search" in out
+    assert "predicted_hellinger" in out
+    assert list(store.glob("leaderboard_*.json"))
+
+
+# ----------------------------------------------------------------------
+# docs-cli: the generated CLI reference.
+
+
+def test_docs_cli_emits_every_subcommand(capsys):
+    assert main(["docs-cli"]) == 0
+    page = capsys.readouterr().out
+    for command in ("compile", "compile-search", "execute", "features",
+                    "predict", "serve", "client", "study", "devices",
+                    "zoo", "docs-cli"):
+        assert f"## repro {command}" in page
+    assert page.startswith("<!-- Generated by")
+
+
+def test_docs_cli_check_mode(tmp_path, capsys):
+    from repro.cli import render_cli_docs
+
+    page = tmp_path / "cli.md"
+    page.write_text(render_cli_docs())
+    assert main(["docs-cli", "--check", str(page)]) == 0
+    assert "in sync" in capsys.readouterr().out
+    page.write_text("stale contents\n")
+    with pytest.raises(SystemExit, match="out of sync"):
+        main(["docs-cli", "--check", str(page)])
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["docs-cli", "--check", str(tmp_path / "missing.md")])
+
+
+def test_docs_cli_output_width_pinned(capsys, monkeypatch):
+    from repro.cli import render_cli_docs
+
+    monkeypatch.setenv("COLUMNS", "210")
+    wide = render_cli_docs()
+    monkeypatch.setenv("COLUMNS", "60")
+    narrow = render_cli_docs()
+    assert wide == narrow
+
+
+# ----------------------------------------------------------------------
+# The zoo spec grammar is quoted from one constant everywhere.
+
+
+def test_zoo_spec_grammar_shared_across_parsers():
+    from repro.hardware import ZOO_SPEC_GRAMMAR
+
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if hasattr(action, "choices") and "zoo" in (action.choices or {})
+    )
+    for command in ("predict", "study", "zoo", "compile-search"):
+        assert ZOO_SPEC_GRAMMAR in subparsers.choices[command].format_help()

@@ -1,0 +1,80 @@
+"""Docs-tree gates: page presence, CLI reference sync, and link integrity.
+
+The CLI reference (``docs/cli.md``) is generated output — CI regenerates
+it from the live argparse tree and fails on drift, so the committed page
+can never lie about a flag.  The link checker keeps every relative link
+(and ``#anchor`` fragment) in ``docs/`` and the README resolving.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import render_cli_docs
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS_DIR = REPO_ROOT / "docs"
+DOC_PAGES = ["architecture.md", "serving.md", "search.md", "cli.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def test_docs_pages_exist():
+    for page in DOC_PAGES:
+        path = DOCS_DIR / page
+        assert path.is_file(), f"missing docs page: docs/{page}"
+        assert path.read_text().strip(), f"empty docs page: docs/{page}"
+
+
+def test_cli_reference_in_sync():
+    committed = (DOCS_DIR / "cli.md").read_text()
+    assert committed == render_cli_docs(), (
+        "docs/cli.md is out of sync with the live CLI -- regenerate with "
+        "`PYTHONPATH=src python -m repro docs-cli > docs/cli.md`"
+    )
+
+
+def _anchor_slug(heading: str) -> str:
+    """GitHub-style anchor: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown: str) -> set:
+    return {_anchor_slug(title) for _, title in HEADING_RE.findall(markdown)}
+
+
+def _links(markdown: str):
+    return LINK_RE.findall(FENCE_RE.sub("", markdown))
+
+
+def _checked_pages():
+    pages = [REPO_ROOT / "README.md"]
+    pages += sorted(DOCS_DIR.glob("*.md"))
+    return pages
+
+
+@pytest.mark.parametrize("page", _checked_pages(), ids=lambda p: p.name)
+def test_relative_links_resolve(page):
+    markdown = page.read_text()
+    problems = []
+    for target in _links(markdown):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            page.parent / path_part if path_part else page
+        ).resolve()
+        if not resolved.exists():
+            problems.append(f"{target}: no such file {path_part}")
+            continue
+        if fragment:
+            if resolved.is_dir():
+                problems.append(f"{target}: anchor on a directory")
+            elif fragment not in _anchors(resolved.read_text()):
+                problems.append(f"{target}: no heading for #{fragment}")
+    assert not problems, f"broken links in {page.name}:\n" + "\n".join(problems)
