@@ -393,6 +393,72 @@ def test_perf_compile_search(benchmark, device, tmp_path):
     assert warm_seconds <= stock_seconds, (warm_seconds, stock_seconds)
 
 
+def test_perf_drift_refresh(benchmark, tmp_path):
+    """Warm drift-study rerun plus the PR 9 refresh-cost/recovery gate.
+
+    Setup (untimed) runs a reduced calibration-drift sweep cold into a
+    fresh artifact store and pins the two recovery claims:
+
+    * **cheap refresh** — the single prefix-sliced fine-tune fit per
+      step costs a fraction of the full grid-search retrain it stands
+      in for (``<= 40%`` of the retrain fit time, summed over steps);
+    * **bounded gap** — the best fine-tune Pearson lands within 0.15 of
+      the full retrain's at every step (the tolerance documented in
+      docs/drift.md).
+
+    The timed section is the warm rerun: the finished study served
+    straight back from the fingerprinted store, which must be >=5x
+    faster than the cold run (the nightly ``--expect-warm`` contract).
+    """
+    from repro.evaluation.drift import (
+        DriftStudyConfig,
+        default_drift_study_config,
+        run_drift_study,
+    )
+
+    config = DriftStudyConfig(
+        device="zoo:grid:8:typical:0",
+        steps=2,
+        refresh_trees=(4, 8, 16),
+        study=default_drift_study_config(),
+        cache_dir=str(tmp_path / "drift-cache"),
+    )
+
+    started = time.perf_counter()
+    cold = run_drift_study(config)
+    cold_seconds = time.perf_counter() - started
+    assert not cold.from_cache
+
+    retrain_seconds = sum(step.retrain_fit_s for step in cold.steps)
+    fine_tune_seconds = sum(step.fine_tune_fit_s for step in cold.steps)
+    assert fine_tune_seconds <= 0.40 * retrain_seconds, (
+        fine_tune_seconds, retrain_seconds,
+    )
+    for step in cold.steps:
+        assert step.recovery_gap() <= 0.15, (
+            step.step, step.retrain_pearson, step.best_fine_tune().pearson,
+        )
+
+    def warm():
+        result = run_drift_study(config)
+        assert result.from_cache
+        return result
+
+    benchmark.pedantic(warm, rounds=3, iterations=1)
+    warm_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["cold_s"] = cold_seconds
+    benchmark.extra_info["warm_speedup"] = cold_seconds / warm_seconds
+    benchmark.extra_info["retrain_fit_s"] = retrain_seconds
+    benchmark.extra_info["fine_tune_fit_s"] = fine_tune_seconds
+    benchmark.extra_info["fine_tune_cost_fraction"] = (
+        fine_tune_seconds / retrain_seconds
+    )
+    benchmark.extra_info["max_recovery_gap"] = max(
+        step.recovery_gap() for step in cold.steps
+    )
+    assert cold_seconds / warm_seconds >= 5, (cold_seconds, warm_seconds)
+
+
 def test_perf_forest_fit(benchmark):
     """Fitting one paper-sized forest (50 trees, 250x30, sqrt features)."""
     rng = np.random.default_rng(0)

@@ -1,0 +1,114 @@
+"""Calibration-drift study: estimator staleness and the cost of recovery.
+
+A trained Hellinger estimator assumes the hardware still looks like the
+calibration snapshot it was trained against.  This example walks a zoo
+device's *true* calibration away from its frozen report with the tier's
+drift knobs (the iterated-map analogue of the paper's Markov dynamics)
+and measures, at every step:
+
+* how the step-0 estimator decays on freshly-labelled circuits
+  (``stale_r``),
+* what a **full retrain** — the complete grid-search protocol — buys
+  back and at what fit cost, and
+* what a cheap **fine-tune** — appending a few fresh trees to the stale
+  forest, one prefix-sliced fit for the whole sweep — recovers at a
+  fraction of that cost.
+
+Every stage is cached through a fingerprinted
+:class:`~repro.evaluation.artifacts.ArtifactStore` (``--cache-dir``):
+per-step datasets, per-step retrain reports, the base estimator, and the
+finished study itself.  Rerunning with unchanged inputs is a pure cache
+read — ``--expect-warm`` asserts exactly that (the nightly CI contract).
+
+Run:  python examples/drift_study.py [--quick] [--device SPEC] [--steps N]
+          [--drift-scale X] [--cache-dir DIR] [--expect-warm]
+          [--seed N] [--max-workers N]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.evaluation import (
+    DriftStudyConfig,
+    default_drift_study_config,
+    format_drift_table,
+    run_drift_study,
+)
+
+QUICK_GRID = {
+    "n_estimators": [10],
+    "max_depth": [6],
+    "min_samples_leaf": [1],
+    "min_samples_split": [2],
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller device, suite, and grid (the nightly CI sweep)",
+    )
+    parser.add_argument(
+        "--device", default=None,
+        help="device spec (default: zoo:grid:12:typical:0; "
+             "--quick: zoo:grid:8:typical:0)",
+    )
+    parser.add_argument("--steps", type=int, default=None)
+    parser.add_argument("--drift-scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="fingerprint-cache every stage here; reruns go warm",
+    )
+    parser.add_argument(
+        "--expect-warm", action="store_true",
+        help="fail unless the whole study was served from the cache",
+    )
+    parser.add_argument("--max-workers", type=int, default=None)
+    args = parser.parse_args()
+
+    study = default_drift_study_config(progress=True)
+    study.seed = args.seed
+    study.max_workers = args.max_workers
+    if args.quick:
+        study.shots = 200
+        study.param_grid = QUICK_GRID
+    config = DriftStudyConfig(
+        device=args.device
+        or ("zoo:grid:8:typical:0" if args.quick else "zoo:grid:12:typical:0"),
+        steps=args.steps if args.steps is not None else (2 if args.quick else 3),
+        drift_scale=args.drift_scale,
+        refresh_trees=(2, 4) if args.quick else (4, 8, 16),
+        study=study,
+        cache_dir=args.cache_dir,
+        progress=True,
+    )
+
+    started = time.perf_counter()
+    result = run_drift_study(config)
+    elapsed = time.perf_counter() - started
+    print()
+    print(format_drift_table(result))
+    print()
+
+    if result.from_cache:
+        print(f"warm rerun: whole study served from cache in {elapsed:.2f}s")
+    else:
+        retrain_s = sum(step.retrain_fit_s for step in result.steps)
+        fine_tune_s = sum(step.fine_tune_fit_s for step in result.steps)
+        print(
+            f"cold run in {elapsed:.2f}s — retrain fits {retrain_s:.2f}s, "
+            f"fine-tune fits {fine_tune_s:.2f}s "
+            f"({fine_tune_s / retrain_s:.1%} of retrain)"
+            if retrain_s > 0 else f"cold run in {elapsed:.2f}s"
+        )
+    if args.expect_warm and not result.from_cache:
+        print("FAIL: --expect-warm but the study was recomputed",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

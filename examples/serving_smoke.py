@@ -11,9 +11,15 @@ behind, it:
 3. asserts every daemon response is **bit-identical** to a direct
    :class:`~repro.predictor.service.FomService` call on the same inputs
    (float64 values survive the JSON round-trip exactly),
-4. sends SIGTERM while a request is in flight and asserts the response
+4. exercises the hot-reload loop: ``repro client reload`` with an
+   unchanged file is a no-op, then the model file is overwritten with a
+   fine-tuned estimator and reloaded **under concurrent traffic** — no
+   request drops, the superseded fingerprint stays pinnable with its old
+   answers, and post-swap responses are bit-identical to both a direct
+   service on the new file and a freshly restarted daemon,
+5. sends SIGTERM while a request is in flight and asserts the response
    still arrives (graceful drain), the process exits 0, and
-5. verifies nothing is left behind: the port is closed and no stray
+6. verifies nothing is left behind: the port is closed and no stray
    process still references the workdir.
 
 Exit code 0 = all of the above held.
@@ -32,7 +38,10 @@ import threading
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.circuits.qasm import from_qasm
+from repro.evaluation.persistence import save_model
 from repro.predictor import FomService
 from repro.serving import ServingClient
 
@@ -164,6 +173,148 @@ def main() -> None:
               f"requests over {stats['batches']['total']} batches "
               f"(sizes {sizes}), stages "
               f"{ {k: round(v, 3) for k, v in stats['latency']['stages_s'].items()} }")
+
+        # ------------------------------------------------------------------
+        # Hot reload: overwrite the model file, swap mid-traffic.
+        # ------------------------------------------------------------------
+
+        def cli_reload() -> str:
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro", "client", "reload",
+                 "--port", str(port)],
+                capture_output=True, text=True, timeout=300,
+            )
+            if completed.returncode != 0:
+                fail(f"repro client reload failed: {completed.stderr}")
+            return completed.stdout
+
+        output = cli_reload()
+        if "no model changes detected" not in output:
+            fail(f"reload of an unchanged file should be a no-op: {output!r}")
+        print("[smoke] reload with unchanged file is a no-op")
+
+        old_fingerprint = responses[0]["fingerprint"]
+        old_direct = {
+            index: responses[index]["predictions"]
+            for index in range(len(requests))
+        }
+
+        # A cheap refresh: append fine-tuned trees to the serving
+        # estimator and write the result over the daemon's model file.
+        rng = np.random.default_rng(7)
+        tuned = service.estimator.fine_tune(
+            rng.uniform(size=(40, 30)), rng.uniform(size=40), n_trees=4
+        )
+        save_model(tuned, model_path)
+
+        # Reload while concurrent predict traffic is in flight: nothing
+        # may drop, and every response must match one of the two models.
+        live_responses = []
+        live_errors = []
+        reload_done = threading.Event()
+
+        def live_traffic() -> None:
+            worker_client = ServingClient(port=port)
+            try:
+                while not reload_done.is_set():
+                    live_responses.append(worker_client.predict(qasm[:2]))
+            except Exception as exc:  # noqa: BLE001 - reported below
+                live_errors.append(exc)
+            finally:
+                worker_client.close()
+
+        live_threads = [
+            threading.Thread(target=live_traffic) for _ in range(3)
+        ]
+        for thread in live_threads:
+            thread.start()
+        output = cli_reload()
+        reload_done.set()
+        for thread in live_threads:
+            thread.join(timeout=600)
+        if live_errors:
+            fail(f"requests dropped during hot swap: {live_errors}")
+        if "swapped: model -> v2" not in output:
+            fail(f"reload did not report the swap: {output!r}")
+
+        refreshed_service = FomService.load(
+            model_path, args.device, optimization_level=args.level, seed=0
+        )
+        circuits_2 = [from_qasm(text) for text in qasm[:2]]
+        old_answer = service.predict(circuits_2).tolist()
+        new_answer = refreshed_service.predict(circuits_2).tolist()
+        if old_answer == new_answer:
+            fail("fine-tuned model predicts identically; swap is untestable")
+        for response in live_responses:
+            expected = (
+                old_answer
+                if response["fingerprint"] == old_fingerprint
+                else new_answer
+            )
+            if response["predictions"] != expected:
+                fail(f"mid-swap response matches neither model: {response}")
+        print(f"[smoke] hot swap under traffic: {len(live_responses)} "
+              "requests answered, all bit-identical to old or new model")
+
+        # Post-swap: unpinned requests serve the new model; the old
+        # fingerprint stays pinnable with its pre-swap answers.
+        after = client.predict(qasm[:2])
+        if after["fingerprint"] == old_fingerprint:
+            fail("unpinned request still served by the superseded model")
+        if after["predictions"] != new_answer:
+            fail("post-swap response not bit-identical to the new model")
+        pinned = client.predict(qasm[:2], fingerprint=old_fingerprint)
+        if pinned["predictions"] != old_answer:
+            fail("pinned old fingerprint no longer answers like the old model")
+        for index, request in enumerate(requests):
+            repeat = client.predict(request, fingerprint=old_fingerprint)
+            if repeat["predictions"] != old_direct[index]:
+                fail(f"pinned request {index} drifted after the swap")
+        status, health = client.healthz()
+        if health["reload"]["swaps"] != 1:
+            fail(f"healthz should count exactly one swap: {health['reload']}")
+        served_now = {model["fingerprint"]: model["version"]
+                      for model in health["models"]}
+        if served_now.get(after["fingerprint"]) != "2":
+            fail(f"healthz does not list the refreshed model: {health}")
+        print("[smoke] post-swap serving v2; old fingerprint still pinnable")
+
+        # The hot-swapped daemon must answer exactly like a daemon booted
+        # fresh from the overwritten file.
+        restarted = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--model", str(model_path), "--device", args.device,
+             "--level", str(args.level), "--port", "0",
+             "--batch-deadline-ms", "150", "--max-batch", "64"],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            line = restarted.stdout.readline()
+            if "listening on http://" not in line:
+                fail(f"restarted daemon failed to announce: {line!r}")
+            restart_port = int(line.split("listening on http://")[1]
+                               .split(" ")[0].rsplit(":", 1)[1])
+            restart_client = ServingClient(port=restart_port)
+            try:
+                from_restart = restart_client.predict(qasm[:2])
+            finally:
+                restart_client.close()
+            if from_restart["predictions"] != after["predictions"]:
+                fail("hot-swapped daemon and restarted daemon disagree:\n"
+                     f"  swapped:   {after['predictions']}\n"
+                     f"  restarted: {from_restart['predictions']}")
+            if from_restart["fingerprint"] != after["fingerprint"]:
+                fail("fingerprint mismatch between swap and restart")
+        finally:
+            restarted.send_signal(signal.SIGTERM)
+            try:
+                restarted.wait(timeout=120)
+            except subprocess.TimeoutExpired:
+                restarted.kill()
+                restarted.wait(timeout=30)
+        print("[smoke] hot-swapped responses bit-identical to a freshly "
+              "restarted daemon")
+        service = refreshed_service  # the drain check below uses v2
         client.close()
 
         # Graceful drain: submit a request, SIGTERM while it waits out

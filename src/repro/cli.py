@@ -11,8 +11,12 @@ Subcommands:
   (the :class:`~repro.predictor.service.FomService` frontend).
 * ``serve``    — run the long-lived serving daemon (dynamic request
   batching over a model registry; see :mod:`repro.serving`).
-* ``client``   — talk to a running daemon (healthz/stats/predict/foms).
+* ``client``   — talk to a running daemon
+  (healthz/stats/reload/predict/foms).
 * ``study``    — run the correlation study and print Table I / Fig. 3.
+* ``drift-study`` — walk a device's true calibration away from its
+  report and measure estimator staleness + refresh strategies
+  (:mod:`repro.evaluation.drift`).
 * ``devices``  — list the built-in devices and their calibration summary.
 * ``zoo``      — list or inspect the parameterized device-zoo families.
 * ``docs-cli`` — emit the generated CLI reference page (docs/cli.md).
@@ -265,6 +269,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         max_workers=args.max_workers,
         workers_mode=args.workers_mode,
+        reload_interval=args.reload_interval,
     )
     try:
         daemon = ServingDaemon(registry, config)
@@ -272,6 +277,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc))
     asyncio.run(daemon.serve_forever())
     return 0
+
+
+def _format_latency(value) -> str:
+    """One latency cell of the ``client stats`` table.
+
+    Percentiles are ``null`` until the daemon has served at least one
+    request — render those as ``n/a``, never crash on them.
+    """
+    return "n/a" if value is None else f"{value * 1000.0:.1f}ms"
+
+
+def _render_stats(stats: dict) -> str:
+    """Human-readable ``repro client stats`` rendering (``--json`` skips)."""
+
+    def counters(mapping: dict) -> str:
+        items = " ".join(
+            f"{key}={value}" for key, value in sorted(mapping.items())
+        )
+        return items or "none"
+
+    models = stats.get("models", {})
+    queue = stats.get("queue", {})
+    batches = stats.get("batches", {})
+    latency = stats.get("latency", {})
+    lines = [
+        f"uptime: {stats.get('uptime_s', 0.0):.1f}s"
+        + ("  (draining)" if stats.get("draining") else ""),
+        "serving: " + (", ".join(models.get("serving", [])) or "none"),
+        f"reload: checks={models.get('reload_checks', 0)} "
+        f"refreshes={models.get('refreshes', 0)} "
+        f"swaps={models.get('swaps', 0)}",
+        "requests: " + counters(stats.get("requests", {})),
+        "responses: " + counters(stats.get("responses", {})),
+        f"queue: depth={queue.get('depth', 0)} "
+        f"waiting={queue.get('requests_waiting', 0)} "
+        f"in_flight={queue.get('in_flight', 0)} "
+        f"limit={queue.get('limit', 0)} "
+        f"rejected={queue.get('rejected_total', 0)}",
+        f"batches: total={batches.get('total', 0)} "
+        f"requests={batches.get('requests_total', 0)}",
+        f"latency: p50={_format_latency(latency.get('request_p50_s'))} "
+        f"p99={_format_latency(latency.get('request_p99_s'))} "
+        f"max={_format_latency(latency.get('request_max_s'))} "
+        f"samples={latency.get('samples', 0)}",
+    ]
+    return "\n".join(lines)
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -286,7 +337,31 @@ def _cmd_client(args: argparse.Namespace) -> int:
             print(json.dumps(payload, indent=2))
             return 0 if status == 200 else 1
         if args.action == "stats":
-            print(json.dumps(client.stats(), indent=2))
+            stats = client.stats()
+            if args.json:
+                print(json.dumps(stats, indent=2))
+            else:
+                print(_render_stats(stats))
+            return 0
+        if args.action == "reload":
+            report = client.reload()
+            if args.json:
+                print(json.dumps(report, indent=2))
+                return 0
+            for swap in report.get("swapped", []):
+                previous = swap.get("previous_fingerprint")
+                print(
+                    f"swapped: {swap['model']} -> v{swap['version']} "
+                    f"@{swap['fingerprint']}"
+                    + (f" (was @{previous})" if previous else " (new)")
+                )
+            if not report.get("swapped"):
+                print("no model changes detected")
+            for entry in report.get("serving", []):
+                print(
+                    f"serving: {entry['name']}@{entry['fingerprint']} "
+                    f"v{entry['version']}"
+                )
             return 0
         # predict / foms: batch-score QASM files through the daemon.
         if not args.qasm:
@@ -369,6 +444,49 @@ def _cmd_study(args: argparse.Namespace) -> int:
             }
         )
     )
+    return 0
+
+
+def _cmd_drift_study(args: argparse.Namespace) -> int:
+    import json
+
+    from .evaluation.drift import (
+        DriftStudyConfig,
+        _result_to_dict,
+        default_drift_study_config,
+        format_drift_table,
+        run_drift_study,
+    )
+
+    study = default_drift_study_config(progress=args.progress)
+    study.max_qubits = args.max_qubits
+    study.shots = args.shots
+    study.seed = args.seed
+    study.max_workers = args.max_workers
+    study.workers_mode = args.workers_mode
+    config = DriftStudyConfig(
+        device=args.device,
+        steps=args.steps,
+        drift_scale=args.drift_scale,
+        duration_drift=args.duration_drift,
+        drift_seed=args.drift_seed,
+        refresh_trees=tuple(args.refresh_trees),
+        replace=args.replace,
+        study=study,
+        cache_dir=args.cache_dir,
+        progress=args.progress,
+    )
+    try:
+        result = run_drift_study(config)
+    except (ValueError, RuntimeError) as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        payload = _result_to_dict(result)
+        payload["from_cache"] = result.from_cache
+        payload["elapsed_s"] = result.elapsed_s
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_drift_table(result))
     return 0
 
 
@@ -673,6 +791,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool flavor for the per-batch pipeline (default: thread — "
              "per-batch process spawns cost more than small batches win)",
     )
+    p_serve.add_argument(
+        "--reload-interval", type=float, default=0.0,
+        help="seconds between automatic model-source staleness checks and "
+             "hot swaps (0 = only on explicit POST /reload)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_client = sub.add_parser(
@@ -685,7 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_client.add_argument(
-        "action", choices=("healthz", "stats", "predict", "foms"),
+        "action", choices=("healthz", "stats", "reload", "predict", "foms"),
     )
     p_client.add_argument(
         "qasm", nargs="*",
@@ -740,6 +863,73 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_study.set_defaults(func=_cmd_study)
+
+    p_drift = sub.add_parser(
+        "drift-study",
+        help="measure estimator staleness under calibration drift",
+        description=(
+            "Walk a device's *true* calibration away from its frozen "
+            "report with the zoo's drift map, then measure how the "
+            "step-0 estimator decays on freshly-labelled circuits and "
+            "how well two refresh strategies recover: a full grid-search "
+            "retrain vs appending a few fresh trees to the stale forest "
+            "(fine-tune).  Every stage caches through --cache-dir, so a "
+            "rerun with unchanged inputs is a pure read."
+        ),
+    )
+    p_drift.add_argument(
+        "--device", default="zoo:grid:12:typical:0", help=ZOO_SPEC_HELP
+    )
+    p_drift.add_argument(
+        "--steps", type=int, default=3,
+        help="drifted snapshots after the training-time calibration",
+    )
+    p_drift.add_argument(
+        "--drift-scale", type=float, default=1.0,
+        help="multiplies the tier's per-step drift magnitudes",
+    )
+    p_drift.add_argument(
+        "--duration-drift", type=float, default=0.0,
+        help="also drift gate/readout durations by this magnitude "
+             "(default 0: durations are control-stack settings)",
+    )
+    p_drift.add_argument("--drift-seed", type=int, default=0)
+    p_drift.add_argument(
+        "--refresh-trees", type=int, nargs="+", default=[4, 8, 16],
+        metavar="N",
+        help="fine-tune curve: fresh trees appended per refresh point",
+    )
+    p_drift.add_argument(
+        "--replace", action="store_true",
+        help="fresh trees replace the oldest (constant-size forest) "
+             "instead of growing it",
+    )
+    p_drift.add_argument("--max-qubits", type=int, default=6)
+    p_drift.add_argument("--shots", type=int, default=400)
+    p_drift.add_argument("--seed", type=int, default=0)
+    p_drift.add_argument(
+        "--cache-dir", default=None,
+        help="artifact store: datasets, reports, estimators, and the "
+             "finished study are fingerprint-cached here",
+    )
+    p_drift.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker-pool size for batched stages (default: one per CPU)",
+    )
+    p_drift.add_argument(
+        "--workers-mode", choices=("thread", "process"), default=None,
+        help="pool flavor for the GIL-bound stages; default: "
+             "REPRO_WORKERS_MODE env var, else process",
+    )
+    p_drift.add_argument(
+        "--progress", action="store_true",
+        help="print per-step progress lines while the study runs",
+    )
+    p_drift.add_argument(
+        "--json", action="store_true",
+        help="print the full result as JSON instead of the table",
+    )
+    p_drift.set_defaults(func=_cmd_drift_study)
 
     p_dev = sub.add_parser("devices", help="list built-in devices")
     p_dev.set_defaults(func=_cmd_devices)

@@ -1,6 +1,16 @@
 """Paper experiments: correlation study, feature importance, reporting."""
 
 from .artifacts import ARTIFACT_KINDS, ArtifactStore
+from .drift import (
+    DriftStepResult,
+    DriftStudyConfig,
+    DriftStudyResult,
+    RefreshPoint,
+    calibration_distance,
+    default_drift_study_config,
+    format_drift_table,
+    run_drift_study,
+)
 from .importance import (
     grouped_importances,
     importance_table,
@@ -38,7 +48,14 @@ __all__ = [
     "ARTIFACT_KINDS",
     "ArtifactStore",
     "CrossDeviceResult",
+    "DriftStepResult",
+    "DriftStudyConfig",
+    "DriftStudyResult",
     "FOM_ORDER",
+    "RefreshPoint",
+    "calibration_distance",
+    "default_drift_study_config",
+    "run_drift_study",
     "PROPOSED_LABEL",
     "PersistenceError",
     "StudyConfig",
@@ -46,6 +63,7 @@ __all__ = [
     "build_device_datasets",
     "compute_improvements",
     "config_fingerprint",
+    "format_drift_table",
     "format_fig3",
     "format_series",
     "format_table_i",

@@ -37,10 +37,12 @@ from ..predictor.estimator import HellingerEstimator
 from .persistence import (
     PersistenceError,
     load_dataset_cache,
+    load_drift_cache,
     load_leaderboard_cache,
     load_model,
     load_report_cache,
     save_dataset_cache,
+    save_drift_cache,
     save_leaderboard_cache,
     save_model,
     save_report_cache,
@@ -95,6 +97,13 @@ ARTIFACT_KINDS: Dict[str, ArtifactKind] = {
         "leaderboard_{name}_{fingerprint}.json",
         save_leaderboard_cache,
         load_leaderboard_cache,
+    ),
+    # Completed drift-study results (repro.evaluation.drift): the final
+    # stage cache that makes a warm rerun a pure read.
+    "drift": ArtifactKind(
+        "drift_{name}_{fingerprint}.json",
+        save_drift_cache,
+        load_drift_cache,
     ),
 }
 

@@ -451,6 +451,63 @@ def load_report_cache(path: str | Path, fingerprint: str) -> EstimatorReport:
         raise PersistenceError(f"corrupted report cache {path}: {exc}") from exc
 
 
+#: Format tag + version of cached drift-study results.
+DRIFT_FORMAT = "repro-drift-cache"
+DRIFT_VERSION = 1
+
+
+def save_drift_cache(result: Dict, path: str | Path, fingerprint: str) -> Path:
+    """Write a completed drift-study result (plain-dict form).
+
+    Same contract as the other stage caches: canonical JSON carrying a
+    format tag plus the fingerprint of every input, so a rerun with
+    unchanged inputs is a pure cache read and any input change is a miss.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(result)
+    payload["format"] = DRIFT_FORMAT
+    payload["version"] = DRIFT_VERSION
+    payload["fingerprint"] = fingerprint
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_drift_cache(path: str | Path, fingerprint: str) -> Dict:
+    """Load a drift-study cache entry; :class:`PersistenceError` when the
+    file is missing, unreadable, foreign, wrong-version, or stale."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no drift cache at {path}")
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"unreadable drift cache {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != DRIFT_FORMAT:
+        raise PersistenceError(f"{path} is not a drift cache file")
+    if data.get("version") != DRIFT_VERSION:
+        raise PersistenceError(
+            f"{path} has unsupported drift-cache version "
+            f"{data.get('version')!r}"
+        )
+    if data.get("fingerprint") != fingerprint:
+        raise PersistenceError(
+            f"{path} was built from different inputs "
+            f"(fingerprint {data.get('fingerprint')!r} != {fingerprint!r})"
+        )
+    if not isinstance(data.get("steps"), list):
+        raise PersistenceError(f"corrupted drift cache {path}: no steps list")
+    # Strip the envelope: callers get back exactly what they stored.
+    return {
+        key: value
+        for key, value in data.items()
+        if key not in ("format", "version", "fingerprint")
+    }
+
+
 #: Format tag + version of committed compilation-search leaderboard rows.
 LEADERBOARD_FORMAT = "repro-leaderboard"
 LEADERBOARD_VERSION = 1

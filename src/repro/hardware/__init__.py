@@ -4,6 +4,7 @@ from .calibration import (
     Calibration,
     GateDurations,
     drift_calibration,
+    drift_walk,
     random_calibration,
 )
 from .coupling import (
@@ -84,6 +85,7 @@ __all__ = [
     "build_topology",
     "device_from_spec",
     "drift_calibration",
+    "drift_walk",
     "full_map",
     "grid_map",
     "grid_positions",

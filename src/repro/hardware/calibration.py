@@ -153,17 +153,27 @@ def drift_calibration(
     rng: np.random.Generator,
     fidelity_drift: float = 0.3,
     relaxation_drift: float = 0.6,
+    duration_drift: float = 0.0,
 ) -> Calibration:
     """Produce a *stale* snapshot that has drifted away from the truth.
 
-    Fidelity infidelities are rescaled by ``lognormal(0, fidelity_drift)``
-    (mild mis-estimation), while T1/T2 are rescaled by
+    Fidelity infidelities — single-qubit, two-qubit, *and* readout
+    assignment — are rescaled by ``lognormal(0, fidelity_drift)`` (mild
+    mis-estimation), while T1/T2 are rescaled by
     ``lognormal(0, relaxation_drift)`` (strong mis-estimation).  Relaxation
     times drift hardest because they are measured least often on real
     hardware — this is the mechanism behind the paper's observation that
     ESP underperforms plain expected fidelity.
+
+    Durations do NOT drift by default: they are control-stack settings,
+    not measured quantities, so a stale report still states them exactly.
+    ``duration_drift > 0`` opts into modelling a retuned pulse schedule
+    (each duration rescaled by ``lognormal(0, duration_drift)``).  The
+    extra draws happen after all fidelity/relaxation draws, so the default
+    keeps the RNG stream — and every downstream reported calibration —
+    byte-identical to older revisions.
     """
-    if fidelity_drift < 0 or relaxation_drift < 0:
+    if fidelity_drift < 0 or relaxation_drift < 0 or duration_drift < 0:
         raise ValueError("drift magnitudes must be non-negative")
 
     def drift_fidelity(value: float) -> float:
@@ -173,7 +183,7 @@ def drift_calibration(
     def drift_time(value: float) -> float:
         return float(value * rng.lognormal(0.0, relaxation_drift))
 
-    return Calibration(
+    stale = Calibration(
         one_qubit_fidelity={
             q: drift_fidelity(v) for q, v in calibration.one_qubit_fidelity.items()
         },
@@ -188,3 +198,46 @@ def drift_calibration(
         durations=replace(calibration.durations),
         timestamp="stale",
     )
+    if duration_drift > 0:
+        base = calibration.durations
+        stale.durations = GateDurations(
+            one_qubit=float(base.one_qubit * rng.lognormal(0.0, duration_drift)),
+            two_qubit=float(base.two_qubit * rng.lognormal(0.0, duration_drift)),
+            readout=float(base.readout * rng.lognormal(0.0, duration_drift)),
+        )
+    return stale
+
+
+def drift_walk(
+    calibration: Calibration,
+    rng: np.random.Generator,
+    steps: int,
+    fidelity_drift: float = 0.3,
+    relaxation_drift: float = 0.6,
+    duration_drift: float = 0.0,
+) -> "list[Calibration]":
+    """Iterate the drift map: a stochastic walk over calibration snapshots.
+
+    Returns ``steps`` snapshots where snapshot ``k`` is
+    :func:`drift_calibration` applied ``k + 1`` times from ``calibration``
+    (the drift-study analogue of the paper's iterated Hopf-square Markov
+    dynamics: what matters is the trajectory under repeated application,
+    not a single perturbation).  Infidelity clipping to ``[0, 0.5]``
+    bounds the walk; T1/T2 random-walk multiplicatively.  Timestamps are
+    ``"drift-1"``, ``"drift-2"``, ...
+    """
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    snapshots = []
+    current = calibration
+    for k in range(steps):
+        current = drift_calibration(
+            current,
+            rng,
+            fidelity_drift=fidelity_drift,
+            relaxation_drift=relaxation_drift,
+            duration_drift=duration_drift,
+        )
+        current.timestamp = f"drift-{k + 1}"
+        snapshots.append(current)
+    return snapshots

@@ -193,6 +193,88 @@ class RandomForestRegressor:
         self._finalize_importances(X.shape[1])
         return self
 
+    def fit_new_trees(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_trees: int,
+        random_state: Optional[int],
+        max_workers: Optional[int] = None,
+        workers_mode: Optional[str] = None,
+    ) -> List[DecisionTreeRegressor]:
+        """Fit ``n_trees`` fresh member trees on ``(X, y)`` without touching
+        ``self``.
+
+        The trees carry this forest's per-tree hyper-parameters and draw
+        their seeds/rows from ``bootstrap_draws(random_state, ...)``, so
+        the prefix property holds: the first ``k`` trees of an ``n``-tree
+        call equal the ``k``-tree call — a refresh sweep over tree counts
+        fits ``max(n)`` trees once and slices prefixes.  Results are
+        bit-identical for every worker count and pool mode (same
+        construction as :meth:`fit`).
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        draws = bootstrap_draws(random_state, n_trees, len(X), self.bootstrap)
+
+        if max_workers is None:
+            max_workers = self.max_workers
+        if workers_mode is None:
+            workers_mode = self.workers_mode
+        workers = resolve_workers(max_workers, len(draws))
+        mode = resolve_mode(workers_mode, default="process")
+        if mode == "process" and workers > 1 and len(draws) >= PROCESS_MIN_ITEMS:
+            tree_params = {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+            }
+            return parallel_map(
+                _fit_tree_in_worker,
+                draws,
+                max_workers=workers,
+                mode="process",
+                initializer=_init_fit_worker,
+                initargs=(X, y, tree_params),
+            )
+
+        def fit_one(draw: Tuple[int, np.ndarray]) -> DecisionTreeRegressor:
+            seed, rows = draw
+            return self.tree_template(seed).fit(X[rows], y[rows])
+
+        return parallel_map(fit_one, draws, max_workers=workers, mode="thread")
+
+    def refreshed(
+        self,
+        trees: List[DecisionTreeRegressor],
+        replace: bool = False,
+    ) -> "RandomForestRegressor":
+        """A new fitted forest: this forest's trees plus ``trees``.
+
+        ``replace=False`` appends (the ensemble grows); ``replace=True``
+        drops the oldest ``len(trees)`` members first, a sliding window of
+        constant size.  ``self`` is untouched; importances are re-finalized
+        sequentially in tree order (worker-count independent).
+        """
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted")
+        if not trees:
+            raise ValueError("trees must be non-empty")
+        kept = self.estimators_[len(trees) :] if replace else self.estimators_
+        members = list(kept) + list(trees)
+        if not members:
+            raise ValueError("replace would drop every tree")
+        forest = self.clone()
+        forest.n_estimators = len(members)
+        forest.estimators_ = members
+        forest._finalize_importances(len(trees[0].feature_importances_))
+        return forest
+
     def _finalize_importances(self, num_features: int) -> None:
         # Sequential accumulation in tree order: identical float rounding
         # to the original sequential fit, independent of worker count.

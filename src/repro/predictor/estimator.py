@@ -18,6 +18,10 @@ from ..ml.forest import RandomForestRegressor
 from ..ml.metrics import pearson_r
 from ..ml.model_selection import grid_search
 
+#: Seed offset for fine-tune tree draws: keeps the refresh trees' seed
+#: stream disjoint from the original forest's (same master seed) stream.
+FINE_TUNE_SEED_OFFSET = 104729
+
 #: Grid searched in Section V-A3 (trees, depth, leaf/split minima).
 DEFAULT_PARAM_GRID: Dict[str, Sequence] = {
     "n_estimators": [50, 100],
@@ -78,6 +82,51 @@ class HellingerEstimator:
         self.model.workers_mode = self.workers_mode
         self.model.fit(X, y)
         return self
+
+    def with_trees(self, trees, replace: bool = False) -> "HellingerEstimator":
+        """A new estimator whose forest is this one refreshed with ``trees``.
+
+        ``self`` is untouched; grid-search results (``best_params_``,
+        ``cv_score_``) carry over — a fine-tune deliberately skips the
+        search, which is what makes it cheap.
+        """
+        if self.model is None:
+            raise RuntimeError("estimator is not fitted")
+        refreshed = HellingerEstimator(
+            param_grid=self.param_grid, n_splits=self.n_splits,
+            seed=self.seed, max_workers=self.max_workers,
+            workers_mode=self.workers_mode,
+        )
+        refreshed.best_params_ = dict(self.best_params_)
+        refreshed.cv_score_ = self.cv_score_
+        refreshed.model = self.model.refreshed(trees, replace=replace)
+        return refreshed
+
+    def fine_tune(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_trees: int,
+        replace: bool = False,
+        random_state: Optional[int] = None,
+    ) -> "HellingerEstimator":
+        """Cheap refresh on fresh labels: fit ``n_trees`` new trees on
+        ``(X, y)`` with the forest's tuned hyper-parameters and append
+        them (or replace the oldest with ``replace=True``).
+
+        No grid search runs — the cost is ``n_trees`` tree fits, a small
+        fraction of a full retrain.  Deterministic and worker-invariant
+        (see :meth:`RandomForestRegressor.fit_new_trees`); the default
+        ``random_state`` derives from the estimator seed via
+        ``FINE_TUNE_SEED_OFFSET`` so refresh draws never collide with the
+        original fit's stream.
+        """
+        if self.model is None:
+            raise RuntimeError("estimator is not fitted")
+        if random_state is None:
+            random_state = self.seed + FINE_TUNE_SEED_OFFSET
+        trees = self.model.fit_new_trees(X, y, n_trees, random_state)
+        return self.with_trees(trees, replace=replace)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self.model is None:

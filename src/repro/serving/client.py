@@ -134,6 +134,12 @@ class ServingClient:
     def stats(self) -> Dict[str, Any]:
         return self._checked("GET", "/stats")
 
+    def reload(self) -> Dict[str, Any]:
+        """Ask the daemon to re-check its model sources and hot-swap any
+        changed estimator; returns the swap report (``"swapped"`` list +
+        the entries now serving)."""
+        return self._checked("POST", "/reload")
+
     def predict(
         self,
         circuits,

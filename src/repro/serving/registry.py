@@ -19,17 +19,29 @@ Two loaders cover the repo's two artifact shapes:
 Lookup (:meth:`resolve`) mirrors ``FomService.from_store``: ``None``
 filters match everything, and ambiguity is an error rather than a guess
 — a daemon silently serving the wrong model helps nobody.
+
+Entries are *versioned* (PR 9).  A fingerprint used to be computed once
+at registration, so an ``.npz`` overwritten by a retrain kept serving
+the old model under the old address forever.  :meth:`refresh` closes the
+loop: a cheap ``(size, mtime_ns)`` guard, then a rehash, then — on a
+content change — the model is reloaded from its remembered source and
+registered as a *new version* of the same name.  Superseded entries are
+retained, so in-flight batches pinned to the old fingerprint still
+resolve and finish on the old model; unpinned lookups prefer the highest
+version.  The swap is an atomic dict rebind, safe against concurrent
+readers on the daemon's event loop.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from pathlib import Path
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..predictor.service import FomService
 
-__all__ = ["ModelEntry", "ModelRegistry"]
+__all__ = ["ModelEntry", "ModelRegistry", "ModelSource"]
 
 
 def _file_fingerprint(path: Path) -> str:
@@ -40,12 +52,38 @@ def _file_fingerprint(path: Path) -> str:
     return digest.hexdigest()[:12]
 
 
+def _file_stat(path: Path) -> "Tuple[int, int]":
+    st = os.stat(path)
+    return (st.st_size, st.st_mtime_ns)
+
+
+class ModelSource(NamedTuple):
+    """Where an entry came from — enough to reload it bit-identically.
+
+    ``stat`` is the ``(size, mtime_ns)`` of the model file when its
+    fingerprint was computed: the cheap staleness guard that gates the
+    rehash.  Store-backed entries carry the add-time name/fingerprint
+    filters instead, so :meth:`ModelRegistry.refresh` can rescan for
+    newer checkpoints.
+    """
+
+    kind: str  # "file" | "store"
+    path: Path  # model file, or the store root
+    device: object
+    service_kwargs: dict
+    stat: Optional[Tuple[int, int]] = None
+    name_filter: Optional[str] = None
+    fingerprint_filter: Optional[str] = None
+
+
 class ModelEntry(NamedTuple):
     """One registered model: its address plus the booted service."""
 
     name: str
     fingerprint: str
     service: FomService
+    version: int = 1
+    source: Optional[ModelSource] = None
 
     @property
     def key(self) -> "tuple[str, str]":
@@ -56,6 +94,7 @@ class ModelEntry(NamedTuple):
         return {
             "name": self.name,
             "fingerprint": self.fingerprint,
+            "version": str(self.version),
             "device": self.service.device.name,
             "optimization_level": str(self.service.optimization_level),
         }
@@ -66,12 +105,27 @@ class ModelRegistry:
 
     def __init__(self):
         self._entries: "Dict[tuple[str, str], ModelEntry]" = {}
+        #: completed :meth:`refresh` passes and entries swapped in by them.
+        self.refreshes = 0
+        self.swaps = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def entries(self) -> List[ModelEntry]:
         return list(self._entries.values())
+
+    def serving_entries(self) -> List[ModelEntry]:
+        """The entries unpinned requests can land on: per name, the
+        highest-version entries (ties included)."""
+        by_name: Dict[str, List[ModelEntry]] = {}
+        for entry in self._entries.values():
+            by_name.setdefault(entry.name, []).append(entry)
+        current = []
+        for group in by_name.values():
+            top = max(entry.version for entry in group)
+            current.extend(e for e in group if e.version == top)
+        return current
 
     def _add(self, entry: ModelEntry) -> ModelEntry:
         if entry.key in self._entries:
@@ -80,6 +134,14 @@ class ModelRegistry:
             )
         self._entries[entry.key] = entry
         return entry
+
+    def _next_version(self, name: str) -> int:
+        versions = [
+            entry.version
+            for entry in self._entries.values()
+            if entry.name == name
+        ]
+        return max(versions, default=0) + 1
 
     # ------------------------------------------------------------------
     # Loaders
@@ -101,9 +163,18 @@ class ModelRegistry:
         path = Path(path)
         if not path.is_file():
             raise ValueError(f"no model file at {path}")
+        stat = _file_stat(path)
         service = FomService.load(path, device, **service_kwargs)
+        source = ModelSource(
+            "file", path, device, dict(service_kwargs), stat=stat
+        )
         return self._add(
-            ModelEntry(name or path.stem, _file_fingerprint(path), service)
+            ModelEntry(
+                name or path.stem,
+                _file_fingerprint(path),
+                service,
+                source=source,
+            )
         )
 
     def add_store(
@@ -131,6 +202,14 @@ class ModelRegistry:
                 f"no estimator artifact matching name={name!r} "
                 f"fingerprint={fingerprint!r} in {store.root}"
             )
+        source = ModelSource(
+            "store",
+            store.root,
+            device,
+            dict(service_kwargs),
+            name_filter=name,
+            fingerprint_filter=fingerprint,
+        )
         loaded = []
         for ref in refs:
             estimator = store.get("estimator", ref.name, ref.fingerprint)
@@ -145,10 +224,169 @@ class ModelRegistry:
                         ref.name,
                         ref.fingerprint,
                         FomService(estimator, device, **service_kwargs),
+                        source=source,
                     )
                 )
             )
         return loaded
+
+    # ------------------------------------------------------------------
+    # Refresh (hot reload)
+    # ------------------------------------------------------------------
+
+    def _refreshable(self) -> List[ModelEntry]:
+        """Per source, the latest-version entry — the one a refresh of
+        changed content supersedes."""
+        by_name: Dict[str, ModelEntry] = {}
+        for entry in self._entries.values():
+            if entry.source is None:
+                continue
+            kept = by_name.get(entry.name)
+            if kept is None or entry.version > kept.version:
+                by_name[entry.name] = entry
+        return list(by_name.values())
+
+    def maybe_stale(self) -> bool:
+        """Cheap staleness probe, no hashing or loading.
+
+        File-backed entries compare ``(size, mtime_ns)`` against the
+        stat recorded when their fingerprint was computed; store-backed
+        entries scan the store directory for unseen checkpoints.  A
+        ``True`` answer means :meth:`refresh` has real work to check.
+        """
+        for entry in self._refreshable():
+            source = entry.source
+            if source.kind == "file":
+                try:
+                    if _file_stat(source.path) != source.stat:
+                        return True
+                except OSError:
+                    continue
+            elif source.kind == "store":
+                for ref in self._store_refs(source):
+                    if (ref.name, ref.fingerprint) not in self._entries:
+                        return True
+        return False
+
+    def _store_refs(self, source: ModelSource):
+        from ..evaluation.artifacts import ArtifactStore
+
+        store = ArtifactStore.coerce(source.path)
+        refs = store.find(
+            "estimator",
+            name=source.name_filter,
+            fingerprint=source.fingerprint_filter,
+        )
+        # Chronological: versions of newly-arrived checkpoints follow
+        # file modification order, deterministically tie-broken.
+        return sorted(
+            refs, key=lambda r: (r.path.stat().st_mtime_ns, r.name, r.fingerprint)
+        )
+
+    def refresh(
+        self, force: bool = False
+    ) -> "List[tuple[Optional[ModelEntry], ModelEntry]]":
+        """Re-check every refreshable source and hot-swap changed models.
+
+        Returns ``(superseded, successor)`` pairs (``superseded`` is
+        ``None`` for a brand-new store checkpoint under a new name).  Old
+        entries stay registered so fingerprint-pinned requests — and
+        batches already queued under the old key — still resolve; the
+        installed mapping is replaced in one atomic rebind.  ``force``
+        skips the ``(size, mtime_ns)`` guard and always rehashes.
+        """
+        changes: "Dict[tuple[str, str], ModelEntry]" = {}
+        swapped: "List[tuple[Optional[ModelEntry], ModelEntry]]" = []
+        seen_store_sources = set()
+
+        for entry in self._refreshable():
+            source = entry.source
+            if source.kind == "file":
+                try:
+                    stat = _file_stat(source.path)
+                except OSError:
+                    continue  # file gone: keep serving what we loaded
+                if not force and stat == source.stat:
+                    continue
+                fingerprint = _file_fingerprint(source.path)
+                fresh_source = source._replace(stat=stat)
+                if fingerprint == entry.fingerprint:
+                    # Touched but unchanged (or a same-content rewrite):
+                    # just remember the new stat.
+                    changes[entry.key] = entry._replace(source=fresh_source)
+                    continue
+                version = self._next_version(entry.name)
+                existing = self._entries.get((entry.name, fingerprint))
+                if existing is not None:
+                    # The file reverted to previously-served content:
+                    # promote that entry instead of re-loading.
+                    successor = existing._replace(
+                        version=version, source=fresh_source
+                    )
+                else:
+                    service = FomService.load(
+                        source.path, source.device, **source.service_kwargs
+                    )
+                    successor = ModelEntry(
+                        entry.name,
+                        fingerprint,
+                        service,
+                        version=version,
+                        source=fresh_source,
+                    )
+                changes[successor.key] = successor
+                swapped.append((entry, successor))
+            elif source.kind == "store":
+                ident = (
+                    str(source.path),
+                    source.name_filter,
+                    source.fingerprint_filter,
+                )
+                if ident in seen_store_sources:
+                    continue
+                seen_store_sources.add(ident)
+                from ..evaluation.artifacts import ArtifactStore
+
+                store = ArtifactStore.coerce(source.path)
+                for ref in self._store_refs(source):
+                    key = (ref.name, ref.fingerprint)
+                    if key in self._entries or key in changes:
+                        continue
+                    estimator = store.get("estimator", ref.name, ref.fingerprint)
+                    if estimator is None:
+                        continue  # corrupt newcomer: ignore, keep serving
+                    versions = [
+                        e.version
+                        for e in list(self._entries.values()) + list(changes.values())
+                        if e.name == ref.name
+                    ]
+                    successor = ModelEntry(
+                        ref.name,
+                        ref.fingerprint,
+                        FomService(
+                            estimator, source.device, **source.service_kwargs
+                        ),
+                        version=max(versions, default=0) + 1,
+                        source=source,
+                    )
+                    changes[key] = successor
+                    previous = next(
+                        (
+                            e
+                            for e in self._refreshable()
+                            if e.name == ref.name
+                        ),
+                        None,
+                    )
+                    swapped.append((previous, successor))
+
+        if changes:
+            entries = dict(self._entries)
+            entries.update(changes)
+            self._entries = entries  # atomic install
+        self.refreshes += 1
+        self.swaps += len(swapped)
+        return swapped
 
     # ------------------------------------------------------------------
     # Lookup
@@ -162,12 +400,15 @@ class ModelRegistry:
         """The unique entry matching the filters.
 
         ``None`` filters match everything, so a single-model registry
-        resolves with no arguments.  No match or more than one match is
-        a :class:`ValueError` (the daemon answers 400).
+        resolves with no arguments.  Among same-name matches only the
+        highest version survives (superseded entries stay addressable by
+        explicit fingerprint); no match or more than one surviving match
+        is a :class:`ValueError` (the daemon answers 400).
         """
+        entries = self._entries  # snapshot: refresh() rebinds atomically
         matches = [
             entry
-            for entry in self._entries.values()
+            for entry in entries.values()
             if (name is None or entry.name == name)
             and (fingerprint is None or entry.fingerprint == fingerprint)
         ]
@@ -175,12 +416,19 @@ class ModelRegistry:
             raise ValueError(
                 f"no registered model matching name={name!r} "
                 f"fingerprint={fingerprint!r}; serving "
-                f"{sorted(entry.key for entry in self._entries.values())}"
+                f"{sorted(entry.key for entry in entries.values())}"
             )
-        if len(matches) > 1:
+        by_name: Dict[str, List[ModelEntry]] = {}
+        for entry in matches:
+            by_name.setdefault(entry.name, []).append(entry)
+        survivors: List[ModelEntry] = []
+        for group in by_name.values():
+            top = max(entry.version for entry in group)
+            survivors.extend(e for e in group if e.version == top)
+        if len(survivors) > 1:
             raise ValueError(
                 "ambiguous model reference: "
-                f"{sorted(entry.key for entry in matches)} all match "
+                f"{sorted(entry.key for entry in survivors)} all match "
                 f"name={name!r} fingerprint={fingerprint!r}"
             )
-        return matches[0]
+        return survivors[0]

@@ -19,7 +19,16 @@ Endpoints (all JSON):
 * ``GET /healthz`` — 200 ``{"status": "serving", ...}`` while accepting
   work, 503 ``{"status": "draining"}`` once shutdown has begun.
 * ``GET /stats`` — queue depth, batch-size histogram, per-stage latency
-  totals, request-latency percentiles, response counters.
+  totals, request-latency percentiles, response counters, and the
+  currently-serving model fingerprints + reload counters.
+* ``POST /reload`` — re-check every model source
+  (:meth:`~repro.serving.registry.ModelRegistry.refresh`) and hot-swap
+  changed estimators without dropping a request.  With
+  ``ServerConfig.reload_interval > 0`` the daemon also polls on its own:
+  a cheap ``(size, mtime_ns)`` / store-scan guard each tick, the full
+  rehash+reload only when something moved.  In-flight batches finish on
+  the model they resolved; post-swap responses are bit-identical to a
+  freshly restarted daemon (see docs/drift.md for the contract).
 
 Operational behavior:
 
@@ -37,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import os
 import signal
 import threading
@@ -69,6 +79,8 @@ class ServerConfig:
     max_workers: int = 1              # pipeline workers per batch
     workers_mode: Optional[str] = "thread"
     latency_window: int = 2048        # request-latency samples kept for /stats
+    reload_interval: float = 0.0      # seconds between auto model-refresh
+                                      # probes (0 = only explicit /reload)
 
 
 class _BadRequest(Exception):
@@ -104,6 +116,9 @@ class ServingDaemon:
         self._draining = False
         self._active_requests = 0
         self._idle: Optional[asyncio.Event] = None   # created on the loop
+        self._reload_lock: Optional[asyncio.Lock] = None
+        self._reload_task: Optional[asyncio.Task] = None
+        self._reload_checks = 0
         self._started_at: Optional[float] = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
@@ -131,6 +146,11 @@ class ServingDaemon:
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         self._started_at = asyncio.get_running_loop().time()
+        self._reload_lock = asyncio.Lock()
+        if self.config.reload_interval > 0:
+            self._reload_task = asyncio.get_running_loop().create_task(
+                self._reload_loop()
+            )
 
     def begin_drain(self) -> None:
         """Stop accepting new work (503) while queued requests finish."""
@@ -143,6 +163,13 @@ class ServingDaemon:
         requests arriving after it get 503.
         """
         self.begin_drain()
+        if self._reload_task is not None:
+            self._reload_task.cancel()
+            try:
+                await self._reload_task
+            except asyncio.CancelledError:
+                pass
+            self._reload_task = None
         await self._batcher.close()
         # Let in-flight handlers write their (already computed) responses
         # before tearing connections down — a drained request that never
@@ -239,6 +266,59 @@ class ServingDaemon:
             results.append(result)
             offset += count
         return results
+
+    # ------------------------------------------------------------------
+    # Hot model reload
+    # ------------------------------------------------------------------
+
+    async def _reload_loop(self) -> None:
+        """Background poll: a cheap staleness probe each tick; the full
+        rehash + reload runs only when a model source actually moved."""
+        while True:
+            await asyncio.sleep(self.config.reload_interval)
+            if self._draining:
+                continue
+            self._reload_checks += 1
+            try:
+                if await asyncio.to_thread(self.registry.maybe_stale):
+                    await self._refresh_models()
+            except Exception as exc:  # noqa: BLE001 - keep serving on failure
+                print(f"repro-serve model refresh failed: {exc}", flush=True)
+
+    async def _refresh_models(self, force: bool = False):
+        """Serialized registry refresh off the event loop (hash + model
+        load happen in a worker thread; the install is atomic)."""
+        assert self._reload_lock is not None
+        async with self._reload_lock:
+            return await asyncio.to_thread(self.registry.refresh, force)
+
+    async def _reload(self) -> Tuple[int, Dict[str, Any]]:
+        if self._draining:
+            return 503, {"error": "draining; not accepting new work"}
+        self._reload_checks += 1
+        try:
+            swapped = await self._refresh_models(force=True)
+        except Exception as exc:  # noqa: BLE001 - bad file must not kill serving
+            return 500, {"error": f"model refresh failed: {exc}"}
+        return 200, {
+            "swapped": [
+                {
+                    "model": successor.name,
+                    "fingerprint": successor.fingerprint,
+                    "version": successor.version,
+                    "previous_fingerprint": (
+                        superseded.fingerprint
+                        if superseded is not None
+                        else None
+                    ),
+                }
+                for superseded, successor in swapped
+            ],
+            "serving": [
+                entry.describe()
+                for entry in self.registry.serving_entries()
+            ],
+        }
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -348,8 +428,8 @@ class ServingDaemon:
         self._responses[status] = self._responses.get(status, 0) + 1
         reason = {
             200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 503: "Service Unavailable",
-            504: "Gateway Timeout",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout",
         }.get(status, "Error")
         body = json.dumps(payload).encode()
         head = (
@@ -379,13 +459,17 @@ class ServingDaemon:
             if method != "GET":
                 return 405, {"error": "stats is GET-only"}
             return 200, self._stats()
+        if path == "/reload":
+            if method != "POST":
+                return 405, {"error": "reload is POST-only"}
+            return await self._reload()
         if path in ("/predict", "/foms"):
             if method != "POST":
                 return 405, {"error": f"{path} is POST-only"}
             return await self._predict(body, want_foms=(path == "/foms"))
         return 404, {
             "error": f"unknown path {path!r}; "
-            "endpoints: /predict /foms /healthz /stats"
+            "endpoints: /predict /foms /healthz /stats /reload"
         }
 
     def _healthz(self) -> Tuple[int, Dict[str, Any]]:
@@ -393,6 +477,12 @@ class ServingDaemon:
         return (503 if self._draining else 200), {
             "status": status,
             "models": [entry.describe() for entry in self.registry.entries()],
+            "reload": {
+                "interval_s": self.config.reload_interval,
+                "checks": self._reload_checks,
+                "refreshes": self.registry.refreshes,
+                "swaps": self.registry.swaps,
+            },
             "batch": {
                 "max_batch": self.config.max_batch,
                 "deadline_ms": self.config.batch_deadline * 1000.0,
@@ -407,11 +497,14 @@ class ServingDaemon:
         ordered = sorted(self._latencies)
 
         def percentile(fraction: float) -> Optional[float]:
+            # Nearest-rank: the smallest sample with cumulative frequency
+            # >= fraction, i.e. ordered[ceil(f * n) - 1].  (The previous
+            # int(f * n) indexed one rank high whenever f * n was an
+            # integer — with n=2 samples, p50 returned the *larger* one.)
             if not ordered:
                 return None
-            return ordered[
-                min(len(ordered) - 1, int(fraction * len(ordered)))
-            ]
+            rank = math.ceil(fraction * len(ordered))
+            return ordered[max(0, rank - 1)]
 
         return {
             "uptime_s": (
@@ -450,6 +543,16 @@ class ServingDaemon:
                 "queue_wait_s_total": batch.queue_wait_s_total,
                 "queue_wait_s_max": batch.queue_wait_s_max,
                 "stages_s": batch.stage_s,
+            },
+            "models": {
+                "serving": [
+                    f"{entry.name}@{entry.fingerprint}"
+                    for entry in self.registry.serving_entries()
+                ],
+                "registered": len(self.registry),
+                "reload_checks": self._reload_checks,
+                "refreshes": self.registry.refreshes,
+                "swaps": self.registry.swaps,
             },
         }
 

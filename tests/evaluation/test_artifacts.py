@@ -246,3 +246,38 @@ def test_store_writes_the_pre_refactor_file_names(tmp_path):
         store.path("estimator", "Q20-B", "cc").name
         == "transfer-estimator_Q20-B_cc.npz"
     )
+
+
+def test_drift_cache_roundtrip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    result = {
+        "device_name": "zoo-line6",
+        "base_pearson": 0.9,
+        "steps": [{"step": 1, "stale_pearson": 0.7, "fine_tune": []}],
+    }
+    store.put("drift", result, "zoo-line6", "fp1")
+    assert store.get("drift", "zoo-line6", "fp1") == result
+    path = store.path("drift", "zoo-line6", "fp1")
+    assert path.name == "drift_zoo-line6_fp1.json"
+
+
+def test_drift_cache_invalidation(tmp_path):
+    import json
+
+    store = ArtifactStore(tmp_path)
+    result = {"steps": []}
+    store.put("drift", result, "dev", "fp1")
+    # Stale fingerprint, corrupt payload, and a foreign format are all
+    # silent misses.
+    assert store.get("drift", "dev", "other-fp") is None
+    path = store.path("drift", "dev", "fp1")
+    path.write_text("{not json")
+    assert store.get("drift", "dev", "fp1") is None
+    path.write_text(json.dumps({"format": "something-else"}))
+    assert store.get("drift", "dev", "fp1") is None
+    # A payload without a steps list is rejected even if tagged right.
+    store.put("drift", result, "dev", "fp1")
+    payload = json.loads(path.read_text())
+    del payload["steps"]
+    path.write_text(json.dumps(payload))
+    assert store.get("drift", "dev", "fp1") is None

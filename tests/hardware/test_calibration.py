@@ -7,6 +7,7 @@ from repro.hardware.calibration import (
     Calibration,
     GateDurations,
     drift_calibration,
+    drift_walk,
     random_calibration,
 )
 from repro.hardware.coupling import grid_map
@@ -143,3 +144,83 @@ def test_copy_is_deep(calibration):
 def test_mean_helpers(calibration):
     assert 0.9 < calibration.mean_two_qubit_fidelity() < 1.0
     assert 0.9 < calibration.mean_readout_fidelity() < 1.0
+
+
+def test_drift_moves_readout_fidelity(calibration):
+    """Regression: readout fidelity is part of the drift model (the
+    executor samples measurement errors from it)."""
+    stale = drift_calibration(
+        calibration, np.random.default_rng(7), fidelity_drift=0.3
+    )
+    changed = sum(
+        1
+        for q, value in calibration.readout_fidelity.items()
+        if abs(stale.readout_fidelity[q] - value) > 1e-9
+    )
+    assert changed == len(calibration.readout_fidelity)
+
+
+def test_drift_keeps_durations_by_default(calibration):
+    """Deliberate exclusion: durations are control-stack settings, not
+    measured quantities — they only move with explicit duration_drift."""
+    stale = drift_calibration(calibration, np.random.default_rng(8))
+    assert stale.durations == calibration.durations
+
+
+def test_duration_drift_moves_all_three_durations(calibration):
+    stale = drift_calibration(
+        calibration, np.random.default_rng(9), duration_drift=0.3
+    )
+    for field in ("one_qubit", "two_qubit", "readout"):
+        before = getattr(calibration.durations, field)
+        after = getattr(stale.durations, field)
+        assert after != before
+        assert after > 0
+
+
+def test_duration_drift_appends_to_the_rng_stream(calibration):
+    """Same seed with and without duration drift: the duration draws sit
+    after the fidelity/relaxation draws, so every other field is
+    byte-identical (golden compile outputs must not move)."""
+    plain = drift_calibration(calibration, np.random.default_rng(10))
+    extended = drift_calibration(
+        calibration, np.random.default_rng(10), duration_drift=0.5
+    )
+    assert extended.one_qubit_fidelity == plain.one_qubit_fidelity
+    assert extended.two_qubit_fidelity == plain.two_qubit_fidelity
+    assert extended.readout_fidelity == plain.readout_fidelity
+    assert extended.t1 == plain.t1
+    assert extended.t2 == plain.t2
+    assert extended.durations != plain.durations
+
+
+def test_drift_rejects_negative_duration_drift(calibration):
+    with pytest.raises(ValueError):
+        drift_calibration(
+            calibration, np.random.default_rng(0), duration_drift=-0.1
+        )
+
+
+def test_drift_walk_matches_iterated_single_steps(calibration):
+    walk = drift_walk(
+        calibration, np.random.default_rng(11), 3,
+        fidelity_drift=0.2, relaxation_drift=0.4,
+    )
+    assert len(walk) == 3
+    assert [snapshot.timestamp for snapshot in walk] == [
+        "drift-1", "drift-2", "drift-3",
+    ]
+    manual = calibration
+    rng = np.random.default_rng(11)
+    for snapshot in walk:
+        manual = drift_calibration(
+            manual, rng, fidelity_drift=0.2, relaxation_drift=0.4
+        )
+        assert manual.t1 == snapshot.t1
+        assert manual.two_qubit_fidelity == snapshot.two_qubit_fidelity
+
+
+def test_drift_walk_edge_cases(calibration):
+    assert drift_walk(calibration, np.random.default_rng(0), 0) == []
+    with pytest.raises(ValueError):
+        drift_walk(calibration, np.random.default_rng(0), -1)

@@ -122,3 +122,73 @@ def test_max_workers_in_params_roundtrip():
     assert clone.max_workers == 3
     clone.set_params(max_workers=None)
     assert forest.max_workers == 3
+
+
+# ----------------------------------------------------------------------
+# Fine-tune machinery: fit_new_trees / refreshed
+# ----------------------------------------------------------------------
+
+
+def test_fit_new_trees_prefix_property():
+    """The first k of n new trees equal a k-tree fit: one max-count fit
+    serves a whole refresh-size sweep by slicing prefixes."""
+    X, y = _regression_data(120)
+    forest = RandomForestRegressor(n_estimators=4, random_state=0).fit(X, y)
+    many = forest.fit_new_trees(X, y, 8, random_state=17)
+    few = forest.fit_new_trees(X, y, 3, random_state=17)
+    assert len(many) == 8 and len(few) == 3
+    for tree_a, tree_b in zip(many, few):
+        assert np.array_equal(tree_a.predict(X), tree_b.predict(X))
+
+
+def test_fit_new_trees_worker_invariance():
+    X, y = _regression_data(150)
+    forest = RandomForestRegressor(n_estimators=4, random_state=1).fit(X, y)
+    baseline = None
+    for mode in ("thread", "process"):
+        for workers in (1, 2, 4):
+            trees = forest.fit_new_trees(
+                X, y, 6, random_state=23,
+                max_workers=workers, workers_mode=mode,
+            )
+            stacked = np.stack([tree.predict(X) for tree in trees])
+            if baseline is None:
+                baseline = stacked
+            else:
+                assert np.array_equal(stacked, baseline), (mode, workers)
+
+
+def test_refreshed_appends_trees():
+    X, y = _regression_data(100)
+    forest = RandomForestRegressor(n_estimators=5, random_state=2).fit(X, y)
+    trees = forest.fit_new_trees(X, y, 3, random_state=5)
+    grown = forest.refreshed(trees)
+    assert grown.n_estimators == 8
+    assert len(grown.estimators_) == 8
+    # Original members first, in order; the original forest is untouched.
+    for kept, original in zip(grown.estimators_, forest.estimators_):
+        assert kept is original
+    assert forest.n_estimators == 5
+    assert grown.feature_importances_.sum() == pytest.approx(1.0)
+
+
+def test_refreshed_replace_keeps_size():
+    X, y = _regression_data(100)
+    forest = RandomForestRegressor(n_estimators=5, random_state=3).fit(X, y)
+    trees = forest.fit_new_trees(X, y, 2, random_state=5)
+    swapped = forest.refreshed(trees, replace=True)
+    assert swapped.n_estimators == 5
+    # The two oldest members retired; the three youngest survive.
+    assert swapped.estimators_[:3] == forest.estimators_[2:]
+    assert swapped.estimators_[3:] == list(trees)
+
+
+def test_refreshed_requires_fit_and_trees():
+    X, y = _regression_data(60)
+    fitted = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+    with pytest.raises(RuntimeError):
+        RandomForestRegressor(n_estimators=3).refreshed(fitted.estimators_)
+    with pytest.raises(ValueError):
+        fitted.refreshed([])
+    with pytest.raises(ValueError):
+        fitted.fit_new_trees(X, y, 0, random_state=0)

@@ -89,3 +89,83 @@ def test_deterministic_given_seed():
     b = train_and_evaluate(X, y, seed=7, param_grid=SMALL_GRID)
     assert a.test_pearson == pytest.approx(b.test_pearson)
     assert np.array_equal(a.test_indices, b.test_indices)
+
+
+# ----------------------------------------------------------------------
+# Cheap refresh: fine_tune / with_trees
+# ----------------------------------------------------------------------
+
+
+def test_fine_tune_appends_without_touching_original():
+    X, y = _synthetic_labels()
+    estimator = HellingerEstimator(param_grid=SMALL_GRID, seed=0).fit(X, y)
+    before = estimator.predict(X).copy()
+    tuned = estimator.fine_tune(X, y, n_trees=5)
+    assert tuned is not estimator
+    assert tuned.model.n_estimators == estimator.model.n_estimators + 5
+    assert tuned.best_params_ == estimator.best_params_
+    # The original keeps predicting exactly what it predicted before.
+    assert np.array_equal(estimator.predict(X), before)
+
+
+def test_fine_tune_replace_keeps_forest_size():
+    X, y = _synthetic_labels()
+    estimator = HellingerEstimator(param_grid=SMALL_GRID, seed=1).fit(X, y)
+    tuned = estimator.fine_tune(X, y, n_trees=4, replace=True)
+    assert tuned.model.n_estimators == estimator.model.n_estimators
+
+
+def test_fine_tune_tracks_fresh_labels():
+    """Replacing the whole forest with trees fit on shifted labels must
+    move predictions toward the new labels."""
+    X, y = _synthetic_labels()
+    estimator = HellingerEstimator(param_grid=SMALL_GRID, seed=2).fit(X, y)
+    shifted = np.clip(y * 0.5, 0, 1)
+    tuned = estimator.fine_tune(X, shifted, n_trees=20, replace=True)
+    stale_error = np.mean(np.abs(estimator.predict(X) - shifted))
+    tuned_error = np.mean(np.abs(tuned.predict(X) - shifted))
+    assert tuned_error < stale_error
+
+
+def test_fine_tune_worker_matrix_bit_identical():
+    """Both refresh strategies are worker-invariant: the fine-tuned and
+    the retrained estimator each predict bit-identically across
+    {thread, process} x {1, 2, 4} workers."""
+    X, y = _synthetic_labels(n=120)
+    fine_tuned, retrained = None, None
+    for mode in ("thread", "process"):
+        for workers in (1, 2, 4):
+            estimator = HellingerEstimator(
+                param_grid=SMALL_GRID, seed=3,
+                max_workers=workers, workers_mode=mode,
+            ).fit(X, y)
+            tuned = estimator.fine_tune(X, y, n_trees=6)
+            fresh = HellingerEstimator(
+                param_grid=SMALL_GRID, seed=4,
+                max_workers=workers, workers_mode=mode,
+            ).fit(X, y)
+            tuned_pred = tuned.predict(X)
+            fresh_pred = fresh.predict(X)
+            if fine_tuned is None:
+                fine_tuned, retrained = tuned_pred, fresh_pred
+            else:
+                assert np.array_equal(tuned_pred, fine_tuned), (mode, workers)
+                assert np.array_equal(fresh_pred, retrained), (mode, workers)
+
+
+def test_fine_tune_prefix_matches_smaller_refresh():
+    """fine_tune(n) prefixes agree: slicing a big refresh equals asking
+    for a small one (the drift study's one-fit sweep relies on this)."""
+    X, y = _synthetic_labels()
+    estimator = HellingerEstimator(param_grid=SMALL_GRID, seed=5).fit(X, y)
+    big = estimator.model.fit_new_trees(X, y, 8, random_state=99)
+    small = estimator.fine_tune(X, y, n_trees=3, random_state=99)
+    via_prefix = estimator.with_trees(big[:3])
+    assert np.array_equal(small.predict(X), via_prefix.predict(X))
+
+
+def test_fine_tune_requires_fit():
+    with pytest.raises(RuntimeError):
+        HellingerEstimator(param_grid=SMALL_GRID).fine_tune(
+            np.zeros((4, 30)), np.zeros(4), n_trees=2
+        )

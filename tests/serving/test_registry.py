@@ -110,3 +110,163 @@ def test_describe_is_json_ready(model_path):
     assert description["device"] == "Q20-A"
     assert description["optimization_level"] == "3"
     assert all(isinstance(value, str) for value in description.values())
+
+
+# ----------------------------------------------------------------------
+# Versioned refresh / hot reload
+# ----------------------------------------------------------------------
+
+
+def _fit_estimator(seed):
+    rng = np.random.default_rng(seed)
+    return HellingerEstimator(param_grid=TINY_GRID, seed=seed).fit(
+        rng.uniform(size=(60, 30)), rng.uniform(size=60)
+    )
+
+
+def test_refresh_detects_overwritten_file(estimator, tmp_path):
+    """Regression: the fingerprint used to be computed once at
+    registration, so an overwritten .npz kept serving the old model
+    under the old address forever."""
+    path = tmp_path / "model.npz"
+    save_model(estimator, path)
+    registry = ModelRegistry()
+    first = registry.add_model_file(path, "q20a", seed=0)
+    assert not registry.maybe_stale()
+    assert registry.refresh() == []
+
+    save_model(_fit_estimator(9), path)
+    assert registry.maybe_stale()
+    swapped = registry.refresh()
+    assert len(swapped) == 1
+    superseded, successor = swapped[0]
+    assert superseded.key == first.key
+    assert successor.name == "model"
+    assert successor.version == 2
+    expected = hashlib.sha256(path.read_bytes()).hexdigest()[:12]
+    assert successor.fingerprint == expected
+    assert registry.swaps == 1 and registry.refreshes == 2
+    # Unpinned lookups land on the new version...
+    assert registry.resolve("model").fingerprint == expected
+    # ...while the superseded fingerprint stays pinnable (in-flight
+    # batches queued under the old key must still resolve).
+    pinned = registry.resolve("model", first.fingerprint)
+    assert pinned.version == 1
+    assert pinned.service is first.service
+    assert not registry.maybe_stale()
+
+
+def test_refresh_touch_without_content_change(estimator, tmp_path):
+    import os
+
+    path = tmp_path / "model.npz"
+    save_model(estimator, path)
+    registry = ModelRegistry()
+    entry = registry.add_model_file(path, "q20a", seed=0)
+    os.utime(path, ns=(1, 1))
+    assert registry.maybe_stale()          # stat guard fires...
+    assert registry.refresh() == []        # ...but the rehash says no-op
+    assert registry.swaps == 0
+    assert not registry.maybe_stale()      # the new stat was remembered
+    assert registry.resolve("model").service is entry.service
+
+
+def test_refresh_force_without_change_is_quiet(estimator, tmp_path):
+    path = tmp_path / "model.npz"
+    save_model(estimator, path)
+    registry = ModelRegistry()
+    registry.add_model_file(path, "q20a", seed=0)
+    assert registry.refresh(force=True) == []
+    assert registry.swaps == 0
+
+
+def test_refresh_reverted_file_promotes_old_entry(estimator, tmp_path):
+    path = tmp_path / "model.npz"
+    save_model(estimator, path)
+    original_bytes = path.read_bytes()
+    registry = ModelRegistry()
+    first = registry.add_model_file(path, "q20a", seed=0)
+
+    save_model(_fit_estimator(9), path)
+    registry.refresh()
+    path.write_bytes(original_bytes)
+    swapped = registry.refresh()
+    assert len(swapped) == 1
+    _, successor = swapped[0]
+    # Same content as v1: the already-booted service is promoted, not
+    # re-deserialized.
+    assert successor.fingerprint == first.fingerprint
+    assert successor.version == 3
+    assert successor.service is first.service
+    assert registry.resolve("model").version == 3
+
+
+def test_refresh_survives_deleted_file(estimator, tmp_path):
+    path = tmp_path / "model.npz"
+    save_model(estimator, path)
+    registry = ModelRegistry()
+    entry = registry.add_model_file(path, "q20a", seed=0)
+    path.unlink()
+    assert not registry.maybe_stale()
+    assert registry.refresh() == []
+    assert registry.resolve("model").service is entry.service
+
+
+def test_store_refresh_picks_up_new_checkpoints(estimator, tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("estimator", estimator, "Q20-A", "fp1")
+    registry = ModelRegistry()
+    registry.add_store(store, "q20a", seed=0)
+    assert not registry.maybe_stale()
+
+    store.put("estimator", _fit_estimator(9), "Q20-A", "fp2")
+    assert registry.maybe_stale()
+    swapped = registry.refresh()
+    assert [(s.key if s else None, n.key) for s, n in swapped] == [
+        (("Q20-A", "fp1"), ("Q20-A", "fp2")),
+    ]
+    assert registry.resolve("Q20-A").fingerprint == "fp2"
+    assert registry.resolve("Q20-A").version == 2
+    # The superseded checkpoint stays pinnable.
+    assert registry.resolve("Q20-A", "fp1").version == 1
+
+    # A checkpoint under a brand-new name arrives with no predecessor.
+    store.put("estimator", _fit_estimator(10), "Q20-C", "fp3")
+    swapped = registry.refresh()
+    assert [(s, n.key) for s, n in swapped] == [(None, ("Q20-C", "fp3"))]
+
+
+def test_store_refresh_respects_add_time_filters(estimator, tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("estimator", estimator, "Q20-A", "fp1")
+    registry = ModelRegistry()
+    registry.add_store(store, "q20a", name="Q20-A", seed=0)
+    store.put("estimator", _fit_estimator(9), "Other", "fp9")
+    assert not registry.maybe_stale()
+    assert registry.refresh() == []
+
+
+def test_same_version_ties_stay_ambiguous(estimator, tmp_path):
+    """Versioning must not paper over genuinely ambiguous references."""
+    path_a = tmp_path / "model.npz"
+    save_model(estimator, path_a)
+    path_b = tmp_path / "other.npz"
+    save_model(_fit_estimator(9), path_b)
+    registry = ModelRegistry()
+    registry.add_model_file(path_a, "q20a", seed=0)
+    registry.add_model_file(path_b, "q20a", name="model", seed=0)
+    with pytest.raises(ValueError, match="ambiguous model reference"):
+        registry.resolve("model")
+
+
+def test_serving_entries_tracks_versions(estimator, tmp_path):
+    path = tmp_path / "model.npz"
+    save_model(estimator, path)
+    registry = ModelRegistry()
+    registry.add_model_file(path, "q20a", seed=0)
+    save_model(_fit_estimator(9), path)
+    registry.refresh()
+    assert len(registry) == 2              # both versions registered
+    serving = registry.serving_entries()
+    assert [entry.version for entry in serving] == [2]
+    assert serving[0].describe()["version"] == "2"

@@ -286,3 +286,222 @@ def test_stats_shape_and_counters(client, circuits):
 def test_empty_registry_is_rejected():
     with pytest.raises(ValueError, match="empty model registry"):
         ServingDaemon(ModelRegistry())
+
+
+# ----------------------------------------------------------------------
+# Latency percentiles (nearest-rank) on tiny samples
+# ----------------------------------------------------------------------
+
+
+def test_percentile_nearest_rank_small_samples(model_path):
+    """Regression: int(f * n) indexed one rank high at exact multiples —
+    with two samples, p50 returned the *larger* one."""
+    import asyncio
+
+    daemon = make_daemon(model_path)
+
+    def latency_with(samples):
+        async def run():
+            daemon._latencies.clear()
+            daemon._latencies.extend(samples)
+            return daemon._stats()["latency"]
+        return asyncio.run(run())
+
+    empty = latency_with([])
+    assert empty["request_p50_s"] is None
+    assert empty["request_p99_s"] is None
+    assert empty["request_max_s"] is None
+
+    one = latency_with([0.5])
+    assert one["request_p50_s"] == 0.5
+    assert one["request_p99_s"] == 0.5
+
+    two = latency_with([0.9, 0.1])
+    assert two["request_p50_s"] == 0.1     # nearest-rank p50 of n=2
+    assert two["request_p99_s"] == 0.9
+
+    three = latency_with([0.3, 0.1, 0.2])
+    assert three["request_p50_s"] == 0.2
+    assert three["request_p99_s"] == 0.3
+    assert three["request_max_s"] == 0.3
+
+
+def test_render_stats_handles_null_percentiles(model_path):
+    """`repro client stats` must render a fresh daemon's null percentiles
+    as n/a, not crash formatting None."""
+    import asyncio
+
+    from repro.cli import _render_stats
+
+    daemon = make_daemon(model_path)
+
+    async def run():
+        return daemon._stats()
+
+    rendered = _render_stats(asyncio.run(run()))
+    assert "p50=n/a p99=n/a max=n/a" in rendered
+    assert "samples=0" in rendered
+    rendered = _render_stats(
+        {"latency": {"request_p50_s": 0.25, "samples": 1}}
+    )
+    assert "p50=250.0ms" in rendered
+
+
+# ----------------------------------------------------------------------
+# Hot estimator reload
+# ----------------------------------------------------------------------
+
+
+def _fresh_model(seed):
+    rng = np.random.default_rng(seed)
+    return HellingerEstimator(param_grid=TINY_GRID, seed=seed).fit(
+        rng.uniform(size=(60, 30)), rng.uniform(size=60)
+    )
+
+
+@pytest.fixture()
+def swap_path(tmp_path):
+    path = tmp_path / "model.npz"
+    save_model(_fresh_model(0), path)
+    return path
+
+
+def test_reload_hot_swaps_overwritten_model(swap_path, circuits):
+    request = circuits[:3]
+    with DaemonThread(make_daemon(swap_path)) as (host, port):
+        with ServingClient(host, port) as client:
+            # No change yet: reload is a no-op.
+            report = client.reload()
+            assert report["swapped"] == []
+            before = client.predict(request)
+
+            save_model(_fresh_model(9), swap_path)
+            report = client.reload()
+            (swap,) = report["swapped"]
+            assert swap["model"] == "model"
+            assert swap["version"] == 2
+            assert swap["previous_fingerprint"] == before["fingerprint"]
+            (serving,) = report["serving"]
+            assert serving["version"] == "2"
+            assert serving["fingerprint"] == swap["fingerprint"]
+
+            after = client.predict(request)
+            assert after["fingerprint"] == swap["fingerprint"]
+            assert after["predictions"] != before["predictions"]
+            # The superseded model stays pinnable by fingerprint and
+            # still answers exactly as before the swap.
+            pinned = client.predict(request, fingerprint=before["fingerprint"])
+            assert pinned["predictions"] == before["predictions"]
+
+            # healthz + stats surface the swap.
+            _, health = client.healthz()
+            assert health["reload"]["swaps"] == 1
+            assert health["reload"]["checks"] >= 2
+            stats = client.stats()
+            assert stats["models"]["swaps"] == 1
+            assert stats["models"]["registered"] == 2
+            assert stats["models"]["serving"] == [
+                f"model@{swap['fingerprint']}"
+            ]
+
+    # Bit-identity: the hot-swapped daemon answers exactly like a daemon
+    # freshly booted from the overwritten file.
+    with DaemonThread(make_daemon(swap_path)) as (host, port):
+        with ServingClient(host, port) as client:
+            restarted = client.predict(request)
+    assert restarted["predictions"] == after["predictions"]
+    assert restarted["fingerprint"] == after["fingerprint"]
+    # ...and exactly like a direct FomService on the new file.
+    direct_new = FomService(
+        FomService.load(swap_path, DEVICE).estimator,
+        DEVICE, optimization_level=LEVEL, seed=0,
+    )
+    assert after["predictions"] == direct_new.predict(request).tolist()
+
+
+def test_reload_under_concurrent_traffic(swap_path, circuits):
+    """Requests racing a hot swap never error; every response matches
+    either the old or the new model bit-exactly."""
+    request = circuits[:2]
+    with DaemonThread(
+        make_daemon(swap_path, batch_deadline=0.02)
+    ) as (host, port):
+        with ServingClient(host, port) as client:
+            old = client.predict(request)
+        save_model(_fresh_model(9), swap_path)
+
+        stop = threading.Event()
+        responses, errors = [], []
+
+        def drive():
+            with ServingClient(host, port) as worker:
+                while not stop.is_set():
+                    try:
+                        responses.append(worker.predict(request))
+                    except Exception as exc:  # noqa: BLE001 - asserted below
+                        errors.append(exc)
+                        return
+
+        drivers = [threading.Thread(target=drive) for _ in range(3)]
+        for thread in drivers:
+            thread.start()
+        with ServingClient(host, port) as client:
+            report = client.reload()
+            new = client.predict(request)
+        stop.set()
+        for thread in drivers:
+            thread.join(timeout=600)
+
+        assert not errors
+        assert len(report["swapped"]) == 1
+        assert new["predictions"] != old["predictions"]
+        allowed = {
+            old["fingerprint"]: old["predictions"],
+            new["fingerprint"]: new["predictions"],
+        }
+        assert responses
+        for response in responses:
+            assert response["predictions"] == allowed[response["fingerprint"]]
+
+
+def test_auto_reload_polls_for_staleness(swap_path, circuits):
+    """reload_interval > 0: the daemon notices an overwritten file by
+    itself — no /reload call — and swaps mid-serve."""
+    import time
+
+    with DaemonThread(
+        make_daemon(swap_path, reload_interval=0.05)
+    ) as (host, port):
+        with ServingClient(host, port) as client:
+            before = client.predict(circuits[:2])
+            save_model(_fresh_model(9), swap_path)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _, health = client.healthz()
+                if health["reload"]["swaps"] >= 1:
+                    break
+                time.sleep(0.02)
+            assert health["reload"]["swaps"] == 1
+            assert health["reload"]["interval_s"] == 0.05
+            assert health["reload"]["checks"] >= 1
+            after = client.predict(circuits[:2])
+            assert after["fingerprint"] != before["fingerprint"]
+            assert after["predictions"] != before["predictions"]
+
+
+def test_reload_routing_and_draining(swap_path):
+    with DaemonThread(make_daemon(swap_path)) as (host, port):
+        with ServingClient(host, port) as client:
+            status, _ = client.request("GET", "/reload")
+            assert status == 405
+    # Draining daemons refuse reloads.
+    thread = DaemonThread(make_daemon(swap_path))
+    host, port = thread.start()
+    try:
+        thread.daemon.begin_drain()
+        with ServingClient(host, port) as client:
+            with pytest.raises(ServingError) as excinfo:
+                client.reload()
+            assert excinfo.value.status == 503
+    finally:
+        thread.stop()

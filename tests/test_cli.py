@@ -294,3 +294,40 @@ def test_zoo_spec_grammar_shared_across_parsers():
     )
     for command in ("predict", "study", "zoo", "compile-search"):
         assert ZOO_SPEC_GRAMMAR in subparsers.choices[command].format_help()
+
+
+def test_drift_study_command(tmp_path, capsys):
+    cache_dir = str(tmp_path / "drift-cache")
+    argv = [
+        "drift-study", "--device", "zoo:line:6:clean:1", "--steps", "1",
+        "--refresh-trees", "2", "--shots", "150", "--cache-dir", cache_dir,
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "drift study: zoo-line6-clean-s1" in out
+    assert "stale_r" in out and "retrain_r" in out and "ft2_r" in out
+    assert "cached result" not in out
+    # Warm rerun: same command reads the finished study back.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cached result" in out
+
+
+def test_drift_study_command_json(tmp_path, capsys):
+    import json
+
+    argv = [
+        "drift-study", "--device", "zoo:line:6:clean:1", "--steps", "1",
+        "--refresh-trees", "2", "--shots", "150",
+        "--cache-dir", str(tmp_path / "cache"), "--json",
+    ]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["from_cache"] is False
+    assert len(payload["steps"]) == 1
+    assert payload["steps"][0]["fine_tune"][0]["trees"] == 2
+
+
+def test_drift_study_command_rejects_bad_knobs(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["drift-study", "--steps", "0"])

@@ -15,7 +15,7 @@ from repro.cli import render_cli_docs
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DOCS_DIR = REPO_ROOT / "docs"
-DOC_PAGES = ["architecture.md", "serving.md", "search.md", "cli.md"]
+DOC_PAGES = ["architecture.md", "serving.md", "search.md", "drift.md", "cli.md"]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)

@@ -87,3 +87,19 @@ def test_predict_service_runs(tmp_path):
     )
     assert cli.returncode == 0, cli.stderr
     assert "predicted_hellinger" in cli.stdout
+
+
+@pytest.mark.slow
+def test_drift_study_example_runs_and_goes_warm(tmp_path):
+    """The drift study must run end to end and its rerun must be a pure
+    cache read (the nightly drift-smoke contract)."""
+    cache = str(tmp_path / "drift-cache")
+    result = _run("drift_study.py", "--quick", "--cache-dir", cache,
+                  timeout=900)
+    assert result.returncode == 0, result.stderr
+    assert "drift study: zoo-grid8-typical-s0" in result.stdout
+    assert "cold run" in result.stdout
+    rerun = _run("drift_study.py", "--quick", "--cache-dir", cache,
+                 "--expect-warm", timeout=900)
+    assert rerun.returncode == 0, rerun.stderr
+    assert "warm rerun: whole study served from cache" in rerun.stdout
