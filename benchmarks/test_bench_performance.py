@@ -308,6 +308,106 @@ def test_perf_serving_qps(benchmark, tmp_path):
     ]
 
 
+def test_perf_serving_sharded_qps(benchmark, tmp_path):
+    """The same many-client load through a ``--shards 2`` daemon.
+
+    Two spawn workers (own registry + batcher + GIL each) behind the
+    dispatcher; half the clients pin ``model="model"`` and half stay
+    anonymous — semantically identical requests (same model, same level,
+    bit-identical answers) whose routing keys hash to *different* lanes,
+    so both shards stay busy.  The timed section is the load run only
+    (worker boot is setup), so the regression gate watches dispatch +
+    relay overhead on any machine, including the 1-CPU CI container.
+    On >=4 cores the sharded daemon must also beat the single-process
+    one by >=2x QPS without giving up tail latency (the PR 10 headline:
+    serving QPS is no longer capped by one GIL).
+    """
+    from repro.circuits.qasm import to_qasm
+    from repro.serving import RegistrySpec, ServerConfig, ServingClient
+    from repro.serving.server import DaemonThread, ServingDaemon
+
+    model_path = tmp_path / "model.npz"
+    save_model(_tiny_estimator(), model_path)
+    spec = RegistrySpec().add_model_file(
+        model_path, "q20a", optimization_level=3, seed=0
+    )
+    qasm = [to_qasm(entry.circuit) for entry in _serving_suite()]
+    n_clients, requests_per_client, request_size = 6, 5, 4
+    chunks = [
+        qasm[start:start + request_size]
+        for start in range(0, n_clients * requests_per_client * request_size,
+                           request_size)
+    ]
+    # Even clients pin the model by name, odd ones don't: same answers,
+    # different (model, fingerprint, level, panel) lanes -> both shards.
+    lane_pins = ["model", None]
+
+    def run_load(host, port):
+        errors = []
+        latencies = []
+        started_load = time.perf_counter()
+
+        def drive(client_index):
+            pin = lane_pins[client_index % len(lane_pins)]
+            with ServingClient(host, port) as client:
+                for request_index in range(requests_per_client):
+                    chunk = chunks[
+                        client_index * requests_per_client + request_index
+                    ]
+                    started = time.perf_counter()
+                    try:
+                        client.predict(chunk, model=pin)
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+                    latencies.append(time.perf_counter() - started)
+
+        threads = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started_load
+        assert not errors, errors
+        ordered = sorted(latencies)
+        return {
+            "wall_s": wall,
+            "qps": (n_clients * requests_per_client) / wall,
+            "p50_s": ordered[len(ordered) // 2],
+            "p99_s": ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))],
+        }
+
+    def make_daemon(shards):
+        return ServingDaemon(spec, ServerConfig(
+            port=0, shards=shards,
+            max_batch=64, batch_deadline=0.005, queue_limit=4096,
+        ))
+
+    report = {}
+    with DaemonThread(make_daemon(2)) as (host, port):
+        run_load(host, port)  # warm both workers' lane caches
+        benchmark.pedantic(
+            lambda: report.update(run_load(host, port)),
+            rounds=3, iterations=1,
+        )
+    benchmark.extra_info["qps"] = report["qps"]
+    benchmark.extra_info["p50_s"] = report["p50_s"]
+    benchmark.extra_info["p99_s"] = report["p99_s"]
+
+    if (os.cpu_count() or 1) >= 4:
+        # The scaling headline needs real cores: 2 workers + parent +
+        # client threads on one CPU would only measure contention.
+        with DaemonThread(make_daemon(1)) as (host, port):
+            run_load(host, port)
+            single = run_load(host, port)
+        benchmark.extra_info["single_process_qps"] = single["qps"]
+        assert report["qps"] / single["qps"] >= 2.0, (report, single)
+        assert report["p99_s"] <= single["p99_s"] * 1.5, (report, single)
+
+
 def test_perf_compile_search(benchmark, device, tmp_path):
     """Predictor-guided search vs stock level 3 (the PR 8 tentpole gate).
 

@@ -360,7 +360,126 @@ def main() -> None:
     orphans = processes_referencing(str(model_path), ignore={os.getpid()})
     if orphans:
         fail(f"orphaned processes still reference {model_path}: {orphans}")
-    print("[smoke] no orphans, port closed — serving smoke PASSED")
+    print("[smoke] no orphans, port closed — single-process phase PASSED")
+
+    sharded_phase(model_path, qasm, args)
+    print("[smoke] serving smoke PASSED")
+
+
+def sharded_phase(model_path: Path, qasm: list, args) -> None:
+    """``--shards 2``: byte-identity through the dispatcher, streaming,
+    and a SIGTERM landing mid-stream — the stream still completes, the
+    parent exits 0, and both worker processes are reaped."""
+    print("[smoke] starting sharded daemon (--shards 2)")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--model", str(model_path), "--device", args.device,
+         "--level", str(args.level), "--port", "0", "--shards", "2",
+         "--batch-deadline-ms", "150", "--max-batch", "64"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        line = daemon.stdout.readline()
+        if "listening on http://" not in line or "shards: 2" not in line:
+            fail(f"sharded daemon failed to announce itself: {line!r}")
+        port = int(line.split("listening on http://")[1]
+                   .split(" ")[0].rsplit(":", 1)[1])
+        client = ServingClient(port=port)
+        status, health = client.healthz()
+        shards = health.get("shards", {})
+        if status != 200 or shards.get("live") != 2:
+            fail(f"sharded healthz: {status} {health}")
+        worker_pids = [worker["pid"] for worker in shards["workers"]]
+        if len(set(worker_pids)) != 2 or daemon.pid in worker_pids:
+            fail(f"expected 2 distinct worker pids: {worker_pids}")
+        print(f"[smoke] sharded daemon up on port {port} "
+              f"(workers {worker_pids})")
+
+        # Concurrent requests through the dispatcher must be
+        # bit-identical to a direct service on the same inputs.
+        service = FomService.load(
+            model_path, args.device, optimization_level=args.level, seed=0
+        )
+        requests = [qasm[0:3], qasm[3:5], qasm[5:11]]
+        responses = [None] * len(requests)
+        errors = []
+
+        def drive(index: int) -> None:
+            worker_client = ServingClient(port=port)
+            try:
+                responses[index] = worker_client.predict(requests[index])
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append((index, exc))
+            finally:
+                worker_client.close()
+
+        threads = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        if errors:
+            fail(f"sharded concurrent predict failed: {errors}")
+        for index, request in enumerate(requests):
+            direct = service.predict(
+                [from_qasm(text) for text in request]
+            ).tolist()
+            if responses[index]["predictions"] != direct:
+                fail(f"sharded request {index} not bit-identical")
+        print(f"[smoke] {len(requests)} concurrent sharded requests "
+              "bit-identical to direct FomService calls")
+
+        stats = client.stats()
+        per_shard = stats.get("shards", {}).get("per_shard", [])
+        if len(per_shard) != 2 or stats["shards"]["live"] != 2:
+            fail(f"sharded stats missing per-shard reports: {stats}")
+        print(f"[smoke] merged stats OK "
+              f"({stats['latency']['samples']} latency samples over "
+              f"{[entry['latency_samples'] for entry in per_shard]})")
+
+        # Streaming over the corpus, then SIGTERM mid-stream: the drain
+        # lets the stream run to its terminator before workers stop.
+        stream = client.predict_stream(qasm, chunk_size=2)
+        received = list(next(stream))
+        daemon.send_signal(signal.SIGTERM)
+        for part in stream:
+            received.extend(part)
+        direct = service.predict(
+            [from_qasm(text) for text in qasm]
+        ).tolist()
+        if received != direct:
+            fail("streamed corpus (SIGTERM mid-stream) not bit-identical")
+        print(f"[smoke] SIGTERM mid-stream: all {len(received)} streamed "
+              "predictions arrived, bit-identical")
+        client.close()
+
+        returncode = daemon.wait(timeout=120)
+        if returncode != 0:
+            fail(f"sharded daemon exited {returncode} after SIGTERM")
+        print("[smoke] sharded daemon exited 0")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+
+    # No orphans: both spawn workers must be gone with their parent.
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        survivors = [
+            pid for pid in worker_pids if Path(f"/proc/{pid}").is_dir()
+        ]
+        if not survivors:
+            break
+        time.sleep(0.1)
+    if survivors:
+        fail(f"orphaned shard workers after shutdown: {survivors}")
+    with socket.socket() as probe:
+        if probe.connect_ex(("127.0.0.1", port)) == 0:
+            fail(f"port {port} still accepting connections after shutdown")
+    print("[smoke] sharded phase: no orphaned workers, port closed")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,12 @@
-"""Module entry point: ``python -m repro``."""
+"""Module entry point: ``python -m repro``.
+
+The ``__name__`` guard matters: sharded serving spawns worker processes,
+and ``multiprocessing``'s spawn start method re-imports the parent's
+main module (as ``__mp_main__``) in each child — an unguarded
+``main()`` here would re-run the CLI once per worker.
+"""
 
 from .cli import main
 
-raise SystemExit(main())
+if __name__ == "__main__":
+    raise SystemExit(main())

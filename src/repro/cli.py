@@ -241,25 +241,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .evaluation.persistence import PersistenceError
-    from .serving import ModelRegistry, ServerConfig, ServingDaemon
+    from .serving import RegistrySpec, ServerConfig, ServingDaemon
 
-    device = _load_device(args.device)
-    registry = ModelRegistry()
+    _load_device(args.device)  # fail fast on a bad device spec
+    # A picklable spec rather than a built registry: sharded daemons
+    # ship it to each spawn worker, which builds its own copy
+    # (shared-nothing); unsharded daemons build it in-process.
+    spec = RegistrySpec()
     service_kwargs = dict(
         optimization_level=args.level, seed=args.seed,
         num_trials=args.num_trials,
     )
-    try:
-        if args.model is not None:
-            registry.add_model_file(args.model, device, **service_kwargs)
-        else:
-            registry.add_store(
-                args.store, device,
-                name=args.name, fingerprint=args.fingerprint,
-                **service_kwargs,
-            )
-    except (PersistenceError, ValueError) as exc:
-        raise SystemExit(str(exc))
+    if args.model is not None:
+        spec.add_model_file(args.model, args.device, **service_kwargs)
+    else:
+        spec.add_store(
+            args.store, args.device,
+            name=args.name, fingerprint=args.fingerprint,
+            **service_kwargs,
+        )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -270,10 +270,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         workers_mode=args.workers_mode,
         reload_interval=args.reload_interval,
+        shards=args.shards,
     )
     try:
-        daemon = ServingDaemon(registry, config)
-    except ValueError as exc:
+        daemon = ServingDaemon(spec, config)
+    except (PersistenceError, ValueError) as exc:
         raise SystemExit(str(exc))
     asyncio.run(daemon.serve_forever())
     return 0
@@ -328,8 +329,10 @@ def _render_stats(stats: dict) -> str:
 def _cmd_client(args: argparse.Namespace) -> int:
     import json
 
-    from .serving import ServingClient, ServingError
+    from .serving import ServingClient, ServingError, StreamInterrupted
 
+    if getattr(args, "stream", False) and args.action != "predict":
+        raise SystemExit("--stream applies to the predict action only")
     client = ServingClient(args.host, args.port, timeout=args.timeout)
     try:
         if args.action == "healthz":
@@ -388,6 +391,31 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     row += f"{panel[name][index]:>20.4f}"
                 print(row)
             return 0
+        if args.stream:
+            stream = client.predict_stream(
+                qasm, model=args.model, fingerprint=args.fingerprint,
+                optimization_level=args.level, chunk_size=args.chunk_size,
+            )
+            header = stream.header
+            if args.json:
+                # NDJSON passthrough: the announcement, then one line
+                # per chunk as it arrives.
+                print(json.dumps(header), flush=True)
+                for chunk in stream:
+                    print(json.dumps({"predictions": chunk}), flush=True)
+                return 0
+            print(f"# model: {header['model']}@{header['fingerprint']}  "
+                  f"level: {header['optimization_level']}")
+            print(f"{'circuit':<24} {'predicted_hellinger':>20}")
+            position = 0
+            for chunk in stream:
+                for value in chunk:
+                    print(
+                        f"{paths[position].stem:<24} {value:>20.4f}",
+                        flush=True,
+                    )
+                    position += 1
+            return 0
         response = client.predict(
             qasm, model=args.model, fingerprint=args.fingerprint,
             optimization_level=args.level,
@@ -401,7 +429,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
         for path, value in zip(paths, response["predictions"]):
             print(f"{path.stem:<24} {value:>20.4f}")
         return 0
-    except ServingError as exc:
+    except (ServingError, StreamInterrupted) as exc:
         raise SystemExit(str(exc))
     except (ConnectionError, OSError) as exc:
         raise SystemExit(
@@ -796,6 +824,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between automatic model-source staleness checks and "
              "hot swaps (0 = only on explicit POST /reload)",
     )
+    p_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes, each with its own registry + batcher + "
+             "GIL (1 = serve in-process; 0 = one per CPU).  Requests "
+             "route by consistent hash of (model, fingerprint, level) "
+             "with round-robin spill when a lane saturates; responses "
+             "are byte-identical to --shards 1",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_client = sub.add_parser(
@@ -834,6 +870,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument(
         "--json", action="store_true",
         help="print the raw JSON response instead of the table",
+    )
+    p_client.add_argument(
+        "--stream", action="store_true",
+        help="predict only: request a chunked streaming response and "
+             "print predictions as chunks arrive (identical values to a "
+             "non-streamed predict)",
+    )
+    p_client.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="with --stream: circuits per streamed chunk "
+             "(default: the model's pipeline chunk size)",
     )
     p_client.set_defaults(func=_cmd_client)
 

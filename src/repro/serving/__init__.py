@@ -13,22 +13,36 @@ package puts a network front end on that machinery:
   with a bounded queue (backpressure) and an orderly drain.
 * :mod:`repro.serving.server` — :class:`ServingDaemon`, a stdlib-only
   asyncio HTTP daemon exposing ``/predict``, ``/foms``, ``/healthz``,
-  and ``/stats``, with per-request timeouts and graceful SIGTERM
-  shutdown.
+  and ``/stats``, with per-request timeouts, chunked streaming
+  responses, and graceful SIGTERM shutdown.
+* :mod:`repro.serving.shards` — multi-process serving:
+  :class:`RegistrySpec` (a picklable registry description) plus the
+  spawn-worker pool the daemon dispatches to when ``shards > 1`` —
+  one registry + batcher + GIL per worker, consistent-hash routing,
+  merged stats, broadcast reload, crash respawn.
 * :mod:`repro.serving.client` — :class:`ServingClient`, the matching
-  stdlib HTTP client (also the ``python -m repro client`` backend).
+  stdlib HTTP client (also the ``python -m repro client`` backend),
+  including incremental chunked-stream decoding
+  (:meth:`~repro.serving.client.ServingClient.predict_stream`).
 
 Coalescing is *bit-exact*: a request's circuits keep the compile seeds
 of their positions within that request (via
 :meth:`~repro.predictor.service.FomService.predict_at`), so a response
 is identical whether the request shared a dynamic batch with a thousand
-others or was served alone.
+others or was served alone — and, by relay, whether the daemon runs
+in-process or sharded across worker processes.
 """
 
 from .batcher import BacklogFull, BatcherClosed, DynamicBatcher
-from .client import ServingClient, ServingError
+from .client import (
+    PredictionStream,
+    ServingClient,
+    ServingError,
+    StreamInterrupted,
+)
 from .registry import ModelEntry, ModelRegistry
 from .server import ServerConfig, ServingDaemon
+from .shards import RegistrySpec, resolve_shards, shard_for
 
 __all__ = [
     "BacklogFull",
@@ -36,8 +50,13 @@ __all__ = [
     "DynamicBatcher",
     "ModelEntry",
     "ModelRegistry",
+    "PredictionStream",
+    "RegistrySpec",
     "ServerConfig",
     "ServingClient",
     "ServingDaemon",
     "ServingError",
+    "StreamInterrupted",
+    "resolve_shards",
+    "shard_for",
 ]

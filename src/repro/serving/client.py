@@ -6,6 +6,15 @@ server closes it), and typed errors — usable from scripts, the
 ``python -m repro client`` command, tests, and the many-client load
 bench.  One client instance serves one thread; a load generator makes
 one per worker thread.
+
+Streaming (:meth:`ServingClient.predict_stream`) decodes the daemon's
+chunked-transfer NDJSON responses incrementally, yielding each
+prediction chunk as it arrives.  The transparent-reconnect rule is
+deliberately narrower for streams: a stale keep-alive connection is
+retried once **only before any response bytes arrive** — a stream that
+dies after its first line raises :class:`StreamInterrupted` instead of
+being silently restarted (a replayed request would recompute everything
+and the caller would double-consume the overlap).
 """
 
 from __future__ import annotations
@@ -13,11 +22,16 @@ from __future__ import annotations
 import http.client
 import json
 import socket
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..circuits.qasm import to_qasm
 
-__all__ = ["ServingClient", "ServingError"]
+__all__ = [
+    "PredictionStream",
+    "ServingClient",
+    "ServingError",
+    "StreamInterrupted",
+]
 
 
 class ServingError(RuntimeError):
@@ -29,6 +43,16 @@ class ServingError(RuntimeError):
         super().__init__(
             f"HTTP {status}: {payload.get('error', payload)}"
         )
+
+
+class StreamInterrupted(RuntimeError):
+    """A streamed response died after it started.
+
+    Never retried transparently: the caller has already consumed part of
+    the stream, and a silent replay would recompute the whole corpus and
+    yield duplicate chunks.  Callers that want to resume should re-issue
+    the request for the circuits they have not yet received.
+    """
 
 
 def _as_qasm(circuits) -> List[str]:
@@ -170,6 +194,117 @@ class ServingClient:
             self._payload(circuits, model, fingerprint, optimization_level),
         )
 
+    def predict_stream(
+        self,
+        circuits,
+        *,
+        model: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        optimization_level: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> "PredictionStream":
+        """Score circuits as a chunked stream; yields prediction chunks.
+
+        Returns a :class:`PredictionStream` whose ``header`` (model,
+        fingerprint, level, count) is already read; iterating yields one
+        ``List[float]`` per server-side pipeline chunk.  The values are
+        bit-identical to :meth:`predict` on the same inputs — streaming
+        changes delivery, never math.
+
+        A stale keep-alive connection is re-established once, but only
+        before the response starts; once any bytes of the stream have
+        arrived, a connection failure raises :class:`StreamInterrupted`
+        (never a silent replay of a half-consumed stream).
+        """
+        payload = self._payload(
+            circuits, model, fingerprint, optimization_level
+        )
+        payload["stream"] = True
+        if chunk_size is not None:
+            payload["chunk_size"] = int(chunk_size)
+        body = json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request("POST", "/predict", body=body, headers=headers)
+                response = connection.getresponse()
+                break
+            except (
+                http.client.HTTPException, ConnectionError, socket.timeout,
+                OSError,
+            ):
+                # Reconnect window ends at getresponse(): no response
+                # bytes were consumed, so a replay is safe exactly once.
+                self.close()
+                if attempt:
+                    raise
+        if response.status != 200:
+            raw = response.read()
+            if response.will_close:
+                self.close()
+            try:
+                decoded = json.loads(raw.decode() or "null")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                decoded = {"error": f"non-JSON response: {raw[:200]!r}"}
+            if not isinstance(decoded, dict):
+                decoded = {"value": decoded}
+            raise ServingError(response.status, decoded)
+        header = self._read_stream_line(response)
+        if not header.get("stream"):
+            self.close()
+            raise StreamInterrupted(
+                f"expected a stream announcement line, got {header!r}"
+            )
+        return PredictionStream(self, response, header)
+
+    def _read_stream_line(self, response) -> Dict[str, Any]:
+        """One decoded NDJSON line from a chunked response.
+
+        ``http.client`` de-chunks incrementally, so each ``readline()``
+        blocks only until the server has written that line's chunk —
+        nothing buffers the whole response.
+        """
+        try:
+            raw = response.readline()
+        except (
+            http.client.HTTPException, ConnectionError, socket.timeout,
+            OSError, ValueError,
+        ) as exc:
+            self.close()
+            raise StreamInterrupted(
+                f"stream died mid-response: {exc}"
+            ) from exc
+        if not raw:
+            self.close()
+            raise StreamInterrupted(
+                "stream closed before its final 'done' line"
+            )
+        try:
+            decoded = json.loads(raw.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.close()
+            raise StreamInterrupted(
+                f"bad stream line {raw[:120]!r}"
+            ) from exc
+        if not isinstance(decoded, dict):
+            self.close()
+            raise StreamInterrupted(f"bad stream line {raw[:120]!r}")
+        return decoded
+
+    def _finish_stream(self, response) -> None:
+        """Drain the terminator so the keep-alive connection is reusable."""
+        try:
+            response.read()
+        except (
+            http.client.HTTPException, ConnectionError, socket.timeout,
+            OSError, ValueError,
+        ):
+            self.close()
+            return
+        if response.will_close:
+            self.close()
+
     @staticmethod
     def _payload(
         circuits,
@@ -194,3 +329,43 @@ class ServingClient:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ServingClient(http://{self.host}:{self.port})"
+
+
+class PredictionStream:
+    """An in-progress streamed prediction response.
+
+    ``header`` carries the announcement line (model, fingerprint,
+    optimization_level, count); iteration yields one ``List[float]`` of
+    predictions per server chunk and stops cleanly on the ``done`` line.
+    A connection failure mid-stream raises :class:`StreamInterrupted`;
+    a server-reported failure raises :class:`ServingError`.
+    """
+
+    def __init__(self, client: ServingClient, response, header: Dict[str, Any]):
+        self._client = client
+        self._response = response
+        self.header = header
+        self.received = 0   # predictions yielded so far
+        self._done = False
+
+    def __iter__(self) -> Iterator[List[float]]:
+        return self
+
+    def __next__(self) -> List[float]:
+        if self._done:
+            raise StopIteration
+        line = self._client._read_stream_line(self._response)
+        if "predictions" in line:
+            chunk = [float(value) for value in line["predictions"]]
+            self.received += len(chunk)
+            return chunk
+        if line.get("done"):
+            self._done = True
+            self._client._finish_stream(self._response)
+            raise StopIteration
+        self._done = True
+        if "error" in line:
+            self._client.close()
+            raise ServingError(500, line)
+        self._client.close()
+        raise StreamInterrupted(f"unexpected stream line {line!r}")

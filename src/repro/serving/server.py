@@ -1,9 +1,24 @@
 """The serving daemon: a stdlib-only asyncio HTTP front end.
 
-:class:`ServingDaemon` owns a :class:`~repro.serving.registry.ModelRegistry`
-(loaded once) and a :class:`~repro.serving.batcher.DynamicBatcher`, and
-speaks a deliberately small slice of HTTP/1.1 over asyncio streams — no
-third-party web framework, per the repo's numpy-only runtime rule.
+:class:`ServingDaemon` speaks a deliberately small slice of HTTP/1.1
+over asyncio streams — no third-party web framework, per the repo's
+numpy-only runtime rule — and runs in one of two modes:
+
+* **In-process** (``ServerConfig.shards == 1``, the default): the daemon
+  owns a :class:`~repro.serving.registry.ModelRegistry` (loaded once)
+  and a :class:`~repro.serving.batcher.DynamicBatcher` and computes
+  every batch itself, exactly as before.
+* **Sharded** (``shards > 1``, or ``0`` = one per CPU): the daemon is a
+  thin dispatcher.  It still owns the listener, request parsing, and
+  limits, but every ``/predict`` / ``/foms`` request is routed over a
+  keep-alive loopback socket to one of N spawn-based worker processes
+  (:mod:`repro.serving.shards`), each hosting its *own* registry +
+  :class:`~repro.predictor.service.FomService` + batcher — shared
+  nothing, one GIL per shard.  Requests route by a consistent hash of
+  ``(model, fingerprint, level, panel?)`` so a lane's compile/pass
+  caches stay hot on one worker, with round-robin spill when the lane
+  saturates.  Worker responses are relayed byte-for-byte, so sharded
+  responses are identical to the single-process daemon's.
 
 Endpoints (all JSON):
 
@@ -12,23 +27,32 @@ Endpoints (all JSON):
   "fingerprint":}``.  Concurrent requests coalesce into dynamic batches;
   responses are bit-identical to a direct
   :meth:`~repro.predictor.service.FomService.predict` call on the same
-  inputs (request-local compile-seed positions).
+  inputs (request-local compile-seed positions).  With ``"stream": true``
+  (and optional ``"chunk_size"``) the response is HTTP/1.1 chunked
+  transfer: one NDJSON line per pipeline chunk riding
+  :meth:`~repro.predictor.service.FomService.predict_stream`, so
+  corpus-sized requests never buffer a whole response in any process.
 * ``POST /foms`` — same request shape → the paper's full Table-I panel
   (four established figures of merit + the proposed estimator) under
-  ``"foms"``.
+  ``"foms"``.  Streaming is ``/predict``-only.
 * ``GET /healthz`` — 200 ``{"status": "serving", ...}`` while accepting
-  work, 503 ``{"status": "draining"}`` once shutdown has begun.
+  work, 503 ``{"status": "draining"}`` once shutdown has begun.  Sharded
+  daemons add a ``"shards"`` section (live/degraded, per-worker pids).
 * ``GET /stats`` — queue depth, batch-size histogram, per-stage latency
   totals, request-latency percentiles, response counters, and the
-  currently-serving model fingerprints + reload counters.
+  currently-serving model fingerprints + reload counters.  Sharded
+  daemons merge the per-worker reports: counters and histograms sum,
+  and percentiles are nearest-rank over the *union* of the per-shard
+  latency reservoirs (averaging per-shard percentiles would be wrong).
 * ``POST /reload`` — re-check every model source
   (:meth:`~repro.serving.registry.ModelRegistry.refresh`) and hot-swap
-  changed estimators without dropping a request.  With
-  ``ServerConfig.reload_interval > 0`` the daemon also polls on its own:
-  a cheap ``(size, mtime_ns)`` / store-scan guard each tick, the full
-  rehash+reload only when something moved.  In-flight batches finish on
-  the model they resolved; post-swap responses are bit-identical to a
-  freshly restarted daemon (see docs/drift.md for the contract).
+  changed estimators without dropping a request; sharded daemons
+  broadcast to every worker.  With ``ServerConfig.reload_interval > 0``
+  the daemon also polls on its own: a cheap ``(size, mtime_ns)`` /
+  store-scan guard each tick, the full rehash+reload only when
+  something moved.  In-flight batches finish on the model they
+  resolved; post-swap responses are bit-identical to a freshly
+  restarted daemon (see docs/drift.md for the contract).
 
 Operational behavior:
 
@@ -39,7 +63,9 @@ Operational behavior:
   everyone else.
 * **Graceful shutdown** — on SIGTERM/SIGINT the daemon stops accepting
   (503), drains every in-flight and queued batch (each queued request
-  is answered exactly once), closes the listener, and exits 0.
+  is answered exactly once, streams run to their terminator), then —
+  sharded — SIGTERMs every worker and reaps them all before the
+  listener closes and the process exits 0.
 """
 
 from __future__ import annotations
@@ -52,17 +78,96 @@ import signal
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Awaitable, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from ..circuits.qasm import from_qasm
 from ..fom.metrics import PROPOSED_LABEL
 from .batcher import BacklogFull, BatcherClosed, DynamicBatcher
 from .registry import ModelRegistry
 
-__all__ = ["DaemonThread", "ServerConfig", "ServingDaemon"]
+__all__ = [
+    "CHUNK_TERMINATOR",
+    "DaemonThread",
+    "ParsedPredict",
+    "ServerConfig",
+    "ServingDaemon",
+    "STREAM_CONTENT_TYPE",
+    "http_head",
+    "json_chunk",
+    "nearest_rank",
+    "parse_predict_payload",
+]
 
 _MAX_REQUEST_LINE = 8192
 _MAX_HEADERS = 100
+
+#: Streamed responses are newline-delimited JSON riding chunked transfer.
+STREAM_CONTENT_TYPE = "application/x-ndjson"
+
+#: The zero-length chunk that ends an HTTP/1.1 chunked body.
+CHUNK_TERMINATOR = b"0\r\n\r\n"
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def http_head(
+    status: int,
+    *,
+    close: bool,
+    content_length: Optional[int] = None,
+    chunked: bool = False,
+    content_type: str = "application/json",
+) -> bytes:
+    """One response head, byte-identical across daemon modes.
+
+    The shard relay builds its client-facing head through this same
+    function, which is what makes a dispatcher's responses match the
+    single-process daemon's down to header order.
+    """
+    reason = _REASONS.get(status, "Error")
+    framing = (
+        "Transfer-Encoding: chunked"
+        if chunked
+        else f"Content-Length: {content_length}"
+    )
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"{framing}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+
+
+def json_chunk(payload: Dict[str, Any]) -> bytes:
+    """One NDJSON line wrapped in HTTP chunk framing (size line + CRLF)."""
+    data = (json.dumps(payload) + "\n").encode()
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+def nearest_rank(ordered: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of an ascending sample.
+
+    The smallest sample with cumulative frequency >= ``fraction``, i.e.
+    ``ordered[ceil(f * n) - 1]``.  (A plain ``int(f * n)`` indexes one
+    rank high whenever ``f * n`` is an integer — with n=2 samples, p50
+    would return the *larger* one.)  This is also the merge rule for
+    sharded stats: nearest-rank over the union of per-shard reservoirs,
+    never an average of per-shard percentiles.
+    """
+    if not ordered:
+        return None
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[max(0, rank - 1)]
 
 
 @dataclass
@@ -81,35 +186,146 @@ class ServerConfig:
     latency_window: int = 2048        # request-latency samples kept for /stats
     reload_interval: float = 0.0      # seconds between auto model-refresh
                                       # probes (0 = only explicit /reload)
+    shards: int = 1                   # worker processes (1 = in-process,
+                                      # 0 = one per CPU)
+
+
+class ParsedPredict(NamedTuple):
+    """A validated ``/predict`` / ``/foms`` body, before QASM parsing."""
+
+    qasm: List[str]
+    model: Optional[str]
+    fingerprint: Optional[str]
+    level: Optional[int]
+    stream: bool
+    chunk_size: Optional[int]
+
+
+def parse_predict_payload(
+    body: bytes, want_foms: bool
+) -> Tuple[Optional[Tuple[int, Dict[str, Any]]], Optional[ParsedPredict]]:
+    """Validate a predict body; returns ``(error_response, parsed)``.
+
+    Shared by both daemon modes so a sharded dispatcher's 400s are
+    byte-identical to the single-process daemon's.
+    """
+    try:
+        payload = json.loads(body.decode() or "null")
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return (400, {"error": f"request body is not valid JSON: {exc}"}), None
+    if not isinstance(payload, dict):
+        return (400, {"error": "request body must be a JSON object"}), None
+    qasm_list = payload.get("circuits")
+    if (
+        not isinstance(qasm_list, list)
+        or not qasm_list
+        or not all(isinstance(entry, str) for entry in qasm_list)
+    ):
+        return (
+            400,
+            {"error": "'circuits' must be a non-empty list of QASM strings"},
+        ), None
+    level = payload.get("optimization_level")
+    if level is not None and (
+        not isinstance(level, int) or not 0 <= level <= 3
+    ):
+        return (400, {"error": "'optimization_level' must be 0..3"}), None
+    stream = payload.get("stream", False)
+    if not isinstance(stream, bool):
+        return (400, {"error": "'stream' must be a boolean"}), None
+    if stream and want_foms:
+        return (
+            400,
+            {"error": "streaming is supported on /predict only, not /foms"},
+        ), None
+    chunk_size = payload.get("chunk_size")
+    if chunk_size is not None:
+        if not stream:
+            return (
+                400,
+                {"error": "'chunk_size' applies only to streaming requests"},
+            ), None
+        if (
+            isinstance(chunk_size, bool)
+            or not isinstance(chunk_size, int)
+            or chunk_size < 1
+        ):
+            return (
+                400,
+                {"error": "'chunk_size' must be a positive integer"},
+            ), None
+    model = payload.get("model")
+    fingerprint = payload.get("fingerprint")
+    return None, ParsedPredict(
+        qasm_list, model, fingerprint, level, stream, chunk_size
+    )
 
 
 class _BadRequest(Exception):
     """Malformed HTTP framing; the connection is answered 400 and closed."""
 
 
+class _RawResponse(NamedTuple):
+    """A fully-formed body relayed verbatim (shard responses)."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+
+
+class _StreamResponse(NamedTuple):
+    """A chunked response written incrementally by ``write(writer, close)``."""
+
+    status: int
+    write: Callable[[asyncio.StreamWriter, bool], Awaitable[None]]
+
+
 class ServingDaemon:
     """A long-lived predict server over a model registry.
 
-    Construct with a loaded registry, then either ``await start()`` /
-    ``await stop()`` from an event loop (tests), use
+    Construct with a loaded :class:`ModelRegistry` (in-process mode) or
+    a picklable :class:`~repro.serving.shards.RegistrySpec` (required
+    when ``config.shards > 1``, accepted either way), then either
+    ``await start()`` / ``await stop()`` from an event loop (tests), use
     :class:`DaemonThread` from synchronous code, or call
     :meth:`serve_forever` as the process main (the CLI path — installs
     SIGTERM/SIGINT handlers for graceful drain).
     """
 
     def __init__(
-        self, registry: ModelRegistry, config: Optional[ServerConfig] = None
+        self, registry, config: Optional[ServerConfig] = None
     ):
-        if len(registry) == 0:
-            raise ValueError("cannot serve an empty model registry")
-        self.registry = registry
+        from .shards import RegistrySpec, ShardManager, resolve_shards
+
         self.config = config or ServerConfig()
-        self._batcher = DynamicBatcher(
-            self._run_batch,
-            max_batch=self.config.max_batch,
-            max_delay=self.config.batch_deadline,
-            max_queue=self.config.queue_limit,
-        )
+        self.shard_count = resolve_shards(self.config.shards)
+        self._sharded = self.shard_count > 1
+        self._shards: Optional[ShardManager] = None
+        self._batcher: Optional[DynamicBatcher] = None
+        if self._sharded:
+            if not isinstance(registry, RegistrySpec):
+                raise ValueError(
+                    "sharded serving (shards > 1) needs a RegistrySpec so "
+                    "each worker process can build its own registry; got "
+                    f"{type(registry).__name__}"
+                )
+            registry.validate()
+            self.registry: Optional[ModelRegistry] = None
+            self._shards = ShardManager(
+                registry, self.config, self.shard_count
+            )
+        else:
+            if isinstance(registry, RegistrySpec):
+                registry = registry.build()
+            if len(registry) == 0:
+                raise ValueError("cannot serve an empty model registry")
+            self.registry = registry
+            self._batcher = DynamicBatcher(
+                self._run_batch,
+                max_batch=self.config.max_batch,
+                max_delay=self.config.batch_deadline,
+                max_queue=self.config.queue_limit,
+            )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set[asyncio.StreamWriter]" = set()
         self._handler_tasks: "set[asyncio.Task]" = set()
@@ -134,12 +350,15 @@ class ServingDaemon:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listener and start the batcher; sets ``host``/``port``."""
+        """Bind the listener and start the batcher or the worker shards."""
         if self._server is not None:
             return
         self._idle = asyncio.Event()
         self._idle.set()
-        await self._batcher.start()
+        if self._sharded:
+            await self._shards.start()
+        else:
+            await self._batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -147,7 +366,7 @@ class ServingDaemon:
         self.host, self.port = sockname[0], sockname[1]
         self._started_at = asyncio.get_running_loop().time()
         self._reload_lock = asyncio.Lock()
-        if self.config.reload_interval > 0:
+        if not self._sharded and self.config.reload_interval > 0:
             self._reload_task = asyncio.get_running_loop().create_task(
                 self._reload_loop()
             )
@@ -157,10 +376,13 @@ class ServingDaemon:
         self._draining = True
 
     async def stop(self) -> None:
-        """Graceful shutdown: drain the batcher, close listener + connections.
+        """Graceful shutdown: drain, close listener + connections.
 
-        Every request queued before the call is answered exactly once;
-        requests arriving after it get 503.
+        Every request queued before the call is answered exactly once
+        (streams run to their terminator); requests arriving after it
+        get 503.  Sharded: workers are SIGTERMed only after in-flight
+        relays finish, and the call returns only after every worker
+        process is reaped.
         """
         self.begin_drain()
         if self._reload_task is not None:
@@ -170,12 +392,19 @@ class ServingDaemon:
             except asyncio.CancelledError:
                 pass
             self._reload_task = None
-        await self._batcher.close()
-        # Let in-flight handlers write their (already computed) responses
-        # before tearing connections down — a drained request that never
-        # reaches the wire is still a dropped request.
-        if self._idle is not None:
-            await self._idle.wait()
+        if self._sharded:
+            # Let in-flight relays (including streams) finish against
+            # live workers, then terminate and reap every shard.
+            if self._idle is not None:
+                await self._idle.wait()
+            await self._shards.stop()
+        else:
+            await self._batcher.close()
+            # Let in-flight handlers write their (already computed)
+            # responses before tearing connections down — a drained
+            # request that never reaches the wire is still dropped.
+            if self._idle is not None:
+                await self._idle.wait()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -204,13 +433,18 @@ class ServingDaemon:
                 loop.add_signal_handler(signum, stop_signal.set)
             except NotImplementedError:  # pragma: no cover - non-POSIX loops
                 pass
-        models = ", ".join(
-            f"{entry.name}@{entry.fingerprint}"
-            for entry in self.registry.entries()
-        )
+        if self._sharded:
+            models = ", ".join(sorted(self._shards.model_summaries()))
+            extra = f"; shards: {self.shard_count}"
+        else:
+            models = ", ".join(
+                f"{entry.name}@{entry.fingerprint}"
+                for entry in self.registry.entries()
+            )
+            extra = ""
         print(
             f"repro-serve listening on http://{self.host}:{self.port} "
-            f"(pid {os.getpid()}; models: {models})",
+            f"(pid {os.getpid()}; models: {models}{extra})",
             flush=True,
         )
         await stop_signal.wait()
@@ -219,7 +453,7 @@ class ServingDaemon:
         print("repro-serve drained; exiting", flush=True)
 
     # ------------------------------------------------------------------
-    # The batch runner (worker thread)
+    # The batch runner (worker thread; in-process mode only)
     # ------------------------------------------------------------------
 
     def _run_batch(
@@ -320,6 +554,42 @@ class ServingDaemon:
             ],
         }
 
+    async def _reload_sharded(self) -> Tuple[int, Dict[str, Any]]:
+        """Broadcast ``POST /reload`` to every live shard; merge reports."""
+        if self._draining:
+            return 503, {"error": "draining; not accepting new work"}
+        self._reload_checks += 1
+        results = await self._shards.poll("POST", "/reload", timeout=300.0)
+        swapped: List[Dict[str, Any]] = []
+        serving: List[Dict[str, Any]] = []
+        shard_reports: List[Dict[str, Any]] = []
+        ok = True
+        for report in results:
+            payload = report.get("payload") or {}
+            if not report.get("alive") or report.get("status") != 200:
+                ok = False
+                shard_reports.append({
+                    "shard": report["shard"],
+                    "ok": False,
+                    "error": payload.get("error", "shard unavailable"),
+                })
+                continue
+            shard_swaps = payload.get("swapped", [])
+            shard_reports.append({
+                "shard": report["shard"],
+                "ok": True,
+                "swapped": len(shard_swaps),
+            })
+            for swap in shard_swaps:
+                swapped.append({**swap, "shard": report["shard"]})
+            if not serving:
+                serving = payload.get("serving", [])
+        return (200 if ok else 500), {
+            "swapped": swapped,
+            "serving": serving,
+            "shards": shard_reports,
+        }
+
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
@@ -343,17 +613,29 @@ class ServingDaemon:
                 if request is None:
                     break
                 method, target, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                )
                 self._active_requests += 1
                 if self._idle is not None:
                     self._idle.clear()
                 try:
-                    status, payload = await self._route(method, target, body)
-                    keep_alive = (
-                        headers.get("connection", "").lower() != "close"
-                    )
-                    await self._write_response(
-                        writer, status, payload, close=not keep_alive
-                    )
+                    result = await self._route(method, target, body)
+                    if isinstance(result, _StreamResponse):
+                        await result.write(writer, not keep_alive)
+                    elif isinstance(result, _RawResponse):
+                        await self._write_raw(
+                            writer,
+                            result.status,
+                            result.body,
+                            close=not keep_alive,
+                            content_type=result.content_type,
+                        )
+                    else:
+                        status, payload = result
+                        await self._write_response(
+                            writer, status, payload, close=not keep_alive
+                        )
                 finally:
                     self._active_requests -= 1
                     if self._active_requests == 0 and self._idle is not None:
@@ -425,20 +707,24 @@ class ServingDaemon:
         payload: Dict[str, Any],
         close: bool,
     ) -> None:
-        self._responses[status] = self._responses.get(status, 0) + 1
-        reason = {
-            200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 500: "Internal Server Error",
-            503: "Service Unavailable", 504: "Gateway Timeout",
-        }.get(status, "Error")
         body = json.dumps(payload).encode()
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'close' if close else 'keep-alive'}\r\n"
-            f"\r\n"
-        ).encode("latin-1")
+        await self._write_raw(writer, status, body, close=close)
+
+    async def _write_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        close: bool,
+        content_type: str = "application/json",
+    ) -> None:
+        self._responses[status] = self._responses.get(status, 0) + 1
+        head = http_head(
+            status,
+            close=close,
+            content_length=len(body),
+            content_type=content_type,
+        )
         writer.write(head + body)
         await writer.drain()
 
@@ -446,27 +732,34 @@ class ServingDaemon:
     # Routing
     # ------------------------------------------------------------------
 
-    async def _route(
-        self, method: str, target: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+    async def _route(self, method: str, target: str, body: bytes):
         path = target.split("?", 1)[0]
         self._requests[path] = self._requests.get(path, 0) + 1
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "healthz is GET-only"}
+            if self._sharded:
+                return await self._healthz_sharded()
             return self._healthz()
         if path == "/stats":
             if method != "GET":
                 return 405, {"error": "stats is GET-only"}
+            if self._sharded:
+                return await self._stats_sharded()
             return 200, self._stats()
         if path == "/reload":
             if method != "POST":
                 return 405, {"error": "reload is POST-only"}
+            if self._sharded:
+                return await self._reload_sharded()
             return await self._reload()
         if path in ("/predict", "/foms"):
             if method != "POST":
                 return 405, {"error": f"{path} is POST-only"}
-            return await self._predict(body, want_foms=(path == "/foms"))
+            want_foms = path == "/foms"
+            if self._sharded:
+                return await self._predict_sharded(path, body, want_foms)
+            return await self._predict(body, want_foms=want_foms)
         return 404, {
             "error": f"unknown path {path!r}; "
             "endpoints: /predict /foms /healthz /stats /reload"
@@ -483,29 +776,69 @@ class ServingDaemon:
                 "refreshes": self.registry.refreshes,
                 "swaps": self.registry.swaps,
             },
-            "batch": {
-                "max_batch": self.config.max_batch,
-                "deadline_ms": self.config.batch_deadline * 1000.0,
-                "queue_limit": self.config.queue_limit,
-                "request_timeout_s": self.config.request_timeout,
+            "batch": self._batch_summary(),
+        }
+
+    def _batch_summary(self) -> Dict[str, Any]:
+        return {
+            "max_batch": self.config.max_batch,
+            "deadline_ms": self.config.batch_deadline * 1000.0,
+            "queue_limit": self.config.queue_limit,
+            "request_timeout_s": self.config.request_timeout,
+        }
+
+    async def _healthz_sharded(self) -> Tuple[int, Dict[str, Any]]:
+        results = await self._shards.poll("GET", "/healthz")
+        workers: List[Dict[str, Any]] = []
+        models: List[Dict[str, Any]] = []
+        live = 0
+        reload_totals = {"checks": 0, "refreshes": 0, "swaps": 0}
+        for report in results:
+            alive = bool(report.get("alive"))
+            worker = {
+                "shard": report["shard"],
+                "alive": alive,
+                "pid": report.get("pid"),
+            }
+            payload = report.get("payload") or {}
+            if alive:
+                live += 1
+                worker["status"] = payload.get("status")
+                if not models:
+                    models = payload.get("models", [])
+                for field, value in payload.get("reload", {}).items():
+                    if field in reload_totals:
+                        reload_totals[field] += int(value)
+            workers.append(worker)
+        degraded = live < self.shard_count
+        if self._draining:
+            status, code = "draining", 503
+        elif degraded:
+            status, code = "degraded", 200
+        else:
+            status, code = "serving", 200
+        return code, {
+            "status": status,
+            "models": models,
+            "shards": {
+                "count": self.shard_count,
+                "live": live,
+                "degraded": degraded,
+                "crashes": self._shards.crashes,
+                "respawns": self._shards.respawns,
+                "workers": workers,
             },
+            "reload": {
+                "interval_s": self.config.reload_interval,
+                **reload_totals,
+            },
+            "batch": self._batch_summary(),
         }
 
     def _stats(self) -> Dict[str, Any]:
         loop = asyncio.get_running_loop()
         batch = self._batcher.snapshot()
         ordered = sorted(self._latencies)
-
-        def percentile(fraction: float) -> Optional[float]:
-            # Nearest-rank: the smallest sample with cumulative frequency
-            # >= fraction, i.e. ordered[ceil(f * n) - 1].  (The previous
-            # int(f * n) indexed one rank high whenever f * n was an
-            # integer — with n=2 samples, p50 returned the *larger* one.)
-            if not ordered:
-                return None
-            rank = math.ceil(fraction * len(ordered))
-            return ordered[max(0, rank - 1)]
-
         return {
             "uptime_s": (
                 loop.time() - self._started_at
@@ -536,10 +869,13 @@ class ServingDaemon:
                 },
             },
             "latency": {
-                "request_p50_s": percentile(0.50),
-                "request_p99_s": percentile(0.99),
+                "request_p50_s": nearest_rank(ordered, 0.50),
+                "request_p99_s": nearest_rank(ordered, 0.99),
                 "request_max_s": ordered[-1] if ordered else None,
                 "samples": len(ordered),
+                # The raw (bounded) reservoir: what a sharded parent
+                # merges before recomputing percentiles on the union.
+                "reservoir": list(self._latencies),
                 "queue_wait_s_total": batch.queue_wait_s_total,
                 "queue_wait_s_max": batch.queue_wait_s_max,
                 "stages_s": batch.stage_s,
@@ -556,44 +892,92 @@ class ServingDaemon:
             },
         }
 
-    async def _predict(
-        self, body: bytes, want_foms: bool
-    ) -> Tuple[int, Dict[str, Any]]:
+    async def _stats_sharded(self) -> Tuple[int, Dict[str, Any]]:
+        from .shards import merge_shard_stats
+
+        loop = asyncio.get_running_loop()
+        results = await self._shards.poll("GET", "/stats")
+        reports = [
+            report["payload"]
+            for report in results
+            if report.get("alive") and isinstance(report.get("payload"), dict)
+        ]
+        merged = merge_shard_stats(reports)
+        merged["queue"]["limit"] = self.config.queue_limit
+        per_shard: List[Dict[str, Any]] = []
+        for report in results:
+            entry: Dict[str, Any] = {
+                "shard": report["shard"],
+                "alive": bool(report.get("alive")),
+                "pid": report.get("pid"),
+            }
+            payload = report.get("payload")
+            if isinstance(payload, dict):
+                entry["queue_depth"] = payload["queue"]["depth"]
+                entry["in_flight"] = payload["queue"]["in_flight"]
+                entry["requests_total"] = payload["batches"]["requests_total"]
+                entry["latency_samples"] = payload["latency"]["samples"]
+            per_shard.append(entry)
+        models = next(
+            (report["models"] for report in reports if "models" in report),
+            {},
+        )
+        return 200, {
+            "uptime_s": (
+                loop.time() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "draining": self._draining,
+            "requests": dict(self._requests),
+            "responses": {
+                str(status): count
+                for status, count in sorted(self._responses.items())
+            },
+            "queue": merged["queue"],
+            "batches": merged["batches"],
+            "latency": merged["latency"],
+            "models": models,
+            "shards": {
+                "count": self.shard_count,
+                "live": sum(1 for r in results if r.get("alive")),
+                "crashes": self._shards.crashes,
+                "respawns": self._shards.respawns,
+                "spills": self._shards.spills,
+                "per_shard": per_shard,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Predict: in-process
+    # ------------------------------------------------------------------
+
+    async def _predict(self, body: bytes, want_foms: bool):
         if self._draining:
             return 503, {"error": "draining; not accepting new work"}
+        error, parsed = parse_predict_payload(body, want_foms)
+        if error is not None:
+            return error
         try:
-            payload = json.loads(body.decode() or "null")
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            return 400, {"error": f"request body is not valid JSON: {exc}"}
-        if not isinstance(payload, dict):
-            return 400, {"error": "request body must be a JSON object"}
-        qasm_list = payload.get("circuits")
-        if (
-            not isinstance(qasm_list, list)
-            or not qasm_list
-            or not all(isinstance(entry, str) for entry in qasm_list)
-        ):
-            return 400, {
-                "error": "'circuits' must be a non-empty list of QASM strings"
-            }
-        level = payload.get("optimization_level")
-        if level is not None and (
-            not isinstance(level, int) or not 0 <= level <= 3
-        ):
-            return 400, {"error": "'optimization_level' must be 0..3"}
-        try:
-            entry = self.registry.resolve(
-                payload.get("model"), payload.get("fingerprint")
-            )
+            entry = self.registry.resolve(parsed.model, parsed.fingerprint)
         except ValueError as exc:
             return 400, {"error": str(exc)}
         try:
-            circuits = [from_qasm(qasm) for qasm in qasm_list]
+            circuits = [from_qasm(qasm) for qasm in parsed.qasm]
         except Exception as exc:  # noqa: BLE001 - any parse failure is a 400
             return 400, {"error": f"bad QASM: {exc}"}
         effective_level = (
-            entry.service.optimization_level if level is None else level
+            entry.service.optimization_level
+            if parsed.level is None
+            else parsed.level
         )
+        if parsed.stream:
+            async def write(writer: asyncio.StreamWriter, close: bool):
+                await self._write_stream_local(
+                    writer, close, entry, circuits, effective_level,
+                    parsed.chunk_size,
+                )
+            return _StreamResponse(200, write)
         key = (entry.name, entry.fingerprint, effective_level, want_foms)
         loop = asyncio.get_running_loop()
         started = loop.time()
@@ -626,6 +1010,122 @@ class ServingDaemon:
         else:
             response["predictions"] = result["predictions"]
         return 200, response
+
+    async def _write_stream_local(
+        self,
+        writer: asyncio.StreamWriter,
+        close: bool,
+        entry,
+        circuits: List,
+        level,
+        chunk_size: Optional[int],
+    ) -> None:
+        """Stream predictions as chunked NDJSON riding ``predict_stream``.
+
+        Bypasses the batcher: a corpus-sized request *is* its own batch,
+        and global positions in ``predict_stream`` keep the bytes
+        identical to a non-streamed call regardless of chunk size.
+        Counted in ``_active_requests``, so a drain waits for the
+        terminator — a stream in flight when SIGTERM lands still
+        completes.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self._responses[200] = self._responses.get(200, 0) + 1
+        writer.write(
+            http_head(
+                200, close=close, chunked=True,
+                content_type=STREAM_CONTENT_TYPE,
+            )
+        )
+        writer.write(
+            json_chunk({
+                "model": entry.name,
+                "fingerprint": entry.fingerprint,
+                "optimization_level": level,
+                "count": len(circuits),
+                "stream": True,
+            })
+        )
+        await writer.drain()
+        iterator = entry.service.predict_stream(
+            circuits,
+            optimization_level=level,
+            max_workers=self.config.max_workers,
+            workers_mode=self.config.workers_mode,
+            chunk_size=chunk_size,
+        )
+        try:
+            while True:
+                part = await asyncio.to_thread(next, iterator, None)
+                if part is None:
+                    break
+                writer.write(json_chunk({"predictions": part.tolist()}))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            raise  # client went away; nothing left to answer
+        except Exception as exc:  # noqa: BLE001 - pipeline failure mid-stream
+            writer.write(
+                json_chunk({"error": f"stream failed: {exc}"})
+                + CHUNK_TERMINATOR
+            )
+            await writer.drain()
+            return
+        self._latencies.append(loop.time() - started)
+        writer.write(
+            json_chunk({"done": True, "count": len(circuits)})
+            + CHUNK_TERMINATOR
+        )
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Predict: sharded dispatch
+    # ------------------------------------------------------------------
+
+    async def _predict_sharded(self, path: str, body: bytes, want_foms: bool):
+        """Validate, pick a shard by lane hash, relay bytes verbatim."""
+        from .shards import ShardDown
+
+        if self._draining:
+            return 503, {"error": "draining; not accepting new work"}
+        error, parsed = parse_predict_payload(body, want_foms)
+        if error is not None:
+            return error
+        key = (parsed.model, parsed.fingerprint, parsed.level, want_foms)
+        weight = len(parsed.qasm)
+        manager = self._shards
+        try:
+            shard = manager.pick(key, weight)
+        except ShardDown as down:
+            return 503, {"error": str(down)}
+        manager.begin(shard, weight)
+        try:
+            reply = await manager.exchange(shard, "POST", path, body)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            manager.release(shard, weight)
+            return 503, {
+                "error": f"shard {shard.index} failed mid-request: {exc}"
+            }
+        if reply.body is not None:
+            manager.release(shard, weight)
+            # No parent-side latency sample: sharded /stats percentiles
+            # come from the merged per-worker reservoirs.
+            return _RawResponse(
+                reply.status,
+                reply.body,
+                reply.headers.get("content-type", "application/json"),
+            )
+
+        async def write(writer: asyncio.StreamWriter, close: bool):
+            self._responses[reply.status] = (
+                self._responses.get(reply.status, 0) + 1
+            )
+            try:
+                await manager.relay_stream(shard, reply, writer, close)
+            finally:
+                manager.release(shard, weight)
+
+        return _StreamResponse(reply.status, write)
 
 
 class DaemonThread:

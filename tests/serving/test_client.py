@@ -1,0 +1,342 @@
+"""ServingClient transport semantics against a scripted raw-socket server.
+
+The rules under test are the client's reconnect contract:
+
+* plain requests re-establish a dead keep-alive connection once;
+* a streamed request reconnects only **before any response bytes**
+  (the window closes at ``getresponse()``);
+* once a stream has started, a dead connection raises
+  :class:`StreamInterrupted` — never a silent replay that would
+  recompute the corpus and duplicate chunks;
+* chunked NDJSON decodes incrementally, including a JSON line split
+  across two HTTP chunks, and a finished stream leaves the keep-alive
+  connection reusable.
+
+A scripted server — real sockets, hand-written bytes — pins these
+without a daemon in the loop, so each test controls exactly where the
+connection dies.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serving import (
+    PredictionStream,
+    ServingClient,
+    ServingError,
+    StreamInterrupted,
+)
+
+QASM = (
+    "OPENQASM 2.0;\n"
+    'include "qelib1.inc";\n'
+    "qreg q[1];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\n"
+)
+
+
+def read_request(sock) -> bytes:
+    """One full HTTP request (head + content-length body) off a socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        more = sock.recv(65536)
+        if not more:
+            return data
+        data += more
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(rest) < length:
+        more = sock.recv(65536)
+        if not more:
+            break
+        rest += more
+    return head + b"\r\n\r\n" + rest
+
+
+def chunk(data: bytes) -> bytes:
+    return f"{len(data):x}\r\n".encode() + data + b"\r\n"
+
+
+def line(payload: dict) -> bytes:
+    return (json.dumps(payload) + "\n").encode()
+
+
+HEADER = {"model": "m", "fingerprint": "f", "count": 2, "stream": True}
+
+
+def stream_head(close: bool = False) -> bytes:
+    connection = "close" if close else "keep-alive"
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        f"Connection: {connection}\r\n\r\n"
+    ).encode()
+
+
+class ScriptedServer:
+    """Accepts connections and runs one scripted handler per connection.
+
+    Each handler gets the accepted socket; the server records how many
+    connections arrived (the reconnect assertions) and re-raises any
+    handler failure at ``close()``.
+    """
+
+    def __init__(self, handlers):
+        self.handlers = list(handlers)
+        self.connections = 0
+        self.errors = []
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(10.0)
+        self.host, self.port = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for handler in self.handlers:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                with sock:
+                    handler(sock)
+            except Exception as exc:  # noqa: BLE001 - surfaced at close()
+                self.errors.append(exc)
+
+    def close(self):
+        self._listener.close()
+        self._thread.join(timeout=10)
+        if self.errors:
+            raise self.errors[0]
+
+
+@pytest.fixture()
+def scripted():
+    servers = []
+
+    def launch(*handlers) -> ScriptedServer:
+        server = ScriptedServer(handlers)
+        servers.append(server)
+        return server
+
+    yield launch
+    for server in servers:
+        server.close()
+
+
+def test_stream_decodes_line_split_across_http_chunks(scripted):
+    """One NDJSON line may span two transfer chunks; readline() must
+    reassemble it (http.client de-chunks incrementally)."""
+    prediction_line = line({"predictions": [0.125, 0.25]})
+
+    def handler(sock):
+        read_request(sock)
+        sock.sendall(stream_head() + chunk(line(HEADER)))
+        # The predictions line arrives in two chunks, split mid-JSON.
+        sock.sendall(chunk(prediction_line[:9]))
+        sock.sendall(chunk(prediction_line[9:]))
+        sock.sendall(chunk(line({"done": True, "count": 2})) + b"0\r\n\r\n")
+
+    server = scripted(handler)
+    with ServingClient(server.host, server.port) as client:
+        stream = client.predict_stream([QASM, QASM])
+        assert isinstance(stream, PredictionStream)
+        assert stream.header["model"] == "m"
+        assert stream.header["count"] == 2
+        chunks = list(stream)
+    assert chunks == [[0.125, 0.25]]
+    assert stream.received == 2
+    assert server.connections == 1
+
+
+def test_stream_reconnects_once_before_first_response_byte(scripted):
+    """A stale keep-alive connection (server closed it between requests)
+    is retried on a fresh one — no response bytes were consumed, so the
+    replay is safe."""
+
+    def stale(sock):
+        # Serve one normal request, then close: the client's pooled
+        # keep-alive connection is now dead without it knowing.
+        read_request(sock)
+        body = b'{"status": "serving"}'
+        sock.sendall(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n".encode()
+            + b"Connection: keep-alive\r\n\r\n" + body
+        )
+
+    def fresh(sock):
+        read_request(sock)
+        sock.sendall(
+            stream_head()
+            + chunk(line(HEADER))
+            + chunk(line({"predictions": [0.5, 0.75]}))
+            + chunk(line({"done": True, "count": 2}))
+            + b"0\r\n\r\n"
+        )
+
+    server = scripted(stale, fresh)
+    with ServingClient(server.host, server.port) as client:
+        client.healthz()          # pools the connection the server drops
+        stream = client.predict_stream([QASM, QASM])
+        assert list(stream) == [[0.5, 0.75]]
+    assert server.connections == 2
+
+
+def test_stream_never_retries_after_first_chunk(scripted):
+    """A stream that dies after delivering bytes raises
+    StreamInterrupted on exactly one connection — a transparent replay
+    would double-consume the overlap."""
+
+    def dies_mid_stream(sock):
+        read_request(sock)
+        sock.sendall(
+            stream_head()
+            + chunk(line(HEADER))
+            + chunk(line({"predictions": [0.5]}))
+        )
+        # Abrupt close: no error line, no terminator.
+
+    server = scripted(dies_mid_stream)
+    with ServingClient(server.host, server.port) as client:
+        stream = client.predict_stream([QASM, QASM])
+        assert next(stream) == [0.5]
+        with pytest.raises(StreamInterrupted):
+            next(stream)
+    assert server.connections == 1
+
+
+def test_stream_non_200_raises_serving_error(scripted):
+    def overloaded(sock):
+        read_request(sock)
+        body = b'{"error": "queue full"}'
+        sock.sendall(
+            b"HTTP/1.1 503 Service Unavailable\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n".encode()
+            + b"Connection: keep-alive\r\n\r\n" + body
+        )
+
+    server = scripted(overloaded)
+    with ServingClient(server.host, server.port) as client:
+        with pytest.raises(ServingError) as caught:
+            client.predict_stream([QASM])
+    assert caught.value.status == 503
+    assert caught.value.payload == {"error": "queue full"}
+
+
+def test_stream_server_error_line_raises_serving_error(scripted):
+    """A well-formed mid-stream error chunk (shard died, pipeline
+    failure) surfaces as ServingError, not StreamInterrupted."""
+
+    def errors_mid_stream(sock):
+        read_request(sock)
+        sock.sendall(
+            stream_head()
+            + chunk(line(HEADER))
+            + chunk(line({"predictions": [0.5]}))
+            + chunk(line({"error": "shard 1 died mid-stream"}))
+            + b"0\r\n\r\n"
+        )
+
+    server = scripted(errors_mid_stream)
+    with ServingClient(server.host, server.port) as client:
+        stream = client.predict_stream([QASM, QASM])
+        assert next(stream) == [0.5]
+        with pytest.raises(ServingError) as caught:
+            next(stream)
+    assert caught.value.status == 500
+    assert "died mid-stream" in str(caught.value)
+
+
+def test_stream_bad_announcement_raises_stream_interrupted(scripted):
+    def not_a_stream(sock):
+        read_request(sock)
+        sock.sendall(stream_head() + chunk(line({"predictions": [0.5]})))
+
+    server = scripted(not_a_stream)
+    with ServingClient(server.host, server.port) as client:
+        with pytest.raises(StreamInterrupted, match="announcement"):
+            client.predict_stream([QASM])
+
+
+def test_connection_reused_after_completed_stream(scripted):
+    """Draining the terminator leaves the keep-alive connection usable:
+    a stream then a plain request ride one connection."""
+
+    def stream_then_plain(sock):
+        read_request(sock)
+        sock.sendall(
+            stream_head()
+            + chunk(line(HEADER))
+            + chunk(line({"predictions": [0.5, 0.75]}))
+            + chunk(line({"done": True, "count": 2}))
+            + b"0\r\n\r\n"
+        )
+        read_request(sock)   # the follow-up request, same connection
+        body = b'{"status": "serving"}'
+        sock.sendall(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n".encode()
+            + b"Connection: keep-alive\r\n\r\n" + body
+        )
+
+    server = scripted(stream_then_plain)
+    with ServingClient(server.host, server.port) as client:
+        assert list(client.predict_stream([QASM, QASM])) == [[0.5, 0.75]]
+        status, payload = client.healthz()
+    assert status == 200 and payload == {"status": "serving"}
+    assert server.connections == 1
+
+
+def test_stream_payload_carries_stream_flag_and_chunk_size(scripted):
+    captured = {}
+
+    def capture(sock):
+        raw = read_request(sock)
+        _, _, body = raw.partition(b"\r\n\r\n")
+        captured.update(json.loads(body.decode()))
+        sock.sendall(
+            stream_head()
+            + chunk(line(HEADER))
+            + chunk(line({"done": True, "count": 0}))
+            + b"0\r\n\r\n"
+        )
+
+    server = scripted(capture)
+    with ServingClient(server.host, server.port) as client:
+        list(client.predict_stream(
+            [QASM], model="m", optimization_level=1, chunk_size=16
+        ))
+    assert captured["stream"] is True
+    assert captured["chunk_size"] == 16
+    assert captured["model"] == "m"
+    assert captured["optimization_level"] == 1
+    assert captured["circuits"] == [QASM]
+
+
+def test_plain_request_still_reconnects_once(scripted):
+    """The pre-existing contract, pinned next to the narrower stream
+    rule: a plain request on a dead pooled connection retries once."""
+
+    def stale(sock):
+        read_request(sock)
+        body = b'{"status": "serving"}'
+        sock.sendall(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n".encode()
+            + b"Connection: keep-alive\r\n\r\n" + body
+        )
+
+    server = scripted(stale, stale)
+    with ServingClient(server.host, server.port) as client:
+        assert client.healthz()[0] == 200
+        assert client.healthz()[0] == 200   # retried on a fresh socket
+    assert server.connections == 2

@@ -289,6 +289,88 @@ def test_empty_registry_is_rejected():
 
 
 # ----------------------------------------------------------------------
+# Chunked streaming (in-process mode)
+# ----------------------------------------------------------------------
+
+
+def test_stream_bit_identical_across_chunk_boundaries(
+    client, direct, circuits
+):
+    """`"stream": true` delivers the same values as a plain /predict —
+    chunk boundaries change delivery, never math (global positions in
+    predict_stream keep the compile seeds identical)."""
+    expected = direct.predict(circuits[:5]).tolist()
+    stream = client.predict_stream(circuits[:5], chunk_size=2)
+    assert stream.header["count"] == 5
+    assert stream.header["optimization_level"] == LEVEL
+    chunks = list(stream)
+    assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+    assert [value for chunk in chunks for value in chunk] == expected
+    assert stream.received == 5
+    # A different chunking yields the same flat values.
+    whole = list(client.predict_stream(circuits[:5]))
+    assert [value for chunk in whole for value in chunk] == expected
+
+
+def test_stream_then_plain_request_reuse_connection(
+    client, direct, circuits
+):
+    """A drained stream leaves the keep-alive connection usable."""
+    flat = [
+        value
+        for chunk in client.predict_stream(circuits[:3], chunk_size=1)
+        for value in chunk
+    ]
+    assert flat == direct.predict(circuits[:3]).tolist()
+    assert client.predict(circuits[:2])["predictions"] == (
+        direct.predict(circuits[:2]).tolist()
+    )
+
+
+def test_stream_validation_rejections(client, circuits):
+    qasm = to_qasm(circuits[0])
+    cases = [
+        ("/foms", {"circuits": [qasm], "stream": True}),      # predict-only
+        ("/predict", {"circuits": [qasm], "stream": "yes"}),  # not a bool
+        ("/predict", {"circuits": [qasm], "chunk_size": 2}),  # needs stream
+        ("/predict", {"circuits": [qasm], "stream": True, "chunk_size": 0}),
+        ("/predict", {"circuits": [qasm], "stream": True, "chunk_size": True}),
+    ]
+    for path, payload in cases:
+        status, body = client.request("POST", path, payload)
+        assert status == 400, (payload, body)
+        assert "error" in body
+
+
+def test_stream_rejected_while_draining(model_path, circuits):
+    thread = DaemonThread(make_daemon(model_path))
+    host, port = thread.start()
+    try:
+        thread.daemon.begin_drain()
+        with ServingClient(host, port) as client:
+            with pytest.raises(ServingError) as excinfo:
+                client.predict_stream(circuits[:1])
+            assert excinfo.value.status == 503
+    finally:
+        thread.stop()
+
+
+def test_stats_expose_raw_latency_reservoir(client, circuits):
+    """The reservoir a sharded parent merges: raw samples whose
+    nearest-rank percentiles are exactly the reported ones."""
+    from repro.serving.server import nearest_rank
+
+    client.predict(circuits[:2])
+    latency = client.stats()["latency"]
+    reservoir = latency["reservoir"]
+    assert len(reservoir) == latency["samples"] >= 1
+    ordered = sorted(reservoir)
+    assert latency["request_p50_s"] == nearest_rank(ordered, 0.50)
+    assert latency["request_p99_s"] == nearest_rank(ordered, 0.99)
+    assert latency["request_max_s"] == ordered[-1]
+
+
+# ----------------------------------------------------------------------
 # Latency percentiles (nearest-rank) on tiny samples
 # ----------------------------------------------------------------------
 
